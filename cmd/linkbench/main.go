@@ -1,0 +1,107 @@
+// Command linkbench runs the LinkBench social-graph workload against the
+// mini-InnoDB engine on a simulated SHARE SSD, printing throughput and the
+// Table 1-style latency distribution for a chosen flush mode.
+//
+// Usage:
+//
+//	linkbench -mode share -nodes 20000 -requests 2000 -clients 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"share/internal/fsim"
+	"share/internal/innodb"
+	"share/internal/linkbench"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "share", "flush mode: dwb-on | dwb-off | share")
+		blocks   = flag.Int("blocks", 512, "data device blocks")
+		nodes    = flag.Int("nodes", 10000, "graph nodes")
+		clients  = flag.Int("clients", 16, "closed-loop clients")
+		requests = flag.Int("requests", 1000, "requests per client")
+		pageKB   = flag.Int("page", 4, "InnoDB page size in KiB (4, 8, 16)")
+		bufferKB = flag.Int("buffer", 512, "buffer pool size in KiB")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var fm innodb.FlushMode
+	switch strings.ToLower(*mode) {
+	case "dwb-on", "dwbon", "on":
+		fm = innodb.DWBOn
+	case "dwb-off", "dwboff", "off":
+		fm = innodb.DWBOff
+	case "share":
+		fm = innodb.Share
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	cfg := ssd.DefaultConfig(*blocks)
+	dev, err := ssd.New("openssd", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := sim.NewSoloTask("setup")
+	if err := dev.Age(task, 0.9, 0.3, *seed); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Trim(task, 0, dev.Capacity()); err != nil {
+		log.Fatal(err)
+	}
+	fs, err := fsim.Format(task, dev, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcfg := ssd.DefaultConfig(256)
+	lcfg.Timing = nand.Timing{
+		ReadPage: 20 * sim.Microsecond, Program: 50 * sim.Microsecond,
+		Erase: 500 * sim.Microsecond, Transfer: 5 * sim.Microsecond,
+	}
+	lcfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("logdev", lcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := innodb.Open(task, fs, logDev, innodb.Config{
+		PageSize:  *pageKB * 1024,
+		PoolBytes: int64(*bufferKB) * 1024,
+		FlushMode: fm,
+		DWBPages:  32,
+		DataBytes: dev.CapacityBytes() * 60 / 100,
+		LogPages:  uint32(logDev.Capacity()) / 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lcfg2 := linkbench.Config{
+		Nodes: *nodes, Clients: *clients, Requests: *requests,
+		Warmup: *requests / 10, Seed: *seed,
+	}
+	fmt.Printf("loading %d nodes...\n", *nodes)
+	if err := linkbench.Load(task, eng, lcfg2); err != nil {
+		log.Fatal(err)
+	}
+	dev.ResetStats()
+	fmt.Printf("running %d x %d requests (%s)...\n", *clients, *requests, fm)
+	res, err := linkbench.Run(eng, lcfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nthroughput: %.0f requests per virtual second\n\n", res.Throughput)
+	fmt.Println(res.Table())
+	st := dev.Stats()
+	fmt.Printf("device: %d host writes, %d GC events, %d copybacks, %d share pairs\n",
+		st.FTL.HostWrites, st.FTL.GCEvents, st.FTL.Copybacks, st.FTL.SharePairs)
+}

@@ -1,0 +1,76 @@
+// Command sharebench runs the paper-reproduction experiments: every table
+// and figure from §5 of "SHARE Interface in Flash Storage for Relational
+// and NoSQL Databases" (SIGMOD 2016), plus the design ablations.
+//
+// Usage:
+//
+//	sharebench -list
+//	sharebench -exp fig5b [-scale 0.05] [-seed 42]
+//	sharebench -all [-scale 0.02]
+//
+// Scale 1 corresponds to the paper's sizes (4 GiB OpenSSD, 1.5 GiB
+// LinkBench database, 250k×4 KiB YCSB documents); the default keeps runs
+// to seconds. Results are virtual-time measurements from the simulator,
+// so throughput numbers are stable across machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"share/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 0, "size multiplier vs the paper's setup (default 0.02)")
+		seed  = flag.Int64("seed", 0, "random seed (default 42)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	params := bench.Params{Scale: *scale, Seed: *seed}
+	run := func(e bench.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		out, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+	switch {
+	case *all:
+		for _, e := range bench.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		e, err := bench.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

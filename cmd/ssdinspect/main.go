@@ -1,0 +1,110 @@
+// Command ssdinspect creates a simulated SHARE SSD, optionally ages it,
+// runs a synthetic write/share/trim mix, and dumps the FTL's internal
+// statistics — a workbench for studying the translation layer itself.
+//
+// Usage:
+//
+//	ssdinspect -blocks 1024 -age 0.9 -writes 50000 -sharefrac 0.3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"share"
+	"share/internal/ftl"
+)
+
+func main() {
+	var (
+		blocks    = flag.Int("blocks", 512, "NAND blocks (128 x 4 KiB pages each)")
+		age       = flag.Float64("age", 0.9, "aging fill ratio before the run (0 disables)")
+		writes    = flag.Int("writes", 20000, "random page writes in the measured run")
+		shareFrac = flag.Float64("sharefrac", 0.2, "fraction of operations issued as SHARE")
+		trimFrac  = flag.Float64("trimfrac", 0.05, "fraction of operations issued as TRIM")
+		tableCap  = flag.Int("sharetable", 0, "bounded reverse-map entries (0 = unlimited)")
+		seed      = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	dev, err := share.OpenDevice(share.DeviceOptions{Blocks: *blocks, ShareTableCap: *tableCap})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := share.NewTask("inspect")
+	if *age > 0 {
+		if err := dev.Age(t, *age, 0.3, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aged: %.0f%% fill + 30%% random rewrites\n", *age*100)
+	}
+	dev.ResetStats()
+	agedPrograms := dev.Stats().Chip.Programs
+
+	rng := rand.New(rand.NewSource(*seed))
+	capacity := dev.Capacity()
+	buf := make([]byte, dev.PageSize())
+	written := make([]uint32, 0, 1024)
+	start := t.Now()
+	for i := 0; i < *writes; i++ {
+		r := rng.Float64()
+		switch {
+		case r < *shareFrac && len(written) >= 2:
+			a := written[rng.Intn(len(written))]
+			b := written[rng.Intn(len(written))]
+			if a == b {
+				continue
+			}
+			// The source may have been trimmed since it was recorded;
+			// an unmapped source is a legitimate command error.
+			if err := dev.Share(t, []share.Pair{{Dst: a, Src: b, Len: 1}}); err != nil &&
+				!errors.Is(err, ftl.ErrUnmapped) {
+				log.Fatal(err)
+			}
+		case r < *shareFrac+*trimFrac && len(written) > 0:
+			lpn := written[rng.Intn(len(written))]
+			if err := dev.Trim(t, lpn, 1); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			lpn := uint32(rng.Intn(capacity))
+			rng.Read(buf[:16])
+			if err := dev.WritePage(t, lpn, buf); err != nil {
+				log.Fatal(err)
+			}
+			written = append(written, lpn)
+			if len(written) > 4096 {
+				written = written[1:]
+			}
+		}
+	}
+	if err := dev.Flush(t); err != nil {
+		log.Fatal(err)
+	}
+
+	st := dev.Stats()
+	fmt.Printf("\n--- run summary (%.2f virtual seconds) ---\n", float64(t.Now()-start)/1e9)
+	fmt.Printf("capacity:            %d pages (%.1f MiB logical)\n", capacity, float64(dev.CapacityBytes())/(1<<20))
+	fmt.Printf("host writes:         %d pages\n", st.FTL.HostWrites)
+	fmt.Printf("host reads:          %d pages\n", st.FTL.HostReads)
+	fmt.Printf("trims:               %d pages\n", st.FTL.Trims)
+	fmt.Printf("share commands:      %d (%d pairs, %d forced copies)\n",
+		st.FTL.Shares, st.FTL.SharePairs, st.FTL.ForcedCopies)
+	fmt.Printf("GC events:           %d (copyback %d pages, meta moves %d)\n",
+		st.FTL.GCEvents, st.FTL.Copybacks, st.FTL.MetaMoves)
+	fmt.Printf("mapping persistence: %d delta-log pages, %d map pages, %d checkpoints\n",
+		st.FTL.LogPagesWritten, st.FTL.MapPagesWritten, st.FTL.Checkpoints)
+	if st.FTL.HostWrites > 0 {
+		fmt.Printf("write amplification: %.2f (NAND programs / host writes, this run)\n",
+			float64(st.Chip.Programs-agedPrograms)/float64(st.FTL.HostWrites))
+	}
+	fmt.Printf("wear:                min %d / max %d erases per block\n", st.Chip.MinWear, st.Chip.MaxWear)
+
+	if err := dev.FTLForTest().CheckInvariants(); err != nil {
+		log.Fatalf("FTL invariant violation: %v", err)
+	}
+	fmt.Println("FTL invariants: OK")
+}

@@ -1,0 +1,97 @@
+// Command ycsbbench runs YCSB workload A or F against the mini-Couchbase
+// store on a simulated SHARE SSD, in original or SHARE mode, printing
+// throughput, written bytes, and compaction statistics.
+//
+// Usage:
+//
+//	ycsbbench -workload F -share -records 5000 -ops 5000 -batch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"share/internal/couch"
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/ssd"
+	"share/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "F", "YCSB workload: A or F")
+		useShare = flag.Bool("share", false, "use the SHARE commit/compaction paths")
+		blocks   = flag.Int("blocks", 1024, "data device blocks")
+		records  = flag.Int("records", 5000, "documents")
+		ops      = flag.Int("ops", 5000, "measured operations")
+		batch    = flag.Int("batch", 1, "fsync batch size (paper sweeps 1..256)")
+		compact  = flag.Bool("autocompact", true, "compact when the stale threshold trips")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch strings.ToUpper(*workload) {
+	case "A":
+		w = ycsb.WorkloadA
+	case "F":
+		w = ycsb.WorkloadF
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	dev, err := ssd.New("openssd", ssd.DefaultConfig(*blocks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := sim.NewSoloTask("ycsb")
+	if err := dev.Age(task, 0.9, 0.3, *seed); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Trim(task, 0, dev.Capacity()); err != nil {
+		log.Fatal(err)
+	}
+	fs, err := fsim.Format(task, dev, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := couch.Open(task, fs, couch.Config{
+		ShareMode:        *useShare,
+		BatchSize:        *batch,
+		CompactThreshold: 0.45,
+		DocCacheEntries:  *records / 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ycsb.Config{
+		Records: *records, ValueSize: 4000, Ops: *ops,
+		Workload: w, Seed: *seed, AutoCompact: *compact,
+	}
+	fmt.Printf("loading %d documents...\n", *records)
+	if err := ycsb.Load(task, st, cfg); err != nil {
+		log.Fatal(err)
+	}
+	dev.ResetStats()
+	fmt.Printf("running %d ops of %s (share=%v, batch=%d)...\n", *ops, w, *useShare, *batch)
+	res, err := ycsb.Run(task, st, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nthroughput:    %.0f ops per virtual second\n", res.Throughput)
+	fmt.Printf("bytes written: %.1f MB\n", float64(res.BytesWritten)/(1<<20))
+	fmt.Printf("compactions:   %d\n", res.Compactions)
+	cst := st.Stats()
+	fmt.Printf("store:         %d doc pages, %d index node pages, %d headers, %d share pairs\n",
+		cst.DocPagesWritten, cst.NodePagesWritten, cst.HeaderPages, cst.SharePairs)
+	h, err := st.Height(task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index depth:   %d, stale ratio %.0f%%\n", h, 100*st.StaleRatio())
+}

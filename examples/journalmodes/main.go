@@ -1,0 +1,76 @@
+// Journal modes: the §3.3 SQLite scenario. The same OLTP update stream
+// runs against an embedded B+tree database under its three commit
+// protocols — rollback journal, WAL, and journaling turned off with
+// SHARE — and prints the throughput and write-volume cost of each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"share"
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/sqlmini"
+)
+
+func run(mode sqlmini.Mode) {
+	dev, err := share.OpenDevice(share.DeviceOptions{Blocks: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := share.NewTask("sql")
+	fs, err := fsim.Format(t, dev, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := sqlmini.Open(t, fs, sqlmini.Config{Mode: mode, CheckpointEvery: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	val := make([]byte, 120)
+	dev.ResetStats()
+	start := t.Now()
+	const txns = 500
+	for i := 0; i < txns; i++ {
+		key := []byte(fmt.Sprintf("row%04d", i%200))
+		if err := db.Update(t, func(tx *sqlmini.Tx) error {
+			return tx.Put(key, val)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := float64(t.Now()-start) / float64(sim.Second)
+	st := dev.Stats()
+	fmt.Printf("%-18s %6.0f tps   %6d host page writes   %5d share pairs\n",
+		mode, float64(txns)/elapsed, st.FTL.HostWrites, st.FTL.SharePairs)
+
+	// Prove durability: crash and read everything back.
+	dev.Crash()
+	if err := dev.Recover(t); err != nil {
+		log.Fatal(err)
+	}
+	fs2, err := fsim.Mount(t, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db2, err := sqlmini.Open(t, fs2, sqlmini.Config{Mode: mode, CheckpointEvery: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, ok, err := db2.Get(t, []byte(fmt.Sprintf("row%04d", i))); err != nil || !ok {
+			log.Fatalf("%v: row%04d lost after crash (%v %v)", mode, i, ok, err)
+		}
+	}
+}
+
+func main() {
+	fmt.Println("500 single-row transactions, 200-row working set:")
+	for _, mode := range []sqlmini.Mode{sqlmini.Rollback, sqlmini.WAL, sqlmini.Share} {
+		run(mode)
+	}
+	fmt.Println("\nall modes recovered every row after a power cut;")
+	fmt.Println("SHARE does it with no journal and no second write.")
+}

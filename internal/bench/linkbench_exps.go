@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"share/internal/innodb"
+	"share/internal/linkbench"
+	"share/internal/stats"
+)
+
+func linkCfg(p Params) linkbench.Config {
+	return linkbench.Config{
+		Clients:  16,
+		Requests: scaled(paperLinkRequests, p.Scale),
+		Warmup:   scaled(paperLinkRequests, p.Scale) / 10,
+		Seed:     p.Seed,
+	}
+}
+
+// nodesForDevice sizes the social graph so the loaded database occupies
+// ~38% of the drive, the paper's 1.5 GiB-on-4 GiB ratio that keeps
+// garbage collection active.
+func nodesForDevice(capacityBytes int64) int {
+	const bytesPerNode = 1500 // measured: rows + links + counts at ~50% B+tree fill
+	n := int(capacityBytes * 38 / 100 / bytesPerNode)
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+// runLink loads and runs one LinkBench configuration, returning the
+// result and the rig (for device statistics).
+func runLink(p Params, mode innodb.FlushMode, pageSize int, bufferMB float64) (*linkbench.Result, *linkRig, error) {
+	return runLinkN(p, mode, pageSize, bufferMB, 1)
+}
+
+// runLinkN scales the request count by reqMult (longer runs for the GC
+// statistics of Figure 6).
+func runLinkN(p Params, mode innodb.FlushMode, pageSize int, bufferMB float64, reqMult int) (*linkbench.Result, *linkRig, error) {
+	cfg := linkCfg(p)
+	cfg.Requests *= reqMult
+	rig, err := newLinkRig(p, mode, pageSize, bufferMB)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Nodes = nodesForDevice(rig.dev.CapacityBytes())
+	if err := linkbench.Load(rig.task, rig.eng, cfg); err != nil {
+		return nil, nil, err
+	}
+	rig.dev.ResetStats() // measure the benchmark window only
+	res, err := linkbench.Run(rig.eng, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rig, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig5a",
+		Title: "Figure 5(a): LinkBench throughput vs page size (50 MB buffer)",
+		Run: func(p Params) (string, error) {
+			p.setDefaults()
+			tb := stats.NewTable("PageSize", "DWB-On (tps)", "SHARE (tps)", "SHARE/DWB")
+			for _, ps := range []int{4096, 8192, 16384} {
+				on, _, err := runLink(p, innodb.DWBOn, ps, paperBufferMB)
+				if err != nil {
+					return "", err
+				}
+				sh, _, err := runLink(p, innodb.Share, ps, paperBufferMB)
+				if err != nil {
+					return "", err
+				}
+				tb.AddRow(fmt.Sprintf("%dKB", ps/1024),
+					fmtThroughput(on.Throughput), fmtThroughput(sh.Throughput),
+					ratio(sh.Throughput, on.Throughput))
+			}
+			return tb.String(), nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig5b",
+		Title: "Figure 5(b): LinkBench throughput vs buffer pool size (4 KB pages)",
+		Run: func(p Params) (string, error) {
+			p.setDefaults()
+			tb := stats.NewTable("Buffer", "DWB-On (tps)", "DWB-Off (tps)", "SHARE (tps)", "SHARE/DWB-On", "SHARE/DWB-Off")
+			for _, buf := range []float64{50, 100, 150} {
+				on, _, err := runLink(p, innodb.DWBOn, 4096, buf)
+				if err != nil {
+					return "", err
+				}
+				off, _, err := runLink(p, innodb.DWBOff, 4096, buf)
+				if err != nil {
+					return "", err
+				}
+				sh, _, err := runLink(p, innodb.Share, 4096, buf)
+				if err != nil {
+					return "", err
+				}
+				tb.AddRow(fmt.Sprintf("%.0fMB", buf),
+					fmtThroughput(on.Throughput), fmtThroughput(off.Throughput),
+					fmtThroughput(sh.Throughput),
+					ratio(sh.Throughput, on.Throughput), ratio(sh.Throughput, off.Throughput))
+			}
+			return tb.String() + "\nPaper: SHARE > 2x DWB-On at every point; SHARE within ~1% of DWB-Off.\n", nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6: IO activities inside the SSD (host writes, GC events, copybacks)",
+		Run: func(p Params) (string, error) {
+			p.setDefaults()
+			// GC statistics need sustained churn — several full device
+			// turnovers — so steady-state garbage collection (not the
+			// aging transient) dominates the counters.
+			p4 := p
+			tb := stats.NewTable("Buffer", "Metric", "DWB-On", "SHARE", "Reduction")
+			for _, buf := range []float64{50, 100, 150} {
+				_, onRig, err := runLinkN(p4, innodb.DWBOn, 4096, buf, 24)
+				if err != nil {
+					return "", err
+				}
+				_, shRig, err := runLinkN(p4, innodb.Share, 4096, buf, 24)
+				if err != nil {
+					return "", err
+				}
+				on := onRig.dev.Stats()
+				sh := shRig.dev.Stats()
+				red := func(a, b int64) string {
+					if a == 0 {
+						return "n/a"
+					}
+					return fmt.Sprintf("%.0f%%", 100*(1-float64(b)/float64(a)))
+				}
+				label := fmt.Sprintf("%.0fMB", buf)
+				tb.AddRow(label, "host page writes", on.FTL.HostWrites, sh.FTL.HostWrites, red(on.FTL.HostWrites, sh.FTL.HostWrites))
+				tb.AddRow(label, "GC events", on.FTL.GCEvents, sh.FTL.GCEvents, red(on.FTL.GCEvents, sh.FTL.GCEvents))
+				tb.AddRow(label, "copyback pages", on.FTL.Copybacks, sh.FTL.Copybacks, red(on.FTL.Copybacks, sh.FTL.Copybacks))
+			}
+			return tb.String() + "\nPaper: ~45% fewer host writes, ~55% fewer GCs, ~75% fewer copybacks.\n", nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: LinkBench latency distribution (50 MB buffer, 4 KB pages)",
+		Run: func(p Params) (string, error) {
+			p.setDefaults()
+			on, _, err := runLink(p, innodb.DWBOn, 4096, paperBufferMB)
+			if err != nil {
+				return "", err
+			}
+			sh, _, err := runLink(p, innodb.Share, 4096, paperBufferMB)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString("DWB-On (ms):\n")
+			b.WriteString(on.Table())
+			b.WriteString("\nSHARE (ms):\n")
+			b.WriteString(sh.Table())
+			// Paper-style aggregate: mean/P99 reduction factors.
+			var meanMin, meanMax, p99Min, p99Max float64
+			first := true
+			for op := linkbench.Op(0); op < 10; op++ {
+				so := sh.Latency[op].Summarize()
+				oo := on.Latency[op].Summarize()
+				if so.Mean <= 0 || so.P99 <= 0 {
+					continue
+				}
+				mr := oo.Mean / so.Mean
+				pr := oo.P99 / so.P99
+				if first {
+					meanMin, meanMax, p99Min, p99Max = mr, mr, pr, pr
+					first = false
+				}
+				if mr < meanMin {
+					meanMin = mr
+				}
+				if mr > meanMax {
+					meanMax = mr
+				}
+				if pr < p99Min {
+					p99Min = pr
+				}
+				if pr > p99Max {
+					p99Max = pr
+				}
+			}
+			fmt.Fprintf(&b, "\nMean latency reduced by %.1fx-%.1fx; P99 by %.1fx-%.1fx.\n",
+				meanMin, meanMax, p99Min, p99Max)
+			b.WriteString("Paper: mean reduced 2.1x-4.2x, P99 reduced 2.0x-8.3x.\n")
+			return b.String(), nil
+		},
+	})
+}

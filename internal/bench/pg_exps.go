@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+
+	"share/internal/fsim"
+	"share/internal/pgmini"
+	"share/internal/sim"
+	"share/internal/ssd"
+	"share/internal/stats"
+)
+
+func ssdDefault(blocks int) ssd.Config {
+	if blocks < 64 {
+		blocks = 64
+	}
+	return ssd.DefaultConfig(blocks)
+}
+
+func ssdNew(name string, cfg ssd.Config) (*ssd.Device, error) { return ssd.New(name, cfg) }
+
+func init() {
+	register(Experiment{
+		ID:    "pgfpw",
+		Title: "§5.3.1 in-text: PostgreSQL full_page_writes with pgbench",
+		Run: func(p Params) (string, error) {
+			p.setDefaults()
+			txns := scaled(40_000, p.Scale)
+			// pgbench scale: large enough that account touches are mostly
+			// first touches since the last checkpoint (uniform access on a
+			// big table), which is what makes full_page_writes expensive.
+			scale := scaled(500, p.Scale)
+			if scale < 10 {
+				scale = 10
+			}
+			tb := stats.NewTable("Mode", "TPS", "WAL MB", "WAL pages", "Full images")
+			var tps [3]float64
+			var walMB [3]float64
+			modes := []pgmini.Mode{pgmini.FPWOn, pgmini.FPWOff, pgmini.FPWShare}
+			for i, mode := range modes {
+				dev, task, err := newDataDevice(p, "pgdev")
+				if err != nil {
+					return "", err
+				}
+				fs, err := fsim.Format(task, dev, 256)
+				if err != nil {
+					return "", err
+				}
+				// PostgreSQL keeps its WAL on the same class of flash as
+				// the data (no separate enterprise log drive here), so WAL
+				// volume translates directly into transaction latency.
+				lcfg := ssdDefault(scaled(paperLogBlocks, p.Scale))
+				// Power-loss-protected, so the fsync cost is the WAL page
+				// programs themselves — making WAL volume the bottleneck,
+				// as in the paper's observation that the throughput gain
+				// mirrors the WAL reduction.
+				lcfg.FTL.PowerCapacitor = true
+				logDev, err := ssdNew("pgwal", lcfg)
+				if err != nil {
+					return "", err
+				}
+				// shared_buffers sized to hold the working set, as a tuned
+				// PostgreSQL would be: the backend then waits only on WAL.
+				poolBytes := int64(scale)*2500/40*4096*2 + 1<<20
+				db, err := pgmini.Open(task, fs, logDev, pgmini.Config{
+					Scale:           scale,
+					Mode:            mode,
+					PoolBytes:       poolBytes,
+					CheckpointEvery: txns / 8,
+				})
+				if err != nil {
+					return "", err
+				}
+				db.Background = sim.NewSoloTask("checkpointer")
+				rng := newRand(p.Seed)
+				start := task.Now()
+				for n := 0; n < txns; n++ {
+					if err := db.RunTxn(task, rng); err != nil {
+						return "", err
+					}
+				}
+				elapsed := float64(task.Now()-start) / float64(sim.Second)
+				st := db.Stats()
+				tps[i] = float64(st.Commits) / elapsed
+				walMB[i] = mb(db.WALBytes())
+				tb.AddRow(mode.String(), fmtThroughput(tps[i]),
+					fmt.Sprintf("%.1f", walMB[i]), st.WALPages, st.FullImages)
+			}
+			out := tb.String()
+			out += fmt.Sprintf("\nfull_page_writes off vs on: %.2fx throughput, WAL shrinks by %.1f MB.\n",
+				tps[1]/tps[0], walMB[0]-walMB[1])
+			out += "Paper: throughput approximately doubled with the option off; the WAL\n" +
+				"reduction matched the total data pages written. SHARE achieves the\n" +
+				"off-mode speed while keeping torn-page safety.\n"
+			return out, nil
+		},
+	})
+}

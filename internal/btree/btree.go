@@ -1,0 +1,645 @@
+// Package btree implements a slotted-page B+tree with variable-length
+// keys and values over a buffer pool. It is the table/index structure of
+// the mini-InnoDB engine: page-oriented and update-in-place, so every
+// structural change dirties buffer-pool pages that later reach storage
+// through the engine's flush policy (in place, doublewrite, or SHARE).
+//
+// Page layout (little endian):
+//
+//	offset 0  u32  checksum (maintained by the engine at flush time)
+//	offset 4  u64  page LSN (set by the engine)
+//	offset 12 u8   page type (1 = leaf, 2 = internal)
+//	offset 13 u8   level (0 for leaves)
+//	offset 14 u16  key count
+//	offset 16 u16  freeEnd — cells occupy [freeEnd, pageSize)
+//	offset 18 u32  leaves: right sibling; internals: leftmost child
+//	offset 22 u32  page number (for doublewrite-buffer restore)
+//	offset 26      slot array, u16 cell offsets sorted by key
+//
+// Leaf cells:     [klen u16][vlen u16][key][value]
+// Internal cells: [klen u16][child u32][key]  (child holds keys >= key)
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"share/internal/bufpool"
+	"share/internal/sim"
+)
+
+// Page type tags.
+const (
+	typeLeaf     = 1
+	typeInternal = 2
+)
+
+// Header field offsets.
+const (
+	offChecksum = 0
+	offLSN      = 4
+	offType     = 12
+	offLevel    = 13
+	offNKeys    = 14
+	offFreeEnd  = 16
+	offNext     = 18
+	offPageNo   = 22
+	headerSize  = 26
+)
+
+// PageNo returns the page number stamped in the header.
+func PageNo(p []byte) uint32 { return binary.LittleEndian.Uint32(p[offPageNo:]) }
+
+// SetPageNo stamps the page number (the engine does this at flush time;
+// the doublewrite restore path matches images to homes by it).
+func SetPageNo(p []byte, n uint32) { binary.LittleEndian.PutUint32(p[offPageNo:], n) }
+
+// LSN returns the page LSN.
+func LSN(p []byte) uint64 { return binary.LittleEndian.Uint64(p[offLSN:]) }
+
+// SetLSN stamps the page LSN.
+func SetLSN(p []byte, v uint64) { binary.LittleEndian.PutUint64(p[offLSN:], v) }
+
+// SetChecksum computes and stores the page checksum over bytes [4, len).
+func SetChecksum(p []byte) {
+	binary.LittleEndian.PutUint32(p[offChecksum:], crc32.ChecksumIEEE(p[4:]))
+}
+
+// VerifyChecksum reports whether the stored checksum matches the contents.
+// An all-zero page (never written) verifies as valid.
+func VerifyChecksum(p []byte) bool {
+	sum := binary.LittleEndian.Uint32(p[offChecksum:])
+	if sum == 0 {
+		for _, b := range p {
+			if b != 0 {
+				return crc32.ChecksumIEEE(p[4:]) == 0
+			}
+		}
+		return true
+	}
+	return crc32.ChecksumIEEE(p[4:]) == sum
+}
+
+// ErrTooLarge is returned when a key/value pair cannot fit even in an
+// empty page (keys and values must leave room for at least four entries).
+var ErrTooLarge = errors.New("btree: entry too large for page")
+
+// Pager supplies pages to the tree; the engine implements it over its
+// buffer pool and space allocator.
+type Pager interface {
+	Get(t *sim.Task, pageNo uint32) (*bufpool.Frame, error)
+	Alloc(t *sim.Task) (uint32, error)
+	Free(t *sim.Task, pageNo uint32) error
+	PageSize() int
+}
+
+// Tree is one B+tree rooted at a page.
+type Tree struct {
+	pager        Pager
+	root         uint32
+	onRootChange func(uint32)
+	maxEntry     int
+}
+
+// InitPage formats buf as an empty leaf page. The engine calls this when
+// creating a tree's first root page.
+func InitPage(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[offType] = typeLeaf
+	binary.LittleEndian.PutUint16(buf[offFreeEnd:], uint16(len(buf)))
+	binary.LittleEndian.PutUint32(buf[offNext:], 0)
+}
+
+// Open attaches to an existing tree rooted at root. onRootChange is
+// invoked (before returning from the mutating call) whenever a root split
+// moves the root page, so the engine can persist the new root number.
+func Open(pager Pager, root uint32, onRootChange func(uint32)) *Tree {
+	// Cap entries so a page always fits at least 4, keeping splits sane.
+	max := (pager.PageSize() - headerSize) / 4
+	return &Tree{pager: pager, root: root, onRootChange: onRootChange, maxEntry: max}
+}
+
+// Root returns the current root page number.
+func (tr *Tree) Root() uint32 { return tr.root }
+
+// --- page accessors -------------------------------------------------------
+
+func nKeys(p []byte) int         { return int(binary.LittleEndian.Uint16(p[offNKeys:])) }
+func setNKeys(p []byte, n int)   { binary.LittleEndian.PutUint16(p[offNKeys:], uint16(n)) }
+func freeEnd(p []byte) int       { return int(binary.LittleEndian.Uint16(p[offFreeEnd:])) }
+func setFreeEnd(p []byte, v int) { binary.LittleEndian.PutUint16(p[offFreeEnd:], uint16(v)) }
+func next(p []byte) uint32       { return binary.LittleEndian.Uint32(p[offNext:]) }
+func setNext(p []byte, v uint32) { binary.LittleEndian.PutUint32(p[offNext:], v) }
+func isLeaf(p []byte) bool       { return p[offType] == typeLeaf }
+
+func slotOff(i int) int { return headerSize + 2*i }
+func slot(p []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(p[slotOff(i):]))
+}
+func setSlot(p []byte, i, v int) {
+	binary.LittleEndian.PutUint16(p[slotOff(i):], uint16(v))
+}
+
+// leafCell returns the key and value of slot i in a leaf page.
+func leafCell(p []byte, i int) (key, val []byte) {
+	off := slot(p, i)
+	kl := int(binary.LittleEndian.Uint16(p[off:]))
+	vl := int(binary.LittleEndian.Uint16(p[off+2:]))
+	return p[off+4 : off+4+kl], p[off+4+kl : off+4+kl+vl]
+}
+
+// internalCell returns the key and child of slot i in an internal page.
+func internalCell(p []byte, i int) (key []byte, child uint32) {
+	off := slot(p, i)
+	kl := int(binary.LittleEndian.Uint16(p[off:]))
+	child = binary.LittleEndian.Uint32(p[off+2:])
+	return p[off+6 : off+6+kl], child
+}
+
+func leafCellSize(k, v []byte) int  { return 4 + len(k) + len(v) }
+func internalCellSize(k []byte) int { return 6 + len(k) }
+
+// freeSpace returns bytes available for one more cell plus its slot.
+func freeSpace(p []byte) int {
+	return freeEnd(p) - (headerSize + 2*nKeys(p)) - 2
+}
+
+// search finds the first slot whose key is >= key; found reports an exact
+// match at the returned index.
+func search(p []byte, key []byte, leaf bool) (int, bool) {
+	lo, hi := 0, nKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		var k []byte
+		if leaf {
+			k, _ = leafCell(p, mid)
+		} else {
+			k, _ = internalCell(p, mid)
+		}
+		switch bytes.Compare(k, key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childFor returns the child page that covers key in an internal page:
+// the leftmost child (header next) when key < first cell key, else the
+// child of the greatest cell key <= key.
+func childFor(p []byte, key []byte) uint32 {
+	idx, found := search(p, key, false)
+	if found {
+		_, c := internalCell(p, idx)
+		return c
+	}
+	if idx == 0 {
+		return next(p)
+	}
+	_, c := internalCell(p, idx-1)
+	return c
+}
+
+// insertCell writes a raw cell into page p at sorted position idx,
+// compacting first if needed. Returns false if it cannot fit.
+func insertCell(p []byte, idx int, cell []byte) bool {
+	if freeSpace(p) < len(cell) {
+		return false
+	}
+	fe := freeEnd(p) - len(cell)
+	copy(p[fe:], cell)
+	n := nKeys(p)
+	copy(p[slotOff(idx+1):slotOff(n+1)], p[slotOff(idx):slotOff(n)])
+	setSlot(p, idx, fe)
+	setNKeys(p, n+1)
+	setFreeEnd(p, fe)
+	return true
+}
+
+// removeSlot deletes slot idx; the cell bytes become garbage reclaimed by
+// the next compaction.
+func removeSlot(p []byte, idx int) {
+	n := nKeys(p)
+	copy(p[slotOff(idx):slotOff(n-1)], p[slotOff(idx+1):slotOff(n)])
+	setNKeys(p, n-1)
+}
+
+// compact rewrites p densely, reclaiming deleted-cell garbage.
+func compact(p []byte) {
+	n := nKeys(p)
+	leaf := isLeaf(p)
+	cells := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		off := slot(p, i)
+		var size int
+		kl := int(binary.LittleEndian.Uint16(p[off:]))
+		if leaf {
+			vl := int(binary.LittleEndian.Uint16(p[off+2:]))
+			size = 4 + kl + vl
+		} else {
+			size = 6 + kl
+		}
+		c := make([]byte, size)
+		copy(c, p[off:off+size])
+		cells[i] = c
+	}
+	fe := len(p)
+	for i := n - 1; i >= 0; i-- {
+		fe -= len(cells[i])
+		copy(p[fe:], cells[i])
+		setSlot(p, i, fe)
+	}
+	setFreeEnd(p, fe)
+}
+
+func buildLeafCell(key, val []byte) []byte {
+	c := make([]byte, leafCellSize(key, val))
+	binary.LittleEndian.PutUint16(c[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(c[2:], uint16(len(val)))
+	copy(c[4:], key)
+	copy(c[4+len(key):], val)
+	return c
+}
+
+func buildInternalCell(key []byte, child uint32) []byte {
+	c := make([]byte, internalCellSize(key))
+	binary.LittleEndian.PutUint16(c[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(c[2:], child)
+	copy(c[6:], key)
+	return c
+}
+
+// --- public operations ----------------------------------------------------
+
+// Get returns the value stored for key.
+func (tr *Tree) Get(t *sim.Task, key []byte) ([]byte, bool, error) {
+	pageNo := tr.root
+	for {
+		f, err := tr.pager.Get(t, pageNo)
+		if err != nil {
+			return nil, false, err
+		}
+		p := f.Data
+		if isLeaf(p) {
+			idx, found := search(p, key, true)
+			if !found {
+				f.Release()
+				return nil, false, nil
+			}
+			_, v := leafCell(p, idx)
+			out := make([]byte, len(v))
+			copy(out, v)
+			f.Release()
+			return out, true, nil
+		}
+		pageNo = childFor(p, key)
+		f.Release()
+	}
+}
+
+// Height returns the number of levels (1 = a lone leaf).
+func (tr *Tree) Height(t *sim.Task) (int, error) {
+	h := 1
+	pageNo := tr.root
+	for {
+		f, err := tr.pager.Get(t, pageNo)
+		if err != nil {
+			return 0, err
+		}
+		if isLeaf(f.Data) {
+			f.Release()
+			return h, nil
+		}
+		pageNo = next(f.Data) // leftmost child
+		f.Release()
+		h++
+	}
+}
+
+// Put inserts or replaces key's value.
+func (tr *Tree) Put(t *sim.Task, key, val []byte) error {
+	if leafCellSize(key, val) > tr.maxEntry {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, leafCellSize(key, val), tr.maxEntry)
+	}
+	sepKey, newChild, err := tr.put(t, tr.root, key, val)
+	if err != nil {
+		return err
+	}
+	if newChild != 0 {
+		return tr.growRoot(t, sepKey, newChild)
+	}
+	return nil
+}
+
+// growRoot handles a root split: the old root keeps its page number's
+// content moved to a fresh page? No — simpler: allocate a new root page
+// whose leftmost child is the old root and whose single cell points at the
+// split-off right sibling, then switch tr.root.
+func (tr *Tree) growRoot(t *sim.Task, sepKey []byte, right uint32) error {
+	newRoot, err := tr.pager.Alloc(t)
+	if err != nil {
+		return err
+	}
+	f, err := tr.pager.Get(t, newRoot)
+	if err != nil {
+		return err
+	}
+	p := f.Data
+	for i := range p {
+		p[i] = 0
+	}
+	p[offType] = typeInternal
+	setFreeEnd(p, len(p))
+	setNext(p, tr.root) // leftmost child = old root
+	if !insertCell(p, 0, buildInternalCell(sepKey, right)) {
+		f.Release()
+		return fmt.Errorf("btree: separator does not fit fresh root")
+	}
+	f.MarkDirty()
+	f.Release()
+	tr.root = newRoot
+	if tr.onRootChange != nil {
+		tr.onRootChange(newRoot)
+	}
+	return nil
+}
+
+// put descends into pageNo. If the child splits, it returns the separator
+// key and the new right sibling's page number for the parent to absorb.
+func (tr *Tree) put(t *sim.Task, pageNo uint32, key, val []byte) ([]byte, uint32, error) {
+	f, err := tr.pager.Get(t, pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := f.Data
+	if isLeaf(p) {
+		sep, right, err := tr.leafInsert(t, f, key, val)
+		f.Release()
+		return sep, right, err
+	}
+	child := childFor(p, key)
+	f.Release() // release during recursion; page may move in LRU but stays valid
+	sep, right, err := tr.put(t, child, key, val)
+	if err != nil || right == 0 {
+		return nil, 0, err
+	}
+	// Re-pin the parent to absorb the separator.
+	f, err = tr.pager.Get(t, pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	p = f.Data
+	idx, _ := search(p, sep, false)
+	cell := buildInternalCell(sep, right)
+	if !insertCell(p, idx, cell) {
+		compact(p)
+		if !insertCell(p, idx, cell) {
+			sep2, right2, err := tr.splitInternal(t, f, sep, right)
+			f.MarkDirty()
+			f.Release()
+			return sep2, right2, err
+		}
+	}
+	f.MarkDirty()
+	f.Release()
+	return nil, 0, nil
+}
+
+// leafInsert puts key/val into the pinned leaf, splitting if necessary.
+func (tr *Tree) leafInsert(t *sim.Task, f *bufpool.Frame, key, val []byte) ([]byte, uint32, error) {
+	p := f.Data
+	idx, found := search(p, key, true)
+	if found {
+		removeSlot(p, idx) // replace: drop old cell (space reclaimed on compact)
+	}
+	cell := buildLeafCell(key, val)
+	if insertCell(p, idx, cell) {
+		f.MarkDirty()
+		return nil, 0, nil
+	}
+	compact(p)
+	if insertCell(p, idx, cell) {
+		f.MarkDirty()
+		return nil, 0, nil
+	}
+	// Split, then insert into the proper half.
+	sep, rightNo, err := tr.splitLeaf(t, f)
+	if err != nil {
+		return nil, 0, err
+	}
+	target := f
+	var rf *bufpool.Frame
+	if bytes.Compare(key, sep) >= 0 {
+		rf, err = tr.pager.Get(t, rightNo)
+		if err != nil {
+			return nil, 0, err
+		}
+		target = rf
+	}
+	tp := target.Data
+	tidx, _ := search(tp, key, true)
+	if !insertCell(tp, tidx, cell) {
+		compact(tp)
+		if !insertCell(tp, tidx, cell) {
+			if rf != nil {
+				rf.Release()
+			}
+			return nil, 0, fmt.Errorf("btree: entry does not fit after split")
+		}
+	}
+	target.MarkDirty()
+	if rf != nil {
+		rf.Release()
+	}
+	f.MarkDirty()
+	return sep, rightNo, nil
+}
+
+// splitLeaf moves the upper half of the pinned leaf to a new right
+// sibling and returns the separator (first key of the right page).
+func (tr *Tree) splitLeaf(t *sim.Task, f *bufpool.Frame) ([]byte, uint32, error) {
+	p := f.Data
+	rightNo, err := tr.pager.Alloc(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	rf, err := tr.pager.Get(t, rightNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	rp := rf.Data
+	InitPage(rp)
+	n := nKeys(p)
+	mid := n / 2
+	for i := mid; i < n; i++ {
+		k, v := leafCell(p, i)
+		if !insertCell(rp, i-mid, buildLeafCell(k, v)) {
+			rf.Release()
+			return nil, 0, fmt.Errorf("btree: split right overflow")
+		}
+	}
+	setNKeys(p, mid)
+	compact(p)
+	setNext(rp, next(p))
+	setNext(p, rightNo)
+	sepSrc, _ := leafCell(rp, 0)
+	sep := make([]byte, len(sepSrc))
+	copy(sep, sepSrc)
+	rf.MarkDirty()
+	rf.Release()
+	f.MarkDirty()
+	return sep, rightNo, nil
+}
+
+// splitInternal splits the pinned internal page that could not absorb
+// (pendKey, pendChild). It returns the separator promoted to the parent
+// and the new right sibling.
+func (tr *Tree) splitInternal(t *sim.Task, f *bufpool.Frame, pendKey []byte, pendChild uint32) ([]byte, uint32, error) {
+	p := f.Data
+	// Materialize all entries plus the pending one, sorted.
+	type entry struct {
+		key   []byte
+		child uint32
+	}
+	n := nKeys(p)
+	entries := make([]entry, 0, n+1)
+	for i := 0; i < n; i++ {
+		k, c := internalCell(p, i)
+		kk := make([]byte, len(k))
+		copy(kk, k)
+		entries = append(entries, entry{kk, c})
+	}
+	pk := make([]byte, len(pendKey))
+	copy(pk, pendKey)
+	ins := 0
+	for ins < len(entries) && bytes.Compare(entries[ins].key, pk) < 0 {
+		ins++
+	}
+	entries = append(entries, entry{})
+	copy(entries[ins+1:], entries[ins:])
+	entries[ins] = entry{pk, pendChild}
+
+	mid := len(entries) / 2
+	sep := entries[mid]
+	leftmost := next(p)
+
+	// Rebuild left page with entries[:mid].
+	typ := p[offType]
+	for i := range p {
+		p[i] = 0
+	}
+	p[offType] = typ
+	setFreeEnd(p, len(p))
+	setNext(p, leftmost)
+	for i, e := range entries[:mid] {
+		if !insertCell(p, i, buildInternalCell(e.key, e.child)) {
+			return nil, 0, fmt.Errorf("btree: internal split left overflow")
+		}
+	}
+
+	// Right page: leftmost child = sep.child; cells = entries[mid+1:].
+	rightNo, err := tr.pager.Alloc(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	rf, err := tr.pager.Get(t, rightNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	rp := rf.Data
+	for i := range rp {
+		rp[i] = 0
+	}
+	rp[offType] = typeInternal
+	setFreeEnd(rp, len(rp))
+	setNext(rp, sep.child)
+	for i, e := range entries[mid+1:] {
+		if !insertCell(rp, i, buildInternalCell(e.key, e.child)) {
+			rf.Release()
+			return nil, 0, fmt.Errorf("btree: internal split right overflow")
+		}
+	}
+	rf.MarkDirty()
+	rf.Release()
+	return sep.key, rightNo, nil
+}
+
+// Delete removes key; it reports whether the key existed. Pages are not
+// rebalanced (deleted space is reclaimed by compaction on later inserts),
+// which matches the workloads here — InnoDB similarly leaves pages
+// underfull until merge thresholds are hit.
+func (tr *Tree) Delete(t *sim.Task, key []byte) (bool, error) {
+	pageNo := tr.root
+	for {
+		f, err := tr.pager.Get(t, pageNo)
+		if err != nil {
+			return false, err
+		}
+		p := f.Data
+		if isLeaf(p) {
+			idx, found := search(p, key, true)
+			if found {
+				removeSlot(p, idx)
+				f.MarkDirty()
+			}
+			f.Release()
+			return found, nil
+		}
+		pageNo = childFor(p, key)
+		f.Release()
+	}
+}
+
+// Scan walks keys in [start, end) in order, calling fn for each; fn
+// returning false stops the scan. A nil end scans to the tree's end.
+func (tr *Tree) Scan(t *sim.Task, start, end []byte, fn func(key, val []byte) bool) error {
+	// Descend to the leaf covering start.
+	pageNo := tr.root
+	for {
+		f, err := tr.pager.Get(t, pageNo)
+		if err != nil {
+			return err
+		}
+		p := f.Data
+		if isLeaf(p) {
+			f.Release()
+			break
+		}
+		pageNo = childFor(p, start)
+		f.Release()
+	}
+	for pageNo != 0 {
+		f, err := tr.pager.Get(t, pageNo)
+		if err != nil {
+			return err
+		}
+		p := f.Data
+		n := nKeys(p)
+		idx, _ := search(p, start, true)
+		for i := idx; i < n; i++ {
+			k, v := leafCell(p, i)
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				f.Release()
+				return nil
+			}
+			if !fn(k, v) {
+				f.Release()
+				return nil
+			}
+		}
+		nextNo := next(p)
+		f.Release()
+		pageNo = nextNo
+		start = []byte{} // subsequent leaves are scanned from their start
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"share/internal/bufpool"
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// memPager backs a tree with a buffer pool over a simulated file, using a
+// trivial high-water-mark allocator.
+type memPager struct {
+	pool *bufpool.Pool
+	hwm  uint32
+}
+
+func (m *memPager) Get(t *sim.Task, pageNo uint32) (*bufpool.Frame, error) {
+	return m.pool.Get(t, pageNo)
+}
+func (m *memPager) Alloc(t *sim.Task) (uint32, error) {
+	m.hwm++
+	return m.hwm, nil
+}
+func (m *memPager) Free(t *sim.Task, pageNo uint32) error { return nil }
+func (m *memPager) PageSize() int                         { return m.pool.PageSize() }
+
+type nopFlusher struct {
+	file     *fsim.File
+	pageSize int
+}
+
+func (d *nopFlusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
+	for _, pg := range pages {
+		if _, err := d.file.WriteAt(t, pg.Data, int64(pg.PageNo)*int64(d.pageSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func testTree(t *testing.T, pageSize, poolPages int) (*Tree, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	dev, err := ssd.New("d", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := fs.Create(task, "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := bufpool.New(file, pageSize, poolPages, &nopFlusher{file: file, pageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pager := &memPager{pool: pool}
+	// Page 1 is the root (page 0 reserved for engine metadata by callers).
+	root, _ := pager.Alloc(task)
+	f, err := pool.Get(task, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	InitPage(f.Data)
+	f.MarkDirty()
+	f.Release()
+	return Open(pager, root, nil), task
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestPutGetSingle(t *testing.T) {
+	tr, task := testTree(t, 512, 64)
+	if err := tr.Put(task, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get(task, []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get(task, []byte("b")); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr, task := testTree(t, 512, 64)
+	if err := tr.Put(task, []byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(task, []byte("k"), []byte("newer-and-longer")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tr.Get(task, []byte("k"))
+	if !ok || string(v) != "newer-and-longer" {
+		t.Fatalf("get = %q", v)
+	}
+}
+
+func TestManyInsertsSplitLeaves(t *testing.T) {
+	tr, task := testTree(t, 512, 256)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(task, key(i), val(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	h, err := tr.Height(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 3 {
+		t.Fatalf("height = %d; expected multi-level tree", h)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(task, key(i))
+		if err != nil || !ok {
+			t.Fatalf("get %d: %v %v", i, ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d value %q", i, v)
+		}
+	}
+}
+
+func TestRandomOrderInserts(t *testing.T) {
+	tr, task := testTree(t, 512, 256)
+	rng := rand.New(rand.NewSource(9))
+	perm := rng.Perm(1500)
+	for _, i := range perm {
+		if err := tr.Put(task, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		v, ok, _ := tr.Get(task, key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d missing or wrong", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, task := testTree(t, 512, 128)
+	for i := 0; i < 500; i++ {
+		if err := tr.Put(task, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 2 {
+		ok, err := tr.Delete(task, key(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(task, key(0)); ok {
+		t.Fatal("double delete reported success")
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := tr.Get(task, key(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	tr, task := testTree(t, 512, 256)
+	for i := 0; i < 1000; i++ {
+		if err := tr.Put(task, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Scan(task, key(100), key(200), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan out of order")
+	}
+	if got[0] != string(key(100)) || got[99] != string(key(199)) {
+		t.Fatalf("bounds wrong: %s .. %s", got[0], got[99])
+	}
+	// Early stop.
+	count := 0
+	if err := tr.Scan(task, nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+}
+
+func TestEntryTooLarge(t *testing.T) {
+	tr, task := testTree(t, 512, 64)
+	big := make([]byte, 400)
+	if err := tr.Put(task, []byte("k"), big); err == nil {
+		t.Fatal("oversized entry accepted")
+	}
+}
+
+func TestVariableLengthWorkload(t *testing.T) {
+	tr, task := testTree(t, 512, 256)
+	rng := rand.New(rand.NewSource(3))
+	model := map[string]string{}
+	for step := 0; step < 4000; step++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(800))
+		switch rng.Intn(10) {
+		case 0, 1: // delete
+			delete(model, k)
+			if _, err := tr.Delete(task, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		default: // upsert with variable-size value
+			v := make([]byte, 1+rng.Intn(60))
+			rng.Read(v)
+			model[k] = string(v)
+			if err := tr.Put(task, []byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k, v := range model {
+		got, ok, err := tr.Get(task, []byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(got) != v {
+			t.Fatalf("key %s mismatch", k)
+		}
+	}
+	// Full scan equals the model.
+	seen := 0
+	if err := tr.Scan(task, nil, nil, func(k, v []byte) bool {
+		if model[string(k)] != string(v) {
+			t.Fatalf("scan key %q mismatch", k)
+		}
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(model) {
+		t.Fatalf("scan saw %d keys, model has %d", seen, len(model))
+	}
+}
+
+func TestLargerPages(t *testing.T) {
+	for _, ps := range []int{1024, 2048} {
+		tr, task := testTree(t, ps, 128)
+		for i := 0; i < 800; i++ {
+			if err := tr.Put(task, key(i), val(i)); err != nil {
+				t.Fatalf("pageSize %d put %d: %v", ps, i, err)
+			}
+		}
+		for i := 0; i < 800; i++ {
+			if _, ok, _ := tr.Get(task, key(i)); !ok {
+				t.Fatalf("pageSize %d key %d lost", ps, i)
+			}
+		}
+	}
+}

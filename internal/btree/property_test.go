@@ -1,0 +1,152 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPutGetRoundTrip checks that any inserted key/value pair reads
+// back verbatim, across arbitrary byte-string keys.
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	tr, task := testTree(t, 1024, 512)
+	prop := func(key, val []byte) bool {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		if len(key) > 60 {
+			key = key[:60]
+		}
+		if len(val) > 120 {
+			val = val[:120]
+		}
+		if err := tr.Put(task, key, val); err != nil {
+			return false
+		}
+		got, ok, err := tr.Get(task, key)
+		return err == nil && ok && bytes.Equal(got, val)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteRemoves checks delete-then-get returns absent.
+func TestQuickDeleteRemoves(t *testing.T) {
+	tr, task := testTree(t, 1024, 512)
+	prop := func(key []byte) bool {
+		if len(key) == 0 {
+			key = []byte{1}
+		}
+		if len(key) > 60 {
+			key = key[:60]
+		}
+		if err := tr.Put(task, key, []byte("v")); err != nil {
+			return false
+		}
+		ok, err := tr.Delete(task, key)
+		if err != nil || !ok {
+			return false
+		}
+		_, found, err := tr.Get(task, key)
+		return err == nil && !found
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanIsSortedInvariant checks the full-scan order invariant under a
+// randomized workload: scans always yield strictly increasing keys and
+// exactly the live key set.
+func TestScanIsSortedInvariant(t *testing.T) {
+	tr, task := testTree(t, 512, 512)
+	rng := rand.New(rand.NewSource(13))
+	live := map[string]bool{}
+	for step := 0; step < 3000; step++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(1200))
+		if rng.Intn(5) == 0 {
+			if _, err := tr.Delete(task, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, k)
+		} else {
+			if err := tr.Put(task, []byte(k), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = true
+		}
+		if step%500 == 499 {
+			var prev []byte
+			seen := 0
+			if err := tr.Scan(task, nil, nil, func(key, val []byte) bool {
+				if prev != nil && bytes.Compare(key, prev) <= 0 {
+					t.Fatalf("step %d: scan out of order: %q after %q", step, key, prev)
+				}
+				prev = append(prev[:0], key...)
+				if !live[string(key)] {
+					t.Fatalf("step %d: scan returned dead key %q", step, key)
+				}
+				seen++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if seen != len(live) {
+				t.Fatalf("step %d: scan saw %d keys, live %d", step, seen, len(live))
+			}
+		}
+	}
+}
+
+// TestHeightGrowsLogarithmically sanity-checks that the tree does not
+// degenerate: 30k sequential inserts into 512-byte pages must stay well
+// under 10 levels.
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr, task := testTree(t, 512, 2048)
+	for i := 0; i < 30000; i++ {
+		if err := tr.Put(task, []byte(fmt.Sprintf("key%08d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := tr.Height(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 9 {
+		t.Fatalf("height %d for 30k keys: degenerate splits", h)
+	}
+}
+
+// TestChecksumHelpers exercises the page-stamp helpers shared with the
+// engines.
+func TestChecksumHelpers(t *testing.T) {
+	p := make([]byte, 512)
+	InitPage(p)
+	SetPageNo(p, 77)
+	SetLSN(p, 123456)
+	SetChecksum(p)
+	if PageNo(p) != 77 || LSN(p) != 123456 {
+		t.Fatal("header fields lost")
+	}
+	if !VerifyChecksum(p) {
+		t.Fatal("fresh checksum invalid")
+	}
+	p[100] ^= 0xFF
+	if VerifyChecksum(p) {
+		t.Fatal("corruption not detected")
+	}
+	p[100] ^= 0xFF
+	if !VerifyChecksum(p) {
+		t.Fatal("restore not detected")
+	}
+	zero := make([]byte, 512)
+	if !VerifyChecksum(zero) {
+		t.Fatal("all-zero page must verify (never written)")
+	}
+	sorted := sort.SliceIsSorted([]int{1, 2}, func(i, j int) bool { return i < j })
+	_ = sorted
+}

@@ -1,0 +1,187 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// directFlusher writes pages straight to the file (DWB-Off behaviour).
+type directFlusher struct {
+	file     *fsim.File
+	pageSize int
+	batches  int
+	pages    int
+}
+
+func (d *directFlusher) FlushBatch(t *sim.Task, pages []PageImage) error {
+	for _, pg := range pages {
+		if _, err := d.file.WriteAt(t, pg.Data, int64(pg.PageNo)*int64(d.pageSize)); err != nil {
+			return err
+		}
+	}
+	d.batches++
+	d.pages += len(pages)
+	return d.file.Sync(t)
+}
+
+func testPool(t *testing.T, capacity int) (*Pool, *directFlusher, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(128)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 16
+	dev, err := ssd.New("d", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := fs.Create(task, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &directFlusher{file: file, pageSize: 512}
+	pool, err := New(file, 512, capacity, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, fl, task
+}
+
+func TestGetMissReadsZeroFreshPage(t *testing.T) {
+	pool, _, task := testPool(t, 8)
+	f, err := pool.Get(task, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	for _, b := range f.Data {
+		if b != 0 {
+			t.Fatal("fresh page not zero")
+		}
+	}
+	if f.PageNo() != 3 {
+		t.Fatalf("pageNo = %d", f.PageNo())
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	pool, _, task := testPool(t, 8)
+	f, _ := pool.Get(task, 1)
+	f.Release()
+	g, _ := pool.Get(task, 1)
+	g.Release()
+	st := pool.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirtyPageFlushedOnEviction(t *testing.T) {
+	pool, fl, task := testPool(t, 4)
+	f, _ := pool.Get(task, 0)
+	copy(f.Data, bytes.Repeat([]byte{0xAD}, 512))
+	f.MarkDirty()
+	f.Release()
+	// Fill the pool far past capacity with dirty pages to force flushes.
+	for i := uint32(1); i < 12; i++ {
+		g, err := pool.Get(task, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Data[0] = byte(i)
+		g.MarkDirty()
+		g.Release()
+	}
+	if fl.pages == 0 {
+		t.Fatal("eviction never flushed dirty pages")
+	}
+	// Page 0 must read back with its data whether from pool or file.
+	h, err := pool.Get(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Data[0] != 0xAD {
+		t.Fatalf("page 0 data lost: %x", h.Data[0])
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	pool, _, task := testPool(t, 3)
+	a, _ := pool.Get(task, 0)
+	b, _ := pool.Get(task, 1)
+	c, _ := pool.Get(task, 2)
+	// All pinned: the next Get must fail.
+	if _, err := pool.Get(task, 3); err == nil {
+		t.Fatal("over-pinned pool did not error")
+	}
+	a.Release()
+	b.Release()
+	c.Release()
+	d, err := pool.Get(task, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Release()
+}
+
+func TestFlushAllCleansEverything(t *testing.T) {
+	pool, _, task := testPool(t, 16)
+	for i := uint32(0); i < 10; i++ {
+		f, _ := pool.Get(task, i)
+		f.Data[0] = byte(i + 1)
+		f.MarkDirty()
+		f.Release()
+	}
+	if pool.DirtyCount() != 10 {
+		t.Fatalf("dirty = %d", pool.DirtyCount())
+	}
+	if err := pool.FlushAll(task); err != nil {
+		t.Fatal(err)
+	}
+	if pool.DirtyCount() != 0 {
+		t.Fatalf("dirty after FlushAll = %d", pool.DirtyCount())
+	}
+}
+
+func TestReleasePanicsWhenUnpinned(t *testing.T) {
+	pool, _, task := testPool(t, 4)
+	f, _ := pool.Get(task, 0)
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+func TestDropDiscardsFrames(t *testing.T) {
+	pool, _, task := testPool(t, 4)
+	f, _ := pool.Get(task, 0)
+	f.Data[0] = 0xFF
+	f.MarkDirty()
+	f.Release()
+	pool.Drop()
+	if pool.Len() != 0 {
+		t.Fatal("frames survived Drop")
+	}
+	g, _ := pool.Get(task, 0)
+	defer g.Release()
+	if g.Data[0] == 0xFF {
+		t.Fatal("dirty data survived Drop without a flush")
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	if _, err := New(nil, 512, 1, nil); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+}

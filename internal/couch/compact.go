@@ -1,0 +1,192 @@
+package couch
+
+import (
+	"share/internal/core"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// CompactStats reports one compaction run.
+type CompactStats struct {
+	Elapsed      sim.Duration // virtual time spent
+	DocsMoved    int64
+	BytesWritten int64 // host bytes written to the device during compaction
+	SharePairs   int64 // documents transferred by remapping (SHARE mode)
+}
+
+// Compact rewrites the database into a new file containing only live
+// data, then atomically swaps it in.
+//
+// Original mode reads every live document and writes it into the new
+// file, rebuilding the index — the heavy copy the paper measures in
+// Table 2. SHARE mode fallocates the new file, reads only each document's
+// header page (the length check §5.3.2 describes), transfers the document
+// bodies by SHARE remapping, and writes just the new index nodes.
+func (s *Store) Compact(t *sim.Task) (CompactStats, error) {
+	var cs CompactStats
+	// The open batch references current file offsets; make it durable
+	// before the file is rewritten.
+	if err := s.Commit(t); err != nil {
+		return cs, err
+	}
+	start := t.Now()
+	devBefore := s.fs.Device().Stats()
+
+	tmpName := s.cfg.Name + ".compact"
+	if s.fs.Exists(tmpName) {
+		// A crashed compaction leaves a partial file; restart from scratch
+		// (§4.3: "the partially compacted new file is deleted and the
+		// whole compaction process restarts").
+		if err := s.fs.Remove(t, tmpName); err != nil {
+			return cs, err
+		}
+	}
+	dst, err := s.fs.Create(t, tmpName)
+	if err != nil {
+		return cs, err
+	}
+
+	var entries []entryKV
+	var dstEOF int64
+
+	if s.cfg.ShareMode {
+		// Pass 1: size the document area and fallocate it.
+		var total int64
+		if err := s.walkDocs(t, func(key []byte, ref docRef) error {
+			total += int64(ref.pages) * int64(s.page)
+			return nil
+		}); err != nil {
+			return cs, err
+		}
+		if total > 0 {
+			if err := dst.Allocate(t, 0, total); err != nil {
+				return cs, err
+			}
+		}
+		// Pass 2: remap every live document into the new file. The header
+		// page of each document is read from the old file to obtain the
+		// length for the share command.
+		hdr := make([]byte, s.page)
+		var pairs []ssd.Pair
+		if err := s.walkDocs(t, func(key []byte, ref docRef) error {
+			if _, err := s.file.ReadAt(t, hdr, ref.off); err != nil {
+				return err
+			}
+			bytes := int64(ref.pages) * int64(s.page)
+			se, err := s.file.MapRange(ref.off, bytes)
+			if err != nil {
+				return err
+			}
+			de, err := dst.MapRange(dstEOF, bytes)
+			if err != nil {
+				return err
+			}
+			di, si := 0, 0
+			var dOff, sOff uint32
+			for di < len(de) && si < len(se) {
+				run := de[di].Len - dOff
+				if r := se[si].Len - sOff; r < run {
+					run = r
+				}
+				pairs = append(pairs, ssd.Pair{Dst: de[di].Start + dOff, Src: se[si].Start + sOff, Len: run})
+				dOff += run
+				sOff += run
+				if dOff == de[di].Len {
+					di++
+					dOff = 0
+				}
+				if sOff == se[si].Len {
+					si++
+					sOff = 0
+				}
+			}
+			k := append([]byte(nil), key...)
+			entries = append(entries, entryKV{key: k, ref: docRef{off: dstEOF, pages: ref.pages, vlen: ref.vlen}})
+			dstEOF += bytes
+			cs.DocsMoved++
+			cs.SharePairs++
+			return nil
+		}); err != nil {
+			return cs, err
+		}
+		if err := core.ShareAll(t, s.fs.Device(), pairs); err != nil {
+			return cs, err
+		}
+	} else {
+		// Original couchstore compaction: physically copy every live doc.
+		if err := s.walkDocs(t, func(key []byte, ref docRef) error {
+			buf := make([]byte, int(ref.pages)*int(s.page))
+			if _, err := s.file.ReadAt(t, buf, ref.off); err != nil {
+				return err
+			}
+			if _, err := dst.WriteAt(t, buf, dstEOF); err != nil {
+				return err
+			}
+			k := append([]byte(nil), key...)
+			entries = append(entries, entryKV{key: k, ref: docRef{off: dstEOF, pages: ref.pages, vlen: ref.vlen}})
+			dstEOF += int64(len(buf))
+			cs.DocsMoved++
+			return nil
+		}); err != nil {
+			return cs, err
+		}
+	}
+
+	// Rebuild the index into the new file the way couchstore does: by
+	// inserting every key into a fresh copy-on-write tree and flushing it
+	// periodically. The wandering-tree appends make the index build cost
+	// real I/O in both modes — in SHARE mode it is the only write traffic
+	// compaction produces.
+	old := s.file
+	oldName := s.cfg.Name
+	s.file = dst
+	s.eof = dstEOF
+	s.stale = 0
+	s.root = newLeaf()
+	s.nodeCache = make(map[int64]*node)
+	for i, e := range entries {
+		if err := s.treeInsert(t, e.key, e.ref); err != nil {
+			return cs, err
+		}
+		if (i+1)%compactFlushEvery == 0 {
+			if err := s.writeHeader(t); err != nil {
+				return cs, err
+			}
+		}
+	}
+	if err := s.writeHeader(t); err != nil {
+		return cs, err
+	}
+	if err := dst.Sync(t); err != nil {
+		return cs, err
+	}
+
+	// Swap: drop the old file, move the new one into place.
+	if err := s.fs.Remove(t, oldName); err != nil {
+		return cs, err
+	}
+	if err := s.fs.Rename(t, tmpName, oldName); err != nil {
+		return cs, err
+	}
+	if err := s.fs.SyncMeta(t); err != nil {
+		return cs, err
+	}
+	_ = old
+	s.st.Compactions++
+
+	devAfter := s.fs.Device().Stats()
+	cs.BytesWritten = (devAfter.FTL.HostWrites - devBefore.FTL.HostWrites) * int64(s.page)
+	cs.Elapsed = t.Now() - start
+	return cs, nil
+}
+
+// entryKV is one live document carried through compaction.
+type entryKV struct {
+	key []byte
+	ref docRef // reference in the new file
+}
+
+// compactFlushEvery is how many documents are indexed between header
+// flushes while rebuilding the compaction index (couchstore's batched
+// commit during compaction).
+const compactFlushEvery = 1000

@@ -1,0 +1,252 @@
+package couch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// The index is an append-only (copy-on-write) B+tree: nodes are immutable
+// once written; updating a leaf produces a new leaf at the end of the
+// file, which forces a new parent, and so on to the root — the wandering
+// tree of §2.2. In memory, the store keeps a working tree whose dirty
+// nodes exist only in RAM until a commit serializes them.
+//
+// Node pages (NodeSize bytes):
+//
+//	u32 checksum (over the rest), u32 magic, u8 kind, u16 count, entries:
+//	leaf:     [klen u16][key][off i64][pages u16][vlen u32]
+//	internal: [klen u16][key][childOff i64]
+//
+// Internal entries are labeled with the first key of their child.
+const (
+	nodeMagic   = 0x434E4F44 // "CNOD"
+	headerMagic = 0x43484452 // "CHDR"
+	nodeHdr     = 11
+)
+
+// docRef locates one document version in the file.
+type docRef struct {
+	off   int64  // byte offset (page aligned)
+	pages uint16 // allocation length in device pages
+	vlen  uint32 // value length
+}
+
+type node struct {
+	leaf  bool
+	keys  [][]byte
+	refs  []docRef // leaf payloads
+	kids  []child  // internal children
+	size  int      // serialized byte estimate
+	dirty bool
+	off   int64 // file offset of the clean version (-1 if never written)
+}
+
+type child struct {
+	off int64 // on-disk offset, valid when mem == nil
+	mem *node // in-memory (possibly dirty) version
+}
+
+func leafEntrySize(key []byte) int     { return 2 + len(key) + 8 + 2 + 4 }
+func internalEntrySize(key []byte) int { return 2 + len(key) + 8 }
+
+func newLeaf() *node  { return &node{leaf: true, size: nodeHdr, off: -1, dirty: true} }
+func newInner() *node { return &node{leaf: false, size: nodeHdr, off: -1, dirty: true} }
+
+// findIdx returns the index of the child/entry that covers key: the last
+// entry whose key is <= target, or 0.
+func (n *node) findIdx(key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// exactIdx returns (index, true) if key is present in a leaf.
+func (n *node) exactIdx(key []byte) (int, bool) {
+	i := n.findIdx(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return i, true
+	}
+	// findIdx returns the covering slot; an exact match can only be there.
+	return i, false
+}
+
+// leafInsert adds or replaces key in the leaf; returns the size delta.
+func (n *node) leafInsert(key []byte, ref docRef) {
+	i, ok := n.exactIdx(key)
+	if ok {
+		n.refs[i] = ref
+		n.dirty = true
+		return
+	}
+	// Insert after the covering slot (or at 0 when key precedes all).
+	pos := 0
+	if len(n.keys) > 0 {
+		if bytes.Compare(key, n.keys[0]) < 0 {
+			pos = 0
+		} else {
+			pos = n.findIdx(key) + 1
+		}
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[pos+1:], n.keys[pos:])
+	n.keys[pos] = append([]byte(nil), key...)
+	n.refs = append(n.refs, docRef{})
+	copy(n.refs[pos+1:], n.refs[pos:])
+	n.refs[pos] = ref
+	n.size += leafEntrySize(key)
+	n.dirty = true
+}
+
+// leafDelete removes key if present; reports whether it was.
+func (n *node) leafDelete(key []byte) bool {
+	i, ok := n.exactIdx(key)
+	if !ok {
+		return false
+	}
+	n.size -= leafEntrySize(n.keys[i])
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.refs = append(n.refs[:i], n.refs[i+1:]...)
+	n.dirty = true
+	return true
+}
+
+// innerInsertChild inserts a child labeled with key after position pos.
+func (n *node) innerInsertChild(pos int, key []byte, c child) {
+	n.keys = append(n.keys, nil)
+	copy(n.keys[pos+1:], n.keys[pos:])
+	n.keys[pos] = append([]byte(nil), key...)
+	n.kids = append(n.kids, child{})
+	copy(n.kids[pos+1:], n.kids[pos:])
+	n.kids[pos] = c
+	n.size += internalEntrySize(key)
+	n.dirty = true
+}
+
+// split divides an over-full node in half, returning the new right node.
+func (n *node) split() *node {
+	mid := len(n.keys) / 2
+	var r *node
+	if n.leaf {
+		r = newLeaf()
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.refs = append(r.refs, n.refs[mid:]...)
+		n.keys = n.keys[:mid]
+		n.refs = n.refs[:mid]
+	} else {
+		r = newInner()
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.kids = append(r.kids, n.kids[mid:]...)
+		n.keys = n.keys[:mid]
+		n.kids = n.kids[:mid]
+	}
+	n.size = nodeHdr
+	for _, k := range n.keys {
+		if n.leaf {
+			n.size += leafEntrySize(k)
+		} else {
+			n.size += internalEntrySize(k)
+		}
+	}
+	r.size = nodeHdr
+	for _, k := range r.keys {
+		if r.leaf {
+			r.size += leafEntrySize(k)
+		} else {
+			r.size += internalEntrySize(k)
+		}
+	}
+	n.dirty = true
+	return r
+}
+
+// serialize renders the node into a NodeSize buffer.
+func (s *Store) serializeNode(n *node, childOffs []int64) []byte {
+	buf := make([]byte, s.cfg.NodeSize)
+	binary.LittleEndian.PutUint32(buf[4:], nodeMagic)
+	if n.leaf {
+		buf[8] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[9:], uint16(len(n.keys)))
+	off := nodeHdr
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		copy(buf[off:], k)
+		off += len(k)
+		if n.leaf {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(n.refs[i].off))
+			binary.LittleEndian.PutUint16(buf[off+8:], n.refs[i].pages)
+			binary.LittleEndian.PutUint32(buf[off+10:], n.refs[i].vlen)
+			off += 14
+		} else {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(childOffs[i]))
+			off += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[0:], checksum32(buf[4:]))
+	return buf
+}
+
+// loadNode reads and parses a node page at off.
+func (s *Store) loadNode(t *sim.Task, off int64) (*node, error) {
+	if cached, ok := s.nodeCache[off]; ok {
+		return cached, nil
+	}
+	buf := make([]byte, s.cfg.NodeSize)
+	if _, err := s.file.ReadAt(t, buf, off); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != checksum32(buf[4:]) {
+		return nil, fmt.Errorf("couch: node checksum mismatch at %d", off)
+	}
+	if binary.LittleEndian.Uint32(buf[4:]) != nodeMagic {
+		return nil, fmt.Errorf("couch: bad node magic at %d", off)
+	}
+	n := &node{leaf: buf[8] == 1, off: off, size: nodeHdr}
+	count := int(binary.LittleEndian.Uint16(buf[9:]))
+	p := nodeHdr
+	for i := 0; i < count; i++ {
+		kl := int(binary.LittleEndian.Uint16(buf[p:]))
+		p += 2
+		key := append([]byte(nil), buf[p:p+kl]...)
+		p += kl
+		n.keys = append(n.keys, key)
+		if n.leaf {
+			n.refs = append(n.refs, docRef{
+				off:   int64(binary.LittleEndian.Uint64(buf[p:])),
+				pages: binary.LittleEndian.Uint16(buf[p+8:]),
+				vlen:  binary.LittleEndian.Uint32(buf[p+10:]),
+			})
+			p += 14
+			n.size += leafEntrySize(key)
+		} else {
+			n.kids = append(n.kids, child{off: int64(binary.LittleEndian.Uint64(buf[p:]))})
+			p += 8
+			n.size += internalEntrySize(key)
+		}
+	}
+	s.nodeCache[off] = n
+	return n, nil
+}
+
+func checksum32(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

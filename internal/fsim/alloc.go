@@ -1,0 +1,123 @@
+package fsim
+
+import (
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// allocChunk is the preferred contiguous allocation unit (pages). Larger
+// requests allocate exactly what they need; smaller file extensions round
+// up to reduce fragmentation and extent-count pressure.
+const allocChunk = 256
+
+func (fs *FS) bitGet(bit uint32) bool { return fs.bitmap[bit/64]&(1<<(bit%64)) != 0 }
+func (fs *FS) bitSet(bit uint32)      { fs.bitmap[bit/64] |= 1 << (bit % 64) }
+func (fs *FS) bitClear(bit uint32)    { fs.bitmap[bit/64] &^= 1 << (bit % 64) }
+
+// ensurePages grows ino's allocation to at least want pages.
+func (fs *FS) ensurePages(t *sim.Task, ino int, want int64) error {
+	_ = t
+	ind := &fs.inodes[ino]
+	have := int64(0)
+	for _, e := range ind.extents {
+		have += int64(e.Len)
+	}
+	for have < want {
+		need := want - have
+		// Round small extensions up: at least 4 pages, growing with the
+		// file (ext4-like preallocation) but capped at allocChunk.
+		grow := have
+		if grow > allocChunk {
+			grow = allocChunk
+		}
+		if grow < 4 {
+			grow = 4
+		}
+		chunk := need
+		if chunk < grow {
+			chunk = grow
+		}
+		ext, err := fs.allocExtent(uint32(chunk), uint32(need))
+		if err != nil {
+			return err
+		}
+		// Merge with the previous extent when physically adjacent.
+		if n := len(ind.extents); n > 0 && ind.extents[n-1].Start+ind.extents[n-1].Len == ext.Start {
+			ind.extents[n-1].Len += ext.Len
+		} else {
+			if len(ind.extents) >= MaxExtents {
+				fs.freeExtent(ext)
+				return fmt.Errorf("%w: file too fragmented (%d extents)", ErrNoSpace, MaxExtents)
+			}
+			ind.extents = append(ind.extents, ext)
+		}
+		have += int64(ext.Len)
+	}
+	fs.markInodeDirty(ino)
+	return nil
+}
+
+// allocExtent finds a contiguous free run. It prefers `want` pages but
+// accepts any run of at least `min` pages, and otherwise returns the
+// largest run found (first-fit with fallback), so large requests degrade
+// gracefully into multiple extents.
+func (fs *FS) allocExtent(want, min uint32) (Extent, error) {
+	if min == 0 {
+		min = 1
+	}
+	if want < min {
+		want = min
+	}
+	bestStart, bestLen := uint32(0), uint32(0)
+	run := uint32(0)
+	runStart := uint32(0)
+	for bit := fs.lay.dataStart; bit < fs.lay.total; bit++ {
+		if fs.bitGet(bit) {
+			run = 0
+			continue
+		}
+		if run == 0 {
+			runStart = bit
+		}
+		run++
+		if run >= want {
+			bestStart, bestLen = runStart, run
+			break
+		}
+		if run > bestLen {
+			bestStart, bestLen = runStart, run
+		}
+	}
+	if bestLen == 0 {
+		return Extent{}, fmt.Errorf("%w: data area exhausted", ErrNoSpace)
+	}
+	if bestLen > want {
+		bestLen = want
+	}
+	ext := Extent{Start: bestStart, Len: bestLen}
+	for i := uint32(0); i < ext.Len; i++ {
+		fs.bitSet(ext.Start + i)
+		fs.markBitmapDirty(ext.Start + i)
+	}
+	return ext, nil
+}
+
+// freeExtent returns pages to the allocator.
+func (fs *FS) freeExtent(ext Extent) {
+	for i := uint32(0); i < ext.Len; i++ {
+		fs.bitClear(ext.Start + i)
+		fs.markBitmapDirty(ext.Start + i)
+	}
+}
+
+// FreePages reports how many data pages remain unallocated.
+func (fs *FS) FreePages() int {
+	n := 0
+	for bit := fs.lay.dataStart; bit < fs.lay.total; bit++ {
+		if !fs.bitGet(bit) {
+			n++
+		}
+	}
+	return n
+}

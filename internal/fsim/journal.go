@@ -1,0 +1,296 @@
+package fsim
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"share/internal/sim"
+)
+
+// crcJournal checksums journal block payloads (FNV-1a).
+func crcJournal(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// SyncMeta commits the dirty metadata pages as one journal transaction —
+// descriptor, page images, commit record — then flushes the device. This
+// is the ordered-journaling-mode fsync path: data pages were already
+// written in place (O_DIRECT), only metadata goes through the journal.
+func (fs *FS) SyncMeta(t *sim.Task) error {
+	if len(fs.dirtyMeta) == 0 {
+		return fs.dev.Flush(t)
+	}
+	// Fast-commit path (modeled on ext4 fast commits): when the only
+	// dirty metadata is a handful of inodes — the overwhelmingly common
+	// case for database fsyncs that just extended or touched their files —
+	// a single journal block carrying the inode records replaces the
+	// descriptor + page images + commit sequence.
+	if fs.fastCommitEligible() {
+		if err := fs.commitFast(t); err != nil {
+			return err
+		}
+		fs.dirtyMeta = make(map[uint32]bool)
+		fs.dirtyInos = make(map[int]bool)
+		return fs.dev.Flush(t)
+	}
+	all := make([]uint32, 0, len(fs.dirtyMeta))
+	for p := range fs.dirtyMeta {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// A transaction is capped by the journal size; oversized dirty sets
+	// commit as several transactions.
+	maxPerTxn := int(fs.lay.journalPages) - 2
+	for len(all) > 0 {
+		n := len(all)
+		if n > maxPerTxn {
+			n = maxPerTxn
+		}
+		if err := fs.commitTxn(t, all[:n]); err != nil {
+			return err
+		}
+		all = all[n:]
+	}
+	fs.dirtyMeta = make(map[uint32]bool)
+	fs.dirtyInos = make(map[int]bool)
+	return fs.dev.Flush(t)
+}
+
+// fastCommitEligible reports whether every dirty metadata page is an inode
+// page and the dirty inode records fit a single journal block.
+func (fs *FS) fastCommitEligible() bool {
+	if len(fs.dirtyInos) == 0 || len(fs.dirtyInos) > fs.maxFastInodes() {
+		return false
+	}
+	for p := range fs.dirtyMeta {
+		if p < fs.lay.inodeStart || p >= fs.lay.inodeStart+fs.lay.inodePages {
+			return false
+		}
+	}
+	return true
+}
+
+// maxFastInodes returns how many inode records fit one fast-commit block.
+func (fs *FS) maxFastInodes() int { return (fs.pageSize - 20) / (2 + inodeSize) }
+
+// commitFast writes one fast-commit journal block:
+// [crc u32][magic u32][seq u64][count u32] then per inode
+// [ino u16][used u8, pad u8][size i64][extCount u16][extents ...].
+func (fs *FS) commitFast(t *sim.Task) error {
+	if fs.jHead+1 > fs.lay.journalPages {
+		if err := fs.checkpointMeta(t); err != nil {
+			return err
+		}
+	}
+	fs.seq++
+	le := binary.LittleEndian
+	buf := make([]byte, fs.pageSize)
+	le.PutUint32(buf[4:], fcMagic)
+	le.PutUint64(buf[8:], fs.seq)
+	le.PutUint32(buf[16:], uint32(len(fs.dirtyInos)))
+	off := 20
+	for ino := range fs.dirtyInos {
+		le.PutUint16(buf[off:], uint16(ino))
+		off += 2
+		ind := &fs.inodes[ino]
+		if ind.used {
+			buf[off] = 1
+		}
+		le.PutUint64(buf[off+2:], uint64(ind.size))
+		le.PutUint16(buf[off+10:], uint16(len(ind.extents)))
+		for e, ext := range ind.extents {
+			eo := off + 12 + e*8
+			le.PutUint32(buf[eo:], ext.Start)
+			le.PutUint32(buf[eo+4:], ext.Len)
+		}
+		off += inodeSize
+		// The inode's home page must reach disk at the next checkpoint.
+		fs.pending[fs.lay.inodeStart+uint32(ino/fs.inodesPerPage())] = true
+	}
+	le.PutUint32(buf[0:], crcJournal(buf[4:]))
+	if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, buf); err != nil {
+		return err
+	}
+	fs.jHead++
+	fs.metaJournalWrites++
+	return nil
+}
+
+// commitTxn writes one journal transaction for the given home pages.
+func (fs *FS) commitTxn(t *sim.Task, pages []uint32) error {
+	need := uint32(len(pages) + 2) // descriptor + images + commit
+	if fs.jHead+need > fs.lay.journalPages {
+		// Journal full: checkpoint metadata home locations and restart it.
+		if err := fs.checkpointMeta(t); err != nil {
+			return err
+		}
+	}
+	fs.seq++
+	le := binary.LittleEndian
+
+	// Descriptor.
+	desc := make([]byte, fs.pageSize)
+	le.PutUint32(desc[0:], descMagic)
+	le.PutUint64(desc[4:], fs.seq)
+	le.PutUint32(desc[12:], uint32(len(pages)))
+	off := 16
+	for _, p := range pages {
+		le.PutUint32(desc[off:], p)
+		off += 4
+	}
+	if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, desc); err != nil {
+		return err
+	}
+	fs.jHead++
+	fs.metaJournalWrites++
+
+	// Page images.
+	for _, p := range pages {
+		if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, fs.renderMetaPage(p)); err != nil {
+			return err
+		}
+		fs.jHead++
+		fs.metaJournalWrites++
+		fs.pending[p] = true
+	}
+
+	// Commit record.
+	cmt := make([]byte, fs.pageSize)
+	le.PutUint32(cmt[0:], cmtMagic)
+	le.PutUint64(cmt[4:], fs.seq)
+	if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, cmt); err != nil {
+		return err
+	}
+	fs.jHead++
+	fs.metaJournalWrites++
+	return nil
+}
+
+// checkpointMeta writes journaled metadata pages to their home locations,
+// advances the superblock's checkpoint sequence, and resets the journal.
+func (fs *FS) checkpointMeta(t *sim.Task) error {
+	for p := range fs.pending {
+		if err := fs.dev.WritePage(t, p, fs.renderMetaPage(p)); err != nil {
+			return err
+		}
+		fs.metaHomeWrites++
+	}
+	fs.pending = make(map[uint32]bool)
+	fs.ckptSeq = fs.seq
+	if err := fs.writeSuper(t); err != nil {
+		return err
+	}
+	if err := fs.dev.Flush(t); err != nil {
+		return err
+	}
+	// Journal space is logically reclaimed; trim it so the device can
+	// recycle the pages.
+	if fs.jHead > 0 {
+		if err := fs.dev.Trim(t, fs.lay.journalStart, int(fs.jHead)); err != nil {
+			return err
+		}
+	}
+	fs.jHead = 0
+	return nil
+}
+
+// replayJournal applies committed transactions with seq > ckptSeq to the
+// metadata home locations. It is called during Mount, before metadata is
+// loaded.
+func (fs *FS) replayJournal(t *sim.Task) error {
+	le := binary.LittleEndian
+	buf := make([]byte, fs.pageSize)
+	img := make([]byte, fs.pageSize)
+	slot := uint32(0)
+	lastSeq := fs.ckptSeq
+	applied := false
+	for slot+2 <= fs.lay.journalPages {
+		if err := fs.dev.ReadPage(t, fs.lay.journalStart+slot, buf); err != nil {
+			return err
+		}
+		if le.Uint32(buf[4:]) == fcMagic {
+			// Fast-commit block: verify and patch the inode records
+			// directly into their home pages, preserving scan order.
+			if le.Uint32(buf[0:]) != crcJournal(buf[4:]) {
+				break
+			}
+			seq := le.Uint64(buf[8:])
+			if seq <= lastSeq {
+				break
+			}
+			count := int(le.Uint32(buf[16:]))
+			off := 20
+			ipp := fs.inodesPerPage()
+			for i := 0; i < count; i++ {
+				ino := int(le.Uint16(buf[off:]))
+				home := fs.lay.inodeStart + uint32(ino/ipp)
+				if err := fs.dev.ReadPage(t, home, img); err != nil {
+					return err
+				}
+				copy(img[(ino%ipp)*inodeSize:], buf[off+2:off+2+inodeSize])
+				if err := fs.dev.WritePage(t, home, img); err != nil {
+					return err
+				}
+				fs.metaHomeWrites++
+				off += 2 + inodeSize
+			}
+			applied = true
+			lastSeq = seq
+			slot++
+			continue
+		}
+		if le.Uint32(buf[0:]) != descMagic {
+			break
+		}
+		seq := le.Uint64(buf[4:])
+		if seq <= lastSeq {
+			break // stale transaction from a previous journal cycle
+		}
+		count := le.Uint32(buf[12:])
+		if slot+1+count+1 > fs.lay.journalPages {
+			break
+		}
+		// Verify the commit record before applying anything.
+		if err := fs.dev.ReadPage(t, fs.lay.journalStart+slot+1+count, buf); err != nil {
+			return err
+		}
+		if le.Uint32(buf[0:]) != cmtMagic || le.Uint64(buf[4:]) != seq {
+			break // uncommitted tail: discard
+		}
+		// Re-read the descriptor for the home page list (buf was reused).
+		if err := fs.dev.ReadPage(t, fs.lay.journalStart+slot, buf); err != nil {
+			return err
+		}
+		for i := uint32(0); i < count; i++ {
+			home := le.Uint32(buf[16+4*i:])
+			if err := fs.dev.ReadPage(t, fs.lay.journalStart+slot+1+i, img); err != nil {
+				return err
+			}
+			if err := fs.dev.WritePage(t, home, img); err != nil {
+				return err
+			}
+			fs.metaHomeWrites++
+		}
+		applied = true
+		lastSeq = seq
+		slot += 1 + count + 1
+	}
+	fs.seq = lastSeq
+	fs.ckptSeq = lastSeq
+	if applied {
+		if err := fs.writeSuper(t); err != nil {
+			return err
+		}
+		if err := fs.dev.Flush(t); err != nil {
+			return err
+		}
+	}
+	// Start a fresh journal cycle; stale records are fenced by ckptSeq.
+	fs.jHead = 0
+	return nil
+}

@@ -1,0 +1,97 @@
+package fsim
+
+import (
+	"fmt"
+
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// ShareRange is the SHARE ioctl: it remaps length bytes of dst starting at
+// dstOff onto the physical pages currently backing src at srcOff. Both
+// offsets and the length must be page aligned; the destination range must
+// already be allocated (use Allocate/fallocate first), matching how the
+// paper's modified Couchbase prepares the new database file.
+//
+// The translation walks both files' extent maps, coalesces physically
+// contiguous runs into ranged pairs, and splits the command stream at the
+// device's atomic batch limit — each issued SHARE command is atomic on its
+// own, exactly like the prototype's vendor-unique SATA command.
+func (fs *FS) ShareRange(t *sim.Task, dst *File, dstOff int64, src *File, srcOff int64, length int64) error {
+	ps := int64(fs.pageSize)
+	if dstOff%ps != 0 || srcOff%ps != 0 || length%ps != 0 {
+		return fmt.Errorf("%w: dstOff %d srcOff %d len %d", ErrAlign, dstOff, srcOff, length)
+	}
+	if length == 0 {
+		return nil
+	}
+	pages := uint32(length / ps)
+	dstPage := uint32(dstOff / ps)
+	srcPage := uint32(srcOff / ps)
+
+	var pairs []ssd.Pair
+	var batchUnits int
+	maxBatch := fs.dev.MaxShareBatch()
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		err := fs.dev.Share(t, pairs)
+		pairs = pairs[:0]
+		batchUnits = 0
+		return err
+	}
+
+	for pages > 0 {
+		dstLPN, dstRun, err := dst.lpnAt(dstPage)
+		if err != nil {
+			return fmt.Errorf("fsim: share dst: %w", err)
+		}
+		srcLPN, srcRun, err := src.lpnAt(srcPage)
+		if err != nil {
+			return fmt.Errorf("fsim: share src: %w", err)
+		}
+		run := pages
+		if dstRun < run {
+			run = dstRun
+		}
+		if srcRun < run {
+			run = srcRun
+		}
+		// A ranged pair must not overlap itself; and a batch must fit the
+		// device's one-delta-page atomic limit.
+		for run > 0 {
+			chunk := run
+			if room := uint32(maxBatch - batchUnits); chunk > room {
+				chunk = room
+			}
+			if chunk == 0 {
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if overlaps(dstLPN, srcLPN, chunk) {
+				// Degenerate layout (shared physical neighborhood):
+				// fall back to single-page pairs.
+				chunk = 1
+			}
+			pairs = append(pairs, ssd.Pair{Dst: dstLPN, Src: srcLPN, Len: chunk})
+			batchUnits += int(chunk)
+			dstLPN += chunk
+			srcLPN += chunk
+			run -= chunk
+			dstPage += chunk
+			srcPage += chunk
+			pages -= chunk
+			if batchUnits >= maxBatch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+func overlaps(a, b, n uint32) bool { return a < b+n && b < a+n }

@@ -1,0 +1,83 @@
+package ftl
+
+import (
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// AtomicPage is one page of an atomic multi-page write.
+type AtomicPage struct {
+	LPN  uint32
+	Data []byte
+}
+
+// WriteAtomic implements the related-work baseline the paper contrasts
+// SHARE with (§6.1): the atomic-write FTL of Park et al. and the FusionIO
+// atomic-write extension that Ouyang et al. used to replace InnoDB's
+// doublewrite buffer. All pages of the batch are programmed out of place,
+// and then their mapping updates are committed in a single delta-log page
+// — the commit record. A crash before that page is durable leaves every
+// old mapping intact (the new programs are garbage); after it, all new
+// mappings are visible. Unlike SHARE, the whole page set must be supplied
+// in one request, which is why this interface cannot express Couchbase's
+// zero-copy compaction.
+func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
+	total := f.cfg.CommandOverhead
+	if len(pages) == 0 {
+		return total, nil
+	}
+	if len(pages) > f.entriesPerLogPage() {
+		return total, fmt.Errorf("%w: %d pages > %d", ErrBatch, len(pages), f.entriesPerLogPage())
+	}
+	for _, p := range pages {
+		if err := f.checkRange(p.LPN, 1); err != nil {
+			return total, err
+		}
+		if len(p.Data) != f.geo.PageSize {
+			return total, fmt.Errorf("ftl: atomic write size %d != page size %d", len(p.Data), f.geo.PageSize)
+		}
+	}
+	// Keep the whole batch's deltas inside one log page.
+	if len(f.deltaBuf)+len(pages) > f.entriesPerLogPage() {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	f.st.AtomicWrites++
+	for _, p := range pages {
+		f.st.HostWrites++
+		d, ppn, err := f.allocDataPage(&f.host)
+		total += d
+		if err != nil {
+			return total, err
+		}
+		pd, err := f.chip.Program(ppn, p.Data, nandDataOOB(p.LPN))
+		total += pd
+		if err != nil {
+			return total, err
+		}
+		old := f.l2p[p.LPN]
+		f.dropRef(old, p.LPN)
+		f.l2p[p.LPN] = ppn
+		f.primary[ppn] = p.LPN
+		f.addRef(ppn)
+		f.markMapDirty(p.LPN)
+		ld, err := f.appendDelta(delta{lpn: p.LPN, oldPPN: old, newPPN: ppn}, true)
+		total += ld
+		if err != nil {
+			return total, err
+		}
+	}
+	// Commit record: the batch's deltas become durable atomically.
+	if !f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

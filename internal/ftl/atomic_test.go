@@ -1,0 +1,119 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWriteAtomicBasic(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	var batch []AtomicPage
+	for i := uint32(0); i < 6; i++ {
+		batch = append(batch, AtomicPage{LPN: 10 + i, Data: fill(byte(0x30+i), f.PageSize())})
+	}
+	if _, err := f.WriteAtomic(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 6; i++ {
+		if got := mustRead(t, f, 10+i); got[0] != byte(0x30+i) {
+			t.Fatalf("lpn %d = %x", 10+i, got[0])
+		}
+	}
+	if f.Stats().AtomicWrites != 1 {
+		t.Fatalf("atomic writes = %d", f.Stats().AtomicWrites)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAtomicDurableOnReturn(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 5, 0x01)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batch := []AtomicPage{
+		{LPN: 5, Data: fill(0x02, f.PageSize())},
+		{LPN: 6, Data: fill(0x03, f.PageSize())},
+	}
+	if _, err := f.WriteAtomic(batch); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f) // no explicit Flush: the command itself commits
+	if got := mustRead(t, f, 5); got[0] != 0x02 {
+		t.Fatalf("lpn 5 = %x; atomic batch lost", got[0])
+	}
+	if got := mustRead(t, f, 6); got[0] != 0x03 {
+		t.Fatalf("lpn 6 = %x; atomic batch lost", got[0])
+	}
+}
+
+func TestWriteAtomicValidation(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	if _, err := f.WriteAtomic(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	big := make([]AtomicPage, f.MaxShareBatch()+1)
+	for i := range big {
+		big[i] = AtomicPage{LPN: uint32(i), Data: fill(0, f.PageSize())}
+	}
+	if _, err := f.WriteAtomic(big); !errors.Is(err, ErrBatch) {
+		t.Fatalf("oversize batch err = %v", err)
+	}
+	if _, err := f.WriteAtomic([]AtomicPage{{LPN: uint32(f.Capacity()), Data: fill(0, f.PageSize())}}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("bounds err = %v", err)
+	}
+	if _, err := f.WriteAtomic([]AtomicPage{{LPN: 0, Data: []byte{1}}}); err == nil {
+		t.Fatal("short page accepted")
+	}
+}
+
+func TestWriteAtomicOverwritesAndGC(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	// Churn atomic batches over the whole space; correctness under GC.
+	for round := 0; round < 8; round++ {
+		for base := 0; base+8 <= f.Capacity(); base += 8 {
+			var batch []AtomicPage
+			for i := 0; i < 8; i++ {
+				batch = append(batch, AtomicPage{
+					LPN:  uint32(base + i),
+					Data: fill(byte(round*8+i), f.PageSize()),
+				})
+			}
+			if _, err := f.WriteAtomic(batch); err != nil {
+				t.Fatalf("round %d base %d: %v", round, base, err)
+			}
+		}
+	}
+	for base := 0; base+8 <= f.Capacity(); base += 8 {
+		for i := 0; i < 8; i++ {
+			if got := mustRead(t, f, uint32(base+i)); got[0] != byte(7*8+i) {
+				t.Fatalf("lpn %d = %x", base+i, got[0])
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAtomicMixedWithShare(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	if _, err := f.WriteAtomic([]AtomicPage{
+		{LPN: 1, Data: fill(0xA1, f.PageSize())},
+		{LPN: 2, Data: fill(0xA2, f.PageSize())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Share([]Pair{{Dst: 3, Src: 1, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, f, 3); got[0] != 0xA1 {
+		t.Fatalf("share after atomic write: %x", got[0])
+	}
+	crashAndRecover(t, f)
+	if got := mustRead(t, f, 3); got[0] != 0xA1 {
+		t.Fatalf("after crash: %x", got[0])
+	}
+}

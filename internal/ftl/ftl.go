@@ -1,0 +1,410 @@
+// Package ftl implements a page-mapping flash translation layer with the
+// paper's SHARE extension: an explicit host command that atomically remaps
+// one logical page onto the physical page of another, so two logical pages
+// share a single physical page and the host's second (redundant) write is
+// avoided entirely.
+//
+// The design follows §4.2 of the paper:
+//
+//   - forward L2P page mapping kept entirely in (simulated) DRAM;
+//   - a per-page reverse mapping: the primary P2L lives in each page's OOB
+//     spare area, written at program time; additional referrers created by
+//     SHARE live in a bounded reverse-mapping ("share") table;
+//   - mapping durability via a base snapshot of mapping-table pages plus a
+//     delta log of (LPN, old PPN, new PPN) records; a delta page is the
+//     atomicity unit, so a batched SHARE of up to one page of deltas is
+//     all-or-nothing across power failure;
+//   - greedy garbage collection with copyback accounting; a physical page
+//     is valid iff some logical page's L2P entry points at it.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// InvalidPPN marks unmapped L2P entries.
+const InvalidPPN = ^uint32(0)
+
+// InvalidLPN re-exports the NAND sentinel for convenience.
+const InvalidLPN = nand.InvalidLPN
+
+var (
+	// ErrFull is returned when the device has no reclaimable space left.
+	ErrFull = errors.New("ftl: device full")
+	// ErrBounds is returned for logical addresses outside the exported capacity.
+	ErrBounds = errors.New("ftl: logical address out of range")
+	// ErrUnmapped is returned when a SHARE source has no physical page.
+	ErrUnmapped = errors.New("ftl: share source unmapped")
+	// ErrBatch is returned when a SHARE batch exceeds the atomic limit
+	// (one mapping-delta page, as in the paper).
+	ErrBatch = errors.New("ftl: share batch exceeds one delta page")
+	// ErrOverlap is returned when a ranged SHARE's source and destination
+	// ranges overlap, which the command definition forbids.
+	ErrOverlap = errors.New("ftl: share ranges overlap")
+)
+
+// Pair is one SHARE remapping: after the command, Dst maps to the physical
+// page(s) currently mapped by Src. Len is in mapping units (pages) and must
+// be >= 1; for Len > 1 the two ranges must not overlap.
+type Pair struct {
+	Dst, Src uint32
+	Len      uint32
+}
+
+// Config tunes the FTL.
+type Config struct {
+	// OverProvision is the fraction of raw blocks hidden from the host
+	// (GC headroom). Typical consumer SSDs use ~0.07.
+	OverProvision float64
+	// GCLowWater triggers garbage collection when the free-block count
+	// drops below it; GCHighWater is the refill target.
+	GCLowWater, GCHighWater int
+	// ShareTableCap bounds the number of un-checkpointed SHARE deltas the
+	// device will hold in its reverse-mapping table (250 or 500 on the
+	// OpenSSD prototype). A SHARE pair arriving with the table full is
+	// resolved by physically copying the page instead (a "forced copy").
+	// 0 means unlimited.
+	ShareTableCap int
+	// CheckpointLogPages is the number of delta-log pages after which the
+	// FTL checkpoints dirty mapping pages and truncates the log.
+	CheckpointLogPages int
+	// PowerCapacitor, when true, models a capacitor-backed device: delta
+	// records are durable once buffered in device RAM, so SHARE and FLUSH
+	// do not force a delta-page program.
+	PowerCapacitor bool
+	// FirmwarePairOverhead is the per-pair CPU cost of a SHARE command in
+	// the (slow, 87.5 MHz ARM) controller.
+	FirmwarePairOverhead sim.Duration
+	// CommandOverhead is the fixed per-command firmware/interface cost.
+	CommandOverhead sim.Duration
+	// WearLevelDelta enables static wear leveling: when the erase-count
+	// spread between the most- and least-worn blocks exceeds it, garbage
+	// collection migrates the coldest block so its barely-worn flash
+	// rejoins the free pool. 0 disables wear leveling.
+	WearLevelDelta int64
+}
+
+// DefaultConfig returns the configuration used by the experiments unless
+// a sweep overrides a field.
+func DefaultConfig() Config {
+	return Config{
+		OverProvision:        0.10,
+		GCLowWater:           4,
+		GCHighWater:          6,
+		ShareTableCap:        0,
+		CheckpointLogPages:   256,
+		PowerCapacitor:       false,
+		FirmwarePairOverhead: 3 * sim.Microsecond,
+		CommandOverhead:      20 * sim.Microsecond,
+	}
+}
+
+// stream is an append point: a block being filled page by page.
+type stream struct {
+	block int // -1 when no block is open
+	next  int // next page index within block
+}
+
+// FTL is the translation layer over one NAND chip. It is not safe for
+// concurrent use; the device layer serializes commands, as the single
+// firmware thread on the prototype hardware does.
+type FTL struct {
+	chip *nand.Chip
+	cfg  Config
+	geo  nand.Geometry
+
+	capacity int // logical pages exported to the host
+
+	// Volatile (DRAM) state, rebuilt by Recover after a crash.
+	l2p     []uint32            // logical -> physical
+	primary []uint32            // physical -> logical recorded at program time (OOB mirror)
+	refs    []uint16            // physical -> number of logical referrers
+	extra   map[uint32][]uint32 // physical -> additional referrers from SHARE
+
+	blockValid     []int // per block: physical pages with refs > 0 (or valid metadata)
+	blockFull      []bool
+	retired        []bool // worn-out blocks permanently out of service
+	freeBlocks     []int
+	host, gc, meta stream
+
+	// Mapping durability.
+	mapDir        []uint32        // map-page index -> ppn of latest snapshot (InvalidPPN if none)
+	mapDirty      []bool          // map pages touched since their last snapshot
+	mapSeq        []uint64        // seq of the latest snapshot per map page
+	deltaBuf      []delta         // RAM-buffered, not yet durable
+	logPPNs       []uint32        // durable delta-log pages since last checkpoint, in order
+	pendingShares int             // un-checkpointed SHARE deltas (reverse-table occupancy)
+	metaLive      map[uint32]bool // live metadata pages (latest map snapshots + needed log pages)
+	logSeq        uint64          // payload-embedded ordering for log/map pages
+	inGC          bool            // re-entrancy guard: GC's own writes must not trigger GC
+
+	st Stats
+}
+
+type delta struct {
+	lpn, oldPPN, newPPN uint32
+}
+
+// New formats a fresh FTL over chip.
+func New(chip *nand.Chip, cfg Config) (*FTL, error) {
+	geo := chip.Geometry()
+	if cfg.GCLowWater < 2 {
+		cfg.GCLowWater = 2
+	}
+	if cfg.GCHighWater <= cfg.GCLowWater {
+		cfg.GCHighWater = cfg.GCLowWater + 2
+	}
+	if cfg.CheckpointLogPages <= 0 {
+		cfg.CheckpointLogPages = 256
+	}
+	reserve := int(float64(geo.Blocks)*cfg.OverProvision + 0.5)
+	if reserve < cfg.GCHighWater+2 {
+		reserve = cfg.GCHighWater + 2
+	}
+	if reserve >= geo.Blocks {
+		return nil, fmt.Errorf("ftl: geometry too small for over-provisioning (%d blocks)", geo.Blocks)
+	}
+	capacity := (geo.Blocks - reserve) * geo.PagesPerBlock
+	f := &FTL{
+		chip:     chip,
+		cfg:      cfg,
+		geo:      geo,
+		capacity: capacity,
+	}
+	f.initVolatile()
+	// All blocks start free.
+	for b := geo.Blocks - 1; b >= 0; b-- {
+		f.freeBlocks = append(f.freeBlocks, b)
+	}
+	nMap := (capacity + f.entriesPerMapPage() - 1) / f.entriesPerMapPage()
+	f.mapDir = make([]uint32, nMap)
+	f.mapDirty = make([]bool, nMap)
+	f.mapSeq = make([]uint64, nMap)
+	for i := range f.mapDir {
+		f.mapDir[i] = InvalidPPN
+	}
+	return f, nil
+}
+
+func (f *FTL) initVolatile() {
+	total := f.geo.TotalPages()
+	f.l2p = make([]uint32, f.capacity)
+	for i := range f.l2p {
+		f.l2p[i] = InvalidPPN
+	}
+	f.primary = make([]uint32, total)
+	for i := range f.primary {
+		f.primary[i] = InvalidLPN
+	}
+	f.refs = make([]uint16, total)
+	f.extra = make(map[uint32][]uint32)
+	f.blockValid = make([]int, f.geo.Blocks)
+	f.blockFull = make([]bool, f.geo.Blocks)
+	f.retired = make([]bool, f.geo.Blocks)
+	f.freeBlocks = nil
+	f.host = stream{block: -1}
+	f.gc = stream{block: -1}
+	f.meta = stream{block: -1}
+	f.deltaBuf = nil
+	f.logPPNs = nil
+	f.pendingShares = 0
+	f.metaLive = make(map[uint32]bool)
+	f.inGC = false
+}
+
+// Capacity returns the number of logical pages exported to the host.
+func (f *FTL) Capacity() int { return f.capacity }
+
+// PageSize returns the mapping unit in bytes.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+// MaxShareBatch returns the number of pairs a single SHARE command may
+// carry while remaining atomic (one delta page).
+func (f *FTL) MaxShareBatch() int { return f.entriesPerLogPage() }
+
+// Mapping returns the current physical page of lpn (InvalidPPN if
+// unmapped). Exposed for tests and the inspector tool.
+func (f *FTL) Mapping(lpn uint32) uint32 {
+	if int(lpn) >= f.capacity {
+		return InvalidPPN
+	}
+	return f.l2p[lpn]
+}
+
+func (f *FTL) checkRange(lpn uint32, n int) error {
+	if int(lpn) >= f.capacity || int(lpn)+n > f.capacity {
+		return fmt.Errorf("%w: lpn %d (+%d) capacity %d", ErrBounds, lpn, n, f.capacity)
+	}
+	return nil
+}
+
+// Read copies the page mapped at lpn into dst. Reading an unmapped page
+// yields zeros, as SSDs return for trimmed ranges.
+func (f *FTL) Read(lpn uint32, dst []byte) (sim.Duration, error) {
+	if err := f.checkRange(lpn, 1); err != nil {
+		return 0, err
+	}
+	f.st.HostReads++
+	ppn := f.l2p[lpn]
+	if ppn == InvalidPPN {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return f.cfg.CommandOverhead, nil
+	}
+	_, d, err := f.chip.Read(ppn, dst)
+	return f.cfg.CommandOverhead + d, err
+}
+
+// Write programs data (one page) for lpn at a new physical location and
+// updates the mapping, logging the change. It may trigger garbage
+// collection; the returned duration includes any GC stall.
+func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
+	if err := f.checkRange(lpn, 1); err != nil {
+		return 0, err
+	}
+	f.st.HostWrites++
+	total := f.cfg.CommandOverhead
+	d, ppn, err := f.allocDataPage(&f.host)
+	if err != nil {
+		return total + d, err
+	}
+	total += d
+	pd, err := f.chip.Program(ppn, data, nand.OOB{LPN: lpn, Tag: nand.TagData})
+	if err != nil {
+		return total, err
+	}
+	total += pd
+	old := f.l2p[lpn]
+	f.dropRef(old, lpn)
+	f.l2p[lpn] = ppn
+	f.primary[ppn] = lpn
+	f.addRef(ppn)
+	f.markMapDirty(lpn)
+	ld, err := f.appendDelta(delta{lpn: lpn, oldPPN: old, newPPN: ppn}, false)
+	return total + ld, err
+}
+
+// Trim invalidates n logical pages starting at lpn.
+func (f *FTL) Trim(lpn uint32, n int) (sim.Duration, error) {
+	if err := f.checkRange(lpn, n); err != nil {
+		return 0, err
+	}
+	total := f.cfg.CommandOverhead
+	for i := 0; i < n; i++ {
+		l := lpn + uint32(i)
+		old := f.l2p[l]
+		if old == InvalidPPN {
+			continue
+		}
+		f.st.Trims++
+		f.dropRef(old, l)
+		f.l2p[l] = InvalidPPN
+		f.markMapDirty(l)
+		d, err := f.appendDelta(delta{lpn: l, oldPPN: old, newPPN: InvalidPPN}, false)
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Flush persists any buffered mapping deltas, making all completed writes
+// durable. It models the SATA FLUSH CACHE command issued by fsync.
+func (f *FTL) Flush() (sim.Duration, error) {
+	total := f.cfg.CommandOverhead
+	if f.cfg.PowerCapacitor || len(f.deltaBuf) == 0 {
+		return total, nil
+	}
+	d, err := f.flushDeltaPage()
+	return total + d, err
+}
+
+// addRef notes one more logical referrer of ppn.
+func (f *FTL) addRef(ppn uint32) {
+	f.refs[ppn]++
+	if f.refs[ppn] == 1 {
+		f.blockValid[f.chip.BlockOf(ppn)]++
+	}
+}
+
+// dropRef removes lpn's reference to ppn (no-op for InvalidPPN). The extra
+// table is pruned if lpn was recorded there.
+func (f *FTL) dropRef(ppn, lpn uint32) {
+	if ppn == InvalidPPN {
+		return
+	}
+	if f.refs[ppn] == 0 {
+		panic(fmt.Sprintf("ftl: ref underflow ppn %d", ppn))
+	}
+	f.refs[ppn]--
+	if f.refs[ppn] == 0 {
+		f.blockValid[f.chip.BlockOf(ppn)]--
+	}
+	if f.primary[ppn] == lpn {
+		f.primary[ppn] = InvalidLPN
+		return
+	}
+	if ex, ok := f.extra[ppn]; ok {
+		for i, e := range ex {
+			if e == lpn {
+				ex[i] = ex[len(ex)-1]
+				ex = ex[:len(ex)-1]
+				break
+			}
+		}
+		if len(ex) == 0 {
+			delete(f.extra, ppn)
+		} else {
+			f.extra[ppn] = ex
+		}
+	}
+}
+
+// referrers returns the logical pages currently mapping to ppn.
+func (f *FTL) referrers(ppn uint32) []uint32 {
+	var out []uint32
+	if p := f.primary[ppn]; p != InvalidLPN && int(p) < f.capacity && f.l2p[p] == ppn {
+		out = append(out, p)
+	}
+	for _, e := range f.extra[ppn] {
+		if int(e) < f.capacity && f.l2p[e] == ppn {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// allocDataPage returns a fresh physical page from the given stream,
+// running garbage collection first if free space is low. The returned
+// duration covers any GC work performed.
+func (f *FTL) allocDataPage(s *stream) (sim.Duration, uint32, error) {
+	var total sim.Duration
+	if s != &f.gc {
+		d, err := f.maybeGC()
+		total += d
+		if err != nil {
+			return total, 0, err
+		}
+	}
+	if s.block < 0 || s.next == f.geo.PagesPerBlock {
+		if s.block >= 0 {
+			f.blockFull[s.block] = true
+		}
+		if len(f.freeBlocks) == 0 {
+			return total, 0, ErrFull
+		}
+		s.block = f.freeBlocks[len(f.freeBlocks)-1]
+		f.freeBlocks = f.freeBlocks[:len(f.freeBlocks)-1]
+		f.blockFull[s.block] = false
+		s.next = 0
+	}
+	ppn := uint32(s.block*f.geo.PagesPerBlock + s.next)
+	s.next++
+	return total, ppn, nil
+}

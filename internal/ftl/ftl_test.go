@@ -1,0 +1,504 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"share/internal/nand"
+)
+
+// testFTL builds a small device: 512-byte pages, 8 pages/block, 32 blocks
+// (256 raw pages, 192 logical after over-provisioning).
+func testFTL(t *testing.T, mut func(*Config)) (*FTL, *nand.Chip) {
+	t.Helper()
+	chip, err := nand.New(nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CheckpointLogPages = 8
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := New(chip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, chip
+}
+
+func fill(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+
+func mustWrite(t *testing.T, f *FTL, lpn uint32, b byte) {
+	t.Helper()
+	if _, err := f.Write(lpn, fill(b, f.PageSize())); err != nil {
+		t.Fatalf("write lpn %d: %v", lpn, err)
+	}
+}
+
+func mustRead(t *testing.T, f *FTL, lpn uint32) []byte {
+	t.Helper()
+	buf := make([]byte, f.PageSize())
+	if _, err := f.Read(lpn, buf); err != nil {
+		t.Fatalf("read lpn %d: %v", lpn, err)
+	}
+	return buf
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 10, 0x11)
+	mustWrite(t, f, 11, 0x22)
+	if got := mustRead(t, f, 10); got[0] != 0x11 {
+		t.Fatalf("lpn 10 = %x", got[0])
+	}
+	if got := mustRead(t, f, 11); got[0] != 0x22 {
+		t.Fatalf("lpn 11 = %x", got[0])
+	}
+	mustWrite(t, f, 10, 0x33) // overwrite goes out of place
+	if got := mustRead(t, f, 10); got[0] != 0x33 {
+		t.Fatalf("lpn 10 after overwrite = %x", got[0])
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	buf := fill(0xFF, f.PageSize())
+	if _, err := f.Read(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unmapped read returned nonzero data")
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	buf := make([]byte, f.PageSize())
+	if _, err := f.Read(uint32(f.Capacity()), buf); !errors.Is(err, ErrBounds) {
+		t.Fatalf("read err = %v", err)
+	}
+	if _, err := f.Write(uint32(f.Capacity()), buf); !errors.Is(err, ErrBounds) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := f.Trim(uint32(f.Capacity()-1), 2); !errors.Is(err, ErrBounds) {
+		t.Fatalf("trim err = %v", err)
+	}
+}
+
+func TestShareRemapsDst(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0xAA) // dst original
+	mustWrite(t, f, 2, 0xBB) // src (e.g. the doublewrite copy)
+	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, f, 1); got[0] != 0xBB {
+		t.Fatalf("dst after share = %x, want BB", got[0])
+	}
+	if got := mustRead(t, f, 2); got[0] != 0xBB {
+		t.Fatalf("src after share = %x, want BB", got[0])
+	}
+	if f.Mapping(1) != f.Mapping(2) {
+		t.Fatal("share did not make LPNs share one PPN")
+	}
+	st := f.Stats()
+	if st.Shares != 1 || st.SharePairs != 1 || st.ForcedCopies != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareThenOverwriteSrcLeavesDstIntact(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0xAA)
+	mustWrite(t, f, 2, 0xBB)
+	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, 2, 0xCC) // src moves on; shared page keeps dst's view
+	if got := mustRead(t, f, 1); got[0] != 0xBB {
+		t.Fatalf("dst = %x, want BB", got[0])
+	}
+	if got := mustRead(t, f, 2); got[0] != 0xCC {
+		t.Fatalf("src = %x, want CC", got[0])
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareRangeLen(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	for i := uint32(0); i < 4; i++ {
+		mustWrite(t, f, 10+i, byte(0x10+i))
+		mustWrite(t, f, 20+i, byte(0x20+i))
+	}
+	if _, err := f.Share([]Pair{{Dst: 10, Src: 20, Len: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if got := mustRead(t, f, 10+i); got[0] != byte(0x20+i) {
+			t.Fatalf("lpn %d = %x", 10+i, got[0])
+		}
+	}
+}
+
+func TestShareErrors(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0xAA)
+	if _, err := f.Share([]Pair{{Dst: 2, Src: 3, Len: 1}}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped src err = %v", err)
+	}
+	if _, err := f.Share([]Pair{{Dst: 4, Src: 4, Len: 1}}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("dst==src err = %v", err)
+	}
+	if _, err := f.Share([]Pair{{Dst: 10, Src: 12, Len: 4}}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap err = %v", err)
+	}
+	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 0}}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	big := uint32(f.MaxShareBatch() + 1)
+	if _, err := f.Share([]Pair{{Dst: 0, Src: big, Len: big}}); !errors.Is(err, ErrBatch) {
+		t.Fatalf("oversize batch err = %v", err)
+	}
+	if _, err := f.Share([]Pair{{Dst: uint32(f.Capacity()), Src: 1, Len: 1}}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("bounds err = %v", err)
+	}
+	// A failed command must not have mutated anything.
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapping(1) == InvalidPPN {
+		t.Fatal("lpn 1 lost its mapping")
+	}
+}
+
+func TestShareBatchMultiplePairs(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	var pairs []Pair
+	for i := uint32(0); i < 8; i++ {
+		mustWrite(t, f, i, byte(i))          // home locations
+		mustWrite(t, f, 100+i, byte(0x80+i)) // journal copies
+		pairs = append(pairs, Pair{Dst: i, Src: 100 + i, Len: 1})
+	}
+	if _, err := f.Share(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := mustRead(t, f, i); got[0] != byte(0x80+i) {
+			t.Fatalf("lpn %d = %x", i, got[0])
+		}
+	}
+	if got := f.Stats().Shares; got != 1 {
+		t.Fatalf("share commands = %d, want 1 (batched)", got)
+	}
+}
+
+func TestTrimFreesPages(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 3, 0xDD)
+	if _, err := f.Trim(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapping(3) != InvalidPPN {
+		t.Fatal("trim left mapping")
+	}
+	got := mustRead(t, f, 3)
+	if got[0] != 0 {
+		t.Fatal("trimmed page not zero")
+	}
+	// Trimming unmapped pages is a no-op.
+	if _, err := f.Trim(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimSharedPageKeepsOtherReferrer(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0xAA)
+	mustWrite(t, f, 2, 0xBB)
+	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Trim(2, 1); err != nil { // drop the source referrer
+		t.Fatal(err)
+	}
+	if got := mustRead(t, f, 1); got[0] != 0xBB {
+		t.Fatalf("dst lost shared data: %x", got[0])
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCReclaimsAndPreservesData(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	cap := f.Capacity()
+	// Fill the logical space, then overwrite repeatedly to force GC.
+	for round := 0; round < 4; round++ {
+		for l := 0; l < cap; l++ {
+			mustWrite(t, f, uint32(l), byte(round*31+l%191))
+		}
+	}
+	st := f.Stats()
+	if st.GCEvents == 0 {
+		t.Fatal("expected garbage collection under overwrite pressure")
+	}
+	for l := 0; l < cap; l++ {
+		want := byte(3*31 + l%191)
+		if got := mustRead(t, f, uint32(l)); got[0] != want {
+			t.Fatalf("lpn %d = %x, want %x", l, got[0], want)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCRelocatesSharedPages(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	// Create shared pairs then churn the rest of the space until GC has
+	// certainly relocated some shared pages.
+	for i := uint32(0); i < 8; i++ {
+		mustWrite(t, f, i, byte(0x40+i))
+		mustWrite(t, f, 50+i, byte(0x40+i))
+	}
+	var pairs []Pair
+	for i := uint32(0); i < 8; i++ {
+		pairs = append(pairs, Pair{Dst: i, Src: 50 + i, Len: 1})
+	}
+	if _, err := f.Share(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		for l := 100; l < f.Capacity(); l++ {
+			mustWrite(t, f, uint32(l), byte(round+l))
+		}
+	}
+	if f.Stats().GCEvents == 0 {
+		t.Fatal("no GC happened")
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := mustRead(t, f, i); got[0] != byte(0x40+i) {
+			t.Fatalf("shared dst %d = %x", i, got[0])
+		}
+		if got := mustRead(t, f, 50+i); got[0] != byte(0x40+i) {
+			t.Fatalf("shared src %d = %x", 50+i, got[0])
+		}
+		if f.Mapping(i) != f.Mapping(50+i) {
+			t.Fatalf("pair %d no longer shares after GC", i)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareTableOverflowForcesCopies(t *testing.T) {
+	f, _ := testFTL(t, func(c *Config) {
+		c.ShareTableCap = 2
+		c.CheckpointLogPages = 1000 // avoid checkpoint releasing entries
+	})
+	for i := uint32(0); i < 6; i++ {
+		mustWrite(t, f, i, byte(i))
+		mustWrite(t, f, 50+i, byte(0x60+i))
+	}
+	for i := uint32(0); i < 6; i++ {
+		if _, err := f.Share([]Pair{{Dst: i, Src: 50 + i, Len: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.ForcedCopies != 4 {
+		t.Fatalf("forced copies = %d, want 4 (cap 2 of 6)", st.ForcedCopies)
+	}
+	// Data is correct either way.
+	for i := uint32(0); i < 6; i++ {
+		if got := mustRead(t, f, i); got[0] != byte(0x60+i) {
+			t.Fatalf("lpn %d = %x", i, got[0])
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointReleasesShareTable(t *testing.T) {
+	f, _ := testFTL(t, func(c *Config) { c.ShareTableCap = 4; c.CheckpointLogPages = 1000 })
+	for i := uint32(0); i < 4; i++ {
+		mustWrite(t, f, i, byte(i))
+		mustWrite(t, f, 50+i, byte(0x70+i))
+		if _, err := f.Share([]Pair{{Dst: i, Src: 50 + i, Len: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.ShareTableLoad() != 4 {
+		t.Fatalf("share table load = %d", f.ShareTableLoad())
+	}
+	if _, err := f.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if f.ShareTableLoad() != 0 {
+		t.Fatalf("share table not released by checkpoint: %d", f.ShareTableLoad())
+	}
+	// More shares fit again without forced copies.
+	mustWrite(t, f, 20, 0x01)
+	mustWrite(t, f, 60, 0x02)
+	if _, err := f.Share([]Pair{{Dst: 20, Src: 60, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().ForcedCopies != 0 {
+		t.Fatal("unexpected forced copy after checkpoint")
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	buf := make([]byte, f.PageSize())
+	var sawFull bool
+	// Writing unique data to every logical page repeatedly can exhaust the
+	// device only if valid data exceeds physical capacity — it cannot, so
+	// all writes must succeed.
+	for round := 0; round < 3; round++ {
+		for l := 0; l < f.Capacity(); l++ {
+			if _, err := f.Write(uint32(l), buf); err != nil {
+				if errors.Is(err, ErrFull) {
+					sawFull = true
+					break
+				}
+				t.Fatal(err)
+			}
+		}
+	}
+	if sawFull {
+		t.Fatal("device reported full while logical space fits")
+	}
+}
+
+func TestWriteAmplificationAccounting(t *testing.T) {
+	f, chip := testFTL(t, nil)
+	// Cold data that stays valid, interleaved with hot overwrites: victim
+	// blocks then contain a mix of stale and valid pages, forcing copyback.
+	for l := 0; l < f.Capacity(); l++ {
+		mustWrite(t, f, uint32(l), byte(l))
+	}
+	hot := f.Capacity() / 4
+	for round := 0; round < 20; round++ {
+		for l := 0; l < hot; l++ {
+			mustWrite(t, f, uint32(l*3%f.Capacity()), byte(l+round))
+		}
+	}
+	st := f.Stats()
+	cs := chip.Stats()
+	if cs.Programs <= st.HostWrites {
+		t.Fatalf("expected WAF > 1: programs %d, host writes %d", cs.Programs, st.HostWrites)
+	}
+	if st.Copybacks == 0 {
+		t.Fatal("expected copybacks under GC pressure")
+	}
+	// Every program is accounted: host data + copybacks + meta moves +
+	// log pages + map pages + forced copies.
+	expect := st.HostWrites + st.Copybacks + st.MetaMoves +
+		st.LogPagesWritten + st.MapPagesWritten + st.ForcedCopies
+	if cs.Programs != expect {
+		t.Fatalf("program accounting: chip %d, sum %d (%+v)", cs.Programs, expect, st)
+	}
+}
+
+func TestWearLevelingEvensEraseCounts(t *testing.T) {
+	spread := func(delta int64) (int64, int64) {
+		f, chip := testFTL(t, func(c *Config) { c.WearLevelDelta = delta })
+		// Cold data fills half the space once; the other half churns hard.
+		half := f.Capacity() / 2
+		for l := 0; l < half; l++ {
+			mustWrite(t, f, uint32(l), byte(l))
+		}
+		for round := 0; round < 60; round++ {
+			for l := half; l < f.Capacity(); l++ {
+				mustWrite(t, f, uint32(l), byte(l+round))
+			}
+		}
+		st := chip.Stats()
+		// Cold data must be intact regardless of the policy.
+		for l := 0; l < half; l++ {
+			if got := mustRead(t, f, uint32(l)); got[0] != byte(l) {
+				t.Fatalf("cold lpn %d corrupted", l)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return st.MaxWear - st.MinWear, st.MaxWear
+	}
+	offSpread, _ := spread(0)
+	onSpread, _ := spread(4)
+	if onSpread >= offSpread {
+		t.Fatalf("wear leveling did not narrow spread: off=%d on=%d", offSpread, onSpread)
+	}
+	if onSpread > 8 {
+		t.Fatalf("wear spread %d with leveling on (delta 4)", onSpread)
+	}
+}
+
+func TestWornBlocksAreRetired(t *testing.T) {
+	chip, err := nand.New(nand.Geometry{
+		PageSize: 512, PagesPerBlock: 8, Blocks: 32, Endurance: 6,
+	}, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CheckpointLogPages = 8
+	cfg.OverProvision = 0.3 // headroom to survive retirements
+	f, err := New(chip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn past the endurance budget until the drive reaches end of
+	// life. lastGood[l] tracks the newest acknowledged value per page.
+	lastGood := make([]byte, f.Capacity())
+	dead := false
+churn:
+	for round := 1; round < 200; round++ {
+		for l := 0; l < f.Capacity(); l++ {
+			b := byte(round + l)
+			if _, err := f.Write(uint32(l), fill(b, f.PageSize())); err != nil {
+				if errors.Is(err, ErrFull) {
+					dead = true
+					break churn
+				}
+				t.Fatalf("round %d: %v", round, err)
+			}
+			lastGood[l] = b
+		}
+	}
+	st := f.Stats()
+	if st.RetiredBlocks == 0 {
+		t.Fatal("no blocks retired despite endurance 6")
+	}
+	if !dead {
+		t.Fatal("drive never reached end of life under 200 rounds")
+	}
+	// End of life is graceful: every acknowledged write is still readable.
+	for l := 0; l < f.Capacity(); l++ {
+		if got := mustRead(t, f, uint32(l)); got[0] != lastGood[l] {
+			t.Fatalf("lpn %d = %x, want %x", l, got[0], lastGood[l])
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

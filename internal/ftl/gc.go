@@ -1,0 +1,235 @@
+package ftl
+
+import (
+	"errors"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+func nandDataOOB(lpn uint32) nand.OOB { return nand.OOB{LPN: lpn, Tag: nand.TagData} }
+
+// maybeGC runs garbage collection until the free-block pool is back above
+// the high-water mark, if it has dropped below the low-water mark. The
+// returned duration is the stall imposed on the triggering command — this
+// is the "IO operations jitter" the paper attributes to copyback traffic.
+func (f *FTL) maybeGC() (sim.Duration, error) {
+	if f.inGC {
+		return 0, nil
+	}
+	var total sim.Duration
+	for len(f.freeBlocks) < f.cfg.GCLowWater {
+		d, err := f.gcOnce()
+		total += d
+		if err == ErrFull && len(f.logPPNs) > 0 {
+			// No reclaimable victim, but live delta-log pages are pinning
+			// blocks: an early checkpoint retires them and retries. The
+			// checkpoint itself must not re-enter GC.
+			f.inGC = true
+			cd, cerr := f.Checkpoint()
+			f.inGC = false
+			total += cd
+			if cerr != nil {
+				return total, cerr
+			}
+			d, err = f.gcOnce()
+			total += d
+		}
+		if err != nil {
+			return total, err
+		}
+		if len(f.freeBlocks) >= f.cfg.GCHighWater {
+			break
+		}
+	}
+	return total, nil
+}
+
+// gcOnce selects the fullest-of-stale victim block (greedy: fewest valid
+// pages), relocates its valid pages, and erases it. When static wear
+// leveling is enabled and the wear spread is too wide, the coldest full
+// block is migrated instead, so long-idle data stops pinning low-wear
+// flash (§5.3.1's lifespan argument).
+func (f *FTL) gcOnce() (sim.Duration, error) {
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	victim := -1
+	best := f.geo.PagesPerBlock + 1
+	coldest, coldWear := -1, int64(-1)
+	var maxWear int64
+	for b := 0; b < f.geo.Blocks; b++ {
+		if w := f.chip.EraseCount(b); w > maxWear {
+			maxWear = w
+		}
+		if !f.blockFull[b] || f.retired[b] || b == f.host.block || b == f.gc.block || b == f.meta.block {
+			continue
+		}
+		if f.blockValid[b] < best {
+			best = f.blockValid[b]
+			victim = b
+		}
+		if w := f.chip.EraseCount(b); coldWear < 0 || w < coldWear {
+			coldWear = w
+			coldest = b
+		}
+	}
+	if f.cfg.WearLevelDelta > 0 && coldest >= 0 &&
+		maxWear-coldWear > f.cfg.WearLevelDelta && coldest != victim {
+		// Wear-leveling pass: migrate the coldest block even though it may
+		// be fully valid; its erase counter starts catching up.
+		victim = coldest
+		best = f.blockValid[coldest]
+		f.st.WearLevelMoves++
+	} else if victim < 0 || best >= f.geo.PagesPerBlock {
+		// Nothing reclaimable: every full block is entirely valid.
+		return 0, ErrFull
+	}
+	f.st.GCEvents++
+
+	var total sim.Duration
+	base := uint32(victim * f.geo.PagesPerBlock)
+	buf := make([]byte, f.geo.PageSize)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		ppn := base + uint32(i)
+		if f.chip.State(ppn) != nand.PageProgrammed {
+			continue
+		}
+		oob, err := f.chip.ReadOOB(ppn)
+		if err != nil {
+			return total, err
+		}
+		switch oob.Tag {
+		case nand.TagData:
+			if f.refs[ppn] == 0 {
+				continue // stale data page
+			}
+			d, err := f.relocateData(ppn, buf)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		case nand.TagMapBase, nand.TagMapLog:
+			if !f.metaLive[ppn] {
+				continue // superseded snapshot or truncated log page
+			}
+			d, err := f.relocateMeta(ppn, oob, buf)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	// The relocation deltas must be durable before the old copies are
+	// destroyed, or a crash would recover mappings into an erased block.
+	if len(f.deltaBuf) > 0 {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	d, err := f.chip.EraseBlock(victim)
+	total += d
+	if errors.Is(err, nand.ErrWornOut) {
+		// Retire the block: its valid pages were already relocated, so
+		// simply never return it to the free pool. Logical capacity is
+		// backed by the remaining over-provisioning headroom.
+		f.st.RetiredBlocks++
+		f.retired[victim] = true
+		return total, nil
+	}
+	if err != nil {
+		return total, err
+	}
+	f.st.Erases++
+	f.blockFull[victim] = false
+	f.blockValid[victim] = 0
+	f.freeBlocks = append(f.freeBlocks, victim)
+	return total, nil
+}
+
+// relocateData copies one valid data page to the GC stream and re-points
+// every logical referrer — including SHARE co-referrers — at the new copy.
+func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
+	lpns := f.referrers(ppn)
+	if len(lpns) == 0 {
+		// Defensive: refcount said valid but no live referrer.
+		panic("ftl: valid page with no referrers")
+	}
+	_, rd, err := f.chip.Read(ppn, buf)
+	if err != nil {
+		return rd, err
+	}
+	total := rd
+	d, dst, err := f.allocDataPage(&f.gc)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	pd, err := f.chip.Program(dst, buf, nandDataOOB(lpns[0]))
+	total += pd
+	if err != nil {
+		return total, err
+	}
+	f.st.Copybacks++
+	for idx, lpn := range lpns {
+		f.dropRef(ppn, lpn)
+		f.l2p[lpn] = dst
+		f.addRef(dst)
+		if idx == 0 {
+			f.primary[dst] = lpn
+		} else {
+			f.extra[dst] = append(f.extra[dst], lpn)
+		}
+		f.markMapDirty(lpn)
+		ld, err := f.appendDelta(delta{lpn: lpn, oldPPN: ppn, newPPN: dst}, false)
+		total += ld
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// relocateMeta copies a live FTL metadata page (mapping snapshot or delta
+// log) to the GC stream and fixes the in-memory directory that points at it.
+// The ordering information recovery depends on lives in the page payload,
+// so relocation does not disturb it.
+func (f *FTL) relocateMeta(ppn uint32, oob nand.OOB, buf []byte) (sim.Duration, error) {
+	_, rd, err := f.chip.Read(ppn, buf)
+	if err != nil {
+		return rd, err
+	}
+	total := rd
+	d, dst, err := f.allocDataPage(&f.gc)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	pd, err := f.chip.Program(dst, buf, nand.OOB{LPN: oob.LPN, Tag: oob.Tag})
+	total += pd
+	if err != nil {
+		return total, err
+	}
+	f.st.MetaMoves++
+	delete(f.metaLive, ppn)
+	f.blockValid[f.chip.BlockOf(ppn)]--
+	f.metaLive[dst] = true
+	f.blockValid[f.chip.BlockOf(dst)]++
+	switch oob.Tag {
+	case nand.TagMapBase:
+		idx := int(oob.LPN)
+		if idx < len(f.mapDir) && f.mapDir[idx] == ppn {
+			f.mapDir[idx] = dst
+		}
+	case nand.TagMapLog:
+		for i, p := range f.logPPNs {
+			if p == ppn {
+				f.logPPNs[i] = dst
+				break
+			}
+		}
+	}
+	return total, nil
+}

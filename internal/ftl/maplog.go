@@ -1,0 +1,190 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// On-flash metadata layout. Both page kinds carry a 16-byte header followed
+// by fixed-size entries. The ordering sequence number recovery relies on is
+// embedded in the payload (not the OOB) so that garbage collection can
+// relocate metadata pages without disturbing recovery order.
+const (
+	logMagic  = 0x464C4F47 // "FLOG"
+	mapMagic  = 0x464D4150 // "FMAP"
+	hdrSize   = 16
+	deltaSize = 12
+)
+
+func (f *FTL) entriesPerLogPage() int { return (f.geo.PageSize - hdrSize) / deltaSize }
+func (f *FTL) entriesPerMapPage() int { return (f.geo.PageSize - hdrSize) / 4 }
+
+// markMapDirty records that the mapping page covering lpn diverges from its
+// latest on-flash snapshot.
+func (f *FTL) markMapDirty(lpn uint32) {
+	f.mapDirty[int(lpn)/f.entriesPerMapPage()] = true
+}
+
+// appendDelta buffers one mapping change and flushes a full buffer. The
+// inShareBatch flag only documents call sites; batching policy is handled
+// by Share itself.
+func (f *FTL) appendDelta(d delta, inShareBatch bool) (sim.Duration, error) {
+	_ = inShareBatch
+	f.deltaBuf = append(f.deltaBuf, d)
+	if len(f.deltaBuf) >= f.entriesPerLogPage() {
+		return f.flushDeltaPage()
+	}
+	return 0, nil
+}
+
+// flushDeltaPage programs the buffered deltas as one atomic delta-log page.
+func (f *FTL) flushDeltaPage() (sim.Duration, error) {
+	if len(f.deltaBuf) == 0 {
+		return 0, nil
+	}
+	entries := f.deltaBuf
+	f.deltaBuf = nil
+	if len(entries) > f.entriesPerLogPage() {
+		panic("ftl: delta buffer overflow")
+	}
+	f.logSeq++
+	seq := f.logSeq
+	buf := make([]byte, f.geo.PageSize)
+	binary.LittleEndian.PutUint32(buf[0:], logMagic)
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(entries)))
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	off := hdrSize
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], e.lpn)
+		binary.LittleEndian.PutUint32(buf[off+4:], e.oldPPN)
+		binary.LittleEndian.PutUint32(buf[off+8:], e.newPPN)
+		off += deltaSize
+	}
+	d, ppn, err := f.allocDataPage(&f.meta)
+	if err != nil {
+		return d, err
+	}
+	total := d
+	pd, err := f.chip.Program(ppn, buf, nand.OOB{LPN: InvalidLPN, Tag: nand.TagMapLog})
+	total += pd
+	if err != nil {
+		return total, err
+	}
+	f.metaLive[ppn] = true
+	f.blockValid[f.chip.BlockOf(ppn)]++
+	f.logPPNs = append(f.logPPNs, ppn)
+	f.st.LogPagesWritten++
+	if len(f.logPPNs) >= f.cfg.CheckpointLogPages && !f.inGC {
+		cd, err := f.checkpoint()
+		total += cd
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Checkpoint forces the buffered deltas out and snapshots every dirty
+// mapping page, truncating the delta log.
+func (f *FTL) Checkpoint() (sim.Duration, error) {
+	total, err := f.flushDeltaPage()
+	if err != nil {
+		return total, err
+	}
+	d, err := f.checkpoint()
+	return total + d, err
+}
+
+// checkpoint writes the dirty mapping pages and truncates the delta log.
+// The reverse-mapping (share) table occupancy is released: every SHARE
+// delta is now reflected in a durable snapshot.
+func (f *FTL) checkpoint() (sim.Duration, error) {
+	f.st.Checkpoints++
+	var total sim.Duration
+	epp := f.entriesPerMapPage()
+	seq := f.logSeq
+	// Snapshot writes below may trigger GC, whose relocation deltas land in
+	// log pages appended during this checkpoint. Those deltas may cover map
+	// pages this checkpoint does not rewrite, so only the log pages present
+	// now — whose deltas are all covered by the dirty set — may be
+	// truncated at the end.
+	cut := len(f.logPPNs)
+	for idx := range f.mapDirty {
+		if !f.mapDirty[idx] {
+			continue
+		}
+		buf := make([]byte, f.geo.PageSize)
+		binary.LittleEndian.PutUint32(buf[0:], mapMagic)
+		binary.LittleEndian.PutUint32(buf[4:], uint32(idx))
+		binary.LittleEndian.PutUint64(buf[8:], seq)
+		start := idx * epp
+		end := start + epp
+		if end > f.capacity {
+			end = f.capacity
+		}
+		off := hdrSize
+		for i := start; i < end; i++ {
+			binary.LittleEndian.PutUint32(buf[off:], f.l2p[i])
+			off += 4
+		}
+		d, ppn, err := f.allocDataPage(&f.meta)
+		total += d
+		if err != nil {
+			return total, err
+		}
+		pd, err := f.chip.Program(ppn, buf, nand.OOB{LPN: uint32(idx), Tag: nand.TagMapBase})
+		total += pd
+		if err != nil {
+			return total, err
+		}
+		f.st.MapPagesWritten++
+		if old := f.mapDir[idx]; old != InvalidPPN && f.metaLive[old] {
+			delete(f.metaLive, old)
+			f.blockValid[f.chip.BlockOf(old)]--
+		}
+		f.metaLive[ppn] = true
+		f.blockValid[f.chip.BlockOf(ppn)]++
+		f.mapDir[idx] = ppn
+		f.mapSeq[idx] = seq
+		f.mapDirty[idx] = false
+	}
+	// Truncate the delta log prefix: every record in it is covered by a
+	// snapshot now. Pages appended during the checkpoint stay live.
+	for _, p := range f.logPPNs[:cut] {
+		if f.metaLive[p] {
+			delete(f.metaLive, p)
+			f.blockValid[f.chip.BlockOf(p)]--
+		}
+	}
+	f.logPPNs = append([]uint32(nil), f.logPPNs[cut:]...)
+	f.pendingShares = 0
+	return total, nil
+}
+
+func parseLogPage(buf []byte) (seq uint64, out []delta, err error) {
+	if binary.LittleEndian.Uint32(buf[0:]) != logMagic {
+		return 0, nil, fmt.Errorf("ftl: bad delta-log magic")
+	}
+	n := int(binary.LittleEndian.Uint16(buf[6:]))
+	seq = binary.LittleEndian.Uint64(buf[8:])
+	off := hdrSize
+	for i := 0; i < n; i++ {
+		out = append(out, delta{
+			lpn:    binary.LittleEndian.Uint32(buf[off:]),
+			oldPPN: binary.LittleEndian.Uint32(buf[off+4:]),
+			newPPN: binary.LittleEndian.Uint32(buf[off+8:]),
+		})
+		off += deltaSize
+	}
+	return seq, out, nil
+}
+
+func parseMapPage(buf []byte) (idx int, seq uint64, err error) {
+	if binary.LittleEndian.Uint32(buf[0:]) != mapMagic {
+		return 0, 0, fmt.Errorf("ftl: bad map-page magic")
+	}
+	return int(binary.LittleEndian.Uint32(buf[4:])), binary.LittleEndian.Uint64(buf[8:]), nil
+}

@@ -1,0 +1,244 @@
+package ftl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"share/internal/nand"
+)
+
+// shadow is the reference model: a plain map of the logical address space.
+type shadow struct {
+	pages map[uint32][]byte
+	size  int
+}
+
+func newShadow(size int) *shadow { return &shadow{pages: make(map[uint32][]byte), size: size} }
+
+func (s *shadow) write(lpn uint32, data []byte) {
+	b := make([]byte, len(data))
+	copy(b, data)
+	s.pages[lpn] = b
+}
+
+func (s *shadow) trim(lpn uint32)       { delete(s.pages, lpn) }
+func (s *shadow) share(dst, src uint32) { s.pages[dst] = s.pages[src] }
+
+func (s *shadow) read(lpn uint32) []byte {
+	if b, ok := s.pages[lpn]; ok {
+		return b
+	}
+	return make([]byte, s.size)
+}
+
+// TestPropertyRandomOpsMatchShadow drives the FTL with random writes,
+// trims, shares, flushes, checkpoints, and crash/recover cycles, checking
+// after every flush+crash that recovered contents equal the shadow model
+// and that internal invariants hold.
+func TestPropertyRandomOpsMatchShadow(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42, 1234}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runRandomOps(t, seed)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed int64) {
+	chip, err := nand.New(nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 48}, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CheckpointLogPages = 6
+	f, err := New(chip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sh := newShadow(f.PageSize())
+	capacity := uint32(f.Capacity())
+	buf := make([]byte, f.PageSize())
+
+	verifyAll := func(where string) {
+		t.Helper()
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		for l := uint32(0); l < capacity; l++ {
+			if _, err := f.Read(l, buf); err != nil {
+				t.Fatalf("%s: read %d: %v", where, l, err)
+			}
+			if want := sh.read(l); !bytes.Equal(buf, want) {
+				t.Fatalf("%s: lpn %d: got %x... want %x... (seed %d)",
+					where, l, buf[:4], want[:4], seed)
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(100); {
+		case op < 55: // write
+			lpn := uint32(rng.Intn(int(capacity)))
+			rng.Read(buf)
+			if _, err := f.Write(lpn, buf); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			sh.write(lpn, buf)
+		case op < 65: // trim a small range
+			lpn := uint32(rng.Intn(int(capacity)))
+			n := rng.Intn(4) + 1
+			if int(lpn)+n > int(capacity) {
+				n = int(capacity) - int(lpn)
+			}
+			if _, err := f.Trim(lpn, n); err != nil {
+				t.Fatalf("step %d trim: %v", step, err)
+			}
+			for i := 0; i < n; i++ {
+				sh.trim(lpn + uint32(i))
+			}
+		case op < 85: // share batch of 1..5 pairs
+			n := rng.Intn(5) + 1
+			var pairs []Pair
+			used := map[uint32]bool{}
+			for i := 0; i < n; i++ {
+				src := uint32(rng.Intn(int(capacity)))
+				dst := uint32(rng.Intn(int(capacity)))
+				if src == dst || f.Mapping(src) == InvalidPPN || used[src] || used[dst] {
+					continue
+				}
+				used[src] = true
+				used[dst] = true
+				pairs = append(pairs, Pair{Dst: dst, Src: src, Len: 1})
+			}
+			if len(pairs) == 0 {
+				continue
+			}
+			if _, err := f.Share(pairs); err != nil {
+				t.Fatalf("step %d share: %v", step, err)
+			}
+			for _, p := range pairs {
+				sh.share(p.Dst, p.Src)
+			}
+		case op < 90: // flush
+			if _, err := f.Flush(); err != nil {
+				t.Fatalf("step %d flush: %v", step, err)
+			}
+		case op < 93: // checkpoint
+			if _, err := f.Checkpoint(); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+		case op < 96: // flush + crash + recover, then full verify
+			if _, err := f.Flush(); err != nil {
+				t.Fatalf("step %d pre-crash flush: %v", step, err)
+			}
+			f.Crash()
+			if _, err := f.Recover(); err != nil {
+				t.Fatalf("step %d recover: %v", step, err)
+			}
+			verifyAll("post-crash")
+		default: // read spot-check
+			lpn := uint32(rng.Intn(int(capacity)))
+			if _, err := f.Read(lpn, buf); err != nil {
+				t.Fatalf("step %d read: %v", step, err)
+			}
+			if want := sh.read(lpn); !bytes.Equal(buf, want) {
+				t.Fatalf("step %d lpn %d mismatch (seed %d)", step, lpn, seed)
+			}
+		}
+		if step%500 == 499 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll("final")
+}
+
+// TestQuickShareIdempotentMapping uses testing/quick to check an algebraic
+// property of SHARE: after share(dst, src), both LPNs map to the same PPN,
+// and sharing again is a no-op on the mapping.
+func TestQuickShareIdempotentMapping(t *testing.T) {
+	chip, err := nand.New(nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := uint32(f.Capacity())
+	buf := make([]byte, f.PageSize())
+	prop := func(a, b uint16, fillByte byte) bool {
+		dst := uint32(a) % capacity
+		src := uint32(b) % capacity
+		if dst == src {
+			return true
+		}
+		for i := range buf {
+			buf[i] = fillByte
+		}
+		if _, err := f.Write(src, buf); err != nil {
+			return false
+		}
+		if _, err := f.Share([]Pair{{Dst: dst, Src: src, Len: 1}}); err != nil {
+			return false
+		}
+		if f.Mapping(dst) != f.Mapping(src) {
+			return false
+		}
+		first := f.Mapping(dst)
+		if _, err := f.Share([]Pair{{Dst: dst, Src: src, Len: 1}}); err != nil {
+			return false
+		}
+		return f.Mapping(dst) == first && f.Mapping(src) == first &&
+			f.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrimReadsZero checks that any trimmed page reads back as zeros
+// regardless of prior contents.
+func TestQuickTrimReadsZero(t *testing.T) {
+	chip, err := nand.New(nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := uint32(f.Capacity())
+	buf := make([]byte, f.PageSize())
+	zero := make([]byte, f.PageSize())
+	prop := func(a uint16, fillByte byte) bool {
+		lpn := uint32(a) % capacity
+		for i := range buf {
+			buf[i] = fillByte
+		}
+		if _, err := f.Write(lpn, buf); err != nil {
+			return false
+		}
+		if _, err := f.Trim(lpn, 1); err != nil {
+			return false
+		}
+		if _, err := f.Read(lpn, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, zero)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package ftl
+
+import (
+	"sort"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// Crash discards every volatile (DRAM) structure, modeling a power
+// failure. Data already programmed to NAND — including durable mapping
+// snapshots and delta-log pages — survives; buffered deltas do not.
+func (f *FTL) Crash() {
+	f.initVolatile()
+	for i := range f.mapDir {
+		f.mapDir[i] = InvalidPPN
+		f.mapSeq[i] = 0
+		f.mapDirty[i] = false
+	}
+	f.logSeq = 0
+}
+
+// oobScanCost models the firmware's per-page spare-area scan at boot.
+const oobScanCost = 2 * sim.Microsecond
+
+// Recover rebuilds the FTL state from flash alone: it scans every
+// programmed page's OOB, loads the newest snapshot of each mapping page,
+// replays newer delta-log pages in sequence order, and reconstructs the
+// reverse mappings, block validity counters, append points and free list.
+// A SHARE batch whose delta page was programmed is fully visible; one whose
+// page was not is fully invisible — the paper's atomicity guarantee.
+func (f *FTL) Recover() (sim.Duration, error) {
+	var total sim.Duration
+	geo := f.geo
+	type logRef struct {
+		seq uint64
+		ppn uint32
+	}
+	var logs []logRef
+	oobLPN := make([]uint32, geo.TotalPages())
+	for i := range oobLPN {
+		oobLPN[i] = InvalidLPN
+	}
+	lastSeqInBlock := make([]uint64, geo.Blocks)
+	programmed := make([]int, geo.Blocks) // programmed pages per block (prefix length)
+	buf := make([]byte, geo.PageSize)
+
+	oldMapDir := make([]uint32, len(f.mapDir)) // latest snapshot ppn per idx
+	for i := range oldMapDir {
+		oldMapDir[i] = InvalidPPN
+	}
+	mapSeqSeen := make([]uint64, len(f.mapDir))
+	var maxSeq uint64
+
+	for p := 0; p < geo.TotalPages(); p++ {
+		ppn := uint32(p)
+		if f.chip.State(ppn) != nand.PageProgrammed {
+			continue
+		}
+		total += oobScanCost
+		oob, err := f.chip.ReadOOB(ppn)
+		if err != nil {
+			return total, err
+		}
+		b := f.chip.BlockOf(ppn)
+		programmed[b]++
+		if oob.Seq > lastSeqInBlock[b] {
+			lastSeqInBlock[b] = oob.Seq
+		}
+		switch oob.Tag {
+		case nand.TagData:
+			oobLPN[ppn] = oob.LPN
+		case nand.TagMapBase:
+			_, rd, err := f.chip.Read(ppn, buf)
+			total += rd
+			if err != nil {
+				return total, err
+			}
+			idx, seq, err := parseMapPage(buf)
+			if err != nil {
+				return total, err
+			}
+			if idx < len(oldMapDir) && seq >= mapSeqSeen[idx] {
+				mapSeqSeen[idx] = seq
+				oldMapDir[idx] = ppn
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		case nand.TagMapLog:
+			_, rd, err := f.chip.Read(ppn, buf)
+			total += rd
+			if err != nil {
+				return total, err
+			}
+			seq, _, err := parseLogPage(buf)
+			if err != nil {
+				return total, err
+			}
+			logs = append(logs, logRef{seq: seq, ppn: ppn})
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+
+	// Reset volatile state and load the forward map from snapshots.
+	f.initVolatile()
+	copy(f.mapDir, oldMapDir)
+	copy(f.mapSeq, mapSeqSeen)
+	f.logSeq = maxSeq
+	epp := f.entriesPerMapPage()
+	for idx, ppn := range oldMapDir {
+		if ppn == InvalidPPN {
+			continue
+		}
+		if _, rd, err := f.chip.Read(ppn, buf); err != nil {
+			return total, err
+		} else {
+			total += rd
+		}
+		start := idx * epp
+		end := start + epp
+		if end > f.capacity {
+			end = f.capacity
+		}
+		off := hdrSize
+		for i := start; i < end; i++ {
+			f.l2p[i] = leUint32(buf[off:])
+			off += 4
+		}
+	}
+
+	// Replay delta-log pages newer than the snapshot covering each LPN.
+	sort.Slice(logs, func(i, j int) bool { return logs[i].seq < logs[j].seq })
+	minMapSeq := ^uint64(0)
+	for idx := range f.mapSeq {
+		if f.mapDir[idx] == InvalidPPN {
+			minMapSeq = 0
+			break
+		}
+		if f.mapSeq[idx] < minMapSeq {
+			minMapSeq = f.mapSeq[idx]
+		}
+	}
+	if len(f.mapSeq) == 0 {
+		minMapSeq = 0
+	}
+	for _, lr := range logs {
+		_, rd, err := f.chip.Read(lr.ppn, buf)
+		total += rd
+		if err != nil {
+			return total, err
+		}
+		seq, deltas, err := parseLogPage(buf)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range deltas {
+			idx := int(d.lpn) / epp
+			if idx >= len(f.mapSeq) || seq <= f.mapSeq[idx] {
+				continue
+			}
+			f.l2p[d.lpn] = d.newPPN
+			// The delta outlives its snapshot: the covering map page must
+			// be rewritten before this log page may be truncated.
+			f.mapDirty[idx] = true
+		}
+		if seq > minMapSeq {
+			f.logPPNs = append(f.logPPNs, lr.ppn)
+			f.metaLive[lr.ppn] = true
+			f.blockValid[f.chip.BlockOf(lr.ppn)]++
+		}
+	}
+	for idx, ppn := range f.mapDir {
+		_ = idx
+		if ppn != InvalidPPN {
+			f.metaLive[ppn] = true
+			f.blockValid[f.chip.BlockOf(ppn)]++
+		}
+	}
+
+	// Rebuild reverse mappings and reference counts from the forward map.
+	for l := 0; l < f.capacity; l++ {
+		ppn := f.l2p[l]
+		if ppn == InvalidPPN {
+			continue
+		}
+		lpn := uint32(l)
+		f.addRef(ppn)
+		if oobLPN[ppn] == lpn && f.primary[ppn] == InvalidLPN {
+			f.primary[ppn] = lpn
+		} else {
+			f.extra[ppn] = append(f.extra[ppn], lpn)
+		}
+	}
+
+	// Classify blocks: erased -> free; full -> GC candidates; partial ->
+	// append points (newest first), leftovers sealed as full.
+	type partial struct {
+		block   int
+		lastSeq uint64
+	}
+	var partials []partial
+	for b := 0; b < geo.Blocks; b++ {
+		switch {
+		case programmed[b] == 0:
+			f.freeBlocks = append(f.freeBlocks, b)
+		case programmed[b] == geo.PagesPerBlock:
+			f.blockFull[b] = true
+		default:
+			partials = append(partials, partial{block: b, lastSeq: lastSeqInBlock[b]})
+		}
+	}
+	sort.Slice(partials, func(i, j int) bool { return partials[i].lastSeq > partials[j].lastSeq })
+	assign := []*stream{&f.host, &f.meta, &f.gc}
+	for i, p := range partials {
+		if i < len(assign) {
+			assign[i].block = p.block
+			assign[i].next = programmed[p.block]
+		} else {
+			f.blockFull[p.block] = true
+		}
+	}
+	return total, nil
+}
+
+func leUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

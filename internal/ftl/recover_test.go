@@ -1,0 +1,212 @@
+package ftl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func crashAndRecover(t *testing.T, f *FTL) {
+	t.Helper()
+	f.Crash()
+	if _, err := f.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("post-recovery invariants: %v", err)
+	}
+}
+
+func TestRecoverFlushedWrites(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	for i := uint32(0); i < 32; i++ {
+		mustWrite(t, f, i, byte(i+1))
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	for i := uint32(0); i < 32; i++ {
+		if got := mustRead(t, f, i); got[0] != byte(i+1) {
+			t.Fatalf("lpn %d = %x after recovery", i, got[0])
+		}
+	}
+}
+
+func TestRecoverEmptyDevice(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	crashAndRecover(t, f)
+	if got := mustRead(t, f, 0); got[0] != 0 {
+		t.Fatal("empty device returned data after recovery")
+	}
+	// Device remains usable.
+	mustWrite(t, f, 7, 0x7A)
+	if got := mustRead(t, f, 7); got[0] != 0x7A {
+		t.Fatal("write after recovery failed")
+	}
+}
+
+func TestUnflushedWriteEitherOldOrNew(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 5, 0x01)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, 5, 0x02) // not flushed: may be lost
+	crashAndRecover(t, f)
+	got := mustRead(t, f, 5)
+	if got[0] != 0x01 && got[0] != 0x02 {
+		t.Fatalf("lpn 5 = %x, want old (01) or new (02)", got[0])
+	}
+}
+
+func TestShareIsDurableWithoutExplicitFlush(t *testing.T) {
+	// §4.2.2: "The SHARE command returns after logging finishes" — the
+	// remap itself is durable at command completion (no capacitor model).
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0xAA)
+	mustWrite(t, f, 2, 0xBB)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	if got := mustRead(t, f, 1); got[0] != 0xBB {
+		t.Fatalf("share lost across crash: lpn 1 = %x", got[0])
+	}
+}
+
+func TestShareBatchAtomicAcrossCrash(t *testing.T) {
+	// All pairs of one SHARE command live in one delta page: after a crash
+	// either every dst sees the new data or none does. Since Share returns
+	// only after logging, a completed command must be fully visible.
+	f, _ := testFTL(t, nil)
+	var pairs []Pair
+	for i := uint32(0); i < 10; i++ {
+		mustWrite(t, f, i, 0x0F)
+		mustWrite(t, f, 100+i, 0xF0)
+		pairs = append(pairs, Pair{Dst: i, Src: 100 + i, Len: 1})
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Share(pairs); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	for i := uint32(0); i < 10; i++ {
+		if got := mustRead(t, f, i); got[0] != 0xF0 {
+			t.Fatalf("pair %d not applied after crash (= %x): batch not atomic", i, got[0])
+		}
+	}
+}
+
+func TestRecoverAfterCheckpointAndMoreWrites(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	for i := uint32(0); i < 64; i++ {
+		mustWrite(t, f, i, byte(i))
+	}
+	if _, err := f.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 16; i++ {
+		mustWrite(t, f, i, byte(0x80+i)) // post-checkpoint deltas
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	for i := uint32(0); i < 64; i++ {
+		want := byte(i)
+		if i < 16 {
+			want = byte(0x80 + i)
+		}
+		if got := mustRead(t, f, i); got[0] != want {
+			t.Fatalf("lpn %d = %x, want %x", i, got[0], want)
+		}
+	}
+}
+
+func TestRecoverSurvivesGCRelocatedMetadata(t *testing.T) {
+	f, _ := testFTL(t, func(c *Config) { c.CheckpointLogPages = 4 })
+	// Heavy churn: forces GC to relocate live map/log pages.
+	for round := 0; round < 8; round++ {
+		for l := 0; l < f.Capacity(); l++ {
+			mustWrite(t, f, uint32(l), byte(round^l))
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().MetaMoves == 0 {
+		t.Skip("churn did not relocate metadata; adjust workload")
+	}
+	crashAndRecover(t, f)
+	for l := 0; l < f.Capacity(); l++ {
+		if got := mustRead(t, f, uint32(l)); got[0] != byte(7^l) {
+			t.Fatalf("lpn %d = %x, want %x", l, got[0], byte(7^l))
+		}
+	}
+}
+
+func TestRecoverPreservesTrim(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 9, 0x99)
+	if _, err := f.Trim(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	if got := mustRead(t, f, 9); got[0] != 0 {
+		t.Fatalf("trimmed page resurrected: %x", got[0])
+	}
+}
+
+func TestDoubleCrashRecover(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 1, 0x11)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	mustWrite(t, f, 2, 0x22)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	if got := mustRead(t, f, 1); got[0] != 0x11 {
+		t.Fatalf("lpn 1 = %x", got[0])
+	}
+	if got := mustRead(t, f, 2); got[0] != 0x22 {
+		t.Fatalf("lpn 2 = %x", got[0])
+	}
+}
+
+func TestRecoveredDeviceContinuesUnderLoad(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	payload := func(round, l int) []byte {
+		b := fill(byte(round*13+l), f.PageSize())
+		b[1] = byte(l >> 3)
+		return b
+	}
+	for round := 0; round < 3; round++ {
+		for l := 0; l < f.Capacity(); l++ {
+			if _, err := f.Write(uint32(l), payload(round, l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		crashAndRecover(t, f)
+	}
+	for l := 0; l < f.Capacity(); l++ {
+		want := payload(2, l)
+		if got := mustRead(t, f, uint32(l)); !bytes.Equal(got, want) {
+			t.Fatalf("lpn %d mismatch after repeated crashes", l)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ftl
+
+import (
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// Share executes one SHARE command carrying a batch of remapping pairs.
+// For each pair, Dst's logical pages are remapped onto the physical pages
+// currently mapped by Src's logical pages; Dst's previous physical pages
+// lose one referrer (and become reclaimable when unreferenced), exactly as
+// the paper's SHARE(LPN1, LPN2, length) defines.
+//
+// Atomicity: the whole batch is applied to the in-memory table, then its
+// deltas are persisted inside a single mapping-delta page program (§4.2.2),
+// so across a power failure either every pair or no pair survives. Batches
+// larger than one delta page are rejected with ErrBatch; the host library
+// splits such batches into independently atomic commands.
+//
+// If the bounded reverse-mapping table is full, a pair is resolved by a
+// forced physical copy instead of a remap; the command still succeeds and
+// the event is counted in Stats.ForcedCopies.
+func (f *FTL) Share(pairs []Pair) (sim.Duration, error) {
+	total := f.cfg.CommandOverhead
+	units := 0
+	for _, p := range pairs {
+		if p.Len == 0 {
+			return total, fmt.Errorf("ftl: share pair with zero length")
+		}
+		if p.Dst == p.Src {
+			return total, fmt.Errorf("%w: dst == src (%d)", ErrOverlap, p.Dst)
+		}
+		if p.Len > 1 && rangesOverlap(p.Dst, p.Src, p.Len) {
+			return total, fmt.Errorf("%w: dst %d src %d len %d", ErrOverlap, p.Dst, p.Src, p.Len)
+		}
+		if err := f.checkRange(p.Dst, int(p.Len)); err != nil {
+			return total, err
+		}
+		if err := f.checkRange(p.Src, int(p.Len)); err != nil {
+			return total, err
+		}
+		units += int(p.Len)
+	}
+	if units > f.entriesPerLogPage() {
+		return total, fmt.Errorf("%w: %d units > %d", ErrBatch, units, f.entriesPerLogPage())
+	}
+	// Validate sources before mutating anything so the command is
+	// all-or-nothing even against command errors.
+	for _, p := range pairs {
+		for i := uint32(0); i < p.Len; i++ {
+			if f.l2p[p.Src+i] == InvalidPPN {
+				return total, fmt.Errorf("%w: lpn %d", ErrUnmapped, p.Src+i)
+			}
+		}
+	}
+	// Make room in the delta buffer so the batch lands in one page.
+	if len(f.deltaBuf)+units > f.entriesPerLogPage() {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	f.st.Shares++
+	for _, p := range pairs {
+		for i := uint32(0); i < p.Len; i++ {
+			d, err := f.shareOne(p.Dst+i, p.Src+i)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		}
+		f.st.SharePairs++
+		total += f.cfg.FirmwarePairOverhead * sim.Duration(p.Len)
+	}
+	// The command returns only after its deltas are durable (§4.2.2):
+	// without a power capacitor that means programming the delta page now.
+	if !f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func rangesOverlap(a, b, n uint32) bool {
+	return a < b+n && b < a+n
+}
+
+// shareOne remaps a single mapping unit dst -> current physical page of src.
+func (f *FTL) shareOne(dst, src uint32) (sim.Duration, error) {
+	srcPPN := f.l2p[src]
+	if f.cfg.ShareTableCap > 0 && f.pendingShares >= f.cfg.ShareTableCap {
+		// Reverse-mapping table exhausted: fall back to a physical copy.
+		return f.forcedCopy(dst, srcPPN)
+	}
+	old := f.l2p[dst]
+	f.dropRef(old, dst)
+	f.l2p[dst] = srcPPN
+	f.addRef(srcPPN)
+	f.extra[srcPPN] = append(f.extra[srcPPN], dst)
+	f.pendingShares++
+	f.markMapDirty(dst)
+	return f.appendDelta(delta{lpn: dst, oldPPN: old, newPPN: srcPPN}, true)
+}
+
+// forcedCopy implements the overflow path: read the shared source page and
+// program a private copy for dst. Costs a real page write, like the
+// pre-SHARE world.
+func (f *FTL) forcedCopy(dst, srcPPN uint32) (sim.Duration, error) {
+	f.st.ForcedCopies++
+	buf := make([]byte, f.geo.PageSize)
+	_, rd, err := f.chip.Read(srcPPN, buf)
+	if err != nil {
+		return rd, err
+	}
+	total := rd
+	d, ppn, err := f.allocDataPage(&f.host)
+	total += d
+	if err != nil {
+		return total, err
+	}
+	pd, err := f.chip.Program(ppn, buf, nandDataOOB(dst))
+	total += pd
+	if err != nil {
+		return total, err
+	}
+	old := f.l2p[dst]
+	f.dropRef(old, dst)
+	f.l2p[dst] = ppn
+	f.primary[ppn] = dst
+	f.addRef(ppn)
+	f.markMapDirty(dst)
+	ld, err := f.appendDelta(delta{lpn: dst, oldPPN: old, newPPN: ppn}, true)
+	return total + ld, err
+}

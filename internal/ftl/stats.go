@@ -1,0 +1,95 @@
+package ftl
+
+import "fmt"
+
+// Stats counts FTL activity. Host* fields count commands from above;
+// the GC and metadata fields expose the internal amplification the paper
+// measures in Figure 6.
+type Stats struct {
+	HostReads    int64 // host READ pages
+	HostWrites   int64 // host WRITE pages
+	Trims        int64 // trimmed pages
+	Shares       int64 // SHARE commands
+	SharePairs   int64 // SHARE pairs applied by remapping
+	AtomicWrites int64 // atomic multi-page write commands (the §6.1 baseline)
+
+	ForcedCopies int64 // SHARE pairs degraded to physical copies (table full)
+
+	GCEvents       int64 // garbage-collection victim erases
+	WearLevelMoves int64 // GC passes spent migrating cold blocks
+	RetiredBlocks  int64 // worn-out blocks removed from service
+	Copybacks      int64 // valid data pages relocated by GC
+	MetaMoves      int64 // live metadata pages relocated by GC
+	Erases         int64 // block erases (== GCEvents for this FTL)
+
+	LogPagesWritten int64 // mapping delta-log pages programmed
+	MapPagesWritten int64 // mapping snapshot pages programmed
+	Checkpoints     int64
+}
+
+// Stats returns a snapshot of the counters.
+func (f *FTL) Stats() Stats { return f.st }
+
+// ResetStats zeroes the counters (used between experiment phases, e.g.
+// after device aging and warm-up).
+func (f *FTL) ResetStats() { f.st = Stats{} }
+
+// FreeBlocks reports the current size of the free-block pool.
+func (f *FTL) FreeBlocks() int { return len(f.freeBlocks) }
+
+// ShareTableLoad reports the current occupancy of the bounded
+// reverse-mapping table (un-checkpointed SHARE deltas).
+func (f *FTL) ShareTableLoad() int { return f.pendingShares }
+
+// SetShareTableCap adjusts the reverse-mapping table budget at run time
+// (used by the ablation experiments). 0 means unlimited.
+func (f *FTL) SetShareTableCap(cap int) { f.cfg.ShareTableCap = cap }
+
+// CheckInvariants validates internal consistency; tests call it after
+// random operation sequences. It returns a non-nil error describing the
+// first violation found.
+func (f *FTL) CheckInvariants() error {
+	refs := make([]uint16, len(f.refs))
+	for l := 0; l < f.capacity; l++ {
+		if ppn := f.l2p[l]; ppn != InvalidPPN {
+			refs[ppn]++
+		}
+	}
+	for p := range refs {
+		if refs[p] != f.refs[p] {
+			return errInvariant("refcount", p, int(f.refs[p]), int(refs[p]))
+		}
+	}
+	valid := make([]int, f.geo.Blocks)
+	for p, r := range refs {
+		if r > 0 {
+			valid[f.chip.BlockOf(uint32(p))]++
+		}
+	}
+	for p := range f.metaLive {
+		valid[f.chip.BlockOf(p)]++
+	}
+	for b := range valid {
+		if valid[b] != f.blockValid[b] {
+			return errInvariant("blockValid", b, f.blockValid[b], valid[b])
+		}
+	}
+	for l := 0; l < f.capacity; l++ {
+		ppn := f.l2p[l]
+		if ppn == InvalidPPN {
+			continue
+		}
+		oob, err := f.chip.ReadOOB(ppn)
+		if err != nil {
+			return fmt.Errorf("ftl: lpn %d maps to unreadable ppn %d: %w", l, ppn, err)
+		}
+		if oob.Tag != 0 {
+			return fmt.Errorf("ftl: lpn %d maps to metadata page %d (tag %d)", l, ppn, oob.Tag)
+		}
+	}
+	return nil
+}
+
+func errInvariant(what string, where, got, want int) error {
+	return fmt.Errorf("ftl: invariant %s violated at %d: got %d want %d", what, where, got, want)
+}

@@ -1,0 +1,200 @@
+package innodb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"share/internal/btree"
+	"share/internal/bufpool"
+	"share/internal/core"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+const dwbMagic = 0x44574221 // "DWB!"
+
+// flusher implements bufpool.Flusher with the engine's three pipelines.
+type flusher struct{ e *Engine }
+
+// FlushBatch writes one batch of dirty pages durably according to the
+// configured mode. Every page image is stamped with its page number, the
+// current LSN and a checksum before leaving the pool, so torn writes are
+// detectable and the doublewrite restore can match images to homes.
+func (fl *flusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
+	e := fl.e
+	e.st.FlushBatches++
+	lsn := uint64(e.log.LSN())
+	for _, pg := range pages {
+		btree.SetPageNo(pg.Data, pg.PageNo)
+		btree.SetLSN(pg.Data, lsn)
+		btree.SetChecksum(pg.Data)
+	}
+	switch e.cfg.FlushMode {
+	case DWBOff:
+		return fl.writeHome(t, pages, true)
+	case DWBOn:
+		if err := fl.writeDWB(t, pages); err != nil {
+			return err
+		}
+		return fl.writeHome(t, pages, true)
+	case Share:
+		if err := fl.writeDWB(t, pages); err != nil {
+			return err
+		}
+		return fl.shareHome(t, pages)
+	case AtomicWrite:
+		return fl.atomicHome(t, pages)
+	}
+	return fmt.Errorf("innodb: unknown flush mode %d", e.cfg.FlushMode)
+}
+
+// atomicHome writes the batch once at the home locations through the
+// FTL's atomic multi-page write command. Engine pages span several device
+// pages; each device-level command is atomic, and a torn engine page
+// (split across two commands, or a command boundary at a crash) is
+// repaired by redo replay — the commit record made the page images
+// durable before the flush began.
+func (fl *flusher) atomicHome(t *sim.Task, pages []bufpool.PageImage) error {
+	e := fl.e
+	ps := int64(e.cfg.PageSize)
+	dev := e.fs.Device()
+	unit := dev.PageSize()
+	perEngine := e.cfg.PageSize / unit
+	maxBatch := dev.MaxShareBatch() // atomic limit is the delta page, same as SHARE
+	var batch []ssd.AtomicPage
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := dev.WriteAtomic(t, batch)
+		batch = batch[:0]
+		return err
+	}
+	for _, pg := range pages {
+		exts, err := e.file.MapRange(ps*int64(pg.PageNo), ps)
+		if err != nil {
+			return err
+		}
+		i := 0
+		for _, ext := range exts {
+			for j := uint32(0); j < ext.Len; j++ {
+				if len(batch)+1 > maxBatch {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+				batch = append(batch, ssd.AtomicPage{
+					LPN:  ext.Start + j,
+					Data: pg.Data[i*unit : (i+1)*unit],
+				})
+				i++
+			}
+		}
+		if i != perEngine {
+			return fmt.Errorf("innodb: engine page %d maps to %d device pages, want %d",
+				pg.PageNo, i, perEngine)
+		}
+		e.st.PagesToHome++
+	}
+	return flush()
+}
+
+// writeDWB writes the batch sequentially into the doublewrite file —
+// header page first, then one slot per image — and fsyncs it.
+func (fl *flusher) writeDWB(t *sim.Task, pages []bufpool.PageImage) error {
+	e := fl.e
+	ps := int64(e.cfg.PageSize)
+	hdr := make([]byte, e.cfg.PageSize)
+	e.dwbSeq++
+	binary.LittleEndian.PutUint32(hdr[4:], dwbMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], e.dwbSeq)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(pages)))
+	off := 20
+	for _, pg := range pages {
+		binary.LittleEndian.PutUint32(hdr[off:], pg.PageNo)
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], checksum32(hdr[4:]))
+	if _, err := e.dwb.WriteAt(t, hdr, 0); err != nil {
+		return err
+	}
+	for i, pg := range pages {
+		if _, err := e.dwb.WriteAt(t, pg.Data, ps*int64(1+i)); err != nil {
+			return err
+		}
+		e.st.PagesToDWB++
+	}
+	return e.dwb.Sync(t)
+}
+
+// writeHome writes each image at its home location in the tablespace.
+func (fl *flusher) writeHome(t *sim.Task, pages []bufpool.PageImage, sync bool) error {
+	e := fl.e
+	ps := int64(e.cfg.PageSize)
+	for _, pg := range pages {
+		if _, err := e.file.WriteAt(t, pg.Data, ps*int64(pg.PageNo)); err != nil {
+			return err
+		}
+		e.st.PagesToHome++
+	}
+	if sync {
+		return e.file.Sync(t)
+	}
+	return nil
+}
+
+// shareHome installs the batch at its home locations without writing: the
+// home LPNs are remapped onto the doublewrite copies with SHARE commands.
+// When the SHARE calls return, the mapping change is durable (§4.2.2), so
+// no further fsync of the tablespace is needed.
+func (fl *flusher) shareHome(t *sim.Task, pages []bufpool.PageImage) error {
+	e := fl.e
+	ps := int64(e.cfg.PageSize)
+	var pairs []ssd.Pair
+	for i, pg := range pages {
+		dst, err := e.file.MapRange(ps*int64(pg.PageNo), ps)
+		if err != nil {
+			return err
+		}
+		src, err := e.dwb.MapRange(ps*int64(1+i), ps)
+		if err != nil {
+			return err
+		}
+		// Both files are preallocated contiguously, so an engine page is
+		// one extent on each side; split defensively if not.
+		di, si := 0, 0
+		dOff, sOff := uint32(0), uint32(0)
+		for di < len(dst) && si < len(src) {
+			run := dst[di].Len - dOff
+			if r := src[si].Len - sOff; r < run {
+				run = r
+			}
+			pairs = append(pairs, ssd.Pair{
+				Dst: dst[di].Start + dOff,
+				Src: src[si].Start + sOff,
+				Len: run,
+			})
+			dOff += run
+			sOff += run
+			if dOff == dst[di].Len {
+				di++
+				dOff = 0
+			}
+			if sOff == src[si].Len {
+				si++
+				sOff = 0
+			}
+		}
+		e.st.SharePairs++
+	}
+	return core.ShareAll(t, e.fs.Device(), pairs)
+}
+
+func checksum32(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

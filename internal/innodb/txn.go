@@ -1,0 +1,209 @@
+package innodb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"share/internal/sim"
+)
+
+// Redo record kinds.
+const (
+	recPageImage = 1 // [kind u8][pageNo u32][image ...]
+	recCommit    = 2 // [kind u8]
+)
+
+// Txn is one transaction. Writes are buffered (read-your-writes) and
+// applied to the trees only at commit, after the redo records are durable,
+// so an uncommitted transaction never reaches storage and rollback is
+// simply discarding the buffer.
+type Txn struct {
+	e      *Engine
+	t      *sim.Task
+	writes map[int]map[string]*[]byte // table id -> key -> value (nil = delete)
+	order  []writeRef                 // apply order
+	done   bool
+}
+
+type writeRef struct {
+	table int
+	key   string
+}
+
+// Begin starts a transaction, taking the engine's transaction lock. The
+// lock wait is charged to the task's virtual clock.
+func (e *Engine) Begin(t *sim.Task) *Txn {
+	e.mu.Lock(t)
+	return &Txn{e: e, t: t, writes: make(map[int]map[string]*[]byte)}
+}
+
+// Get reads a key, observing the transaction's own uncommitted writes.
+func (tx *Txn) Get(tb *Table, key []byte) ([]byte, bool, error) {
+	if m, ok := tx.writes[tb.id]; ok {
+		if v, ok := m[string(key)]; ok {
+			if v == nil {
+				return nil, false, nil
+			}
+			out := make([]byte, len(*v))
+			copy(out, *v)
+			return out, true, nil
+		}
+	}
+	return tb.tree.Get(tx.t, key)
+}
+
+// Put buffers an insert/update.
+func (tx *Txn) Put(tb *Table, key, val []byte) error {
+	v := make([]byte, len(val))
+	copy(v, val)
+	tx.record(tb.id, key, &v)
+	return nil
+}
+
+// Delete buffers a delete.
+func (tx *Txn) Delete(tb *Table, key []byte) error {
+	tx.record(tb.id, key, nil)
+	return nil
+}
+
+func (tx *Txn) record(table int, key []byte, val *[]byte) {
+	m, ok := tx.writes[table]
+	if !ok {
+		m = make(map[string]*[]byte)
+		tx.writes[table] = m
+	}
+	ks := string(key)
+	if _, seen := m[ks]; !seen {
+		tx.order = append(tx.order, writeRef{table: table, key: ks})
+	}
+	m[ks] = val
+}
+
+// Scan iterates committed keys in [start, end); like InnoDB's read views
+// it does not merge the transaction's own uncommitted buffer (the
+// workloads here never scan what they just wrote).
+func (tx *Txn) Scan(tb *Table, start, end []byte, fn func(k, v []byte) bool) error {
+	return tb.tree.Scan(tx.t, start, end, fn)
+}
+
+// Commit makes the transaction durable and visible:
+//
+//  1. apply the buffered writes to the trees (pages dirtied here are
+//     protected from flushing — no-steal);
+//  2. log a full image of every page the transaction dirtied (first
+//     write of redo), then a commit record, and fsync the log;
+//  3. release the no-steal protection and the transaction lock.
+//
+// A crash before the commit record is durable leaves no trace: dirty
+// pages never reached the tablespace. A crash after it is replayed from
+// the page images.
+func (tx *Txn) Commit() error {
+	t := tx.t
+	e := tx.e
+	if tx.done {
+		return fmt.Errorf("innodb: commit of finished txn")
+	}
+	tx.done = true
+	defer e.mu.Unlock(t)
+
+	if len(tx.order) == 0 {
+		return nil
+	}
+
+	// Make room in the redo ring before touching anything.
+	if e.log.Remaining() < 256 || e.imagesSinceCkpt > e.cfg.MaxLogImages {
+		if err := e.Checkpoint(t); err != nil {
+			return err
+		}
+	}
+
+	// 1. Apply to trees under no-steal protection.
+	e.applying = true
+	e.txnPages = make(map[uint32]bool)
+	for _, ref := range tx.order {
+		tb := e.tables[e.order[ref.table]]
+		v := tx.writes[ref.table][ref.key]
+		var err error
+		if v == nil {
+			_, err = tb.tree.Delete(t, []byte(ref.key))
+		} else {
+			err = tb.tree.Put(t, []byte(ref.key), *v)
+		}
+		if err != nil {
+			e.applying = false
+			return err
+		}
+	}
+	if err := e.persistMeta(t); err != nil { // roots/hwm may have moved
+		e.applying = false
+		return err
+	}
+
+	// 2. Redo: full images of dirtied pages, then the commit record.
+	rec := make([]byte, 5+e.cfg.PageSize)
+	dirtied := make([]uint32, 0, len(e.txnPages))
+	for pageNo := range e.txnPages {
+		dirtied = append(dirtied, pageNo)
+	}
+	sort.Slice(dirtied, func(i, j int) bool { return dirtied[i] < dirtied[j] })
+	for _, pageNo := range dirtied {
+		f, err := e.pool.Get(t, pageNo)
+		if err != nil {
+			e.applying = false
+			return err
+		}
+		rec[0] = recPageImage
+		binary.LittleEndian.PutUint32(rec[1:], pageNo)
+		copy(rec[5:], f.Data)
+		f.Release()
+		if _, err := e.log.Append(t, rec); err != nil {
+			e.applying = false
+			return err
+		}
+		e.imagesSinceCkpt++
+	}
+	if _, err := e.log.Append(t, []byte{recCommit}); err != nil {
+		e.applying = false
+		return err
+	}
+	if err := e.log.Sync(t); err != nil {
+		e.applying = false
+		return err
+	}
+	e.applying = false
+	e.txnPages = make(map[uint32]bool)
+	e.st.Commits++
+
+	// 3. Adaptive flushing: keep the dirty ratio under control so foreground
+	// evictions rarely stall (InnoDB's page cleaner, done synchronously).
+	if float64(e.pool.DirtyCount()) > e.cfg.DirtyRatio*float64(e.pool.Capacity()) {
+		if err := e.pool.FlushSome(t, e.cfg.DWBPages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollback discards the buffered writes.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.e.mu.Unlock(tx.t)
+}
+
+// keyUpperBound returns the smallest key greater than every key with the
+// given prefix — a helper for prefix scans in the workloads.
+func KeyUpperBound(prefix []byte) []byte {
+	out := bytes.Clone(prefix)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil // prefix of all 0xFF: scan to end
+}

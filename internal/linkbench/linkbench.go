@@ -1,0 +1,421 @@
+// Package linkbench implements the LinkBench social-graph benchmark
+// (Armstrong et al., SIGMOD 2013) against the mini-InnoDB engine, as the
+// paper uses it in §5.3.1: a node table, a link table and a link-count
+// table; the Facebook request mix over ten operation types; power-law
+// access skew; 16 closed-loop clients; and per-operation latency
+// distributions (Table 1).
+package linkbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"share/internal/innodb"
+	"share/internal/sim"
+	"share/internal/stats"
+)
+
+// Op identifies a LinkBench operation type.
+type Op int
+
+// Operation types, in the order the paper's Table 1 lists them.
+const (
+	GetNode Op = iota
+	CountLink
+	MultigetLink
+	GetLinkList
+	AddNode
+	UpdateNode
+	DeleteNode
+	AddLink
+	DeleteLink
+	UpdateLink
+	numOps
+)
+
+// Name returns the LinkBench operation name.
+func (o Op) Name() string {
+	return [...]string{
+		"Get_Node", "Count_Link", "Multiget_Link", "Get_Link_List",
+		"Add_Node", "Update_Node", "Delete_Node",
+		"Add_Link", "Delete_Link", "Update_Link",
+	}[o]
+}
+
+// IsRead reports whether the operation is read-only.
+func (o Op) IsRead() bool { return o <= GetLinkList }
+
+// mix is the default LinkBench workload mix in permille (the Facebook
+// production mix from the LinkBench paper; ~69% reads / ~31% writes).
+var mix = [numOps]int{
+	GetNode:      129,
+	CountLink:    49,
+	MultigetLink: 5,
+	GetLinkList:  507,
+	AddNode:      26,
+	UpdateNode:   74,
+	DeleteNode:   10,
+	AddLink:      90,
+	DeleteLink:   30,
+	UpdateLink:   80,
+}
+
+// Config sizes the benchmark.
+type Config struct {
+	Nodes         int     // initial graph size
+	MeanLinks     float64 // mean out-degree at load
+	NodePayload   int     // bytes of node data
+	LinkPayload   int     // bytes of link data
+	Clients       int     // concurrent closed-loop clients (paper: 16)
+	Requests      int     // measured requests per client (paper: 10000)
+	Warmup        int     // unmeasured requests per client
+	Seed          int64
+	LinkListLimit int // max links returned by Get_Link_List
+}
+
+func (c *Config) setDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 2000
+	}
+	if c.MeanLinks == 0 {
+		c.MeanLinks = 5
+	}
+	if c.NodePayload == 0 {
+		c.NodePayload = 120
+	}
+	if c.LinkPayload == 0 {
+		c.LinkPayload = 16
+	}
+	if c.Clients == 0 {
+		c.Clients = 16
+	}
+	if c.Requests == 0 {
+		c.Requests = 1000
+	}
+	if c.LinkListLimit == 0 {
+		c.LinkListLimit = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Result of one benchmark run.
+type Result struct {
+	Ops        int64
+	Elapsed    sim.Duration // measured window in virtual time
+	Throughput float64      // requests per virtual second
+	Latency    [numOps]*stats.Histogram
+}
+
+// Table renders the latency distribution in the style of Table 1
+// (milliseconds).
+func (r *Result) Table() string {
+	tb := stats.NewTable("Op", "Mean", "P25", "P50", "P75", "P99", "Max")
+	for op := Op(0); op < numOps; op++ {
+		s := r.Latency[op].Summarize()
+		tb.AddRow(op.Name(),
+			fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.P25),
+			fmt.Sprintf("%.2f", s.P50), fmt.Sprintf("%.2f", s.P75),
+			fmt.Sprintf("%.2f", s.P99), fmt.Sprintf("%.2f", s.Max))
+	}
+	return tb.String()
+}
+
+func nodeKey(id uint64) []byte {
+	k := make([]byte, 9)
+	k[0] = 'n'
+	binary.BigEndian.PutUint64(k[1:], id)
+	return k
+}
+
+// linkKey orders links by (id1, type, id2) so Get_Link_List is a prefix
+// scan on (id1, type).
+func linkKey(id1 uint64, ltype uint32, id2 uint64) []byte {
+	k := make([]byte, 21)
+	k[0] = 'l'
+	binary.BigEndian.PutUint64(k[1:], id1)
+	binary.BigEndian.PutUint32(k[9:], ltype)
+	binary.BigEndian.PutUint64(k[13:], id2)
+	return k
+}
+
+func linkPrefix(id1 uint64, ltype uint32) []byte {
+	k := make([]byte, 13)
+	k[0] = 'l'
+	binary.BigEndian.PutUint64(k[1:], id1)
+	binary.BigEndian.PutUint32(k[9:], ltype)
+	return k
+}
+
+func countKey(id1 uint64, ltype uint32) []byte {
+	k := make([]byte, 13)
+	k[0] = 'c'
+	binary.BigEndian.PutUint64(k[1:], id1)
+	binary.BigEndian.PutUint32(k[9:], ltype)
+	return k
+}
+
+const linkType = 1 // LinkBench's default single association type
+
+// Load creates the tables and the initial power-law graph.
+func Load(t *sim.Task, e *innodb.Engine, cfg Config) error {
+	cfg.setDefaults()
+	for _, name := range []string{"node", "link", "count"} {
+		if _, err := e.CreateTable(t, name); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	payload := make([]byte, cfg.NodePayload)
+	lpayload := make([]byte, cfg.LinkPayload)
+	node := e.Table("node")
+	link := e.Table("link")
+	count := e.Table("count")
+	for id := uint64(1); id <= uint64(cfg.Nodes); id++ {
+		tx := e.Begin(t)
+		rng.Read(payload)
+		if err := tx.Put(node, nodeKey(id), payload); err != nil {
+			return err
+		}
+		// Power-law out-degree: 80% of nodes few links, a heavy tail.
+		deg := powerLawDegree(rng, cfg.MeanLinks)
+		for j := 0; j < deg; j++ {
+			id2 := uint64(rng.Intn(cfg.Nodes)) + 1
+			rng.Read(lpayload)
+			if err := tx.Put(link, linkKey(id, linkType, id2), lpayload); err != nil {
+				return err
+			}
+		}
+		cbuf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(cbuf, uint64(deg))
+		if err := tx.Put(count, countKey(id, linkType), cbuf); err != nil {
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return e.Checkpoint(t)
+}
+
+// powerLawDegree samples an out-degree from a Pareto(α=2) distribution
+// with the requested mean: x_m/√u has mean 2·x_m, so x_m = mean/2. The
+// heavy tail is capped to keep single-node link lists bounded.
+func powerLawDegree(rng *rand.Rand, mean float64) int {
+	u := rng.Float64()
+	if u < 1e-9 {
+		u = 1e-9
+	}
+	d := int(mean / 2 / math.Sqrt(u))
+	if d < 1 {
+		d = 1
+	}
+	if d > 200 {
+		d = 200
+	}
+	return d
+}
+
+// Run executes the request mix with cfg.Clients concurrent closed-loop
+// clients over a deterministic virtual-time scheduler.
+func Run(e *innodb.Engine, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	res := &Result{}
+	for op := Op(0); op < numOps; op++ {
+		res.Latency[op] = stats.NewHistogram()
+	}
+	sched := sim.NewScheduler()
+	starts := make([]int64, cfg.Clients)
+	ends := make([]int64, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	hists := make([][numOps]*stats.Histogram, cfg.Clients)
+	// New node ids are partitioned per client to avoid coordination.
+	nextID := make([]uint64, cfg.Clients)
+	for c := range nextID {
+		nextID[c] = uint64(cfg.Nodes) + 1 + uint64(c)*1_000_000_000
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		for op := Op(0); op < numOps; op++ {
+			hists[c][op] = stats.NewHistogram()
+		}
+		sched.Go(fmt.Sprintf("client%d", c), func(task *sim.Task) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			zipf := rand.NewZipf(rng, 1.2, 8, uint64(cfg.Nodes-1))
+			for i := 0; i < cfg.Warmup; i++ {
+				if err := runOne(task, e, cfg, rng, zipf, &nextID[c], nil); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			starts[c] = task.Now()
+			for i := 0; i < cfg.Requests; i++ {
+				if err := runOne(task, e, cfg, rng, zipf, &nextID[c], &hists[c]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			ends[c] = task.Now()
+		})
+	}
+	sched.Run()
+	for c := 0; c < cfg.Clients; c++ {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+	}
+	var minStart, maxEnd int64
+	minStart = starts[0]
+	for c := 0; c < cfg.Clients; c++ {
+		if starts[c] < minStart {
+			minStart = starts[c]
+		}
+		if ends[c] > maxEnd {
+			maxEnd = ends[c]
+		}
+		for op := Op(0); op < numOps; op++ {
+			res.Latency[op].Merge(hists[c][op])
+		}
+	}
+	res.Ops = int64(cfg.Clients) * int64(cfg.Requests)
+	res.Elapsed = maxEnd - minStart
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / (float64(res.Elapsed) / float64(sim.Second))
+	}
+	return res, nil
+}
+
+// pickOp samples the request mix.
+func pickOp(rng *rand.Rand) Op {
+	r := rng.Intn(1000)
+	for op := Op(0); op < numOps; op++ {
+		r -= mix[op]
+		if r < 0 {
+			return op
+		}
+	}
+	return GetLinkList
+}
+
+// pickNode samples a node id with power-law skew.
+func pickNode(rng *rand.Rand, zipf *rand.Zipf, n int) uint64 {
+	// Scramble the zipf rank so hot ids spread over the key space.
+	rank := zipf.Uint64()
+	return (rank*2654435761)%uint64(n) + 1
+}
+
+func runOne(t *sim.Task, e *innodb.Engine, cfg Config, rng *rand.Rand,
+	zipf *rand.Zipf, nextID *uint64, hist *[numOps]*stats.Histogram) error {
+	op := pickOp(rng)
+	start := t.Now()
+	if err := execOp(t, e, cfg, rng, zipf, nextID, op); err != nil {
+		return fmt.Errorf("linkbench %s: %w", op.Name(), err)
+	}
+	if hist != nil {
+		hist[op].Add(t.Now() - start)
+	}
+	return nil
+}
+
+func execOp(t *sim.Task, e *innodb.Engine, cfg Config, rng *rand.Rand,
+	zipf *rand.Zipf, nextID *uint64, op Op) error {
+	node := e.Table("node")
+	link := e.Table("link")
+	count := e.Table("count")
+	id1 := pickNode(rng, zipf, cfg.Nodes)
+	tx := e.Begin(t)
+	defer tx.Rollback() // no-op after Commit
+
+	switch op {
+	case GetNode:
+		if _, _, err := tx.Get(node, nodeKey(id1)); err != nil {
+			return err
+		}
+	case CountLink:
+		if _, _, err := tx.Get(count, countKey(id1, linkType)); err != nil {
+			return err
+		}
+	case MultigetLink:
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			id2 := pickNode(rng, zipf, cfg.Nodes)
+			if _, _, err := tx.Get(link, linkKey(id1, linkType, id2)); err != nil {
+				return err
+			}
+		}
+	case GetLinkList:
+		prefix := linkPrefix(id1, linkType)
+		limit := cfg.LinkListLimit
+		if err := tx.Scan(link, prefix, innodb.KeyUpperBound(prefix), func(k, v []byte) bool {
+			limit--
+			return limit > 0
+		}); err != nil {
+			return err
+		}
+	case AddNode:
+		id := *nextID
+		*nextID++
+		payload := make([]byte, cfg.NodePayload)
+		rng.Read(payload)
+		if err := tx.Put(node, nodeKey(id), payload); err != nil {
+			return err
+		}
+	case UpdateNode:
+		payload := make([]byte, cfg.NodePayload)
+		rng.Read(payload)
+		if err := tx.Put(node, nodeKey(id1), payload); err != nil {
+			return err
+		}
+	case DeleteNode:
+		if err := tx.Delete(node, nodeKey(id1)); err != nil {
+			return err
+		}
+	case AddLink:
+		id2 := pickNode(rng, zipf, cfg.Nodes)
+		payload := make([]byte, cfg.LinkPayload)
+		rng.Read(payload)
+		if err := tx.Put(link, linkKey(id1, linkType, id2), payload); err != nil {
+			return err
+		}
+		if err := bumpCount(tx, count, id1, 1); err != nil {
+			return err
+		}
+	case DeleteLink:
+		id2 := pickNode(rng, zipf, cfg.Nodes)
+		if err := tx.Delete(link, linkKey(id1, linkType, id2)); err != nil {
+			return err
+		}
+		if err := bumpCount(tx, count, id1, -1); err != nil {
+			return err
+		}
+	case UpdateLink:
+		id2 := pickNode(rng, zipf, cfg.Nodes)
+		payload := make([]byte, cfg.LinkPayload)
+		rng.Read(payload)
+		if err := tx.Put(link, linkKey(id1, linkType, id2), payload); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// bumpCount applies a read-modify-write to the link-count row.
+func bumpCount(tx *innodb.Txn, count *innodb.Table, id1 uint64, delta int64) error {
+	cur, ok, err := tx.Get(count, countKey(id1, linkType))
+	if err != nil {
+		return err
+	}
+	var v int64
+	if ok {
+		v = int64(binary.LittleEndian.Uint64(cur))
+	}
+	v += delta
+	if v < 0 {
+		v = 0
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	return tx.Put(count, countKey(id1, linkType), buf)
+}

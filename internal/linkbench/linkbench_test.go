@@ -1,0 +1,173 @@
+package linkbench
+
+import (
+	"testing"
+
+	"share/internal/fsim"
+	"share/internal/innodb"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func testEngine(t *testing.T, mode innodb.FlushMode) (*innodb.Engine, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(1024)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	data, err := ssd.New("data", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("setup")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := ssd.DefaultConfig(512)
+	lcfg.Geometry.PageSize = 512
+	lcfg.Geometry.PagesPerBlock = 32
+	lcfg.Timing = nand.Timing{
+		ReadPage: 20 * sim.Microsecond, Program: 50 * sim.Microsecond,
+		Erase: 500 * sim.Microsecond, Transfer: 5 * sim.Microsecond,
+	}
+	lcfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("log", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := innodb.Open(task, fs, logDev, innodb.Config{
+		PageSize:  1024,
+		PoolBytes: 128 * 1024,
+		FlushMode: mode,
+		DWBPages:  16,
+		DataBytes: 4 * 1024 * 1024,
+		LogPages:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, task
+}
+
+func smallCfg() Config {
+	return Config{
+		Nodes:    300,
+		Clients:  4,
+		Requests: 100,
+		Warmup:   20,
+		Seed:     7,
+	}
+}
+
+func TestLoadAndRun(t *testing.T) {
+	eng, task := testEngine(t, innodb.Share)
+	cfg := smallCfg()
+	if err := Load(task, eng, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(cfg.Clients)*int64(cfg.Requests) {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput)
+	}
+	// Every op type should have been exercised with 400 requests.
+	for op := Op(0); op < numOps; op++ {
+		if res.Latency[op].Count() == 0 {
+			t.Fatalf("op %s never ran", op.Name())
+		}
+	}
+	// Read ops must not be slower than the heaviest write op on average
+	// is not guaranteed, but latencies must be positive.
+	if res.Latency[GetNode].Mean() <= 0 {
+		t.Fatal("zero latency recorded")
+	}
+	// Table renders without panic and mentions every op.
+	tbl := res.Table()
+	for op := Op(0); op < numOps; op++ {
+		if !contains(tbl, op.Name()) {
+			t.Fatalf("table missing %s:\n%s", op.Name(), tbl)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMixRoughlyMatches(t *testing.T) {
+	eng, task := testEngine(t, innodb.DWBOff)
+	cfg := smallCfg()
+	cfg.Clients = 2
+	cfg.Requests = 1000
+	if err := Load(task, eng, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(res.Ops)
+	gll := float64(res.Latency[GetLinkList].Count()) / total
+	if gll < 0.40 || gll > 0.62 {
+		t.Fatalf("Get_Link_List fraction %.2f; want ~0.51", gll)
+	}
+	writes := 0.0
+	for op := AddNode; op < numOps; op++ {
+		writes += float64(res.Latency[op].Count())
+	}
+	if frac := writes / total; frac < 0.22 || frac > 0.42 {
+		t.Fatalf("write fraction %.2f; want ~0.31", frac)
+	}
+}
+
+func TestShareFasterThanDWB(t *testing.T) {
+	run := func(mode innodb.FlushMode) float64 {
+		eng, task := testEngine(t, mode)
+		cfg := smallCfg()
+		cfg.Requests = 300
+		if err := Load(task, eng, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	dwb := run(innodb.DWBOn)
+	share := run(innodb.Share)
+	if share <= dwb {
+		t.Fatalf("SHARE throughput %.1f <= DWB-On %.1f", share, dwb)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (float64, int64) {
+		eng, task := testEngine(t, innodb.Share)
+		cfg := smallCfg()
+		if err := Load(task, eng, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput, res.Elapsed
+	}
+	tp1, el1 := run()
+	tp2, el2 := run()
+	if tp1 != tp2 || el1 != el2 {
+		t.Fatalf("nondeterministic: %.3f/%d vs %.3f/%d", tp1, el1, tp2, el2)
+	}
+}

@@ -1,0 +1,259 @@
+// Package nand models an array of NAND flash memory, the raw medium
+// underneath the FTL. It enforces the physical constraints the paper's
+// argument rests on: pages are programmed out of place, a page can be
+// programmed only once between erases, erase works on whole blocks, and
+// MLC program/erase operations are slow and wear the cells out.
+//
+// The model corresponds to the first-generation OpenSSD's Samsung MLC
+// chips: page-sized program/read units grouped into blocks, with a small
+// out-of-band (OOB/spare) area per page that the FTL uses to store the
+// page's reverse (P2L) mapping and metadata tags.
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// PageState tracks the lifecycle of one physical page.
+type PageState uint8
+
+const (
+	// PageFree means the page is erased and may be programmed.
+	PageFree PageState = iota
+	// PageProgrammed means the page holds data (valid or stale is the
+	// FTL's business, not the chip's).
+	PageProgrammed
+)
+
+// Endurance is the per-block program/erase cycle budget; erasing a block
+// past it fails with ErrWornOut and the block must be retired. 0 means
+// unlimited (the default for experiments that are not about wear).
+//
+// Timing holds the chip's operation latencies. Defaults follow mid-2010s
+// MLC NAND plus a SATA-II transfer cost per 4 KiB page.
+type Timing struct {
+	ReadPage sim.Duration // cell-to-register read
+	Program  sim.Duration // register-to-cell program
+	Erase    sim.Duration // whole-block erase
+	Transfer sim.Duration // bus transfer of one page
+}
+
+// DefaultTiming returns MLC-class latencies.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadPage: 90 * sim.Microsecond,
+		Program:  1300 * sim.Microsecond,
+		Erase:    3800 * sim.Microsecond,
+		Transfer: 15 * sim.Microsecond,
+	}
+}
+
+// Geometry describes the chip array layout.
+type Geometry struct {
+	PageSize      int // bytes per page (the FTL mapping unit)
+	PagesPerBlock int
+	Blocks        int
+	// Endurance is the per-block erase budget; a block whose erase count
+	// reaches it wears out (ErrWornOut) and must be retired by the FTL.
+	// 0 disables wear-out.
+	Endurance int64
+}
+
+// TotalPages returns the number of physical pages.
+func (g Geometry) TotalPages() int { return g.Blocks * g.PagesPerBlock }
+
+// TotalBytes returns the raw capacity in bytes.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.Blocks) * int64(g.PagesPerBlock) * int64(g.PageSize)
+}
+
+// OOB is the out-of-band (spare) area the FTL stores with every programmed
+// page. LPN is the logical page the data was written for (the primary
+// reverse mapping); Tag distinguishes data pages from FTL metadata.
+type OOB struct {
+	LPN uint32
+	Tag uint8
+	Seq uint64 // monotonically increasing program sequence number
+}
+
+// Tags for OOB.Tag.
+const (
+	TagData    uint8 = 0 // host data page
+	TagMapBase uint8 = 1 // FTL mapping-table snapshot page
+	TagMapLog  uint8 = 2 // FTL mapping delta-log page
+)
+
+// InvalidLPN marks OOB entries that carry no logical address.
+const InvalidLPN = ^uint32(0)
+
+var (
+	// ErrProgrammed is returned when programming a page that was not erased.
+	ErrProgrammed = errors.New("nand: program on non-free page")
+	// ErrFreeRead is returned when reading an erased page.
+	ErrFreeRead = errors.New("nand: read of erased page")
+	// ErrBounds is returned for out-of-range page or block numbers.
+	ErrBounds = errors.New("nand: address out of range")
+	// ErrWornOut is returned when erasing a block past its endurance; the
+	// block is unreliable and must be retired.
+	ErrWornOut = errors.New("nand: block worn out")
+)
+
+type page struct {
+	state PageState
+	data  []byte // nil until programmed; freed on erase
+	oob   OOB
+}
+
+// Chip is a simulated NAND array. It is not safe for concurrent use; the
+// FTL serializes access (as the single-core Barefoot controller does).
+type Chip struct {
+	geo    Geometry
+	timing Timing
+	pages  []page
+	seq    uint64
+
+	// Statistics.
+	reads      int64
+	programs   int64
+	erases     int64
+	eraseCount []int64 // per block
+}
+
+// New returns a fully erased chip with the given geometry and timing.
+func New(geo Geometry, timing Timing) (*Chip, error) {
+	if geo.PageSize <= 0 || geo.PagesPerBlock <= 0 || geo.Blocks <= 0 {
+		return nil, fmt.Errorf("nand: invalid geometry %+v", geo)
+	}
+	return &Chip{
+		geo:        geo,
+		timing:     timing,
+		pages:      make([]page, geo.TotalPages()),
+		eraseCount: make([]int64, geo.Blocks),
+	}, nil
+}
+
+// Geometry returns the chip layout.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Timing returns the chip latencies.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// BlockOf returns the block containing physical page ppn.
+func (c *Chip) BlockOf(ppn uint32) int { return int(ppn) / c.geo.PagesPerBlock }
+
+// PageIndexInBlock returns ppn's offset within its block.
+func (c *Chip) PageIndexInBlock(ppn uint32) int { return int(ppn) % c.geo.PagesPerBlock }
+
+// State returns the state of physical page ppn.
+func (c *Chip) State(ppn uint32) PageState {
+	return c.pages[ppn].state
+}
+
+// Program writes data and oob into physical page ppn. The page must be
+// erased and data must be exactly one page. The stored copy is private to
+// the chip. Returns the operation's service time.
+func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
+	if int(ppn) >= len(c.pages) {
+		return 0, fmt.Errorf("%w: ppn %d", ErrBounds, ppn)
+	}
+	p := &c.pages[ppn]
+	if p.state != PageFree {
+		return 0, fmt.Errorf("%w: ppn %d", ErrProgrammed, ppn)
+	}
+	if len(data) != c.geo.PageSize {
+		return 0, fmt.Errorf("nand: program size %d != page size %d", len(data), c.geo.PageSize)
+	}
+	buf := make([]byte, c.geo.PageSize)
+	copy(buf, data)
+	c.seq++
+	oob.Seq = c.seq
+	p.state = PageProgrammed
+	p.data = buf
+	p.oob = oob
+	c.programs++
+	return c.timing.Transfer + c.timing.Program, nil
+}
+
+// Read copies physical page ppn into dst (which must be one page long) and
+// returns its OOB and the service time.
+func (c *Chip) Read(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
+	if int(ppn) >= len(c.pages) {
+		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrBounds, ppn)
+	}
+	p := &c.pages[ppn]
+	if p.state != PageProgrammed {
+		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrFreeRead, ppn)
+	}
+	if len(dst) != c.geo.PageSize {
+		return OOB{}, 0, fmt.Errorf("nand: read size %d != page size %d", len(dst), c.geo.PageSize)
+	}
+	copy(dst, p.data)
+	c.reads++
+	return p.oob, c.timing.ReadPage + c.timing.Transfer, nil
+}
+
+// ReadOOB returns just the OOB of a programmed page. It models the cheap
+// spare-area read FTLs use when scanning blocks.
+func (c *Chip) ReadOOB(ppn uint32) (OOB, error) {
+	if int(ppn) >= len(c.pages) {
+		return OOB{}, fmt.Errorf("%w: ppn %d", ErrBounds, ppn)
+	}
+	p := &c.pages[ppn]
+	if p.state != PageProgrammed {
+		return OOB{}, fmt.Errorf("%w: ppn %d", ErrFreeRead, ppn)
+	}
+	return p.oob, nil
+}
+
+// EraseBlock erases all pages of the given block and returns the service
+// time. Page buffers are released.
+func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
+	if block < 0 || block >= c.geo.Blocks {
+		return 0, fmt.Errorf("%w: block %d", ErrBounds, block)
+	}
+	if c.geo.Endurance > 0 && c.eraseCount[block] >= c.geo.Endurance {
+		return c.timing.Erase, fmt.Errorf("%w: block %d after %d erases", ErrWornOut, block, c.eraseCount[block])
+	}
+	base := block * c.geo.PagesPerBlock
+	for i := 0; i < c.geo.PagesPerBlock; i++ {
+		p := &c.pages[base+i]
+		p.state = PageFree
+		p.data = nil
+		p.oob = OOB{}
+	}
+	c.erases++
+	c.eraseCount[block]++
+	return c.timing.Erase, nil
+}
+
+// Stats reports raw chip activity.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+	MaxWear  int64 // highest per-block erase count
+	MinWear  int64 // lowest per-block erase count
+}
+
+// Stats returns a snapshot of the chip's counters.
+func (c *Chip) Stats() Stats {
+	s := Stats{Reads: c.reads, Programs: c.programs, Erases: c.erases}
+	if len(c.eraseCount) > 0 {
+		s.MinWear = c.eraseCount[0]
+		for _, e := range c.eraseCount {
+			if e > s.MaxWear {
+				s.MaxWear = e
+			}
+			if e < s.MinWear {
+				s.MinWear = e
+			}
+		}
+	}
+	return s
+}
+
+// EraseCount returns the erase count of one block.
+func (c *Chip) EraseCount(block int) int64 { return c.eraseCount[block] }

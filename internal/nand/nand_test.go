@@ -1,0 +1,191 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := New(Geometry{PageSize: 512, PagesPerBlock: 4, Blocks: 8}, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	c := testChip(t)
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if _, err := c.Program(3, data, OOB{LPN: 77, Tag: TagData}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	oob, _, err := c.Read(3, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data mismatch")
+	}
+	if oob.LPN != 77 || oob.Tag != TagData {
+		t.Fatalf("oob = %+v", oob)
+	}
+	if oob.Seq == 0 {
+		t.Fatal("program must assign a nonzero sequence number")
+	}
+}
+
+func TestProgramIsCopyNotAlias(t *testing.T) {
+	c := testChip(t)
+	data := make([]byte, 512)
+	data[0] = 1
+	if _, err := c.Program(0, data, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // mutate caller buffer after program
+	got := make([]byte, 512)
+	if _, _, err := c.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("chip aliased the caller's buffer")
+	}
+}
+
+func TestNoOverwriteWithoutErase(t *testing.T) {
+	c := testChip(t)
+	data := make([]byte, 512)
+	if _, err := c.Program(5, data, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(5, data, OOB{}); !errors.Is(err, ErrProgrammed) {
+		t.Fatalf("second program err = %v, want ErrProgrammed", err)
+	}
+	// Erase block 1 (pages 4..7), then programming page 5 works again.
+	if _, err := c.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(5, data, OOB{}); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestReadErasedPageFails(t *testing.T) {
+	c := testChip(t)
+	dst := make([]byte, 512)
+	if _, _, err := c.Read(0, dst); !errors.Is(err, ErrFreeRead) {
+		t.Fatalf("err = %v, want ErrFreeRead", err)
+	}
+	if _, err := c.ReadOOB(0); !errors.Is(err, ErrFreeRead) {
+		t.Fatalf("oob err = %v, want ErrFreeRead", err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	c := testChip(t)
+	buf := make([]byte, 512)
+	if _, err := c.Program(32, buf, OOB{}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("program oob err = %v", err)
+	}
+	if _, _, err := c.Read(32, buf); !errors.Is(err, ErrBounds) {
+		t.Fatalf("read oob err = %v", err)
+	}
+	if _, err := c.EraseBlock(8); !errors.Is(err, ErrBounds) {
+		t.Fatalf("erase oob err = %v", err)
+	}
+	if _, err := c.EraseBlock(-1); !errors.Is(err, ErrBounds) {
+		t.Fatalf("erase negative err = %v", err)
+	}
+}
+
+func TestWrongSizeBuffers(t *testing.T) {
+	c := testChip(t)
+	if _, err := c.Program(0, make([]byte, 100), OOB{}); err == nil {
+		t.Fatal("short program accepted")
+	}
+	if _, err := c.Program(0, make([]byte, 512), OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(0, make([]byte, 511)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+}
+
+func TestEraseClearsDataAndWearCounts(t *testing.T) {
+	c := testChip(t)
+	buf := make([]byte, 512)
+	for p := uint32(0); p < 4; p++ {
+		if _, err := c.Program(p, buf, OOB{LPN: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint32(0); p < 4; p++ {
+		if c.State(p) != PageFree {
+			t.Fatalf("page %d not free after erase", p)
+		}
+	}
+	if c.EraseCount(0) != 1 || c.EraseCount(1) != 0 {
+		t.Fatalf("erase counts: %d, %d", c.EraseCount(0), c.EraseCount(1))
+	}
+	st := c.Stats()
+	if st.Programs != 4 || st.Erases != 1 || st.MaxWear != 1 || st.MinWear != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	c := testChip(t)
+	buf := make([]byte, 512)
+	var last uint64
+	for p := uint32(0); p < 8; p++ {
+		if _, err := c.Program(p, buf, OOB{LPN: p}); err != nil {
+			t.Fatal(err)
+		}
+		oob, err := c.ReadOOB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oob.Seq <= last {
+			t.Fatalf("seq not increasing: %d after %d", oob.Seq, last)
+		}
+		last = oob.Seq
+	}
+}
+
+func TestTimingCharged(t *testing.T) {
+	c := testChip(t)
+	tm := c.Timing()
+	buf := make([]byte, 512)
+	d, err := c.Program(0, buf, OOB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != tm.Transfer+tm.Program {
+		t.Fatalf("program duration %d", d)
+	}
+	_, d, err = c.Read(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != tm.ReadPage+tm.Transfer {
+		t.Fatalf("read duration %d", d)
+	}
+	d, err = c.EraseBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != tm.Erase {
+		t.Fatalf("erase duration %d", d)
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	if _, err := New(Geometry{}, DefaultTiming()); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}

@@ -1,0 +1,540 @@
+// Package pgmini is a miniature PostgreSQL-style engine built for the
+// paper's §5.3.1 side experiment: it runs a pgbench (TPC-B-like) workload
+// against a heap-table store whose WAL can run with full_page_writes on
+// (a full page image is logged on the first modification of a page after
+// each checkpoint — PostgreSQL's torn-page defence), off (deltas only,
+// fast but unsafe on plain storage), or in SHARE mode (deltas only, with
+// checkpoint page propagation made atomic by SHARE remapping, which is
+// the integration the paper proposes).
+package pgmini
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"share/internal/bufpool"
+	"share/internal/core"
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/ssd"
+	"share/internal/wal"
+)
+
+// Mode selects the torn-page strategy.
+type Mode int
+
+// Torn-page strategies.
+const (
+	FPWOn Mode = iota
+	FPWOff
+	FPWShare
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FPWOn:
+		return "full_page_writes=on"
+	case FPWOff:
+		return "full_page_writes=off"
+	case FPWShare:
+		return "SHARE"
+	}
+	return "?"
+}
+
+// Config sizes the database.
+type Config struct {
+	Scale     int // pgbench scale factor: Scale*2500 accounts
+	Mode      Mode
+	PageSize  int
+	PoolBytes int64
+	LogPages  uint32
+	// CheckpointEvery flushes dirty pages and truncates the WAL after
+	// this many transactions.
+	CheckpointEvery int
+}
+
+const (
+	tupleSize        = 100
+	accountsPerScale = 2500
+	tellersPerScale  = 10
+	branchesPerScale = 1
+	pageHdrSize      = 16 // checksum u32, lsn u64, reserved
+)
+
+// DB is one pgmini database.
+type DB struct {
+	fs      *fsim.FS
+	file    *fsim.File
+	scratch *fsim.File // SHARE-mode checkpoint staging area
+	logDev  *ssd.Device
+	log     *wal.Log
+	pool    *bufpool.Pool
+	cfg     Config
+
+	perPage                                      int
+	branches                                     int
+	tellers                                      int
+	accounts                                     int
+	pagesFor                                     func(rows int) int
+	branchesAt, tellersAt, accountsAt, historyAt uint32
+	historyRows                                  int
+
+	loggedSinceCkpt map[uint32]bool // FPW first-touch set
+	txnsSinceCkpt   int
+
+	// Background, when set, is the task checkpoint and background-writer
+	// flushes are charged to — PostgreSQL's checkpointer runs alongside
+	// the backends, contending for the data device but not serializing
+	// with the transaction stream.
+	Background *sim.Task
+
+	st Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Commits          int64
+	WALRecords       int64
+	WALPages         int64 // log device pages written
+	FullImages       int64 // full page images logged (FPW on)
+	Checkpoints      int64
+	DataPagesFlushed int64
+}
+
+// WAL record kinds.
+const (
+	pgRecDelta  = 1 // [kind][pageNo u32][off u16][len u16][bytes]
+	pgRecImage  = 2 // [kind][pageNo u32][image]
+	pgRecCommit = 3
+)
+
+// Open creates a database, or — when a pgdata file already exists —
+// recovers it: committed WAL records (full-page images and tuple deltas)
+// are replayed in order onto the heap, then a checkpoint truncates the
+// log. With Mode FPWOff a torn page cannot be repaired, which is exactly
+// the unsafety the paper's experiment quantifies; FPWOn restores the page
+// from its image, and FPWShare never tears (checkpoint propagation is an
+// atomic remap).
+func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*DB, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = fs.Device().PageSize()
+	}
+	if cfg.PageSize%fs.Device().PageSize() != 0 {
+		return nil, fmt.Errorf("pgmini: page size %d not a device page multiple", cfg.PageSize)
+	}
+	if cfg.PoolBytes == 0 {
+		cfg.PoolBytes = int64(cfg.PageSize) * 128
+	}
+	if cfg.LogPages == 0 {
+		cfg.LogPages = 8192
+	}
+	if int(cfg.LogPages) > logDev.Capacity() {
+		cfg.LogPages = uint32(logDev.Capacity())
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2000
+	}
+	db := &DB{fs: fs, logDev: logDev, cfg: cfg, loggedSinceCkpt: make(map[uint32]bool)}
+	db.perPage = (cfg.PageSize - pageHdrSize) / tupleSize
+	db.branches = branchesPerScale * cfg.Scale
+	db.tellers = tellersPerScale * cfg.Scale
+	db.accounts = accountsPerScale * cfg.Scale
+	db.pagesFor = func(rows int) int { return (rows + db.perPage - 1) / db.perPage }
+
+	db.branchesAt = 0
+	db.tellersAt = db.branchesAt + uint32(db.pagesFor(db.branches))
+	db.accountsAt = db.tellersAt + uint32(db.pagesFor(db.tellers))
+	db.historyAt = db.accountsAt + uint32(db.pagesFor(db.accounts))
+
+	existing := fs.Exists("pgdata")
+	var file *fsim.File
+	var err error
+	if existing {
+		if file, err = fs.Open(t, "pgdata"); err != nil {
+			return nil, err
+		}
+	} else {
+		if file, err = fs.Create(t, "pgdata"); err != nil {
+			return nil, err
+		}
+	}
+	db.file = file
+	totalPages := int64(db.historyAt) + int64(db.pagesFor(db.accounts)) // history grows; preallocate some
+	if err := file.Allocate(t, 0, totalPages*int64(cfg.PageSize)); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == FPWShare {
+		if fs.Exists("pgdata.stage") {
+			db.scratch, err = fs.Open(t, "pgdata.stage")
+		} else {
+			db.scratch, err = fs.Create(t, "pgdata.stage")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := db.scratch.Allocate(t, 0, int64(cfg.PageSize)*64); err != nil {
+			return nil, err
+		}
+	}
+	log, err := wal.New(logDev, 0, cfg.LogPages)
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	pool, err := bufpool.New(file, cfg.PageSize, int(cfg.PoolBytes/int64(cfg.PageSize)), &pgFlusher{db: db})
+	if err != nil {
+		return nil, err
+	}
+	db.pool = pool
+	if existing {
+		if err := db.recover(t); err != nil {
+			return nil, err
+		}
+	} else if err := db.initData(t); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// recover replays committed WAL records onto the heap, recounts the
+// history rows, and checkpoints.
+func (db *DB) recover(t *sim.Task) error {
+	recs, err := db.log.ReadAll(t)
+	if err != nil {
+		return err
+	}
+	ps := int64(db.cfg.PageSize)
+	// Records are grouped per transaction, terminated by a commit marker;
+	// an incomplete trailing group is discarded.
+	var pending [][]byte
+	buf := make([]byte, db.cfg.PageSize)
+	apply := func(rec []byte) error {
+		switch rec[0] {
+		case pgRecImage:
+			pageNo := binary.LittleEndian.Uint32(rec[1:])
+			if _, err := db.file.WriteAt(t, rec[5:5+db.cfg.PageSize], ps*int64(pageNo)); err != nil {
+				return err
+			}
+		case pgRecDelta:
+			pageNo := binary.LittleEndian.Uint32(rec[1:])
+			off := int(binary.LittleEndian.Uint16(rec[5:]))
+			n := int(binary.LittleEndian.Uint16(rec[7:]))
+			if _, err := db.file.ReadAt(t, buf, ps*int64(pageNo)); err != nil {
+				return err
+			}
+			copy(buf[off:off+n], rec[9:9+n])
+			if _, err := db.file.WriteAt(t, buf, ps*int64(pageNo)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rec := range recs {
+		if len(rec) == 0 {
+			continue
+		}
+		if rec[0] == pgRecCommit {
+			for _, r := range pending {
+				if err := apply(r); err != nil {
+					return err
+				}
+			}
+			pending = pending[:0]
+			continue
+		}
+		pending = append(pending, rec)
+	}
+	if err := db.file.Sync(t); err != nil {
+		return err
+	}
+	// Recount history rows: they were appended densely, and every live row
+	// carries a nonzero random payload.
+	db.historyRows = 0
+scan:
+	for p := db.historyAt; ; p++ {
+		if ps*int64(p) >= db.file.Size() {
+			break
+		}
+		if _, err := db.file.ReadAt(t, buf, ps*int64(p)); err != nil {
+			break
+		}
+		for s := 0; s < db.perPage; s++ {
+			off := pageHdrSize + s*tupleSize
+			if binary.LittleEndian.Uint64(buf[off:]) == 0 {
+				break scan
+			}
+			db.historyRows++
+		}
+	}
+	return db.Checkpoint(t)
+}
+
+// initData zero-initializes balances (pages are already zero) and
+// checkpoints so the measured run starts clean.
+func (db *DB) initData(t *sim.Task) error {
+	// Touch every table page so it exists on storage with a valid layout.
+	last := db.historyAt
+	for p := uint32(0); p < last; p++ {
+		f, err := db.pool.Get(t, p)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty()
+		f.Release()
+		// Flush incrementally to keep the pool small.
+		if db.pool.DirtyCount() >= db.pool.Capacity()/2 {
+			if err := db.pool.FlushAll(t); err != nil {
+				return err
+			}
+		}
+	}
+	return db.Checkpoint(t)
+}
+
+// pgFlusher writes dirty pages in place; in SHARE mode each batch is
+// staged in the scratch area and remapped, making page propagation atomic
+// without any full-page WAL images.
+type pgFlusher struct{ db *DB }
+
+func (fl *pgFlusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
+	db := fl.db
+	ps := int64(db.cfg.PageSize)
+	db.st.DataPagesFlushed += int64(len(pages))
+	if db.cfg.Mode == FPWShare {
+		var pairs []ssd.Pair
+		for i, pg := range pages {
+			slot := int64(i % 64)
+			if i > 0 && slot == 0 {
+				// Stage area full: push this chunk first.
+				if err := db.scratch.Sync(t); err != nil {
+					return err
+				}
+				if err := core.ShareAll(t, db.fs.Device(), pairs); err != nil {
+					return err
+				}
+				pairs = nil
+			}
+			if _, err := db.scratch.WriteAt(t, pg.Data, slot*ps); err != nil {
+				return err
+			}
+			dst, err := db.file.MapRange(int64(pg.PageNo)*ps, ps)
+			if err != nil {
+				return err
+			}
+			src, err := db.scratch.MapRange(slot*ps, ps)
+			if err != nil {
+				return err
+			}
+			for j := range dst {
+				pairs = append(pairs, ssd.Pair{Dst: dst[j].Start, Src: src[j].Start, Len: dst[j].Len})
+			}
+		}
+		if err := db.scratch.Sync(t); err != nil {
+			return err
+		}
+		return core.ShareAll(t, db.fs.Device(), pairs)
+	}
+	for _, pg := range pages {
+		if _, err := db.file.WriteAt(t, pg.Data, int64(pg.PageNo)*ps); err != nil {
+			return err
+		}
+	}
+	return db.file.Sync(t)
+}
+
+// Checkpoint flushes dirty pages, truncates the WAL and resets the FPW
+// first-touch set. Data flushing is charged to the dataTask (the
+// background checkpointer when one is set); the WAL truncate runs on
+// walTask so the log device's queue stays aligned with the backends.
+func (db *DB) Checkpoint(t *sim.Task) error { return db.checkpoint(t, t) }
+
+func (db *DB) checkpoint(dataTask, walTask *sim.Task) error {
+	if err := db.pool.FlushAll(dataTask); err != nil {
+		return err
+	}
+	if err := db.fs.SyncMeta(dataTask); err != nil {
+		return err
+	}
+	if err := db.log.Truncate(walTask); err != nil {
+		return err
+	}
+	db.loggedSinceCkpt = make(map[uint32]bool)
+	db.txnsSinceCkpt = 0
+	db.st.Checkpoints++
+	return nil
+}
+
+// updateTuple adds delta to the 8-byte balance of row in the table whose
+// pages start at base, WAL-logging the change (and a full page image on
+// first touch when FPW is on).
+func (db *DB) updateTuple(t *sim.Task, base uint32, row int, delta int64) error {
+	pageNo := base + uint32(row/db.perPage)
+	off := pageHdrSize + (row%db.perPage)*tupleSize
+	f, err := db.pool.Get(t, pageNo)
+	if err != nil {
+		return err
+	}
+	cur := int64(binary.LittleEndian.Uint64(f.Data[off:]))
+	binary.LittleEndian.PutUint64(f.Data[off:], uint64(cur+delta))
+	f.MarkDirty()
+
+	if db.cfg.Mode == FPWOn && !db.loggedSinceCkpt[pageNo] {
+		rec := make([]byte, 5+db.cfg.PageSize)
+		rec[0] = pgRecImage
+		binary.LittleEndian.PutUint32(rec[1:], pageNo)
+		copy(rec[5:], f.Data)
+		if _, err := db.log.Append(t, rec); err != nil {
+			f.Release()
+			return err
+		}
+		db.loggedSinceCkpt[pageNo] = true
+		db.st.FullImages++
+		db.st.WALRecords++
+	}
+	f.Release()
+
+	rec := make([]byte, 1+4+2+2+8)
+	rec[0] = pgRecDelta
+	binary.LittleEndian.PutUint32(rec[1:], pageNo)
+	binary.LittleEndian.PutUint16(rec[5:], uint16(off))
+	binary.LittleEndian.PutUint16(rec[7:], 8)
+	binary.LittleEndian.PutUint64(rec[9:], uint64(cur+delta))
+	if _, err := db.log.Append(t, rec); err != nil {
+		return err
+	}
+	db.st.WALRecords++
+	return nil
+}
+
+// readBalance returns the balance of an account row.
+func (db *DB) readBalance(t *sim.Task, base uint32, row int) (int64, error) {
+	pageNo := base + uint32(row/db.perPage)
+	off := pageHdrSize + (row%db.perPage)*tupleSize
+	f, err := db.pool.Get(t, pageNo)
+	if err != nil {
+		return 0, err
+	}
+	v := int64(binary.LittleEndian.Uint64(f.Data[off:]))
+	f.Release()
+	return v, nil
+}
+
+// insertHistory appends a history row.
+func (db *DB) insertHistory(t *sim.Task, rng *rand.Rand) error {
+	row := db.historyRows
+	db.historyRows++
+	pageNo := db.historyAt + uint32(row/db.perPage)
+	off := pageHdrSize + (row%db.perPage)*tupleSize
+	var f *bufpool.Frame
+	var err error
+	if row%db.perPage == 0 {
+		// First touch of a fresh heap page: no read needed.
+		f, err = db.pool.GetFresh(t, pageNo)
+	} else {
+		f, err = db.pool.Get(t, pageNo)
+	}
+	if err != nil {
+		return err
+	}
+	v := uint64(rng.Int63()) | 1 // nonzero: live history rows are detectable
+	binary.LittleEndian.PutUint64(f.Data[off:], v)
+	f.MarkDirty()
+	if db.cfg.Mode == FPWOn && !db.loggedSinceCkpt[pageNo] {
+		rec := make([]byte, 5+db.cfg.PageSize)
+		rec[0] = pgRecImage
+		binary.LittleEndian.PutUint32(rec[1:], pageNo)
+		copy(rec[5:], f.Data)
+		if _, err := db.log.Append(t, rec); err != nil {
+			f.Release()
+			return err
+		}
+		db.loggedSinceCkpt[pageNo] = true
+		db.st.FullImages++
+		db.st.WALRecords++
+	}
+	f.Release()
+	rec := make([]byte, 17)
+	rec[0] = pgRecDelta
+	binary.LittleEndian.PutUint32(rec[1:], pageNo)
+	binary.LittleEndian.PutUint16(rec[5:], uint16(off))
+	binary.LittleEndian.PutUint16(rec[7:], 8)
+	binary.LittleEndian.PutUint64(rec[9:], v)
+	if _, err := db.log.Append(t, rec); err != nil {
+		return err
+	}
+	db.st.WALRecords++
+	return nil
+}
+
+// RunTxn executes one pgbench TPC-B transaction: update an account, its
+// teller and branch, insert a history row, read the account balance, and
+// commit (fsync the WAL).
+func (db *DB) RunTxn(t *sim.Task, rng *rand.Rand) error {
+	aid := rng.Intn(db.accounts)
+	tid := rng.Intn(db.tellers)
+	bid := rng.Intn(db.branches)
+	delta := int64(rng.Intn(10000) - 5000)
+
+	if err := db.updateTuple(t, db.accountsAt, aid, delta); err != nil {
+		return err
+	}
+	if _, err := db.readBalance(t, db.accountsAt, aid); err != nil {
+		return err
+	}
+	if err := db.updateTuple(t, db.tellersAt, tid, delta); err != nil {
+		return err
+	}
+	if err := db.updateTuple(t, db.branchesAt, bid, delta); err != nil {
+		return err
+	}
+	if err := db.insertHistory(t, rng); err != nil {
+		return err
+	}
+	if _, err := db.log.Append(t, []byte{pgRecCommit}); err != nil {
+		return err
+	}
+	if err := db.log.Sync(t); err != nil {
+		return err
+	}
+	db.st.Commits++
+	db.txnsSinceCkpt++
+	bg := t
+	if db.Background != nil {
+		db.Background.AdvanceTo(t.Now())
+		bg = db.Background
+	}
+	if db.txnsSinceCkpt >= db.cfg.CheckpointEvery || db.log.Remaining() < 128 {
+		return db.checkpoint(bg, t)
+	}
+	// Background-writer stand-in: keep the dirty ratio bounded.
+	if db.pool.DirtyCount() > db.pool.Capacity()*3/4 {
+		return db.pool.FlushSome(bg, 16)
+	}
+	return nil
+}
+
+// Stats returns engine counters; WALPages reflects the log device.
+func (db *DB) Stats() Stats {
+	s := db.st
+	s.WALPages = db.log.PagesWritten()
+	return s
+}
+
+// WALBytes returns total WAL payload bytes appended.
+func (db *DB) WALBytes() int64 { return db.log.BytesAppended() }
+
+// LogDevice returns the WAL device (tests reopen against it).
+func (db *DB) LogDevice() *ssd.Device { return db.logDev }
+
+// Accounts returns the number of account rows.
+func (db *DB) Accounts() int { return db.accounts }
+
+// Balance exposes an account balance for tests.
+func (db *DB) Balance(t *sim.Task, row int) (int64, error) {
+	return db.readBalance(t, db.accountsAt, row)
+}

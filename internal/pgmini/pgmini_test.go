@@ -1,0 +1,265 @@
+package pgmini
+
+import (
+	"math/rand"
+	"testing"
+
+	"share/internal/fsim"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func testDB(t *testing.T, mode Mode) (*DB, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	dev, err := ssd.New("pg", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := ssd.DefaultConfig(256)
+	lcfg.Geometry.PageSize = 512
+	lcfg.Geometry.PagesPerBlock = 32
+	lcfg.Timing = nand.Timing{
+		ReadPage: 20 * sim.Microsecond, Program: 50 * sim.Microsecond,
+		Erase: 500 * sim.Microsecond, Transfer: 5 * sim.Microsecond,
+	}
+	lcfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("pglog", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(task, fs, logDev, Config{
+		Scale: 1, Mode: mode, PageSize: 512, PoolBytes: 64 * 1024,
+		CheckpointEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, task
+}
+
+func TestTxnUpdatesBalances(t *testing.T) {
+	db, task := testDB(t, FPWOn)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	st := db.Stats()
+	if st.Commits != 50 {
+		t.Fatalf("commits = %d", st.Commits)
+	}
+	// Balances changed: at least one account is nonzero.
+	rng2 := rand.New(rand.NewSource(1))
+	aid := rng2.Intn(db.Accounts())
+	v, err := db.Balance(task, aid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Log("first touched account balance is zero (possible but unlikely)")
+	}
+}
+
+func TestFPWLogsImagesOnFirstTouchOnly(t *testing.T) {
+	db, task := testDB(t, FPWOn)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.FullImages == 0 {
+		t.Fatal("FPW on logged no images")
+	}
+	// Far fewer images than updates: hot pages are logged once per ckpt.
+	if st.FullImages >= st.WALRecords/2 {
+		t.Fatalf("images %d vs records %d: first-touch not working", st.FullImages, st.WALRecords)
+	}
+}
+
+func TestFPWOffWritesLessWAL(t *testing.T) {
+	run := func(mode Mode) int64 {
+		db, task := testDB(t, mode)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ {
+			if err := db.RunTxn(task, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db.WALBytes()
+	}
+	on := run(FPWOn)
+	off := run(FPWOff)
+	if off >= on {
+		t.Fatalf("FPW off WAL bytes %d >= on %d", off, on)
+	}
+	if float64(on) < 2*float64(off) {
+		t.Fatalf("FPW on should write >2x the WAL: on=%d off=%d", on, off)
+	}
+}
+
+func TestFPWOffIsFaster(t *testing.T) {
+	run := func(mode Mode) int64 {
+		db, task := testDB(t, mode)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ {
+			if err := db.RunTxn(task, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return task.Now()
+	}
+	on := run(FPWOn)
+	off := run(FPWOff)
+	if off >= on {
+		t.Fatalf("FPW off took %d, on took %d; off should be faster", off, on)
+	}
+}
+
+func TestShareModeRuns(t *testing.T) {
+	db, task := testDB(t, FPWShare)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600; i++ { // crosses a checkpoint
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	st := db.Stats()
+	if st.FullImages != 0 {
+		t.Fatalf("SHARE mode logged %d full images", st.FullImages)
+	}
+	if st.Checkpoints < 2 {
+		t.Fatalf("checkpoints = %d", st.Checkpoints)
+	}
+}
+
+func TestBalanceConservation(t *testing.T) {
+	// Every txn adds delta to exactly one account/teller/branch; the sum
+	// of all branch balances must equal the sum of account balances.
+	db, task := testDB(t, FPWOff)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var accSum, brSum int64
+	for i := 0; i < db.accounts; i++ {
+		v, err := db.readBalance(task, db.accountsAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accSum += v
+	}
+	for i := 0; i < db.branches; i++ {
+		v, err := db.readBalance(task, db.branchesAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brSum += v
+	}
+	if accSum != brSum {
+		t.Fatalf("conservation violated: accounts %d, branches %d", accSum, brSum)
+	}
+}
+
+func reopenPg(t *testing.T, db *DB, mode Mode) (*DB, *sim.Task) {
+	t.Helper()
+	dev := db.fs.Device()
+	task := sim.NewSoloTask("reopen")
+	dev.Crash()
+	if err := dev.Recover(task); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := fsim.Mount(task, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(task, fs2, db.LogDevice(), db.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db2, task
+}
+
+func TestRecoveryPreservesConservation(t *testing.T) {
+	for _, mode := range []Mode{FPWOn, FPWShare} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db, task := testDB(t, mode)
+			rng := rand.New(rand.NewSource(31))
+			for i := 0; i < 150; i++ {
+				if err := db.RunTxn(task, rng); err != nil {
+					t.Fatal(err)
+				}
+			}
+			db2, task2 := reopenPg(t, db, mode)
+			var accSum, brSum int64
+			for i := 0; i < db2.accounts; i++ {
+				v, err := db2.readBalance(task2, db2.accountsAt, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				accSum += v
+			}
+			for i := 0; i < db2.branches; i++ {
+				v, err := db2.readBalance(task2, db2.branchesAt, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				brSum += v
+			}
+			if accSum != brSum {
+				t.Fatalf("conservation violated after crash: accounts %d, branches %d", accSum, brSum)
+			}
+			// The database keeps working after recovery.
+			for i := 0; i < 20; i++ {
+				if err := db2.RunTxn(task2, rng); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestRecoveryReplaysCommittedDeltas(t *testing.T) {
+	db, task := testDB(t, FPWOn)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 60; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Record every account balance (from the pool: the newest state).
+	want := make([]int64, db.accounts)
+	for i := range want {
+		v, err := db.readBalance(task, db.accountsAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	db2, task2 := reopenPg(t, db, FPWOn)
+	for i := range want {
+		v, err := db2.readBalance(task2, db2.accountsAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want[i] {
+			t.Fatalf("account %d = %d after crash, want %d", i, v, want[i])
+		}
+	}
+	if db2.historyRows == 0 {
+		t.Fatal("history rows not recovered")
+	}
+}

@@ -1,0 +1,298 @@
+// Package sim provides a deterministic virtual-time concurrency simulator.
+//
+// Database clients in the reproduction run as goroutines, but their notion of
+// time is virtual: each Task owns a private clock measured in nanoseconds.
+// A central Scheduler always resumes the runnable task with the smallest
+// clock, so execution order — and therefore every experiment result — is
+// fully deterministic regardless of Go's goroutine scheduling.
+//
+// Shared resources (the simulated SSD, the log device) are modeled as
+// single-server FIFO queues in virtual time: a task that wants service at
+// time t receives it at max(t, resourceFree) and both clocks advance past
+// the service time. Because the scheduler resumes tasks in virtual-time
+// order, arbitration is by arrival time, which is exactly a FIFO queue.
+package sim
+
+import "fmt"
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Task is a simulated thread of execution with a private virtual clock.
+// A Task is either standalone (created by NewSoloTask) or owned by a
+// Scheduler (created by Scheduler.Go).
+type Task struct {
+	name  string
+	now   int64
+	sched *Scheduler
+	// resume is signalled by the scheduler to let this task run;
+	// the task signals yielded when it hands control back.
+	resume  chan struct{}
+	done    bool
+	blocked bool // parked on a Mutex; not runnable until woken
+	index   int  // position in the scheduler heap, -1 if solo
+}
+
+// NewSoloTask returns a Task not attached to any scheduler. Yield is a
+// no-op; the task simply accumulates virtual time. Use it for
+// single-threaded experiments and unit tests.
+func NewSoloTask(name string) *Task {
+	return &Task{name: name, index: -1}
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Now returns the task's current virtual time in nanoseconds.
+func (t *Task) Now() int64 { return t.now }
+
+// Advance moves the task's clock forward by d nanoseconds. It does not
+// yield; use Yield (or resource acquisition) to let other tasks run.
+func (t *Task) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d on task %s", d, t.name))
+	}
+	t.now += d
+}
+
+// AdvanceTo moves the task's clock to absolute time tt if tt is later than
+// the current clock.
+func (t *Task) AdvanceTo(tt int64) {
+	if tt > t.now {
+		t.now = tt
+	}
+}
+
+// Yield hands control back to the scheduler. The task resumes when it has
+// the smallest virtual clock among runnable tasks. For solo tasks Yield is
+// a no-op.
+func (t *Task) Yield() {
+	if t.sched == nil {
+		return
+	}
+	t.sched.yielded <- t
+	<-t.resume
+}
+
+// Scheduler coordinates a set of Tasks in virtual-time order.
+type Scheduler struct {
+	tasks   []*Task
+	yielded chan *Task
+	pending int
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{yielded: make(chan *Task)}
+}
+
+// Go registers fn as a new task named name. The task does not start running
+// until Run is called.
+func (s *Scheduler) Go(name string, fn func(t *Task)) *Task {
+	t := &Task{name: name, sched: s, resume: make(chan struct{})}
+	s.tasks = append(s.tasks, t)
+	go func() {
+		<-t.resume // wait for first dispatch
+		fn(t)
+		t.done = true
+		s.yielded <- t
+	}()
+	return t
+}
+
+// Run drives all registered tasks to completion, always resuming the
+// runnable task with the smallest virtual clock. It returns the largest
+// virtual completion time across tasks.
+func (s *Scheduler) Run() int64 {
+	var maxT int64
+	for {
+		var pick *Task
+		live := false
+		for _, t := range s.tasks {
+			if t.done {
+				continue
+			}
+			live = true
+			if t.blocked {
+				continue
+			}
+			if pick == nil || t.now < pick.now {
+				pick = t
+			}
+		}
+		if pick == nil {
+			if live {
+				panic("sim: deadlock — every live task is blocked")
+			}
+			break
+		}
+		pick.resume <- struct{}{}
+		back := <-s.yielded
+		if back != pick {
+			panic("sim: unexpected task yielded")
+		}
+		if pick.done && pick.now > maxT {
+			maxT = pick.now
+		}
+	}
+	return maxT
+}
+
+// Mutex is a virtual-time mutual-exclusion lock. Lock parks the task until
+// the holder unlocks; the waiter's clock is advanced to the unlock time,
+// so lock waits show up as real latency in the simulation.
+type Mutex struct {
+	held    bool
+	waiters []*Task
+}
+
+// Lock acquires m for task t, blocking in virtual time while it is held.
+// It yields before acquiring so tasks with earlier virtual clocks get to
+// contend first — without this, a task that unlocks and immediately
+// relocks would monopolize the mutex, since it never yields in between.
+func (m *Mutex) Lock(t *Task) {
+	t.Yield()
+	for m.held {
+		if t.sched == nil {
+			panic("sim: solo task cannot wait on a held Mutex")
+		}
+		t.blocked = true
+		m.waiters = append(m.waiters, t)
+		t.Yield()
+	}
+	m.held = true
+}
+
+// TryLock acquires m if free and reports whether it did.
+func (m *Mutex) TryLock(t *Task) bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases m and wakes every waiter, advancing their clocks to the
+// unlocking task's current time; they re-contend in virtual-clock order.
+func (m *Mutex) Unlock(t *Task) {
+	if !m.held {
+		panic("sim: unlock of free Mutex")
+	}
+	m.held = false
+	for _, w := range m.waiters {
+		w.blocked = false
+		w.AdvanceTo(t.now)
+	}
+	m.waiters = m.waiters[:0]
+}
+
+// Resource is a single-server FIFO queue in virtual time, e.g. a storage
+// device's command interface. Acquire returns the time at which service
+// may begin for the calling task.
+type Resource struct {
+	name string
+	free int64 // earliest time the resource is idle
+	busy int64 // accumulated busy time, for utilization reports
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Use schedules service of the given duration for task t. The task first
+// yields at its arrival time so virtual-time arbitration happens in arrival
+// order, then occupies the resource for service nanoseconds. On return both
+// the task clock and the resource free-time point at the completion time.
+// It returns the request latency (completion - arrival), which includes
+// queueing delay.
+func (r *Resource) Use(t *Task, service Duration) Duration {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: negative service time %d on %s", service, r.name))
+	}
+	arrival := t.now
+	t.Yield() // arbitrate by arrival time
+	start := arrival
+	if r.free > start {
+		start = r.free
+	}
+	done := start + service
+	r.free = done
+	r.busy += service
+	t.AdvanceTo(done)
+	return done - arrival
+}
+
+// ExtendCurrent adds extra service time to the request currently holding
+// the resource. It is used for work discovered mid-service, such as a
+// garbage-collection pass triggered by a write. The calling task must be
+// the one that most recently completed Use; its clock is pushed to the new
+// completion time.
+func (r *Resource) ExtendCurrent(t *Task, extra Duration) {
+	if extra < 0 {
+		panic("sim: negative service extension")
+	}
+	r.free += extra
+	r.busy += extra
+	t.AdvanceTo(r.free)
+}
+
+// Free returns the virtual time at which the resource next becomes idle.
+func (r *Resource) Free() int64 { return r.free }
+
+// BusyTime returns the total virtual time spent serving requests.
+func (r *Resource) BusyTime() int64 { return r.busy }
+
+// MultiResource is a k-server FIFO queue in virtual time: up to k requests
+// are in service simultaneously (an NCQ-style device with internal
+// parallelism). Each request still takes its full service time; only the
+// waiting collapses.
+type MultiResource struct {
+	name string
+	free []int64 // per-server next-idle times
+	busy int64
+}
+
+// NewMultiResource returns an idle k-server resource (k >= 1).
+func NewMultiResource(name string, k int) *MultiResource {
+	if k < 1 {
+		k = 1
+	}
+	return &MultiResource{name: name, free: make([]int64, k)}
+}
+
+// Use schedules service on the earliest-free server, like Resource.Use.
+func (m *MultiResource) Use(t *Task, service Duration) Duration {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: negative service time %d on %s", service, m.name))
+	}
+	arrival := t.now
+	t.Yield()
+	best := 0
+	for i := 1; i < len(m.free); i++ {
+		if m.free[i] < m.free[best] {
+			best = i
+		}
+	}
+	start := arrival
+	if m.free[best] > start {
+		start = m.free[best]
+	}
+	done := start + service
+	m.free[best] = done
+	m.busy += service
+	t.AdvanceTo(done)
+	return done - arrival
+}
+
+// BusyTime returns total service time across all servers.
+func (m *MultiResource) BusyTime() int64 { return m.busy }
+
+// Servers returns the parallelism degree.
+func (m *MultiResource) Servers() int { return len(m.free) }

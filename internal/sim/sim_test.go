@@ -1,0 +1,180 @@
+package sim
+
+import "testing"
+
+func TestSoloTaskAdvance(t *testing.T) {
+	task := NewSoloTask("solo")
+	if task.Now() != 0 {
+		t.Fatalf("fresh task at %d", task.Now())
+	}
+	task.Advance(5 * Millisecond)
+	if got := task.Now(); got != 5*Millisecond {
+		t.Fatalf("Now = %d, want 5ms", got)
+	}
+	task.AdvanceTo(3 * Millisecond) // backwards: no-op
+	if got := task.Now(); got != 5*Millisecond {
+		t.Fatalf("AdvanceTo went backwards: %d", got)
+	}
+	task.AdvanceTo(9 * Millisecond)
+	if got := task.Now(); got != 9*Millisecond {
+		t.Fatalf("AdvanceTo = %d, want 9ms", got)
+	}
+	task.Yield() // solo yield is a no-op and must not block
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewSoloTask("x").Advance(-1)
+}
+
+func TestSchedulerOrdersByVirtualTime(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.Go("slow", func(task *Task) {
+		task.Advance(10 * Millisecond)
+		task.Yield()
+		order = append(order, "slow")
+	})
+	s.Go("fast", func(task *Task) {
+		task.Advance(1 * Millisecond)
+		task.Yield()
+		order = append(order, "fast")
+	})
+	end := s.Run()
+	if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+		t.Fatalf("order = %v, want [fast slow]", order)
+	}
+	if end != 10*Millisecond {
+		t.Fatalf("end = %d, want 10ms", end)
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	s := NewScheduler()
+	res := NewResource("dev")
+	lat := make(map[string]Duration)
+	// Two clients arrive at t=0 and t=1ms; each needs 4ms of service.
+	s.Go("a", func(task *Task) {
+		lat["a"] = res.Use(task, 4*Millisecond)
+	})
+	s.Go("b", func(task *Task) {
+		task.Advance(1 * Millisecond)
+		lat["b"] = res.Use(task, 4*Millisecond)
+	})
+	s.Run()
+	if lat["a"] != 4*Millisecond {
+		t.Errorf("a latency = %v, want 4ms (no queueing)", lat["a"])
+	}
+	// b arrives at 1ms, server free at 4ms, done at 8ms -> latency 7ms.
+	if lat["b"] != 7*Millisecond {
+		t.Errorf("b latency = %v, want 7ms (3ms queue + 4ms service)", lat["b"])
+	}
+	if res.BusyTime() != 8*Millisecond {
+		t.Errorf("busy = %v, want 8ms", res.BusyTime())
+	}
+}
+
+func TestResourceExtendCurrent(t *testing.T) {
+	task := NewSoloTask("t")
+	res := NewResource("dev")
+	res.Use(task, 2*Millisecond)
+	res.ExtendCurrent(task, 3*Millisecond)
+	if task.Now() != 5*Millisecond {
+		t.Fatalf("task at %d, want 5ms", task.Now())
+	}
+	if res.Free() != 5*Millisecond {
+		t.Fatalf("resource free at %d, want 5ms", res.Free())
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := NewScheduler()
+		res := NewResource("dev")
+		out := make([]int64, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Go("c", func(task *Task) {
+				for j := 0; j < 10; j++ {
+					task.Advance(Duration(i+1) * 100 * Microsecond)
+					res.Use(task, 500*Microsecond)
+				}
+				out[i] = task.Now()
+			})
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic completion times: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestManyTasksAllComplete(t *testing.T) {
+	s := NewScheduler()
+	done := 0
+	for i := 0; i < 64; i++ {
+		s.Go("w", func(task *Task) {
+			task.Advance(Microsecond)
+			task.Yield()
+			done++
+		})
+	}
+	s.Run()
+	if done != 64 {
+		t.Fatalf("done = %d, want 64", done)
+	}
+}
+
+func TestMultiResourceParallelism(t *testing.T) {
+	s := NewScheduler()
+	res := NewMultiResource("dev", 2)
+	lat := make([]Duration, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go("c", func(task *Task) {
+			lat[i] = res.Use(task, 10*Millisecond)
+		})
+	}
+	end := s.Run()
+	// Two servers, four 10ms jobs arriving at t=0: finish at 20ms, not 40.
+	if end != 20*Millisecond {
+		t.Fatalf("end = %v, want 20ms", end)
+	}
+	if res.BusyTime() != 40*Millisecond {
+		t.Fatalf("busy = %v", res.BusyTime())
+	}
+	if res.Servers() != 2 {
+		t.Fatalf("servers = %d", res.Servers())
+	}
+	slow := 0
+	for _, l := range lat {
+		if l == 20*Millisecond {
+			slow++
+		}
+	}
+	if slow != 2 {
+		t.Fatalf("expected 2 queued jobs, got %d (%v)", slow, lat)
+	}
+}
+
+func TestMultiResourceDepthOneMatchesResource(t *testing.T) {
+	a := NewResource("a")
+	b := NewMultiResource("b", 1)
+	ta := NewSoloTask("ta")
+	tb := NewSoloTask("tb")
+	for i := 0; i < 5; i++ {
+		a.Use(ta, Duration(i+1)*Millisecond)
+		b.Use(tb, Duration(i+1)*Millisecond)
+	}
+	if ta.Now() != tb.Now() {
+		t.Fatalf("depth-1 multi resource diverges: %d vs %d", ta.Now(), tb.Now())
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+func TestMutexContentionChargesWaiters(t *testing.T) {
+	s := NewScheduler()
+	var mu Mutex
+	res := NewResource("dev")
+	lat := make([]Duration, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go("c", func(task *Task) {
+			start := task.Now()
+			mu.Lock(task)
+			res.Use(task, 10*Millisecond) // long op under lock
+			mu.Unlock(task)
+			lat[i] = task.Now() - start
+		})
+	}
+	s.Run()
+	t.Logf("latencies: %v", lat)
+	// Serialized: latencies should be ~10, 20, 30, 40 ms in some order.
+	max := Duration(0)
+	for _, l := range lat {
+		if l > max {
+			max = l
+		}
+	}
+	if max < 35*Millisecond {
+		t.Fatalf("lock waits not charged: max latency %v", max)
+	}
+}

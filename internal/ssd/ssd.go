@@ -1,0 +1,207 @@
+// Package ssd is the device front-end of the simulated flash drive: it
+// owns the NAND chip and FTL, serializes commands the way a single SATA
+// link does, charges virtual time to the issuing task through a sim
+// Resource, and exposes the host-visible statistics the paper reports
+// (host page writes, GC events, copyback pages).
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"share/internal/ftl"
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// Pair re-exports the FTL SHARE pair for host code.
+type Pair = ftl.Pair
+
+// Config assembles a device.
+type Config struct {
+	Geometry nand.Geometry
+	Timing   nand.Timing
+	FTL      ftl.Config
+	// QueueDepth is the number of commands the device can service
+	// concurrently (internal channel/NCQ parallelism). 1 models the
+	// single-threaded OpenSSD prototype; modern drives overlap many.
+	QueueDepth int
+}
+
+// DefaultConfig returns a small OpenSSD-like device: 4 KiB pages, 128
+// pages per block. Capacity is set by Blocks; callers size it per
+// experiment.
+func DefaultConfig(blocks int) Config {
+	return Config{
+		Geometry: nand.Geometry{PageSize: 4096, PagesPerBlock: 128, Blocks: blocks},
+		Timing:   nand.DefaultTiming(),
+		FTL:      ftl.DefaultConfig(),
+	}
+}
+
+// Device is a simulated SHARE-capable SSD.
+type Device struct {
+	mu   sync.Mutex
+	chip *nand.Chip
+	ftl  *ftl.FTL
+	res  *sim.MultiResource
+	cfg  Config
+}
+
+// New builds a device from cfg.
+func New(name string, cfg Config) (*Device, error) {
+	chip, err := nand.New(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ftl.New(chip, cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	return &Device{chip: chip, ftl: f, res: sim.NewMultiResource(name, cfg.QueueDepth), cfg: cfg}, nil
+}
+
+// PageSize returns the device mapping unit in bytes.
+func (d *Device) PageSize() int { return d.cfg.Geometry.PageSize }
+
+// Capacity returns the number of logical pages exported to the host.
+func (d *Device) Capacity() int { return d.ftl.Capacity() }
+
+// CapacityBytes returns the logical capacity in bytes.
+func (d *Device) CapacityBytes() int64 {
+	return int64(d.ftl.Capacity()) * int64(d.cfg.Geometry.PageSize)
+}
+
+// MaxShareBatch returns the largest atomically applied SHARE batch (in
+// mapping units).
+func (d *Device) MaxShareBatch() int { return d.ftl.MaxShareBatch() }
+
+// serve runs op under the device lock and charges its service time to t
+// through the single-server queue.
+func (d *Device) serve(t *sim.Task, op func() (sim.Duration, error)) error {
+	d.mu.Lock()
+	svc, err := op()
+	d.mu.Unlock()
+	d.res.Use(t, svc)
+	return err
+}
+
+// ReadPage reads logical page lpn into dst.
+func (d *Device) ReadPage(t *sim.Task, lpn uint32, dst []byte) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Read(lpn, dst) })
+}
+
+// WritePage writes one page of data at logical page lpn.
+func (d *Device) WritePage(t *sim.Task, lpn uint32, data []byte) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Write(lpn, data) })
+}
+
+// Trim invalidates n logical pages starting at lpn.
+func (d *Device) Trim(t *sim.Task, lpn uint32, n int) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Trim(lpn, n) })
+}
+
+// Share issues one SHARE command. Batches wider than MaxShareBatch must be
+// split by the caller (the core host library does this).
+func (d *Device) Share(t *sim.Task, pairs []Pair) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Share(pairs) })
+}
+
+// WriteAtomic writes a batch of pages whose mapping updates commit
+// all-or-nothing (the atomic-write FTL baseline of §6.1). The batch must
+// not exceed MaxShareBatch pages.
+func (d *Device) WriteAtomic(t *sim.Task, pages []ftl.AtomicPage) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.WriteAtomic(pages) })
+}
+
+// AtomicPage re-exports the FTL atomic-write page for host code.
+type AtomicPage = ftl.AtomicPage
+
+// Flush persists buffered mapping state (the FLUSH CACHE behind fsync).
+func (d *Device) Flush(t *sim.Task) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Flush() })
+}
+
+// Checkpoint forces an FTL mapping checkpoint.
+func (d *Device) Checkpoint(t *sim.Task) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Checkpoint() })
+}
+
+// Crash models a power failure: volatile device state is lost.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ftl.Crash()
+}
+
+// Recover rebuilds the FTL from flash after Crash.
+func (d *Device) Recover(t *sim.Task) error {
+	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Recover() })
+}
+
+// Age pre-conditions the drive the way the paper does before measuring: it
+// fills fillRatio of the logical space and then rewrites randomFrac of it
+// in random order, so steady-state garbage collection is active during the
+// measured run.
+func (d *Device) Age(t *sim.Task, fillRatio, randomFrac float64, seed int64) error {
+	if fillRatio < 0 || fillRatio > 1 || randomFrac < 0 {
+		return fmt.Errorf("ssd: bad aging parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(d.Capacity()) * fillRatio)
+	page := make([]byte, d.PageSize())
+	for i := 0; i < n; i++ {
+		rng.Read(page)
+		if err := d.WritePage(t, uint32(i), page); err != nil {
+			return err
+		}
+	}
+	rewrites := int(float64(n) * randomFrac)
+	for i := 0; i < rewrites; i++ {
+		rng.Read(page)
+		if err := d.WritePage(t, uint32(rng.Intn(n)), page); err != nil {
+			return err
+		}
+	}
+	return d.Flush(t)
+}
+
+// Stats combines FTL and chip counters.
+type Stats struct {
+	FTL  ftl.Stats
+	Chip nand.Stats
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{FTL: d.ftl.Stats(), Chip: d.chip.Stats()}
+}
+
+// ResetStats zeroes the FTL counters; chip counters are monotonic.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ftl.ResetStats()
+}
+
+// WriteAmplification returns NAND programs / host writes since the last
+// ResetStats-free epoch (chip counters are lifetime, so callers comparing
+// epochs should diff Stats snapshots).
+func (s Stats) WriteAmplification() float64 {
+	if s.FTL.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.Chip.Programs) / float64(s.FTL.HostWrites)
+}
+
+// FTLForTest exposes the FTL for white-box tests and the inspector tool.
+func (d *Device) FTLForTest() *ftl.FTL { return d.ftl }
+
+// Resource exposes the device queue, e.g. for utilization reporting.
+func (d *Device) Resource() *sim.MultiResource { return d.res }

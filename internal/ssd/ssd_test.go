@@ -1,0 +1,178 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"share/internal/sim"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	cfg := DefaultConfig(32)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 8
+	d, err := New("ssd", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceReadWriteShare(t *testing.T) {
+	d := testDevice(t)
+	task := sim.NewSoloTask("t")
+	a := bytes.Repeat([]byte{0xA1}, d.PageSize())
+	b := bytes.Repeat([]byte{0xB2}, d.PageSize())
+	if err := d.WritePage(task, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(task, 2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Share(task, []Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d.PageSize())
+	if err := d.ReadPage(task, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("share did not redirect dst")
+	}
+	if task.Now() == 0 {
+		t.Fatal("no virtual time charged")
+	}
+}
+
+func TestDeviceChargesQueueingAcrossTasks(t *testing.T) {
+	d := testDevice(t)
+	s := sim.NewScheduler()
+	buf := bytes.Repeat([]byte{1}, d.PageSize())
+	var t1, t2 int64
+	s.Go("a", func(task *sim.Task) {
+		for i := 0; i < 10; i++ {
+			if err := d.WritePage(task, uint32(i), buf); err != nil {
+				t.Error(err)
+			}
+		}
+		t1 = task.Now()
+	})
+	s.Go("b", func(task *sim.Task) {
+		for i := 0; i < 10; i++ {
+			if err := d.WritePage(task, uint32(100+i), buf); err != nil {
+				t.Error(err)
+			}
+		}
+		t2 = task.Now()
+	})
+	s.Run()
+	// Both clients share one device: each must observe more than 10
+	// unqueued writes' worth of time.
+	solo := sim.NewSoloTask("solo")
+	d2 := testDevice(t)
+	for i := 0; i < 10; i++ {
+		if err := d2.WritePage(solo, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if t1 <= solo.Now() || t2 <= solo.Now() {
+		t.Fatalf("queueing not charged: t1=%d t2=%d solo=%d", t1, t2, solo.Now())
+	}
+}
+
+func TestDeviceCrashRecover(t *testing.T) {
+	d := testDevice(t)
+	task := sim.NewSoloTask("t")
+	buf := bytes.Repeat([]byte{0x5C}, d.PageSize())
+	if err := d.WritePage(task, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(task); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if err := d.Recover(task); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d.PageSize())
+	if err := d.ReadPage(task, 7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("flushed write lost across crash")
+	}
+}
+
+func TestAgingActivatesGC(t *testing.T) {
+	d := testDevice(t)
+	task := sim.NewSoloTask("t")
+	if err := d.Age(task, 0.9, 1.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.FTL.GCEvents == 0 {
+		t.Fatal("aging produced no garbage collection")
+	}
+	if err := d.FTLForTest().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Aged drive still serves reads of the last written values: spot-check
+	// via invariants plus a rewrite/read cycle.
+	buf := bytes.Repeat([]byte{0x77}, d.PageSize())
+	if err := d.WritePage(task, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d.PageSize())
+	if err := d.ReadPage(task, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("read after aging mismatch")
+	}
+}
+
+func TestAgingParameterValidation(t *testing.T) {
+	d := testDevice(t)
+	task := sim.NewSoloTask("t")
+	if err := d.Age(task, -0.1, 0, 1); err == nil {
+		t.Fatal("negative fill accepted")
+	}
+	if err := d.Age(task, 1.1, 0, 1); err == nil {
+		t.Fatal("fill > 1 accepted")
+	}
+}
+
+func TestStatsAndWAF(t *testing.T) {
+	d := testDevice(t)
+	task := sim.NewSoloTask("t")
+	buf := make([]byte, d.PageSize())
+	for round := 0; round < 6; round++ {
+		for i := 0; i < d.Capacity(); i += 2 {
+			if err := d.WritePage(task, uint32(i), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := d.Stats()
+	if st.FTL.HostWrites == 0 || st.Chip.Programs < st.FTL.HostWrites {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if waf := st.WriteAmplification(); waf < 1 {
+		t.Fatalf("WAF = %f < 1", waf)
+	}
+	d.ResetStats()
+	if d.Stats().FTL.HostWrites != 0 {
+		t.Fatal("ResetStats did not clear FTL counters")
+	}
+}
+
+func TestCapacityBytes(t *testing.T) {
+	d := testDevice(t)
+	if d.CapacityBytes() != int64(d.Capacity())*int64(d.PageSize()) {
+		t.Fatal("capacity bytes mismatch")
+	}
+	if d.MaxShareBatch() <= 0 {
+		t.Fatal("MaxShareBatch must be positive")
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides counters and latency distributions for the
+// reproduction's experiment harness: means, percentiles, and formatted
+// tables in the style of the paper's Table 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates latency samples (nanoseconds of virtual time) and
+// reports the distribution statistics used throughout the paper: mean,
+// P25, P50, P75, P99 and max.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+	sum     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.samples))
+}
+
+// Max returns the largest sample, or 0 for an empty histogram.
+func (h *Histogram) Max() int64 { return h.max }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Summary is a fixed set of distribution statistics, in milliseconds, as
+// printed in the paper's Table 1.
+type Summary struct {
+	Count              int
+	Mean               float64
+	P25, P50, P75, P99 float64
+	Max                float64
+}
+
+// Summarize converts the histogram (nanosecond samples) into a Summary in
+// milliseconds.
+func (h *Histogram) Summarize() Summary {
+	ms := func(v int64) float64 { return float64(v) / 1e6 }
+	return Summary{
+		Count: len(h.samples),
+		Mean:  h.Mean() / 1e6,
+		P25:   ms(h.Percentile(25)),
+		P50:   ms(h.Percentile(50)),
+		P75:   ms(h.Percentile(75)),
+		P99:   ms(h.Percentile(99)),
+		Max:   ms(h.Max()),
+	}
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for _, v := range other.samples {
+		h.Add(v)
+	}
+}
+
+// Table formats rows of named values into an aligned text table, for the
+// paper-style output printed by cmd/sharebench.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hd := range t.header {
+		widths[i] = len(hd)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

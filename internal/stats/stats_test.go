@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 50500 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Max() != 100000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Percentile(50); got != 50000 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := h.Percentile(99); got != 99000 {
+		t.Fatalf("p99 = %d", got)
+	}
+	if got := h.Percentile(100); got != 100000 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := h.Percentile(1); got != 1000 {
+		t.Fatalf("p1 = %d", got)
+	}
+}
+
+func TestHistogramUnsortedInput(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		h.Add(v)
+	}
+	if h.Percentile(50) != 5 {
+		t.Fatalf("p50 = %d", h.Percentile(50))
+	}
+	// Adding after a percentile query must re-sort.
+	h.Add(2)
+	if got := h.Percentile(100); got != 9 {
+		t.Fatalf("p100 after add = %d", got)
+	}
+}
+
+func TestSummarizeMilliseconds(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2_000_000) // 2 ms
+	h.Add(4_000_000) // 4 ms
+	s := h.Summarize()
+	if s.Count != 2 || s.Mean != 3 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(1)
+	b.Add(2)
+	b.Add(3)
+	a.Merge(b)
+	if a.Count() != 3 || a.Sum() != 6 {
+		t.Fatalf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	prop := func(vals []int64, pRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var min, max int64
+		for i, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			h.Add(v)
+			if i == 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		p := float64(pRaw%100) + 1
+		got := h.Percentile(p)
+		return got >= min && got <= max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	prop := func(vals []int64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(v)
+		}
+		last := h.Percentile(1)
+		for p := 10.0; p <= 100; p += 10 {
+			cur := h.Percentile(p)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("a-much-longer-name", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Name") || !strings.Contains(lines[0], "Value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(out, "3.1") {
+		t.Fatalf("float not formatted: %s", out)
+	}
+	// All rows aligned: same prefix width up to the second column.
+	if len(lines[2]) < len("a-much-longer-name") {
+		t.Fatal("column not widened")
+	}
+}

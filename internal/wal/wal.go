@@ -1,0 +1,189 @@
+// Package wal implements an append-only write-ahead log on its own
+// device, matching the paper's setup where the MySQL redo log lives on a
+// separate (fast, power-protected) SSD. The log is a byte stream of
+// length-prefixed records segmented into pages; records may span pages, so
+// engines can log full page images. Sync writes the buffered tail and
+// flushes the device — the group-commit unit.
+//
+// Records are opaque byte slices to the log; the database engines define
+// their own record encodings and replay logic.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// ErrFull is returned when the ring has no space left; the engine must
+// checkpoint and Truncate.
+var ErrFull = errors.New("wal: log ring full; checkpoint required")
+
+const (
+	pageMagic = 0x57414C50 // "WALP"
+	pageHdr   = 16         // magic u32, seq u64, used u32
+	recHdr    = 4          // record length prefix
+)
+
+// Log is an append-only record log over a contiguous LPN range of a
+// device. Old space is reclaimed by Truncate after engine checkpoints.
+type Log struct {
+	dev      *ssd.Device
+	start    uint32 // first LPN of the log area
+	pages    uint32 // log area length
+	pageSize int
+
+	head    uint32 // slot holding the current (partial) page
+	seq     uint64 // page sequence number
+	pending []byte // stream bytes not yet part of a full page
+	lsn     int64  // next record LSN (monotonic record counter)
+	durable int64  // highest LSN guaranteed durable
+	written int64  // page writes issued
+	bytes   int64  // record payload bytes appended
+}
+
+// New creates an empty log over [start, start+pages) of dev.
+func New(dev *ssd.Device, start, pages uint32) (*Log, error) {
+	if pages < 2 {
+		return nil, fmt.Errorf("wal: need at least 2 pages")
+	}
+	return &Log{dev: dev, start: start, pages: pages, pageSize: dev.PageSize()}, nil
+}
+
+// capacityPerPage returns usable stream bytes per log page.
+func (l *Log) capacityPerPage() int { return l.pageSize - pageHdr }
+
+// Remaining returns how many whole pages of ring space are left.
+func (l *Log) Remaining() int { return int(l.pages - l.head) }
+
+// Append buffers one record and returns its LSN. Records may exceed a
+// page; they are segmented across pages. The record becomes durable only
+// after Sync returns.
+func (l *Log) Append(t *sim.Task, rec []byte) (int64, error) {
+	need := (len(l.pending) + recHdr + len(rec) + l.capacityPerPage() - 1) / l.capacityPerPage()
+	if int(l.head)+need > int(l.pages) {
+		return 0, ErrFull
+	}
+	var hdr [recHdr]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	l.pending = append(l.pending, hdr[:]...)
+	l.pending = append(l.pending, rec...)
+	l.bytes += int64(len(rec))
+	// Emit full pages eagerly.
+	for len(l.pending) >= l.capacityPerPage() {
+		if err := l.emit(t, l.capacityPerPage(), true); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.lsn
+	l.lsn++
+	return lsn, nil
+}
+
+// emit writes the first n pending bytes into the current slot. advance
+// moves to the next slot (used when the page is full); otherwise the slot
+// will be rewritten by later emits (partial sync of the tail page).
+func (l *Log) emit(t *sim.Task, n int, advance bool) error {
+	if l.head >= l.pages {
+		return ErrFull
+	}
+	buf := make([]byte, l.pageSize)
+	l.seq++
+	binary.LittleEndian.PutUint32(buf[0:], pageMagic)
+	binary.LittleEndian.PutUint64(buf[4:], l.seq)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(n))
+	copy(buf[pageHdr:], l.pending[:n])
+	if err := l.dev.WritePage(t, l.start+l.head, buf); err != nil {
+		return err
+	}
+	l.written++
+	if advance {
+		l.pending = l.pending[n:]
+		l.head++
+	}
+	return nil
+}
+
+// Sync makes every appended record durable: it writes the partial tail
+// page and issues a device flush. This is the fsync in a commit.
+func (l *Log) Sync(t *sim.Task) error {
+	if len(l.pending) > 0 {
+		if err := l.emit(t, len(l.pending), false); err != nil {
+			return err
+		}
+	}
+	if err := l.dev.Flush(t); err != nil {
+		return err
+	}
+	l.durable = l.lsn
+	return nil
+}
+
+// Truncate discards the log contents after an engine checkpoint: all
+// records are reflected in the data files, so the ring restarts. The freed
+// pages are trimmed.
+func (l *Log) Truncate(t *sim.Task) error {
+	if err := l.dev.Trim(t, l.start, int(l.pages)); err != nil {
+		return err
+	}
+	l.head = 0
+	l.pending = nil
+	return nil
+}
+
+// LSN returns the next record LSN (== count of records appended).
+func (l *Log) LSN() int64 { return l.lsn }
+
+// DurableLSN returns the highest LSN guaranteed durable by a prior Sync.
+func (l *Log) DurableLSN() int64 { return l.durable }
+
+// PagesWritten returns the number of log page writes issued — the measure
+// the PostgreSQL full-page-writes experiment compares.
+func (l *Log) PagesWritten() int64 { return l.written }
+
+// BytesAppended returns total record payload bytes appended.
+func (l *Log) BytesAppended() int64 { return l.bytes }
+
+// ReadAll returns every complete record currently readable from the log
+// area in append order, for crash recovery. It scans pages in slot order
+// with increasing sequence numbers and reassembles the byte stream; a torn
+// or missing tail ends the scan, dropping any trailing partial record.
+func (l *Log) ReadAll(t *sim.Task) ([][]byte, error) {
+	buf := make([]byte, l.pageSize)
+	var stream []byte
+	var lastSeq uint64
+	for slot := uint32(0); slot < l.pages; slot++ {
+		if err := l.dev.ReadPage(t, l.start+slot, buf); err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != pageMagic {
+			break
+		}
+		seq := binary.LittleEndian.Uint64(buf[4:])
+		if seq <= lastSeq {
+			break
+		}
+		lastSeq = seq
+		used := int(binary.LittleEndian.Uint32(buf[12:]))
+		if used > l.capacityPerPage() {
+			break
+		}
+		stream = append(stream, buf[pageHdr:pageHdr+used]...)
+	}
+	var out [][]byte
+	off := 0
+	for off+recHdr <= len(stream) {
+		n := int(binary.LittleEndian.Uint32(stream[off:]))
+		if off+recHdr+n > len(stream) {
+			break // torn tail record
+		}
+		rec := make([]byte, n)
+		copy(rec, stream[off+recHdr:])
+		out = append(out, rec)
+		off += recHdr + n
+	}
+	return out, nil
+}

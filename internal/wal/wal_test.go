@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func testLog(t *testing.T, pages uint32) (*Log, *ssd.Device, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(64)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 16
+	dev, err := ssd.New("log", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(dev, 0, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dev, sim.NewSoloTask("t")
+}
+
+func TestAppendSyncReadAll(t *testing.T) {
+	l, _, task := testLog(t, 16)
+	var want [][]byte
+	for i := 0; i < 30; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-%s", i, bytes.Repeat([]byte{'x'}, i)))
+		lsn, err := l.Append(task, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != int64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+		want = append(want, rec)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.ReadAll(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestDurableLSNTracksSync(t *testing.T) {
+	l, _, task := testLog(t, 16)
+	if _, err := l.Append(task, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 0 {
+		t.Fatal("durable before sync")
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 1 {
+		t.Fatalf("durable = %d", l.DurableLSN())
+	}
+}
+
+func TestSyncedRecordsSurviveCrash(t *testing.T) {
+	l, dev, task := testLog(t, 16)
+	if _, err := l.Append(task, []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(task, []byte("maybe-lost")); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	if err := dev.Recover(task); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := New(dev, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l2.ReadAll(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("synced record lost: %q", recs)
+	}
+}
+
+func TestLargeRecordSpansPages(t *testing.T) {
+	l, _, task := testLog(t, 16)
+	big := bytes.Repeat([]byte{0xB6}, 1700) // > 3 log pages at 512B
+	if _, err := l.Append(task, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(task, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.ReadAll(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[0], big) || string(recs[1]) != "after" {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestAppendFullRing(t *testing.T) {
+	l, _, task := testLog(t, 2)
+	if _, err := l.Append(task, make([]byte, 2000)); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRingFullAndTruncate(t *testing.T) {
+	l, _, task := testLog(t, 2)
+	rec := make([]byte, 200)
+	sawFull := false
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append(task, rec); err != nil {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("ring never filled")
+	}
+	if err := l.Truncate(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(task, rec); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.ReadAll(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("after truncate read %d records", len(recs))
+	}
+}
+
+func TestPartialPageRewrittenBySync(t *testing.T) {
+	l, _, task := testLog(t, 16)
+	if _, err := l.Append(task, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(task, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.ReadAll(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "one" || string(recs[1]) != "two" {
+		t.Fatalf("records = %q", recs)
+	}
+}
+
+func TestPagesWrittenCounts(t *testing.T) {
+	l, _, task := testLog(t, 16)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(task, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.PagesWritten() < 5 {
+		t.Fatalf("pages written = %d", l.PagesWritten())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, dev, _ := testLog(t, 16)
+	if _, err := New(dev, 0, 1); err == nil {
+		t.Fatal("1-page log accepted")
+	}
+}

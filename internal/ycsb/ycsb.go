@@ -1,0 +1,231 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workloads
+// the paper uses against the mini-Couchbase store (§5.3.2): workload A
+// (50% reads / 50% updates) and workload F (100% read-modify-write),
+// zipfian key skew, single-threaded clients, ~4 KiB records.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"share/internal/couch"
+	"share/internal/sim"
+)
+
+// Workload selects the YCSB operation mix.
+type Workload int
+
+// All six core YCSB workloads. The paper measured A and F (the
+// write-heavy ones); B-E are implemented for completeness and used by the
+// abl-ycsb experiment to confirm the paper's observation that the
+// read-intensive workloads have little to gain from SHARE.
+const (
+	WorkloadA Workload = iota // 50% read, 50% update
+	WorkloadB                 // 95% read, 5% update
+	WorkloadC                 // 100% read
+	WorkloadD                 // 95% read (latest distribution), 5% insert
+	WorkloadE                 // 95% short scans, 5% insert
+	WorkloadF                 // 100% read-modify-write
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadA:
+		return "workload-A"
+	case WorkloadB:
+		return "workload-B"
+	case WorkloadC:
+		return "workload-C"
+	case WorkloadD:
+		return "workload-D"
+	case WorkloadE:
+		return "workload-E"
+	case WorkloadF:
+		return "workload-F"
+	}
+	return "?"
+}
+
+// Config sizes a run.
+type Config struct {
+	Records     int // database size in documents
+	ValueSize   int // bytes per document value (paper: ~4 KiB records)
+	Ops         int // measured operations
+	Workload    Workload
+	Seed        int64
+	ZipfS       float64 // zipfian skew (default 1.1)
+	AutoCompact bool    // run compaction when the store's threshold trips
+	// Background, when set, is the task compaction time is charged to —
+	// Couchbase compacts on a background thread, so the client stream
+	// slows only through device contention, not by executing the copy
+	// itself.
+	Background *sim.Task
+}
+
+func (c *Config) setDefaults() {
+	if c.Records == 0 {
+		c.Records = 1000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 4000
+	}
+	if c.Ops == 0 {
+		c.Ops = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+}
+
+// Result of one run.
+type Result struct {
+	Ops          int64
+	Elapsed      sim.Duration
+	Throughput   float64 // operations per virtual second
+	BytesWritten int64   // host bytes written to the data device
+	Compactions  int64
+}
+
+// Key returns the i-th record key (YCSB's hashed "user" keys).
+func Key(i int) []byte {
+	h := uint64(i) * 0xff51afd7ed558ccd
+	return []byte(fmt.Sprintf("user%016x", h))
+}
+
+// Load inserts the initial records with a large commit batch (YCSB's
+// load phase is bulk), then restores the configured batch size.
+func Load(t *sim.Task, s *couch.Store, cfg Config) error {
+	cfg.setDefaults()
+	restore := s.BatchSize()
+	s.SetBatchSize(256)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	val := make([]byte, cfg.ValueSize)
+	for i := 0; i < cfg.Records; i++ {
+		rng.Read(val)
+		if err := s.Set(t, Key(i), val); err != nil {
+			return err
+		}
+	}
+	if err := s.Commit(t); err != nil {
+		return err
+	}
+	s.SetBatchSize(restore)
+	return nil
+}
+
+// Run executes the workload single-threaded (as in the paper) and returns
+// throughput in virtual time plus device write volume.
+func Run(t *sim.Task, s *couch.Store, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	dev := s.FS().Device()
+	before := dev.Stats()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 8, uint64(cfg.Records-1))
+	val := make([]byte, cfg.ValueSize)
+	start := t.Now()
+	var compactions int64
+	inserted := cfg.Records // next insert index for workloads D and E
+	for i := 0; i < cfg.Ops; i++ {
+		rank := zipf.Uint64()
+		key := Key(int((rank * 2654435761) % uint64(cfg.Records)))
+		switch cfg.Workload {
+		case WorkloadA:
+			if rng.Intn(2) == 0 {
+				if _, _, err := s.Get(t, key); err != nil {
+					return nil, err
+				}
+			} else {
+				rng.Read(val)
+				if err := s.Set(t, key, val); err != nil {
+					return nil, err
+				}
+			}
+		case WorkloadB:
+			if rng.Intn(100) < 95 {
+				if _, _, err := s.Get(t, key); err != nil {
+					return nil, err
+				}
+			} else {
+				rng.Read(val)
+				if err := s.Set(t, key, val); err != nil {
+					return nil, err
+				}
+			}
+		case WorkloadC:
+			if _, _, err := s.Get(t, key); err != nil {
+				return nil, err
+			}
+		case WorkloadD:
+			if rng.Intn(100) < 95 {
+				// Read-latest: skew toward the most recent inserts.
+				back := int(zipf.Uint64())
+				idx := inserted - 1 - back
+				if idx < 0 {
+					idx = 0
+				}
+				if _, _, err := s.Get(t, Key(idx)); err != nil {
+					return nil, err
+				}
+			} else {
+				rng.Read(val)
+				if err := s.Set(t, Key(inserted), val); err != nil {
+					return nil, err
+				}
+				inserted++
+			}
+		case WorkloadE:
+			if rng.Intn(100) < 95 {
+				// Short range scan: up to 20 documents from a random key.
+				limit := 1 + rng.Intn(20)
+				if err := s.Scan(t, key, nil, func(k, v []byte) bool {
+					limit--
+					return limit > 0
+				}); err != nil {
+					return nil, err
+				}
+			} else {
+				rng.Read(val)
+				if err := s.Set(t, Key(inserted), val); err != nil {
+					return nil, err
+				}
+				inserted++
+			}
+		case WorkloadF:
+			if _, _, err := s.Get(t, key); err != nil {
+				return nil, err
+			}
+			rng.Read(val)
+			if err := s.Set(t, key, val); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.AutoCompact && s.NeedsCompaction() {
+			ct := t
+			if cfg.Background != nil {
+				cfg.Background.AdvanceTo(t.Now())
+				ct = cfg.Background
+			}
+			if _, err := s.Compact(ct); err != nil {
+				return nil, err
+			}
+			compactions++
+		}
+	}
+	if err := s.Commit(t); err != nil {
+		return nil, err
+	}
+	after := dev.Stats()
+	res := &Result{
+		Ops:          int64(cfg.Ops),
+		Elapsed:      t.Now() - start,
+		BytesWritten: (after.FTL.HostWrites - before.FTL.HostWrites) * int64(dev.PageSize()),
+		Compactions:  compactions,
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / (float64(res.Elapsed) / float64(sim.Second))
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package ycsb
+
+import (
+	"testing"
+
+	"share/internal/couch"
+	"share/internal/fsim"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func testStore(t *testing.T, share bool, batch int) (*couch.Store, *sim.Task) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(2048)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	dev, err := ssd.New("couch", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := couch.Open(task, fs, couch.Config{
+		ShareMode:       share,
+		BatchSize:       batch,
+		DocCacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, task
+}
+
+func TestLoadAndRunWorkloadF(t *testing.T) {
+	s, task := testStore(t, false, 4)
+	cfg := Config{Records: 150, ValueSize: 900, Ops: 300, Workload: WorkloadF}
+	if err := Load(task, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.DocCount() != 150 {
+		t.Fatalf("docs = %d", s.DocCount())
+	}
+	res, err := Run(task, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.BytesWritten <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Workload F is 100% RMW: every op writes a doc page at least.
+	if res.BytesWritten < int64(cfg.Ops)*512 {
+		t.Fatalf("too few bytes written: %d", res.BytesWritten)
+	}
+}
+
+func TestWorkloadAWritesLessThanF(t *testing.T) {
+	run := func(w Workload) int64 {
+		s, task := testStore(t, false, 4)
+		cfg := Config{Records: 150, ValueSize: 900, Ops: 400, Workload: w}
+		if err := Load(task, s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(task, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesWritten
+	}
+	a := run(WorkloadA)
+	f := run(WorkloadF)
+	if a >= f {
+		t.Fatalf("workload A wrote %d >= F %d", a, f)
+	}
+}
+
+func TestShareOutperformsOriginal(t *testing.T) {
+	run := func(share bool) (float64, int64) {
+		s, task := testStore(t, share, 1)
+		cfg := Config{Records: 200, ValueSize: 900, Ops: 400, Workload: WorkloadF}
+		if err := Load(task, s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(task, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput, res.BytesWritten
+	}
+	origTp, origBytes := run(false)
+	shareTp, shareBytes := run(true)
+	if shareTp <= origTp {
+		t.Fatalf("share tput %.1f <= original %.1f", shareTp, origTp)
+	}
+	if shareBytes >= origBytes {
+		t.Fatalf("share bytes %d >= original %d", shareBytes, origBytes)
+	}
+}
+
+func TestBatchSizeNarrowsGap(t *testing.T) {
+	written := func(share bool, batch int) int64 {
+		s, task := testStore(t, share, batch)
+		cfg := Config{Records: 200, ValueSize: 900, Ops: 600, Workload: WorkloadF}
+		if err := Load(task, s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(task, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesWritten
+	}
+	gap1 := float64(written(false, 1)) / float64(written(true, 1))
+	gap64 := float64(written(false, 64)) / float64(written(true, 64))
+	if gap64 >= gap1 {
+		t.Fatalf("write gap did not narrow with batch size: %.2f -> %.2f", gap1, gap64)
+	}
+	if gap1 < 2 {
+		t.Fatalf("batch-1 write gap %.2f too small; paper reports ~7.9x", gap1)
+	}
+}
+
+func TestKeysAreStable(t *testing.T) {
+	if string(Key(5)) != string(Key(5)) {
+		t.Fatal("Key not deterministic")
+	}
+	if string(Key(5)) == string(Key(6)) {
+		t.Fatal("Key collision")
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	s, task := testStore(t, false, 1)
+	cfg := Config{Records: 100, ValueSize: 900, Ops: 1500, Workload: WorkloadF, AutoCompact: true}
+	if err := Load(task, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(task, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compactions == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	// Data still correct after compactions.
+	for i := 0; i < 100; i++ {
+		if _, ok, err := s.Get(task, Key(i)); err != nil || !ok {
+			t.Fatalf("key %d lost: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		t.Run(w.String(), func(t *testing.T) {
+			s, task := testStore(t, false, 8)
+			cfg := Config{Records: 120, ValueSize: 600, Ops: 200, Workload: w, Seed: 2}
+			if err := Load(task, s, cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(task, s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("%v: throughput %f", w, res.Throughput)
+			}
+		})
+	}
+}
+
+func TestReadOnlyWorkloadWritesAlmostNothing(t *testing.T) {
+	s, task := testStore(t, false, 8)
+	cfg := Config{Records: 120, ValueSize: 600, Ops: 300, Workload: WorkloadC, Seed: 2}
+	if err := Load(task, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(task, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the final commit's header may be written.
+	if res.BytesWritten > 16*512 {
+		t.Fatalf("workload C wrote %d bytes", res.BytesWritten)
+	}
+}

@@ -1,0 +1,99 @@
+// Package share is the public API of the SHARE flash-storage reproduction
+// (Oh et al., "SHARE Interface in Flash Storage for Relational and NoSQL
+// Databases", SIGMOD 2016).
+//
+// It exposes a simulated SHARE-capable SSD: a page-mapped FTL over a NAND
+// model, extended with the paper's SHARE(LPN1, LPN2, length) command that
+// atomically remaps one logical page range onto the physical pages of
+// another. Host software uses it to gain write atomicity — and zero-copy
+// compaction and file copies — without the redundant second write that
+// journaling and copy-on-write schemes otherwise pay.
+//
+// Quick start:
+//
+//	dev, _ := share.OpenDevice(share.DeviceOptions{Blocks: 1024})
+//	t := share.NewTask("client")
+//	dev.WritePage(t, 0, oldData)
+//	dev.WritePage(t, 1, newData)
+//	dev.Share(t, []share.Pair{{Dst: 0, Src: 1, Len: 1}}) // atomic remap
+//
+// Deeper integrations live in the internal packages: fsim (a file system
+// with the SHARE ioctl), innodb and couch (database engines with SHARE
+// modes), and bench (the paper's experiments). The examples/ directory
+// shows the public API on realistic scenarios.
+package share
+
+import (
+	"share/internal/ftl"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// Pair is one SHARE remapping: Dst's logical pages are remapped onto the
+// physical pages currently mapped by Src. Len counts mapping units.
+type Pair = ssd.Pair
+
+// Device is a simulated SHARE-capable SSD.
+type Device = ssd.Device
+
+// Task carries a client's virtual clock; every device operation charges
+// simulated service and queueing time to it.
+type Task = sim.Task
+
+// Stats aggregates device counters (host traffic, GC, copybacks, wear).
+type Stats = ssd.Stats
+
+// DeviceOptions sizes and tunes a device. Zero values select defaults.
+type DeviceOptions struct {
+	// Blocks is the NAND block count (128 pages of 4 KiB each per block
+	// by default). 1024 blocks ≈ 512 MiB raw.
+	Blocks int
+	// PageSize overrides the 4096-byte mapping unit (tests use 512).
+	PageSize int
+	// PagesPerBlock overrides the 128-page erase block.
+	PagesPerBlock int
+	// OverProvision overrides the 10% GC headroom fraction.
+	OverProvision float64
+	// ShareTableCap bounds the device's reverse-mapping table, as on the
+	// OpenSSD prototype (250/500). 0 means unlimited.
+	ShareTableCap int
+	// PowerCapacitor models a capacitor-backed device whose RAM-buffered
+	// mapping deltas are already durable.
+	PowerCapacitor bool
+}
+
+// OpenDevice creates a fresh simulated device.
+func OpenDevice(opts DeviceOptions) (*Device, error) {
+	blocks := opts.Blocks
+	if blocks == 0 {
+		blocks = 1024
+	}
+	cfg := ssd.DefaultConfig(blocks)
+	if opts.PageSize != 0 {
+		cfg.Geometry.PageSize = opts.PageSize
+	}
+	if opts.PagesPerBlock != 0 {
+		cfg.Geometry.PagesPerBlock = opts.PagesPerBlock
+	}
+	if opts.OverProvision != 0 {
+		cfg.FTL.OverProvision = opts.OverProvision
+	}
+	cfg.FTL.ShareTableCap = opts.ShareTableCap
+	cfg.FTL.PowerCapacitor = opts.PowerCapacitor
+	return ssd.New("share-ssd", cfg)
+}
+
+// NewTask returns a standalone virtual-time task for single-threaded use.
+// Multi-client experiments use a sim.Scheduler instead.
+func NewTask(name string) *Task { return sim.NewSoloTask(name) }
+
+// ErrFull is returned when the device has no reclaimable space.
+var ErrFull = ftl.ErrFull
+
+// ErrBatch is returned when a single SHARE command exceeds the device's
+// atomic limit; split with internal/core.ShareAll.
+var ErrBatch = ftl.ErrBatch
+
+// DefaultTiming exposes the MLC NAND latencies used by the simulator.
+func DefaultTiming() nand.Timing { return nand.DefaultTiming() }

@@ -1,0 +1,80 @@
+package share_test
+
+import (
+	"bytes"
+	"testing"
+
+	"share"
+)
+
+func TestOpenDeviceDefaults(t *testing.T) {
+	dev, err := share.OpenDevice(share.DeviceOptions{Blocks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.PageSize() != 4096 {
+		t.Fatalf("page size = %d", dev.PageSize())
+	}
+	if dev.Capacity() <= 0 || dev.MaxShareBatch() <= 0 {
+		t.Fatal("bad capacity or batch limit")
+	}
+}
+
+func TestOpenDeviceOptions(t *testing.T) {
+	dev, err := share.OpenDevice(share.DeviceOptions{
+		Blocks:        128,
+		PageSize:      512,
+		PagesPerBlock: 16,
+		OverProvision: 0.25,
+		ShareTableCap: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.PageSize() != 512 {
+		t.Fatalf("page size = %d", dev.PageSize())
+	}
+	// 25% over-provisioning: capacity well below raw.
+	if dev.Capacity() >= 128*16*80/100 {
+		t.Fatalf("over-provisioning not applied: %d", dev.Capacity())
+	}
+}
+
+func TestPublicAPISmoke(t *testing.T) {
+	dev, err := share.OpenDevice(share.DeviceOptions{Blocks: 128, PageSize: 512, PagesPerBlock: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := share.NewTask("smoke")
+	a := bytes.Repeat([]byte{0xAA}, 512)
+	b := bytes.Repeat([]byte{0xBB}, 512)
+	if err := dev.WritePage(task, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WritePage(task, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Share(task, []share.Pair{{Dst: 0, Src: 1, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadPage(task, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("share did not take effect through the public API")
+	}
+	dev.Crash()
+	if err := dev.Recover(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadPage(task, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("share lost across crash through the public API")
+	}
+	if share.DefaultTiming().Program <= 0 {
+		t.Fatal("bad default timing")
+	}
+}
