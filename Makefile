@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test check race bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: vet, build, and the full test suite under the
+# race detector (includes the fault-injection and crash-point fuzzing
+# suites). Run it before sending a change.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# race is check without vet/build, for quick re-runs.
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper's tables/figures at test scale; see
+# cmd/sharebench for full-scale runs.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+fmt:
+	gofmt -l -w .

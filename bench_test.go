@@ -20,6 +20,9 @@ const benchScale = 0.005
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skipf("skipping experiment %s in -short mode (run the tier-1 `make check` without benchmarks, or drop -short)", id)
+	}
 	e, err := bench.Get(id)
 	if err != nil {
 		b.Fatal(err)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"share"
 	"share/internal/ftl"
@@ -27,19 +29,55 @@ func main() {
 		trimFrac  = flag.Float64("trimfrac", 0.05, "fraction of operations issued as TRIM")
 		tableCap  = flag.Int("sharetable", 0, "bounded reverse-map entries (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "random seed")
+
+		faultSeed    = flag.Int64("faultseed", 1, "seed for the NAND fault plan probabilities")
+		pTransient   = flag.Float64("ptransient", 0, "probability of a transient program fault")
+		pPermanent   = flag.Float64("ppermanent", 0, "probability of a permanent program fault")
+		pErase       = flag.Float64("perase", 0, "probability of an erase fault")
+		pCorrectable = flag.Float64("pcorrectable", 0, "probability of an ECC-corrected read")
+		badBlocks    = flag.String("badblocks", "", "comma-separated factory-bad block numbers")
+		spares       = flag.Int("spares", 0, "spare-block retirement budget (0 derives it)")
 	)
 	flag.Parse()
 
-	dev, err := share.OpenDevice(share.DeviceOptions{Blocks: *blocks, ShareTableCap: *tableCap})
+	var plan *share.FaultPlan
+	if *pTransient > 0 || *pPermanent > 0 || *pErase > 0 || *pCorrectable > 0 || *badBlocks != "" {
+		plan = share.NewFaultPlan(*faultSeed)
+		plan.PProgramTransient = *pTransient
+		plan.PProgramPermanent = *pPermanent
+		plan.PErase = *pErase
+		plan.PReadCorrectable = *pCorrectable
+		for _, s := range strings.Split(*badBlocks, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			b, err := strconv.Atoi(s)
+			if err != nil {
+				log.Fatalf("-badblocks: %v", err)
+			}
+			plan.FactoryBad = append(plan.FactoryBad, b)
+		}
+	}
+
+	dev, err := share.OpenDevice(share.DeviceOptions{
+		Blocks:        *blocks,
+		ShareTableCap: *tableCap,
+		SpareBlocks:   *spares,
+		Fault:         plan,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	t := share.NewTask("inspect")
 	if *age > 0 {
 		if err := dev.Age(t, *age, 0.3, *seed); err != nil {
-			log.Fatal(err)
+			if !errors.Is(err, ftl.ErrReadOnly) {
+				log.Fatal(err)
+			}
+			fmt.Println("device entered read-only mode during aging")
+		} else {
+			fmt.Printf("aged: %.0f%% fill + 30%% random rewrites\n", *age*100)
 		}
-		fmt.Printf("aged: %.0f%% fill + 30%% random rewrites\n", *age*100)
 	}
 	dev.ResetStats()
 	agedPrograms := dev.Stats().Chip.Programs
@@ -49,6 +87,8 @@ func main() {
 	buf := make([]byte, dev.PageSize())
 	written := make([]uint32, 0, 1024)
 	start := t.Now()
+	completed := 0
+run:
 	for i := 0; i < *writes; i++ {
 		r := rng.Float64()
 		switch {
@@ -62,17 +102,26 @@ func main() {
 			// an unmapped source is a legitimate command error.
 			if err := dev.Share(t, []share.Pair{{Dst: a, Src: b, Len: 1}}); err != nil &&
 				!errors.Is(err, ftl.ErrUnmapped) {
+				if errors.Is(err, ftl.ErrReadOnly) {
+					break run
+				}
 				log.Fatal(err)
 			}
 		case r < *shareFrac+*trimFrac && len(written) > 0:
 			lpn := written[rng.Intn(len(written))]
 			if err := dev.Trim(t, lpn, 1); err != nil {
+				if errors.Is(err, ftl.ErrReadOnly) {
+					break run
+				}
 				log.Fatal(err)
 			}
 		default:
 			lpn := uint32(rng.Intn(capacity))
 			rng.Read(buf[:16])
 			if err := dev.WritePage(t, lpn, buf); err != nil {
+				if errors.Is(err, ftl.ErrReadOnly) {
+					break run
+				}
 				log.Fatal(err)
 			}
 			written = append(written, lpn)
@@ -80,9 +129,13 @@ func main() {
 				written = written[1:]
 			}
 		}
+		completed++
 	}
-	if err := dev.Flush(t); err != nil {
+	if err := dev.Flush(t); err != nil && !errors.Is(err, ftl.ErrReadOnly) {
 		log.Fatal(err)
+	}
+	if completed < *writes {
+		fmt.Printf("device entered read-only mode after %d/%d operations\n", completed, *writes)
 	}
 
 	st := dev.Stats()
@@ -102,6 +155,16 @@ func main() {
 			float64(st.Chip.Programs-agedPrograms)/float64(st.FTL.HostWrites))
 	}
 	fmt.Printf("wear:                min %d / max %d erases per block\n", st.Chip.MinWear, st.Chip.MaxWear)
+	fmt.Printf("fault handling:      %d program retries, %d program fails, %d erase fails\n",
+		st.FTL.ProgramRetries, st.FTL.ProgramFails, st.FTL.EraseFails)
+	fmt.Printf("media health:        %d blocks retired (%d bad on chip), %d spares left, %d ECC-corrected reads\n",
+		st.FTL.RetiredBlocks, st.Chip.BadBlocks, st.FTL.SpareBlocksLeft, st.Chip.EccCorrected)
+	if st.FTL.UncorrectableReads > 0 {
+		fmt.Printf("uncorrectable reads: %d\n", st.FTL.UncorrectableReads)
+	}
+	if st.FTL.ReadOnly {
+		fmt.Println("device state:        READ-ONLY (spare budget exhausted)")
+	}
 
 	if err := dev.FTLForTest().CheckInvariants(); err != nil {
 		log.Fatalf("FTL invariant violation: %v", err)

@@ -23,6 +23,9 @@ type AtomicPage struct {
 // in one request, which is why this interface cannot express Couchbase's
 // zero-copy compaction.
 func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
 	total := f.cfg.CommandOverhead
 	if len(pages) == 0 {
 		return total, nil
@@ -38,24 +41,15 @@ func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
 			return total, fmt.Errorf("ftl: atomic write size %d != page size %d", len(p.Data), f.geo.PageSize)
 		}
 	}
-	// Keep the whole batch's deltas inside one log page.
-	if len(f.deltaBuf)+len(pages) > f.entriesPerLogPage() {
-		d, err := f.flushDeltaPage()
-		total += d
-		if err != nil {
-			return total, err
-		}
-	}
 	f.st.AtomicWrites++
+	// Hold the batch's deltas back from the ordinary buffer so a GC flush
+	// between page programs cannot persist a torn batch.
+	f.beginBatch()
+	defer f.endBatch()
 	for _, p := range pages {
 		f.st.HostWrites++
-		d, ppn, err := f.allocDataPage(&f.host)
+		d, ppn, err := f.programPage(&f.host, p.Data, nandDataOOB(p.LPN))
 		total += d
-		if err != nil {
-			return total, err
-		}
-		pd, err := f.chip.Program(ppn, p.Data, nandDataOOB(p.LPN))
-		total += pd
 		if err != nil {
 			return total, err
 		}
@@ -72,12 +66,6 @@ func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
 		}
 	}
 	// Commit record: the batch's deltas become durable atomically.
-	if !f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
-		d, err := f.flushDeltaPage()
-		total += d
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	d, err := f.commitBatch()
+	return total + d, err
 }

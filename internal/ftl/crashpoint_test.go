@@ -1,0 +1,442 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"share/internal/nand"
+)
+
+// Crash-point fuzzing: run a mixed workload, cut power at EVERY successful
+// program/erase boundary (the chip's power-cut injector), recover, and check
+// the recovered state against a prefix oracle.
+//
+// The oracle: number the workload's events 0..N-1 and let S(j) be the
+// logical state after the first j events. Deltas reach flash in event order
+// and each event's mapping updates are confined to one delta-log page
+// (single-delta writes/trims trivially; SHARE and atomic-write batches by
+// the commit-record design), so the recovered state must equal S(j) for
+// some j between the durable watermark — the last completed event whose
+// return guarantees durability (Flush, Checkpoint, Share, WriteAtomic) —
+// and the event in flight when power died. Anything else is either lost
+// acknowledged data or a torn batch.
+
+const (
+	evWrite = iota
+	evTrim
+	evShare
+	evAtomic
+	evFlush
+	evCheckpoint
+)
+
+type cpEvent struct {
+	kind  int
+	lpn   uint32   // evWrite, evTrim
+	id    uint16   // evWrite payload id
+	pairs []Pair   // evShare
+	pages []uint32 // evAtomic
+	ids   []uint16 // evAtomic payload ids
+}
+
+// barrier reports whether completing the event makes every prior effect
+// durable.
+func (e cpEvent) barrier() bool {
+	switch e.kind {
+	case evFlush, evCheckpoint, evShare, evAtomic:
+		return true
+	}
+	return false
+}
+
+// cpPage builds a page payload carrying a 16-bit id.
+func cpPage(size int, id uint16) []byte {
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint16(buf, id)
+	for i := 2; i < size; i++ {
+		buf[i] = byte(id)
+	}
+	return buf
+}
+
+func cpApply(f *FTL, ev cpEvent) error {
+	var err error
+	switch ev.kind {
+	case evWrite:
+		_, err = f.Write(ev.lpn, cpPage(f.PageSize(), ev.id))
+	case evTrim:
+		_, err = f.Trim(ev.lpn, 1)
+	case evShare:
+		_, err = f.Share(ev.pairs)
+	case evAtomic:
+		pages := make([]AtomicPage, len(ev.pages))
+		for i, lpn := range ev.pages {
+			pages[i] = AtomicPage{LPN: lpn, Data: cpPage(f.PageSize(), ev.ids[i])}
+		}
+		_, err = f.WriteAtomic(pages)
+	case evFlush:
+		_, err = f.Flush()
+	case evCheckpoint:
+		_, err = f.Checkpoint()
+	}
+	return err
+}
+
+// cpModel applies ev to the logical ground-truth state.
+func cpModel(m []uint16, ev cpEvent) {
+	switch ev.kind {
+	case evWrite:
+		m[ev.lpn] = ev.id
+	case evTrim:
+		m[ev.lpn] = 0
+	case evShare:
+		for _, p := range ev.pairs {
+			for i := uint32(0); i < p.Len; i++ {
+				m[p.Dst+i] = m[p.Src+i]
+			}
+		}
+	case evAtomic:
+		for i, lpn := range ev.pages {
+			m[lpn] = ev.ids[i]
+		}
+	}
+}
+
+// cpWorkload builds the deterministic mixed workload: host writes and
+// overwrites, SHARE batches over data that is then overwritten, atomic
+// multi-page writes spanning block boundaries, trims, flushes, a checkpoint,
+// and enough churn that garbage collection relocates data and metadata.
+func cpWorkload() []cpEvent {
+	var evs []cpEvent
+	id := uint16(1)
+	w := func(lpn int) {
+		evs = append(evs, cpEvent{kind: evWrite, lpn: uint32(lpn), id: id})
+		id++
+	}
+	const hot = 48
+	for l := 0; l < hot; l++ {
+		w(l)
+	}
+	evs = append(evs, cpEvent{kind: evFlush})
+	// Snapshot-style SHARE; the sources are overwritten right after, so the
+	// shared destinations pin the old physical pages (refcount > 1).
+	evs = append(evs, cpEvent{kind: evShare, pairs: []Pair{{Dst: 60, Src: 0, Len: 8}}})
+	for l := 0; l < 16; l++ {
+		w(l)
+	}
+	at := cpEvent{kind: evAtomic}
+	for i := 0; i < 6; i++ {
+		at.pages = append(at.pages, uint32(80+i))
+		at.ids = append(at.ids, id)
+		id++
+	}
+	evs = append(evs, at)
+	evs = append(evs, cpEvent{kind: evTrim, lpn: 40})
+	evs = append(evs, cpEvent{kind: evTrim, lpn: 41})
+	evs = append(evs, cpEvent{kind: evCheckpoint})
+	for round := 0; round < 3; round++ { // churn: forces GC
+		for l := 0; l < hot; l++ {
+			w(l)
+		}
+	}
+	evs = append(evs, cpEvent{
+		kind:  evShare,
+		pairs: []Pair{{Dst: 100, Src: 16, Len: 4}, {Dst: 110, Src: 30, Len: 2}},
+	})
+	at2 := cpEvent{kind: evAtomic}
+	for i := 0; i < 4; i++ {
+		at2.pages = append(at2.pages, uint32(90+i))
+		at2.ids = append(at2.ids, id)
+		id++
+	}
+	evs = append(evs, at2)
+	evs = append(evs, cpEvent{kind: evFlush})
+	return evs
+}
+
+// cpStates returns S(0..N): S[j] is the logical state after j events.
+func cpStates(evs []cpEvent, capacity int) [][]uint16 {
+	states := make([][]uint16, len(evs)+1)
+	states[0] = make([]uint16, capacity)
+	for j, ev := range evs {
+		next := append([]uint16(nil), states[j]...)
+		cpModel(next, ev)
+		states[j+1] = next
+	}
+	return states
+}
+
+// cpReadState reads back every logical page's id after recovery.
+func cpReadState(t *testing.T, f *FTL) []uint16 {
+	t.Helper()
+	got := make([]uint16, f.Capacity())
+	buf := make([]byte, f.PageSize())
+	for l := range got {
+		if _, err := f.Read(uint32(l), buf); err != nil {
+			t.Fatalf("post-recovery read lpn %d: %v", l, err)
+		}
+		got[l] = binary.LittleEndian.Uint16(buf)
+	}
+	return got
+}
+
+func cpEqual(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cpDiff(got, want []uint16) string {
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("first diff at lpn %d: got id %d want %d", i, got[i], want[i])
+		}
+	}
+	return "equal"
+}
+
+func TestCrashAtEveryMutationBoundary(t *testing.T) {
+	evs := cpWorkload()
+
+	// Dry run: how many program/erase boundaries does the workload cross?
+	dry, dryChip := testFTL(t, nil)
+	states := cpStates(evs, dry.Capacity())
+	base := dryChip.MutatingOps()
+	for i, ev := range evs {
+		if err := cpApply(dry, ev); err != nil {
+			t.Fatalf("dry run event %d: %v", i, err)
+		}
+	}
+	boundaries := int(dryChip.MutatingOps() - base)
+	if boundaries < len(evs) {
+		t.Fatalf("workload crossed only %d boundaries for %d events", boundaries, len(evs))
+	}
+
+	for cut := 0; cut <= boundaries; cut++ {
+		f, chip := testFTL(t, nil)
+		chip.PowerCutAfter(int64(cut))
+		watermark, crashed := 0, len(evs)
+		for i, ev := range evs {
+			if err := cpApply(f, ev); err != nil {
+				if !errors.Is(err, nand.ErrPowerCut) {
+					t.Fatalf("cut %d: event %d failed with %v", cut, i, err)
+				}
+				crashed = i
+				break
+			}
+			if ev.barrier() {
+				watermark = i + 1
+			}
+		}
+		chip.DisablePowerCut()
+		f.Crash()
+		if _, err := f.Recover(); err != nil {
+			t.Fatalf("cut %d (event %d): recover: %v", cut, crashed, err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cut %d (event %d): %v", cut, crashed, err)
+		}
+		got := cpReadState(t, f)
+		hi := crashed + 1
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		matched := -1
+		for j := watermark; j <= hi; j++ {
+			if cpEqual(got, states[j]) {
+				matched = j
+				break
+			}
+		}
+		if matched < 0 {
+			t.Fatalf("cut %d: recovered state matches no S(%d..%d) — vs S(%d): %s; vs S(%d): %s",
+				cut, watermark, hi, watermark, cpDiff(got, states[watermark]), hi, cpDiff(got, states[hi]))
+		}
+	}
+}
+
+// TestCrashedDeviceResumesService spot-checks that a device recovered from
+// an arbitrary mid-GC cut point keeps serving writes afterward.
+func TestCrashedDeviceResumesService(t *testing.T) {
+	evs := cpWorkload()
+	dry, dryChip := testFTL(t, nil)
+	for _, ev := range evs {
+		if err := cpApply(dry, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundaries := int(dryChip.MutatingOps())
+	for _, cut := range []int{boundaries / 3, boundaries / 2, 2 * boundaries / 3} {
+		f, chip := testFTL(t, nil)
+		chip.PowerCutAfter(int64(cut))
+		for _, ev := range evs {
+			if err := cpApply(f, ev); err != nil {
+				break
+			}
+		}
+		chip.DisablePowerCut()
+		f.Crash()
+		if _, err := f.Recover(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for l := 0; l < 32; l++ {
+			mustWrite(t, f, uint32(l), byte(l+3))
+		}
+		for l := 0; l < 32; l++ {
+			if got := mustRead(t, f, uint32(l)); got[0] != byte(l+3) {
+				t.Fatalf("cut %d: lpn %d = %x after resumed writes", cut, l, got[0])
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+// shareCrashDevice preloads sources (0..7) and destinations (20..27) with
+// distinct payloads and flushes, so a SHARE of the whole range has a clean
+// old/new distinction per destination page.
+func shareCrashDevice(t *testing.T, tableCap int) (*FTL, *nand.Chip) {
+	t.Helper()
+	f, chip := testFTL(t, func(c *Config) { c.ShareTableCap = tableCap })
+	for i := uint32(0); i < 8; i++ {
+		mustWrite(t, f, i, byte(0x10+i))    // sources
+		mustWrite(t, f, 20+i, byte(0x90+i)) // destinations (old data)
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f, chip
+}
+
+// TestShareCrashAtEveryProgramBoundary cuts power at every NAND boundary
+// inside a SHARE command — both the pure-remap fast path and the overflow
+// path where forced physical copies program data pages mid-command — and
+// requires the batch to be all-or-nothing, and all-visible once the command
+// returned.
+func TestShareCrashAtEveryProgramBoundary(t *testing.T) {
+	pairs := []Pair{{Dst: 20, Src: 0, Len: 8}}
+	for _, tc := range []struct {
+		name     string
+		tableCap int
+	}{
+		{"remap", 0},
+		{"forced-copies", 4}, // table cap 4: last 4 units degrade to copies
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, chip := shareCrashDevice(t, tc.tableCap)
+			base := chip.MutatingOps()
+			if _, err := f.Share(pairs); err != nil {
+				t.Fatal(err)
+			}
+			n := int(chip.MutatingOps() - base)
+			if tc.tableCap > 0 && f.Stats().ForcedCopies == 0 {
+				t.Fatal("overflow variant triggered no forced copies")
+			}
+			for cut := 0; cut <= n; cut++ {
+				f, chip := shareCrashDevice(t, tc.tableCap)
+				chip.PowerCutAfter(int64(cut))
+				_, serr := f.Share(pairs)
+				if serr != nil && !errors.Is(serr, nand.ErrPowerCut) {
+					t.Fatalf("cut %d: share failed with %v", cut, serr)
+				}
+				chip.DisablePowerCut()
+				f.Crash()
+				if _, err := f.Recover(); err != nil {
+					t.Fatalf("cut %d: recover: %v", cut, err)
+				}
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				applied := 0
+				for i := uint32(0); i < 8; i++ {
+					got := mustRead(t, f, 20+i)
+					switch got[0] {
+					case byte(0x10 + i):
+						applied++
+					case byte(0x90 + i):
+					default:
+						t.Fatalf("cut %d: dst %d holds neither old nor new data (%x)", cut, 20+i, got[0])
+					}
+					// Sources are never disturbed by a SHARE.
+					if src := mustRead(t, f, i); src[0] != byte(0x10+i) {
+						t.Fatalf("cut %d: src %d corrupted (%x)", cut, i, src[0])
+					}
+				}
+				if applied != 0 && applied != 8 {
+					t.Fatalf("cut %d: torn SHARE batch: %d of 8 pairs visible", cut, applied)
+				}
+				if serr == nil && applied != 8 {
+					t.Fatalf("cut %d: completed SHARE lost after crash (%d of 8 visible)", cut, applied)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteAtomicCrashAtEveryProgramBoundary does the same for the atomic
+// multi-page write baseline: the batch spans block boundaries, and at every
+// cut the recovered destinations are all-old or all-new — all-new whenever
+// the command had returned.
+func TestWriteAtomicCrashAtEveryProgramBoundary(t *testing.T) {
+	const batch = 12 // > pages per block (8): spans at least two blocks
+	setup := func(t *testing.T) (*FTL, *nand.Chip, []AtomicPage) {
+		t.Helper()
+		f, chip := testFTL(t, nil)
+		for i := uint32(0); i < batch; i++ {
+			mustWrite(t, f, 30+i, byte(0x40+i)) // old data
+		}
+		if _, err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		pages := make([]AtomicPage, batch)
+		for i := range pages {
+			pages[i] = AtomicPage{LPN: 30 + uint32(i), Data: fill(byte(0xC0+i), f.PageSize())}
+		}
+		return f, chip, pages
+	}
+	f, chip, pages := setup(t)
+	base := chip.MutatingOps()
+	if _, err := f.WriteAtomic(pages); err != nil {
+		t.Fatal(err)
+	}
+	n := int(chip.MutatingOps() - base)
+	for cut := 0; cut <= n; cut++ {
+		f, chip, pages := setup(t)
+		chip.PowerCutAfter(int64(cut))
+		_, werr := f.WriteAtomic(pages)
+		if werr != nil && !errors.Is(werr, nand.ErrPowerCut) {
+			t.Fatalf("cut %d: atomic write failed with %v", cut, werr)
+		}
+		chip.DisablePowerCut()
+		f.Crash()
+		if _, err := f.Recover(); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		applied := 0
+		for i := uint32(0); i < batch; i++ {
+			got := mustRead(t, f, 30+i)
+			switch got[0] {
+			case byte(0xC0 + i):
+				applied++
+			case byte(0x40 + i):
+			default:
+				t.Fatalf("cut %d: lpn %d holds neither old nor new data (%x)", cut, 30+i, got[0])
+			}
+		}
+		if applied != 0 && applied != batch {
+			t.Fatalf("cut %d: torn atomic write: %d of %d pages visible", cut, applied, batch)
+		}
+		if werr == nil && applied != batch {
+			t.Fatalf("cut %d: completed atomic write lost (%d of %d visible)", cut, applied, batch)
+		}
+	}
+}

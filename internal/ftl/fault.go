@@ -1,0 +1,172 @@
+package ftl
+
+import (
+	"errors"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// Bad-block management. Every NAND program in the FTL goes through
+// programPage, which absorbs the chip's failure modes: a failed program is
+// retried once (transient faults clear), and if the retry fails too the
+// block is treated as permanently bad — its live pages are rescued to other
+// blocks, the block is retired, and the in-flight data is re-steered to a
+// fresh page. Erase failures (injected or wear-out) retire the victim the
+// same way via GC. Retirements consume the spare budget carved out of the
+// over-provisioned area; once it is exhausted the device degrades to a
+// read-only mode instead of corrupting state.
+
+// ErrReadOnly is returned for mutating commands after the device has
+// degraded: so many blocks were retired that the spare pool is exhausted
+// and further writes could no longer be guaranteed durable. Reads — and
+// flushing already-acknowledged state — still work.
+var ErrReadOnly = errors.New("ftl: device degraded to read-only (spare blocks exhausted)")
+
+// programPage allocates a page on stream s and programs data+oob into it.
+// NAND program faults are handled here, in one place, for every write path
+// (host writes, forced copies, atomic batches, GC relocation, mapping
+// metadata): retry once on failure, then retire the block and re-steer.
+func (f *FTL) programPage(s *stream, data []byte, oob nand.OOB) (sim.Duration, uint32, error) {
+	var total sim.Duration
+	for {
+		d, ppn, err := f.allocDataPage(s)
+		total += d
+		if err != nil {
+			return total, 0, err
+		}
+		pd, err := f.chip.Program(ppn, data, oob)
+		total += pd
+		if err == nil {
+			return total, ppn, nil
+		}
+		if !errors.Is(err, nand.ErrProgramFail) {
+			return total, 0, err // power cut, bounds: not a media fault
+		}
+		f.st.ProgramRetries++
+		pd, err = f.chip.Program(ppn, data, oob)
+		total += pd
+		if err == nil {
+			return total, ppn, nil
+		}
+		if !errors.Is(err, nand.ErrProgramFail) {
+			return total, 0, err
+		}
+		// The retry failed too: treat the block as permanently bad, rescue
+		// its live pages, and loop to re-steer the data onto a fresh block.
+		f.st.ProgramFails++
+		d, rerr := f.retireStreamBlock(s)
+		total += d
+		if rerr != nil {
+			return total, 0, rerr
+		}
+	}
+}
+
+// retireStreamBlock takes s's current block out of service after a
+// permanent program failure: the stream is detached so the next allocation
+// opens a fresh block, still-live pages are relocated (the block is
+// suspect), and the block joins the retired set.
+func (f *FTL) retireStreamBlock(s *stream) (sim.Duration, error) {
+	b := s.block
+	s.block = -1
+	s.next = 0
+	if b < 0 {
+		return 0, nil
+	}
+	f.blockFull[b] = true
+	buf := make([]byte, f.geo.PageSize)
+	total, err := f.relocateLive(b, buf)
+	if err != nil {
+		return total, err
+	}
+	f.retireBlock(b)
+	return total, nil
+}
+
+// retireBlock permanently removes block b from service: it never rejoins
+// the free pool. When retirements exceed the spare budget the device
+// transitions to read-only — the remaining blocks can still back every
+// acknowledged write, but no new ones.
+func (f *FTL) retireBlock(b int) {
+	if f.retired[b] {
+		return
+	}
+	f.st.RetiredBlocks++
+	f.noteRetired(b)
+}
+
+// noteRetired records b as out of service and checks the spare budget. The
+// Recover path uses it directly: rediscovering the chip's persistent
+// bad-block marks after a crash must not recount them in Stats.
+func (f *FTL) noteRetired(b int) {
+	if f.retired[b] {
+		return
+	}
+	f.retired[b] = true
+	f.retiredN++
+	if f.retiredN > f.spareBudget {
+		f.readOnly = true
+	}
+}
+
+// relocateLive moves every live page — valid data and live FTL metadata —
+// out of block b. Shared by GC (before erase) and block retirement.
+func (f *FTL) relocateLive(b int, buf []byte) (sim.Duration, error) {
+	var total sim.Duration
+	base := uint32(b * f.geo.PagesPerBlock)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		ppn := base + uint32(i)
+		if f.chip.State(ppn) != nand.PageProgrammed {
+			continue
+		}
+		oob, err := f.chip.ReadOOB(ppn)
+		if err != nil {
+			return total, err
+		}
+		switch oob.Tag {
+		case nand.TagData:
+			if f.refs[ppn] == 0 {
+				continue // stale data page
+			}
+			d, err := f.relocateData(ppn, buf)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		case nand.TagMapBase, nand.TagMapLog:
+			if !f.metaLive[ppn] {
+				continue // superseded snapshot or truncated log page
+			}
+			d, err := f.relocateMeta(ppn, oob, buf)
+			total += d
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// chipRead reads a physical page, counting uncorrectable errors: with no
+// on-device redundancy beyond per-page ECC, such a read is surfaced to the
+// caller as data loss rather than silently rehomed.
+func (f *FTL) chipRead(ppn uint32, dst []byte) (nand.OOB, sim.Duration, error) {
+	oob, d, err := f.chip.Read(ppn, dst)
+	if errors.Is(err, nand.ErrUncorrectable) {
+		f.st.UncorrectableReads++
+	}
+	return oob, d, err
+}
+
+// ReadOnly reports whether the device has degraded to read-only mode.
+func (f *FTL) ReadOnly() bool { return f.readOnly }
+
+// SpareBlocksLeft reports how many more block retirements the device can
+// absorb before degrading to read-only.
+func (f *FTL) SpareBlocksLeft() int {
+	if left := f.spareBudget - f.retiredN; left > 0 {
+		return left
+	}
+	return 0
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// collection migrates the coldest block so its barely-worn flash
 	// rejoins the free pool. 0 disables wear leveling.
 	WearLevelDelta int64
+	// SpareBlocks is the retirement budget: how many blocks (factory-bad
+	// plus failed in service) the device absorbs before degrading to
+	// read-only. 0 derives it from the over-provisioned area, keeping the
+	// GC working set out of reach of retirement.
+	SpareBlocks int
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -127,7 +132,10 @@ type FTL struct {
 
 	blockValid     []int // per block: physical pages with refs > 0 (or valid metadata)
 	blockFull      []bool
-	retired        []bool // worn-out blocks permanently out of service
+	retired        []bool // bad/worn-out blocks permanently out of service
+	retiredN       int    // count of retired blocks (spare-budget usage)
+	spareBudget    int    // retirements tolerated before read-only
+	readOnly       bool   // degraded mode: mutating commands are refused
 	freeBlocks     []int
 	host, gc, meta stream
 
@@ -137,10 +145,18 @@ type FTL struct {
 	mapSeq        []uint64        // seq of the latest snapshot per map page
 	deltaBuf      []delta         // RAM-buffered, not yet durable
 	logPPNs       []uint32        // durable delta-log pages since last checkpoint, in order
+	logSeqs       []uint64        // payload seq per logPPNs entry (stable across GC relocation)
 	pendingShares int             // un-checkpointed SHARE deltas (reverse-table occupancy)
 	metaLive      map[uint32]bool // live metadata pages (latest map snapshots + needed log pages)
 	logSeq        uint64          // payload-embedded ordering for log/map pages
 	inGC          bool            // re-entrancy guard: GC's own writes must not trigger GC
+
+	// Uncommitted batch (SHARE / atomic write) deltas. They are kept out of
+	// deltaBuf so that GC flushing buffered deltas mid-batch cannot make a
+	// torn batch durable; commitBatch moves them into one delta-log page.
+	inBatch  bool
+	batchBuf []delta
+	batchIdx map[uint32]int // lpn -> index in batchBuf
 
 	st Stats
 }
@@ -175,10 +191,28 @@ func New(chip *nand.Chip, cfg Config) (*FTL, error) {
 		geo:      geo,
 		capacity: capacity,
 	}
+	f.spareBudget = cfg.SpareBlocks
+	if f.spareBudget <= 0 {
+		// By default retirement may consume the over-provisioned headroom
+		// down to (but not into) the GC working set.
+		f.spareBudget = reserve - (cfg.GCHighWater + 2)
+		if f.spareBudget < 0 {
+			f.spareBudget = 0
+		}
+	}
 	f.initVolatile()
-	// All blocks start free.
+	// All good blocks start free; factory-bad blocks are retired on the
+	// spot and charged against the spare budget.
 	for b := geo.Blocks - 1; b >= 0; b-- {
+		if chip.IsBad(b) {
+			f.retireBlock(b)
+			f.blockFull[b] = true
+			continue
+		}
 		f.freeBlocks = append(f.freeBlocks, b)
+	}
+	if f.readOnly {
+		return nil, fmt.Errorf("ftl: %d factory-bad blocks exceed the spare budget (%d)", f.retiredN, f.spareBudget)
 	}
 	nMap := (capacity + f.entriesPerMapPage() - 1) / f.entriesPerMapPage()
 	f.mapDir = make([]uint32, nMap)
@@ -205,12 +239,18 @@ func (f *FTL) initVolatile() {
 	f.blockValid = make([]int, f.geo.Blocks)
 	f.blockFull = make([]bool, f.geo.Blocks)
 	f.retired = make([]bool, f.geo.Blocks)
+	f.retiredN = 0
+	f.readOnly = false
 	f.freeBlocks = nil
 	f.host = stream{block: -1}
 	f.gc = stream{block: -1}
 	f.meta = stream{block: -1}
 	f.deltaBuf = nil
+	f.inBatch = false
+	f.batchBuf = nil
+	f.batchIdx = nil
 	f.logPPNs = nil
+	f.logSeqs = nil
 	f.pendingShares = 0
 	f.metaLive = make(map[uint32]bool)
 	f.inGC = false
@@ -256,7 +296,7 @@ func (f *FTL) Read(lpn uint32, dst []byte) (sim.Duration, error) {
 		}
 		return f.cfg.CommandOverhead, nil
 	}
-	_, d, err := f.chip.Read(ppn, dst)
+	_, d, err := f.chipRead(ppn, dst)
 	return f.cfg.CommandOverhead + d, err
 }
 
@@ -267,18 +307,16 @@ func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
 	if err := f.checkRange(lpn, 1); err != nil {
 		return 0, err
 	}
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
 	f.st.HostWrites++
 	total := f.cfg.CommandOverhead
-	d, ppn, err := f.allocDataPage(&f.host)
-	if err != nil {
-		return total + d, err
-	}
+	d, ppn, err := f.programPage(&f.host, data, nand.OOB{LPN: lpn, Tag: nand.TagData})
 	total += d
-	pd, err := f.chip.Program(ppn, data, nand.OOB{LPN: lpn, Tag: nand.TagData})
 	if err != nil {
 		return total, err
 	}
-	total += pd
 	old := f.l2p[lpn]
 	f.dropRef(old, lpn)
 	f.l2p[lpn] = ppn
@@ -293,6 +331,9 @@ func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
 func (f *FTL) Trim(lpn uint32, n int) (sim.Duration, error) {
 	if err := f.checkRange(lpn, n); err != nil {
 		return 0, err
+	}
+	if f.readOnly {
+		return 0, ErrReadOnly
 	}
 	total := f.cfg.CommandOverhead
 	for i := 0; i < n; i++ {

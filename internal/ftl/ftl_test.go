@@ -476,7 +476,9 @@ churn:
 		for l := 0; l < f.Capacity(); l++ {
 			b := byte(round + l)
 			if _, err := f.Write(uint32(l), fill(b, f.PageSize())); err != nil {
-				if errors.Is(err, ErrFull) {
+				// Both end-of-life signals are graceful: out of erasable
+				// space, or so many retirements that writes are refused.
+				if errors.Is(err, ErrFull) || errors.Is(err, ErrReadOnly) {
 					dead = true
 					break churn
 				}

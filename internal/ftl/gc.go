@@ -21,7 +21,7 @@ func (f *FTL) maybeGC() (sim.Duration, error) {
 	for len(f.freeBlocks) < f.cfg.GCLowWater {
 		d, err := f.gcOnce()
 		total += d
-		if err == ErrFull && len(f.logPPNs) > 0 {
+		if err == ErrFull && len(f.logPPNs) > 0 && !f.inBatch {
 			// No reclaimable victim, but live delta-log pages are pinning
 			// blocks: an early checkpoint retires them and retries. The
 			// checkpoint itself must not re-enter GC.
@@ -58,11 +58,12 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	best := f.geo.PagesPerBlock + 1
 	coldest, coldWear := -1, int64(-1)
 	var maxWear int64
+	pins := f.batchPins()
 	for b := 0; b < f.geo.Blocks; b++ {
 		if w := f.chip.EraseCount(b); w > maxWear {
 			maxWear = w
 		}
-		if !f.blockFull[b] || f.retired[b] || b == f.host.block || b == f.gc.block || b == f.meta.block {
+		if !f.blockFull[b] || f.retired[b] || pins[b] || b == f.host.block || b == f.gc.block || b == f.meta.block {
 			continue
 		}
 		if f.blockValid[b] < best {
@@ -87,38 +88,10 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	}
 	f.st.GCEvents++
 
-	var total sim.Duration
-	base := uint32(victim * f.geo.PagesPerBlock)
 	buf := make([]byte, f.geo.PageSize)
-	for i := 0; i < f.geo.PagesPerBlock; i++ {
-		ppn := base + uint32(i)
-		if f.chip.State(ppn) != nand.PageProgrammed {
-			continue
-		}
-		oob, err := f.chip.ReadOOB(ppn)
-		if err != nil {
-			return total, err
-		}
-		switch oob.Tag {
-		case nand.TagData:
-			if f.refs[ppn] == 0 {
-				continue // stale data page
-			}
-			d, err := f.relocateData(ppn, buf)
-			total += d
-			if err != nil {
-				return total, err
-			}
-		case nand.TagMapBase, nand.TagMapLog:
-			if !f.metaLive[ppn] {
-				continue // superseded snapshot or truncated log page
-			}
-			d, err := f.relocateMeta(ppn, oob, buf)
-			total += d
-			if err != nil {
-				return total, err
-			}
-		}
+	total, err := f.relocateLive(victim, buf)
+	if err != nil {
+		return total, err
 	}
 	// The relocation deltas must be durable before the old copies are
 	// destroyed, or a crash would recover mappings into an erased block.
@@ -131,12 +104,15 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	}
 	d, err := f.chip.EraseBlock(victim)
 	total += d
-	if errors.Is(err, nand.ErrWornOut) {
-		// Retire the block: its valid pages were already relocated, so
-		// simply never return it to the free pool. Logical capacity is
-		// backed by the remaining over-provisioning headroom.
-		f.st.RetiredBlocks++
-		f.retired[victim] = true
+	if nand.Retirable(err) {
+		// Worn out, injected erase failure, or a block already marked bad:
+		// its valid pages were relocated above, so simply never return it
+		// to the free pool. Logical capacity is backed by the remaining
+		// over-provisioning headroom until the spare budget runs out.
+		if !errors.Is(err, nand.ErrWornOut) {
+			f.st.EraseFails++
+		}
+		f.retireBlock(victim)
 		return total, nil
 	}
 	if err != nil {
@@ -149,6 +125,22 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	return total, nil
 }
 
+// batchPins returns the blocks holding pages an uncommitted batch delta
+// still names as oldPPN. Until the batch commits, a crash must be able to
+// recover those pre-batch pages, so GC may not erase their blocks.
+func (f *FTL) batchPins() map[int]bool {
+	if !f.inBatch || len(f.batchBuf) == 0 {
+		return nil
+	}
+	pins := make(map[int]bool, len(f.batchBuf))
+	for _, d := range f.batchBuf {
+		if d.oldPPN != InvalidPPN {
+			pins[f.chip.BlockOf(d.oldPPN)] = true
+		}
+	}
+	return pins
+}
+
 // relocateData copies one valid data page to the GC stream and re-points
 // every logical referrer — including SHARE co-referrers — at the new copy.
 func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
@@ -157,18 +149,13 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 		// Defensive: refcount said valid but no live referrer.
 		panic("ftl: valid page with no referrers")
 	}
-	_, rd, err := f.chip.Read(ppn, buf)
+	_, rd, err := f.chipRead(ppn, buf)
 	if err != nil {
 		return rd, err
 	}
 	total := rd
-	d, dst, err := f.allocDataPage(&f.gc)
+	d, dst, err := f.programPage(&f.gc, buf, nandDataOOB(lpns[0]))
 	total += d
-	if err != nil {
-		return total, err
-	}
-	pd, err := f.chip.Program(dst, buf, nandDataOOB(lpns[0]))
-	total += pd
 	if err != nil {
 		return total, err
 	}
@@ -197,18 +184,13 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 // The ordering information recovery depends on lives in the page payload,
 // so relocation does not disturb it.
 func (f *FTL) relocateMeta(ppn uint32, oob nand.OOB, buf []byte) (sim.Duration, error) {
-	_, rd, err := f.chip.Read(ppn, buf)
+	_, rd, err := f.chipRead(ppn, buf)
 	if err != nil {
 		return rd, err
 	}
 	total := rd
-	d, dst, err := f.allocDataPage(&f.gc)
+	d, dst, err := f.programPage(&f.gc, buf, nand.OOB{LPN: oob.LPN, Tag: oob.Tag})
 	total += d
-	if err != nil {
-		return total, err
-	}
-	pd, err := f.chip.Program(dst, buf, nand.OOB{LPN: oob.LPN, Tag: oob.Tag})
-	total += pd
 	if err != nil {
 		return total, err
 	}

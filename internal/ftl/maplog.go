@@ -28,11 +28,24 @@ func (f *FTL) markMapDirty(lpn uint32) {
 	f.mapDirty[int(lpn)/f.entriesPerMapPage()] = true
 }
 
-// appendDelta buffers one mapping change and flushes a full buffer. The
-// inShareBatch flag only documents call sites; batching policy is handled
-// by Share itself.
-func (f *FTL) appendDelta(d delta, inShareBatch bool) (sim.Duration, error) {
-	_ = inShareBatch
+// appendDelta buffers one mapping change and flushes a full buffer. While a
+// batch (SHARE / atomic write) is open, its own deltas (batchDelta true)
+// accumulate in batchBuf until commitBatch, and a GC relocation touching an
+// uncommitted page is folded into the pending delta — the relocated copy
+// holds the same data, so one delta from the pre-batch page to the final
+// location recovers correctly whichever side of the commit a crash lands.
+func (f *FTL) appendDelta(d delta, batchDelta bool) (sim.Duration, error) {
+	if f.inBatch {
+		if i, ok := f.batchIdx[d.lpn]; ok {
+			f.batchBuf[i].newPPN = d.newPPN // keep the pre-batch oldPPN
+			return 0, nil
+		}
+		if batchDelta {
+			f.batchIdx[d.lpn] = len(f.batchBuf)
+			f.batchBuf = append(f.batchBuf, d)
+			return 0, nil
+		}
+	}
 	f.deltaBuf = append(f.deltaBuf, d)
 	if len(f.deltaBuf) >= f.entriesPerLogPage() {
 		return f.flushDeltaPage()
@@ -40,44 +53,94 @@ func (f *FTL) appendDelta(d delta, inShareBatch bool) (sim.Duration, error) {
 	return 0, nil
 }
 
-// flushDeltaPage programs the buffered deltas as one atomic delta-log page.
+// beginBatch opens an atomic batch: subsequent batch deltas are held back
+// from the delta buffer until commitBatch.
+func (f *FTL) beginBatch() {
+	f.inBatch = true
+	f.batchBuf = nil
+	f.batchIdx = make(map[uint32]int)
+}
+
+// endBatch closes the batch unconditionally (deferred by the batch
+// commands). After a successful commitBatch it is a no-op; on an error path
+// the partial batch's deltas rejoin the ordinary buffer — atomicity is void
+// for a failed command, but the in-memory mappings they describe must still
+// become durable before GC may erase the superseded pages.
+func (f *FTL) endBatch() {
+	if !f.inBatch {
+		return
+	}
+	f.inBatch = false
+	f.deltaBuf = append(f.deltaBuf, f.batchBuf...)
+	f.batchBuf, f.batchIdx = nil, nil
+}
+
+// commitBatch makes the open batch durable as one atomic delta-log page:
+// older buffered deltas are flushed out first if the batch would not share
+// a page with them, then the batch is programmed in a single page — the
+// commit record. With a power capacitor the buffer itself is durable and
+// the program is deferred.
+func (f *FTL) commitBatch() (sim.Duration, error) {
+	var total sim.Duration
+	if len(f.deltaBuf) > 0 && len(f.deltaBuf)+len(f.batchBuf) > f.entriesPerLogPage() {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	f.inBatch = false
+	f.deltaBuf = append(f.deltaBuf, f.batchBuf...)
+	f.batchBuf, f.batchIdx = nil, nil
+	if !f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// flushDeltaPage programs the buffered deltas as atomic delta-log pages
+// (one page per entriesPerLogPage chunk; the buffer exceeds a page only
+// after an aborted batch folds back in).
 func (f *FTL) flushDeltaPage() (sim.Duration, error) {
-	if len(f.deltaBuf) == 0 {
-		return 0, nil
+	var total sim.Duration
+	for len(f.deltaBuf) > 0 {
+		n := len(f.deltaBuf)
+		if epp := f.entriesPerLogPage(); n > epp {
+			n = epp
+		}
+		entries := f.deltaBuf[:n:n]
+		f.deltaBuf = append([]delta(nil), f.deltaBuf[n:]...)
+		f.logSeq++
+		seq := f.logSeq
+		buf := make([]byte, f.geo.PageSize)
+		binary.LittleEndian.PutUint32(buf[0:], logMagic)
+		binary.LittleEndian.PutUint16(buf[6:], uint16(len(entries)))
+		binary.LittleEndian.PutUint64(buf[8:], seq)
+		off := hdrSize
+		for _, e := range entries {
+			binary.LittleEndian.PutUint32(buf[off:], e.lpn)
+			binary.LittleEndian.PutUint32(buf[off+4:], e.oldPPN)
+			binary.LittleEndian.PutUint32(buf[off+8:], e.newPPN)
+			off += deltaSize
+		}
+		d, ppn, err := f.programPage(&f.meta, buf, nand.OOB{LPN: InvalidLPN, Tag: nand.TagMapLog})
+		total += d
+		if err != nil {
+			return total, err
+		}
+		f.metaLive[ppn] = true
+		f.blockValid[f.chip.BlockOf(ppn)]++
+		f.logPPNs = append(f.logPPNs, ppn)
+		f.logSeqs = append(f.logSeqs, seq)
+		f.st.LogPagesWritten++
 	}
-	entries := f.deltaBuf
-	f.deltaBuf = nil
-	if len(entries) > f.entriesPerLogPage() {
-		panic("ftl: delta buffer overflow")
-	}
-	f.logSeq++
-	seq := f.logSeq
-	buf := make([]byte, f.geo.PageSize)
-	binary.LittleEndian.PutUint32(buf[0:], logMagic)
-	binary.LittleEndian.PutUint16(buf[6:], uint16(len(entries)))
-	binary.LittleEndian.PutUint64(buf[8:], seq)
-	off := hdrSize
-	for _, e := range entries {
-		binary.LittleEndian.PutUint32(buf[off:], e.lpn)
-		binary.LittleEndian.PutUint32(buf[off+4:], e.oldPPN)
-		binary.LittleEndian.PutUint32(buf[off+8:], e.newPPN)
-		off += deltaSize
-	}
-	d, ppn, err := f.allocDataPage(&f.meta)
-	if err != nil {
-		return d, err
-	}
-	total := d
-	pd, err := f.chip.Program(ppn, buf, nand.OOB{LPN: InvalidLPN, Tag: nand.TagMapLog})
-	total += pd
-	if err != nil {
-		return total, err
-	}
-	f.metaLive[ppn] = true
-	f.blockValid[f.chip.BlockOf(ppn)]++
-	f.logPPNs = append(f.logPPNs, ppn)
-	f.st.LogPagesWritten++
-	if len(f.logPPNs) >= f.cfg.CheckpointLogPages && !f.inGC {
+	// A checkpoint mid-batch would snapshot uncommitted mappings; mid-GC it
+	// would re-enter the GC that triggered this flush.
+	if len(f.logPPNs) >= f.cfg.CheckpointLogPages && !f.inGC && !f.inBatch {
 		cd, err := f.checkpoint()
 		total += cd
 		if err != nil {
@@ -106,12 +169,6 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 	var total sim.Duration
 	epp := f.entriesPerMapPage()
 	seq := f.logSeq
-	// Snapshot writes below may trigger GC, whose relocation deltas land in
-	// log pages appended during this checkpoint. Those deltas may cover map
-	// pages this checkpoint does not rewrite, so only the log pages present
-	// now — whose deltas are all covered by the dirty set — may be
-	// truncated at the end.
-	cut := len(f.logPPNs)
 	for idx := range f.mapDirty {
 		if !f.mapDirty[idx] {
 			continue
@@ -130,13 +187,8 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 			binary.LittleEndian.PutUint32(buf[off:], f.l2p[i])
 			off += 4
 		}
-		d, ppn, err := f.allocDataPage(&f.meta)
+		d, ppn, err := f.programPage(&f.meta, buf, nand.OOB{LPN: uint32(idx), Tag: nand.TagMapBase})
 		total += d
-		if err != nil {
-			return total, err
-		}
-		pd, err := f.chip.Program(ppn, buf, nand.OOB{LPN: uint32(idx), Tag: nand.TagMapBase})
-		total += pd
 		if err != nil {
 			return total, err
 		}
@@ -151,15 +203,28 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 		f.mapSeq[idx] = seq
 		f.mapDirty[idx] = false
 	}
-	// Truncate the delta log prefix: every record in it is covered by a
-	// snapshot now. Pages appended during the checkpoint stay live.
-	for _, p := range f.logPPNs[:cut] {
-		if f.metaLive[p] {
-			delete(f.metaLive, p)
-			f.blockValid[f.chip.BlockOf(p)]--
+	// Truncate every log page the new snapshots cover: those programmed
+	// before this checkpoint began (payload seq <= the snapshot seq). Pages
+	// appended during the checkpoint — GC relocation deltas, which may
+	// cover map pages this checkpoint did not rewrite — stay live. The
+	// decision is by sequence number, not position: GC may relocate a log
+	// page mid-checkpoint, and a nested early checkpoint (GC running out of
+	// space during the snapshot writes) may already have truncated part of
+	// the list.
+	var keptP []uint32
+	var keptS []uint64
+	for i, p := range f.logPPNs {
+		if f.logSeqs[i] <= seq {
+			if f.metaLive[p] {
+				delete(f.metaLive, p)
+				f.blockValid[f.chip.BlockOf(p)]--
+			}
+			continue
 		}
+		keptP = append(keptP, p)
+		keptS = append(keptS, f.logSeqs[i])
 	}
-	f.logPPNs = append([]uint32(nil), f.logPPNs[cut:]...)
+	f.logPPNs, f.logSeqs = keptP, keptS
 	f.pendingShares = 0
 	return total, nil
 }

@@ -71,7 +71,7 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		case nand.TagData:
 			oobLPN[ppn] = oob.LPN
 		case nand.TagMapBase:
-			_, rd, err := f.chip.Read(ppn, buf)
+			_, rd, err := f.chipRead(ppn, buf)
 			total += rd
 			if err != nil {
 				return total, err
@@ -88,7 +88,7 @@ func (f *FTL) Recover() (sim.Duration, error) {
 				maxSeq = seq
 			}
 		case nand.TagMapLog:
-			_, rd, err := f.chip.Read(ppn, buf)
+			_, rd, err := f.chipRead(ppn, buf)
 			total += rd
 			if err != nil {
 				return total, err
@@ -114,7 +114,7 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		if ppn == InvalidPPN {
 			continue
 		}
-		if _, rd, err := f.chip.Read(ppn, buf); err != nil {
+		if _, rd, err := f.chipRead(ppn, buf); err != nil {
 			return total, err
 		} else {
 			total += rd
@@ -147,7 +147,7 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		minMapSeq = 0
 	}
 	for _, lr := range logs {
-		_, rd, err := f.chip.Read(lr.ppn, buf)
+		_, rd, err := f.chipRead(lr.ppn, buf)
 		total += rd
 		if err != nil {
 			return total, err
@@ -168,6 +168,7 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		}
 		if seq > minMapSeq {
 			f.logPPNs = append(f.logPPNs, lr.ppn)
+			f.logSeqs = append(f.logSeqs, seq)
 			f.metaLive[lr.ppn] = true
 			f.blockValid[f.chip.BlockOf(lr.ppn)]++
 		}
@@ -196,13 +197,21 @@ func (f *FTL) Recover() (sim.Duration, error) {
 	}
 
 	// Classify blocks: erased -> free; full -> GC candidates; partial ->
-	// append points (newest first), leftovers sealed as full.
+	// append points (newest first), leftovers sealed as full. Blocks the
+	// chip knows are bad (factory marks, program/erase failures — the
+	// persistent bad-block table real firmware keeps in the spare area)
+	// are re-retired first and never become free or append points.
 	type partial struct {
 		block   int
 		lastSeq uint64
 	}
 	var partials []partial
 	for b := 0; b < geo.Blocks; b++ {
+		if f.chip.IsBad(b) {
+			f.noteRetired(b)
+			f.blockFull[b] = true
+			continue
+		}
 		switch {
 		case programmed[b] == 0:
 			f.freeBlocks = append(f.freeBlocks, b)

@@ -59,48 +59,11 @@ func TestUnflushedWriteEitherOldOrNew(t *testing.T) {
 	}
 }
 
-func TestShareIsDurableWithoutExplicitFlush(t *testing.T) {
-	// §4.2.2: "The SHARE command returns after logging finishes" — the
-	// remap itself is durable at command completion (no capacitor model).
-	f, _ := testFTL(t, nil)
-	mustWrite(t, f, 1, 0xAA)
-	mustWrite(t, f, 2, 0xBB)
-	if _, err := f.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Share([]Pair{{Dst: 1, Src: 2, Len: 1}}); err != nil {
-		t.Fatal(err)
-	}
-	crashAndRecover(t, f)
-	if got := mustRead(t, f, 1); got[0] != 0xBB {
-		t.Fatalf("share lost across crash: lpn 1 = %x", got[0])
-	}
-}
-
-func TestShareBatchAtomicAcrossCrash(t *testing.T) {
-	// All pairs of one SHARE command live in one delta page: after a crash
-	// either every dst sees the new data or none does. Since Share returns
-	// only after logging, a completed command must be fully visible.
-	f, _ := testFTL(t, nil)
-	var pairs []Pair
-	for i := uint32(0); i < 10; i++ {
-		mustWrite(t, f, i, 0x0F)
-		mustWrite(t, f, 100+i, 0xF0)
-		pairs = append(pairs, Pair{Dst: i, Src: 100 + i, Len: 1})
-	}
-	if _, err := f.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Share(pairs); err != nil {
-		t.Fatal(err)
-	}
-	crashAndRecover(t, f)
-	for i := uint32(0); i < 10; i++ {
-		if got := mustRead(t, f, i); got[0] != 0xF0 {
-			t.Fatalf("pair %d not applied after crash (= %x): batch not atomic", i, got[0])
-		}
-	}
-}
+// SHARE durability at command completion (§4.2.2) and batch atomicity
+// across power cuts are covered exhaustively — at every NAND program/erase
+// boundary, not at sampled points — by the power-cut injector tests in
+// crashpoint_test.go (TestShareCrashAtEveryProgramBoundary and
+// TestWriteAtomicCrashAtEveryProgramBoundary).
 
 func TestRecoverAfterCheckpointAndMoreWrites(t *testing.T) {
 	f, _ := testFTL(t, nil)

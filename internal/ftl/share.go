@@ -22,6 +22,9 @@ import (
 // forced physical copy instead of a remap; the command still succeeds and
 // the event is counted in Stats.ForcedCopies.
 func (f *FTL) Share(pairs []Pair) (sim.Duration, error) {
+	if f.readOnly {
+		return 0, ErrReadOnly
+	}
 	total := f.cfg.CommandOverhead
 	units := 0
 	for _, p := range pairs {
@@ -54,15 +57,11 @@ func (f *FTL) Share(pairs []Pair) (sim.Duration, error) {
 			}
 		}
 	}
-	// Make room in the delta buffer so the batch lands in one page.
-	if len(f.deltaBuf)+units > f.entriesPerLogPage() {
-		d, err := f.flushDeltaPage()
-		total += d
-		if err != nil {
-			return total, err
-		}
-	}
 	f.st.Shares++
+	// Hold the batch's deltas back from the ordinary buffer so a GC flush
+	// mid-command (forced copies may trigger one) cannot persist a torn batch.
+	f.beginBatch()
+	defer f.endBatch()
 	for _, p := range pairs {
 		for i := uint32(0); i < p.Len; i++ {
 			d, err := f.shareOne(p.Dst+i, p.Src+i)
@@ -74,16 +73,10 @@ func (f *FTL) Share(pairs []Pair) (sim.Duration, error) {
 		f.st.SharePairs++
 		total += f.cfg.FirmwarePairOverhead * sim.Duration(p.Len)
 	}
-	// The command returns only after its deltas are durable (§4.2.2):
-	// without a power capacitor that means programming the delta page now.
-	if !f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
-		d, err := f.flushDeltaPage()
-		total += d
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	// The command returns only after its deltas are durable (§4.2.2): the
+	// whole batch commits inside a single delta-page program.
+	d, err := f.commitBatch()
+	return total + d, err
 }
 
 func rangesOverlap(a, b, n uint32) bool {
@@ -113,18 +106,13 @@ func (f *FTL) shareOne(dst, src uint32) (sim.Duration, error) {
 func (f *FTL) forcedCopy(dst, srcPPN uint32) (sim.Duration, error) {
 	f.st.ForcedCopies++
 	buf := make([]byte, f.geo.PageSize)
-	_, rd, err := f.chip.Read(srcPPN, buf)
+	_, rd, err := f.chipRead(srcPPN, buf)
 	if err != nil {
 		return rd, err
 	}
 	total := rd
-	d, ppn, err := f.allocDataPage(&f.host)
+	d, ppn, err := f.programPage(&f.host, buf, nandDataOOB(dst))
 	total += d
-	if err != nil {
-		return total, err
-	}
-	pd, err := f.chip.Program(ppn, buf, nandDataOOB(dst))
-	total += pd
 	if err != nil {
 		return total, err
 	}

@@ -17,18 +17,31 @@ type Stats struct {
 
 	GCEvents       int64 // garbage-collection victim erases
 	WearLevelMoves int64 // GC passes spent migrating cold blocks
-	RetiredBlocks  int64 // worn-out blocks removed from service
+	RetiredBlocks  int64 // bad/worn-out blocks removed from service
 	Copybacks      int64 // valid data pages relocated by GC
 	MetaMoves      int64 // live metadata pages relocated by GC
 	Erases         int64 // block erases (== GCEvents for this FTL)
+
+	// Fault handling (bad-block management).
+	ProgramRetries     int64 // program faults absorbed by the retry path
+	ProgramFails       int64 // permanent program failures (block retired, data re-steered)
+	EraseFails         int64 // non-wear erase failures retired by GC
+	UncorrectableReads int64 // reads lost beyond ECC, surfaced to the host
+	SpareBlocksLeft    int64 // retirement budget remaining (snapshot, not a counter)
+	ReadOnly           bool  // device degraded: mutating commands refused
 
 	LogPagesWritten int64 // mapping delta-log pages programmed
 	MapPagesWritten int64 // mapping snapshot pages programmed
 	Checkpoints     int64
 }
 
-// Stats returns a snapshot of the counters.
-func (f *FTL) Stats() Stats { return f.st }
+// Stats returns a snapshot of the counters plus the current health state.
+func (f *FTL) Stats() Stats {
+	st := f.st
+	st.SpareBlocksLeft = int64(f.SpareBlocksLeft())
+	st.ReadOnly = f.readOnly
+	return st
+}
 
 // ResetStats zeroes the counters (used between experiment phases, e.g.
 // after device aging and warm-up).

@@ -1,0 +1,233 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Fault injection. Real MLC NAND fails in more ways than wear-out: program
+// operations fail transiently (charge-pump noise; a retry succeeds) or
+// permanently (a broken cell; the block must be retired), erase operations
+// fail outright, reads hit bit errors that ECC either corrects or cannot,
+// and chips ship with factory-marked bad blocks. A FaultPlan schedules any
+// of these deterministically — at the Nth operation of a kind, or by seeded
+// probability — so the FTL's bad-block management and the recovery fuzzer
+// can replay identical failure histories.
+
+// FaultKind identifies one injected failure mode.
+type FaultKind uint8
+
+const (
+	// FaultNone injects nothing.
+	FaultNone FaultKind = iota
+	// FaultProgramTransient fails one program attempt; the page stays
+	// erased and a retry may succeed.
+	FaultProgramTransient
+	// FaultProgramPermanent fails the program and marks the page's block
+	// bad: every later program there fails, and erase is refused.
+	FaultProgramPermanent
+	// FaultErase fails a block erase and marks the block bad.
+	FaultErase
+	// FaultReadCorrectable flips bits that ECC corrects: the read succeeds
+	// and the correction is counted.
+	FaultReadCorrectable
+	// FaultReadUncorrectable fails the read beyond ECC's strength.
+	FaultReadUncorrectable
+)
+
+var (
+	// ErrProgramFail is returned when a program operation fails (transient
+	// or permanent — firmware cannot tell; it retries, then retires).
+	ErrProgramFail = errors.New("nand: program operation failed")
+	// ErrEraseFail is returned when an erase fails for a reason other than
+	// exhausted endurance; the block is bad and must be retired.
+	ErrEraseFail = errors.New("nand: erase operation failed")
+	// ErrBadBlock is returned for program/erase attempts on a block already
+	// known bad (factory-marked or failed earlier).
+	ErrBadBlock = errors.New("nand: bad block")
+	// ErrUncorrectable is returned when a read's bit errors exceed ECC.
+	ErrUncorrectable = errors.New("nand: uncorrectable read error")
+	// ErrPowerCut is returned for program/erase attempts after the armed
+	// power-cut point; reads still work, modeling post-restart inspection.
+	ErrPowerCut = errors.New("nand: power lost")
+)
+
+// Retirable reports whether err means the affected block is permanently
+// unusable and must be taken out of service by the FTL.
+func Retirable(err error) bool {
+	return errors.Is(err, ErrWornOut) || errors.Is(err, ErrEraseFail) || errors.Is(err, ErrBadBlock)
+}
+
+// FaultPlan describes when and how the chip fails. Zero value = no faults.
+// Scheduled (Nth-operation) faults take precedence over the seeded
+// probabilistic ones; operation counters are 1-based and count attempts of
+// that class (programs, erases, reads) including failed ones.
+type FaultPlan struct {
+	// Seed drives the probabilistic faults; identical plans over identical
+	// operation sequences inject identical faults.
+	Seed int64
+	// FactoryBad lists blocks bad from the start, as on a fresh MLC chip.
+	FactoryBad []int
+
+	// Per-operation fault probabilities (0 disables).
+	PProgramTransient  float64
+	PProgramPermanent  float64
+	PErase             float64
+	PReadCorrectable   float64
+	PReadUncorrectable float64
+
+	progAt  map[int64]FaultKind
+	eraseAt map[int64]FaultKind
+	readAt  map[int64]FaultKind
+}
+
+// NewFaultPlan returns an empty plan with the given probability seed.
+func NewFaultPlan(seed int64) *FaultPlan { return &FaultPlan{Seed: seed} }
+
+// AtProgram schedules kind at the nth (1-based) program attempt.
+func (p *FaultPlan) AtProgram(n int64, kind FaultKind) *FaultPlan {
+	if p.progAt == nil {
+		p.progAt = make(map[int64]FaultKind)
+	}
+	p.progAt[n] = kind
+	return p
+}
+
+// AtErase schedules kind at the nth (1-based) erase attempt.
+func (p *FaultPlan) AtErase(n int64, kind FaultKind) *FaultPlan {
+	if p.eraseAt == nil {
+		p.eraseAt = make(map[int64]FaultKind)
+	}
+	p.eraseAt[n] = kind
+	return p
+}
+
+// AtRead schedules kind at the nth (1-based) read attempt.
+func (p *FaultPlan) AtRead(n int64, kind FaultKind) *FaultPlan {
+	if p.readAt == nil {
+		p.readAt = make(map[int64]FaultKind)
+	}
+	p.readAt[n] = kind
+	return p
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault plan. Factory-bad
+// blocks are marked immediately; the FTL discovers them via IsBad when it
+// formats or recovers.
+func (c *Chip) SetFaultPlan(p *FaultPlan) error {
+	c.plan = p
+	c.faultRng = nil
+	c.planProg, c.planErase, c.planRead = 0, 0, 0
+	if p == nil {
+		return nil
+	}
+	c.faultRng = rand.New(rand.NewSource(p.Seed))
+	for _, b := range p.FactoryBad {
+		if b < 0 || b >= c.geo.Blocks {
+			return fmt.Errorf("%w: factory-bad block %d", ErrBounds, b)
+		}
+		c.markBad(b)
+	}
+	return nil
+}
+
+// IsBad reports whether block is out of service: factory-marked or failed a
+// program/erase permanently. This models the bad-block marks firmware scans
+// from the spare area at attach time.
+func (c *Chip) IsBad(block int) bool { return c.blockBad[block] }
+
+// markBad records a newly failed block.
+func (c *Chip) markBad(block int) {
+	if !c.blockBad[block] {
+		c.blockBad[block] = true
+		c.badBlocks++
+	}
+}
+
+// opClass selects which scheduled-fault table and counter an op uses.
+type opClass uint8
+
+const (
+	opProgram opClass = iota
+	opErase
+	opRead
+)
+
+// nextFault draws the fault (if any) for the next operation of the class.
+func (c *Chip) nextFault(class opClass) FaultKind {
+	if c.plan == nil {
+		return FaultNone
+	}
+	p := c.plan
+	var n int64
+	var at map[int64]FaultKind
+	switch class {
+	case opProgram:
+		c.planProg++
+		n, at = c.planProg, p.progAt
+	case opErase:
+		c.planErase++
+		n, at = c.planErase, p.eraseAt
+	case opRead:
+		c.planRead++
+		n, at = c.planRead, p.readAt
+	}
+	if k, ok := at[n]; ok {
+		return k
+	}
+	switch class {
+	case opProgram:
+		if p.PProgramTransient == 0 && p.PProgramPermanent == 0 {
+			return FaultNone
+		}
+		r := c.faultRng.Float64()
+		if r < p.PProgramPermanent {
+			return FaultProgramPermanent
+		}
+		if r < p.PProgramPermanent+p.PProgramTransient {
+			return FaultProgramTransient
+		}
+	case opErase:
+		if p.PErase == 0 {
+			return FaultNone
+		}
+		if c.faultRng.Float64() < p.PErase {
+			return FaultErase
+		}
+	case opRead:
+		if p.PReadCorrectable == 0 && p.PReadUncorrectable == 0 {
+			return FaultNone
+		}
+		r := c.faultRng.Float64()
+		if r < p.PReadUncorrectable {
+			return FaultReadUncorrectable
+		}
+		if r < p.PReadUncorrectable+p.PReadCorrectable {
+			return FaultReadCorrectable
+		}
+	}
+	return FaultNone
+}
+
+// PowerCutAfter arms the power-cut injector: after n more successful
+// program/erase operations, every further program or erase fails with
+// ErrPowerCut, freezing flash in the exact state of that boundary. Reads
+// keep working so recovery code can inspect the frozen state; callers model
+// the restart by FTL.Crash + DisablePowerCut + FTL.Recover.
+func (c *Chip) PowerCutAfter(n int64) {
+	c.cutArmed = true
+	c.cutAt = c.programs + c.erases + n
+}
+
+// DisablePowerCut restores power (before running recovery).
+func (c *Chip) DisablePowerCut() { c.cutArmed = false }
+
+// MutatingOps returns the number of successful program + erase operations —
+// the boundary count a crash-point fuzzer iterates over.
+func (c *Chip) MutatingOps() int64 { return c.programs + c.erases }
+
+// powerLost reports whether the armed power-cut point has been reached.
+func (c *Chip) powerLost() bool {
+	return c.cutArmed && c.programs+c.erases >= c.cutAt
+}

@@ -1,0 +1,193 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+)
+
+func faultChip(t *testing.T, plan *FaultPlan) *Chip {
+	t.Helper()
+	c, err := New(Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 16}, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScheduledTransientProgramFault(t *testing.T) {
+	c := faultChip(t, NewFaultPlan(1).AtProgram(2, FaultProgramTransient))
+	buf := make([]byte, 512)
+	if _, err := c.Program(0, buf, OOB{}); err != nil {
+		t.Fatalf("program 1: %v", err)
+	}
+	if _, err := c.Program(1, buf, OOB{}); !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("program 2 err = %v, want ErrProgramFail", err)
+	}
+	if c.State(1) != PageFree {
+		t.Fatal("transient failure left page programmed")
+	}
+	// Retry on the same page succeeds: the fault was transient.
+	if _, err := c.Program(1, buf, OOB{}); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if st := c.Stats(); st.ProgramFails != 1 || st.BadBlocks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScheduledPermanentProgramFaultMarksBlockBad(t *testing.T) {
+	c := faultChip(t, NewFaultPlan(1).AtProgram(1, FaultProgramPermanent))
+	buf := make([]byte, 512)
+	if _, err := c.Program(8, buf, OOB{}); !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("err = %v", err)
+	}
+	if !c.IsBad(1) {
+		t.Fatal("block 1 not marked bad")
+	}
+	// Every later program in the block fails, and erase is refused.
+	if _, err := c.Program(9, buf, OOB{}); !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("program in bad block: %v", err)
+	}
+	if _, err := c.EraseBlock(1); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("erase of bad block: %v", err)
+	}
+	if st := c.Stats(); st.BadBlocks != 1 {
+		t.Fatalf("bad blocks = %d", st.BadBlocks)
+	}
+}
+
+func TestScheduledEraseFault(t *testing.T) {
+	c := faultChip(t, NewFaultPlan(1).AtErase(1, FaultErase))
+	if _, err := c.EraseBlock(3); !errors.Is(err, ErrEraseFail) {
+		t.Fatalf("err = %v", err)
+	}
+	if !c.IsBad(3) {
+		t.Fatal("erase-failed block not marked bad")
+	}
+	// Programmed data in the block would still be readable; a later erase
+	// attempt is refused as a bad block.
+	if _, err := c.EraseBlock(3); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("second erase err = %v", err)
+	}
+}
+
+func TestReadFaults(t *testing.T) {
+	c := faultChip(t, NewFaultPlan(1).
+		AtRead(1, FaultReadCorrectable).
+		AtRead(2, FaultReadUncorrectable))
+	buf := make([]byte, 512)
+	buf[0] = 0xAB
+	if _, err := c.Program(0, buf, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 512)
+	if _, _, err := c.Read(0, dst); err != nil {
+		t.Fatalf("correctable read failed: %v", err)
+	}
+	if dst[0] != 0xAB {
+		t.Fatal("correctable read corrupted data")
+	}
+	if _, _, err := c.Read(0, dst); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable", err)
+	}
+	// Third read: no fault scheduled.
+	if _, _, err := c.Read(0, dst); err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+	if st := c.Stats(); st.EccCorrected != 1 || st.ReadFails != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFactoryBadBlocks(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.FactoryBad = []int{2, 7}
+	c := faultChip(t, plan)
+	if !c.IsBad(2) || !c.IsBad(7) || c.IsBad(3) {
+		t.Fatal("factory-bad marks wrong")
+	}
+	buf := make([]byte, 512)
+	if _, err := c.Program(uint32(2*8), buf, OOB{}); !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("program in factory-bad block: %v", err)
+	}
+	plan2 := NewFaultPlan(1)
+	plan2.FactoryBad = []int{99}
+	c2, _ := New(Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 16}, DefaultTiming())
+	if err := c2.SetFaultPlan(plan2); !errors.Is(err, ErrBounds) {
+		t.Fatalf("out-of-range factory bad accepted: %v", err)
+	}
+}
+
+func TestSeededFaultsAreDeterministic(t *testing.T) {
+	run := func() (fails int64) {
+		plan := NewFaultPlan(42)
+		plan.PProgramTransient = 0.2
+		c := faultChip(t, plan)
+		buf := make([]byte, 512)
+		var ppn uint32
+		for i := 0; i < 100; i++ {
+			if _, err := c.Program(ppn, buf, OOB{}); err == nil {
+				ppn++
+			}
+		}
+		return c.Stats().ProgramFails
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("no transient faults injected at p=0.2 over 100 programs")
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d failures", a, b)
+	}
+}
+
+func TestPowerCutFreezesMutations(t *testing.T) {
+	c := faultChip(t, nil)
+	buf := make([]byte, 512)
+	for i := uint32(0); i < 4; i++ {
+		if _, err := c.Program(i, buf, OOB{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.PowerCutAfter(2)
+	if _, err := c.Program(4, buf, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EraseBlock(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(5, buf, OOB{}); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("program after cut: %v", err)
+	}
+	if _, err := c.EraseBlock(3); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("erase after cut: %v", err)
+	}
+	// Reads still work (post-restart inspection of frozen flash).
+	dst := make([]byte, 512)
+	if _, _, err := c.Read(0, dst); err != nil {
+		t.Fatalf("read after cut: %v", err)
+	}
+	if got := c.MutatingOps(); got != 6 {
+		t.Fatalf("mutating ops = %d, want 6", got)
+	}
+	c.DisablePowerCut()
+	if _, err := c.Program(5, buf, OOB{}); err != nil {
+		t.Fatalf("program after power restore: %v", err)
+	}
+}
+
+func TestRetirableClassification(t *testing.T) {
+	for _, err := range []error{ErrWornOut, ErrEraseFail, ErrBadBlock} {
+		if !Retirable(err) {
+			t.Fatalf("%v not retirable", err)
+		}
+	}
+	for _, err := range []error{ErrProgramFail, ErrUncorrectable, ErrPowerCut, nil} {
+		if Retirable(err) {
+			t.Fatalf("%v retirable", err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"share/internal/sim"
 )
@@ -105,6 +106,7 @@ type page struct {
 	state PageState
 	data  []byte // nil until programmed; freed on erase
 	oob   OOB
+	bad   bool // permanent program failure; unusable until block retirement
 }
 
 // Chip is a simulated NAND array. It is not safe for concurrent use; the
@@ -115,11 +117,26 @@ type Chip struct {
 	pages  []page
 	seq    uint64
 
+	// Fault injection (see fault.go).
+	blockBad  []bool
+	plan      *FaultPlan
+	faultRng  *rand.Rand
+	planProg  int64
+	planErase int64
+	planRead  int64
+	cutArmed  bool
+	cutAt     int64
+
 	// Statistics.
-	reads      int64
-	programs   int64
-	erases     int64
-	eraseCount []int64 // per block
+	reads        int64
+	programs     int64
+	erases       int64
+	programFails int64
+	eraseFails   int64
+	eccCorrected int64
+	readFails    int64
+	badBlocks    int64
+	eraseCount   []int64 // per block
 }
 
 // New returns a fully erased chip with the given geometry and timing.
@@ -131,6 +148,7 @@ func New(geo Geometry, timing Timing) (*Chip, error) {
 		geo:        geo,
 		timing:     timing,
 		pages:      make([]page, geo.TotalPages()),
+		blockBad:   make([]bool, geo.Blocks),
 		eraseCount: make([]int64, geo.Blocks),
 	}, nil
 }
@@ -166,6 +184,24 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 	if len(data) != c.geo.PageSize {
 		return 0, fmt.Errorf("nand: program size %d != page size %d", len(data), c.geo.PageSize)
 	}
+	if c.powerLost() {
+		return 0, fmt.Errorf("%w: program ppn %d", ErrPowerCut, ppn)
+	}
+	cost := c.timing.Transfer + c.timing.Program
+	if p.bad || c.blockBad[c.BlockOf(ppn)] {
+		c.programFails++
+		return cost, fmt.Errorf("%w: ppn %d (%v)", ErrProgramFail, ppn, ErrBadBlock)
+	}
+	switch c.nextFault(opProgram) {
+	case FaultProgramTransient:
+		c.programFails++
+		return cost, fmt.Errorf("%w: ppn %d (transient)", ErrProgramFail, ppn)
+	case FaultProgramPermanent:
+		c.programFails++
+		p.bad = true
+		c.markBad(c.BlockOf(ppn))
+		return cost, fmt.Errorf("%w: ppn %d (permanent)", ErrProgramFail, ppn)
+	}
 	buf := make([]byte, c.geo.PageSize)
 	copy(buf, data)
 	c.seq++
@@ -189,6 +225,13 @@ func (c *Chip) Read(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
 	}
 	if len(dst) != c.geo.PageSize {
 		return OOB{}, 0, fmt.Errorf("nand: read size %d != page size %d", len(dst), c.geo.PageSize)
+	}
+	switch c.nextFault(opRead) {
+	case FaultReadUncorrectable:
+		c.readFails++
+		return OOB{}, c.timing.ReadPage + c.timing.Transfer, fmt.Errorf("%w: ppn %d", ErrUncorrectable, ppn)
+	case FaultReadCorrectable:
+		c.eccCorrected++
 	}
 	copy(dst, p.data)
 	c.reads++
@@ -214,8 +257,20 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 	if block < 0 || block >= c.geo.Blocks {
 		return 0, fmt.Errorf("%w: block %d", ErrBounds, block)
 	}
+	if c.powerLost() {
+		return 0, fmt.Errorf("%w: erase block %d", ErrPowerCut, block)
+	}
+	if c.blockBad[block] {
+		c.eraseFails++
+		return c.timing.Erase, fmt.Errorf("%w: block %d", ErrBadBlock, block)
+	}
 	if c.geo.Endurance > 0 && c.eraseCount[block] >= c.geo.Endurance {
 		return c.timing.Erase, fmt.Errorf("%w: block %d after %d erases", ErrWornOut, block, c.eraseCount[block])
+	}
+	if c.nextFault(opErase) == FaultErase {
+		c.eraseFails++
+		c.markBad(block)
+		return c.timing.Erase, fmt.Errorf("%w: block %d", ErrEraseFail, block)
 	}
 	base := block * c.geo.PagesPerBlock
 	for i := 0; i < c.geo.PagesPerBlock; i++ {
@@ -236,11 +291,22 @@ type Stats struct {
 	Erases   int64
 	MaxWear  int64 // highest per-block erase count
 	MinWear  int64 // lowest per-block erase count
+
+	ProgramFails int64 // failed program attempts (transient + permanent)
+	EraseFails   int64 // failed erase attempts (bad block or injected)
+	EccCorrected int64 // reads that needed ECC correction
+	ReadFails    int64 // uncorrectable reads
+	BadBlocks    int64 // blocks factory-bad or failed in service
 }
 
 // Stats returns a snapshot of the chip's counters.
 func (c *Chip) Stats() Stats {
-	s := Stats{Reads: c.reads, Programs: c.programs, Erases: c.erases}
+	s := Stats{
+		Reads: c.reads, Programs: c.programs, Erases: c.erases,
+		ProgramFails: c.programFails, EraseFails: c.eraseFails,
+		EccCorrected: c.eccCorrected, ReadFails: c.readFails,
+		BadBlocks: c.badBlocks,
+	}
 	if len(c.eraseCount) > 0 {
 		s.MinWear = c.eraseCount[0]
 		for _, e := range c.eraseCount {

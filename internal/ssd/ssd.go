@@ -27,6 +27,10 @@ type Config struct {
 	// concurrently (internal channel/NCQ parallelism). 1 models the
 	// single-threaded OpenSSD prototype; modern drives overlap many.
 	QueueDepth int
+	// Fault optionally injects NAND failures (factory-bad blocks,
+	// scheduled or seeded program/erase/read faults). Installed before the
+	// FTL formats the chip, so factory marks are honored from the start.
+	Fault *nand.FaultPlan
 }
 
 // DefaultConfig returns a small OpenSSD-like device: 4 KiB pages, 128
@@ -54,6 +58,11 @@ func New(name string, cfg Config) (*Device, error) {
 	chip, err := nand.New(cfg.Geometry, cfg.Timing)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Fault != nil {
+		if err := chip.SetFaultPlan(cfg.Fault); err != nil {
+			return nil, err
+		}
 	}
 	f, err := ftl.New(chip, cfg.FTL)
 	if err != nil {
@@ -136,6 +145,46 @@ func (d *Device) Crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.ftl.Crash()
+}
+
+// PowerCutAfter arms the NAND power-cut injector: after n more successful
+// program/erase operations every further mutation fails, freezing flash at
+// that exact boundary. Pair with Crash + DisablePowerCut + Recover to
+// model a restart from an arbitrary crash point.
+func (d *Device) PowerCutAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chip.PowerCutAfter(n)
+}
+
+// DisablePowerCut restores power ahead of recovery.
+func (d *Device) DisablePowerCut() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chip.DisablePowerCut()
+}
+
+// MutatingOps returns the chip's successful program+erase count — the
+// boundary space a crash-point fuzzer iterates over.
+func (d *Device) MutatingOps() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.chip.MutatingOps()
+}
+
+// ReadOnly reports whether the device has degraded to read-only mode
+// (block retirements exhausted the spare budget).
+func (d *Device) ReadOnly() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ftl.ReadOnly()
+}
+
+// SpareBlocksLeft reports the remaining block-retirement budget.
+func (d *Device) SpareBlocksLeft() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ftl.SpareBlocksLeft()
 }
 
 // Recover rebuilds the FTL from flash after Crash.

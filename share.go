@@ -61,7 +61,23 @@ type DeviceOptions struct {
 	// PowerCapacitor models a capacitor-backed device whose RAM-buffered
 	// mapping deltas are already durable.
 	PowerCapacitor bool
+	// SpareBlocks overrides the block-retirement budget carved out of the
+	// over-provisioned area (0 derives it). Once that many blocks have
+	// been retired — factory-bad, program or erase failures, wear-out —
+	// the device degrades to read-only.
+	SpareBlocks int
+	// Fault optionally injects NAND failures: factory-bad blocks plus
+	// scheduled or seeded program/erase/read faults (see nand.FaultPlan).
+	Fault *FaultPlan
 }
+
+// FaultPlan schedules NAND failures for fault-injection runs: factory-bad
+// blocks, transient/permanent program faults, erase faults and read
+// errors, either at the Nth operation or by seeded probability.
+type FaultPlan = nand.FaultPlan
+
+// NewFaultPlan returns an empty fault plan with the given probability seed.
+func NewFaultPlan(seed int64) *FaultPlan { return nand.NewFaultPlan(seed) }
 
 // OpenDevice creates a fresh simulated device.
 func OpenDevice(opts DeviceOptions) (*Device, error) {
@@ -81,6 +97,8 @@ func OpenDevice(opts DeviceOptions) (*Device, error) {
 	}
 	cfg.FTL.ShareTableCap = opts.ShareTableCap
 	cfg.FTL.PowerCapacitor = opts.PowerCapacitor
+	cfg.FTL.SpareBlocks = opts.SpareBlocks
+	cfg.Fault = opts.Fault
 	return ssd.New("share-ssd", cfg)
 }
 
