@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench fmt
+.PHONY: build test check race bench bench-json fmt
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,13 @@ test:
 
 # check is the tier-1 gate: vet, build, and the full test suite under the
 # race detector (includes the fault-injection and crash-point fuzzing
-# suites). Run it before sending a change.
+# suites), plus the machine-readable report smoke check. Run it before
+# sending a change.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-json
 
 # race is check without vet/build, for quick re-runs.
 race:
@@ -24,6 +26,12 @@ race:
 # cmd/sharebench for full-scale runs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-json runs the smoke experiment through the telemetry pipeline and
+# writes BENCH_smoke.json (validated against the share-bench/v1 schema
+# before it is written). Identically-seeded runs are byte-identical.
+bench-json:
+	$(GO) run ./cmd/sharebench -exp smoke -json -outdir .
 
 fmt:
 	gofmt -l -w .

@@ -28,7 +28,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		out, err := e.Run(bench.Params{Scale: benchScale, Seed: 42})
+		out, _, err := e.RunWithReport(bench.Params{Scale: benchScale, Seed: 42})
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -96,3 +96,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) { runExperiment(b, "abl-queue") }
 
 // BenchmarkAblationYCSBAll runs all six YCSB workloads in both modes.
 func BenchmarkAblationYCSBAll(b *testing.B) { runExperiment(b, "abl-ycsb") }
+
+// BenchmarkSmoke runs the fast mixed-workload telemetry check behind
+// `make bench-json`.
+func BenchmarkSmoke(b *testing.B) { runExperiment(b, "smoke") }

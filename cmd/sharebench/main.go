@@ -7,17 +7,25 @@
 //	sharebench -list
 //	sharebench -exp fig5b [-scale 0.05] [-seed 42]
 //	sharebench -all [-scale 0.02]
+//	sharebench -exp smoke -json [-outdir results]
 //
 // Scale 1 corresponds to the paper's sizes (4 GiB OpenSSD, 1.5 GiB
 // LinkBench database, 250k×4 KiB YCSB documents); the default keeps runs
 // to seconds. Results are virtual-time measurements from the simulator,
 // so throughput numbers are stable across machines.
+//
+// With -json, each experiment also writes BENCH_<id>.json — a
+// machine-readable report (schema share-bench/v1) carrying the metrics,
+// per-device telemetry (epoch counters, write amplification, latency
+// percentiles, GC/copyback/log-page activity) and the run's config
+// provenance. Identically-seeded runs produce byte-identical files.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"share/internal/bench"
@@ -25,11 +33,13 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.Float64("scale", 0, "size multiplier vs the paper's setup (default 0.02)")
-		seed  = flag.Int64("seed", 0, "random seed (default 42)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("exp", "", "experiment id to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", 0, "size multiplier vs the paper's setup (default 0.02)")
+		seed   = flag.Int64("seed", 0, "random seed (default 42)")
+		asJSON = flag.Bool("json", false, "also write BENCH_<id>.json for each experiment")
+		outdir = flag.String("outdir", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -43,12 +53,26 @@ func main() {
 	run := func(e bench.Experiment) error {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		out, err := e.Run(params)
+		out, rep, err := e.RunWithReport(params)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(out)
 		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		if *asJSON {
+			data, err := rep.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: render report: %w", e.ID, err)
+			}
+			if err := bench.ValidateReportJSON(data); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			path := filepath.Join(*outdir, "BENCH_"+e.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 		return nil
 	}
 	switch {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -79,8 +80,7 @@ func main() {
 			fmt.Printf("aged: %.0f%% fill + 30%% random rewrites\n", *age*100)
 		}
 	}
-	dev.ResetStats()
-	agedPrograms := dev.Stats().Chip.Programs
+	dev.ResetStats() // everything below measures the run's epoch only
 
 	rng := rand.New(rand.NewSource(*seed))
 	capacity := dev.Capacity()
@@ -152,7 +152,7 @@ run:
 		st.FTL.LogPagesWritten, st.FTL.MapPagesWritten, st.FTL.Checkpoints)
 	if st.FTL.HostWrites > 0 {
 		fmt.Printf("write amplification: %.2f (NAND programs / host writes, this run)\n",
-			float64(st.Chip.Programs-agedPrograms)/float64(st.FTL.HostWrites))
+			st.WriteAmplification())
 	}
 	fmt.Printf("wear:                min %d / max %d erases per block\n", st.Chip.MinWear, st.Chip.MaxWear)
 	fmt.Printf("fault handling:      %d program retries, %d program fails, %d erase fails\n",
@@ -164,6 +164,43 @@ run:
 	}
 	if st.FTL.ReadOnly {
 		fmt.Println("device state:        READ-ONLY (spare budget exhausted)")
+	}
+
+	rec := dev.Metrics()
+	if lats := rec.LatencySummaries(); len(lats) > 0 {
+		fmt.Println("\n--- command latency (virtual ms) ---")
+		fmt.Printf("%-10s %8s %9s %9s %9s %9s %12s\n",
+			"command", "count", "mean", "p50", "p99", "max", "gc-stall(ms)")
+		for c := share.Cmd(0); c < share.NumCmds; c++ {
+			s, ok := lats[c.String()]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-10s %8d %9.3f %9.3f %9.3f %9.3f %12.3f\n",
+				c.String(), s.Count, s.Mean, s.P50, s.P99, s.Max,
+				float64(rec.GCStall(c))/1e6)
+		}
+	}
+	if evs := rec.EventCounts(); len(evs) > 0 {
+		fmt.Println("\n--- FTL events ---")
+		names := make([]string, 0, len(evs))
+		for name := range evs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-14s %d\n", name, evs[name])
+		}
+		trace := rec.Trace()
+		n := len(trace)
+		if n > 8 {
+			trace = trace[n-8:]
+		}
+		fmt.Printf("last %d of %d traced events:\n", len(trace), rec.EventsSeen())
+		for _, te := range trace {
+			fmt.Printf("  #%-6d %-14s block %-5d a=%-8d b=%d\n",
+				te.Seq, te.Type, te.Block, te.A, te.B)
+		}
 	}
 
 	if err := dev.FTLForTest().CheckInvariants(); err != nil {

@@ -21,7 +21,7 @@ func init() {
 		ID: "abl-sharetable",
 		Title: "Ablation: bounded reverse-mapping (share) table size — forced copies " +
 			"when the OpenSSD's 250/500-entry budget is exceeded",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("Table cap", "OPS", "Share pairs", "Forced copies", "Forced %")
 			for _, cap := range []int{64, 250, 500, 0} {
@@ -65,6 +65,8 @@ func init() {
 				}
 				tb.AddRow(capLabel, fmtThroughput(res.Throughput),
 					fst.SharePairs, fst.ForcedCopies, fmt.Sprintf("%.1f%%", pct))
+				r.Metric("ops_cap_"+capLabel, res.Throughput, "ops/s")
+				r.Metric("forced_pct_cap_"+capLabel, pct, "%")
 			}
 			return tb.String() + "\nSmaller tables degrade SHAREs into physical copies between\nmapping checkpoints; the paper sized 250 (4KB) / 500 (8KB) entries.\n", nil
 		},
@@ -73,7 +75,7 @@ func init() {
 	register(Experiment{
 		ID:    "abl-batch",
 		Title: "Ablation: batched vs per-pair SHARE commands (round trips and delta-log programs)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			pairsN := 512
 			tb := stats.NewTable("Issue", "Commands", "Delta-log pages", "Elapsed (ms)")
@@ -120,8 +122,13 @@ func init() {
 				if batched {
 					label = "batched"
 				}
+				elapsedMS := float64(task.Now()-start) / float64(sim.Millisecond)
 				tb.AddRow(label, st.Shares, st.LogPagesWritten,
-					fmt.Sprintf("%.2f", float64(task.Now()-start)/float64(sim.Millisecond)))
+					fmt.Sprintf("%.2f", elapsedMS))
+				r.Metric(label+"_commands", float64(st.Shares), "cmds")
+				r.Metric(label+"_log_pages", float64(st.LogPagesWritten), "pages")
+				r.Metric(label+"_elapsed", elapsedMS, "ms")
+				r.Device(label, dev)
 			}
 			return tb.String() + "\nBatching amortizes both the command round trip and the\nmapping-delta page program (§3.2).\n", nil
 		},
@@ -131,7 +138,7 @@ func init() {
 		ID: "abl-atomic",
 		Title: "Ablation: SHARE vs the atomic-write FTL baseline (§6.1) vs doublewrite " +
 			"on LinkBench",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("Mode", "Throughput (tps)", "Host writes", "GC events")
 			for _, mode := range []innodb.FlushMode{innodb.DWBOn, innodb.AtomicWrite, innodb.Share} {
@@ -142,6 +149,9 @@ func init() {
 				st := rig.dev.Stats()
 				tb.AddRow(mode.String(), fmtThroughput(res.Throughput),
 					st.FTL.HostWrites, st.FTL.GCEvents)
+				r.Metric(mode.String()+"_tps", res.Throughput, "tps")
+				r.Metric(mode.String()+"_host_writes", float64(st.FTL.HostWrites), "pages")
+				r.Device(mode.String(), rig.dev)
 			}
 			return tb.String() +
 				"\nThe atomic-write FTL matches SHARE for in-place engines like\n" +
@@ -154,7 +164,7 @@ func init() {
 	register(Experiment{
 		ID:    "abl-op",
 		Title: "Ablation: over-provisioning vs GC copyback under DWB-On and SHARE",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("OP", "Mode", "GC events", "Copybacks", "WAF")
 			for _, op := range []float64{0.07, 0.15, 0.28} {
@@ -200,18 +210,16 @@ func init() {
 						return "", err
 					}
 					dev.ResetStats()
-					chipBefore := dev.Stats().Chip.Programs
 					if _, err := linkbench.Run(eng, cfg2); err != nil {
 						return "", err
 					}
 					st := dev.Stats()
-					waf := 0.0
-					if st.FTL.HostWrites > 0 {
-						waf = float64(st.Chip.Programs-chipBefore) / float64(st.FTL.HostWrites)
-					}
+					waf := st.WriteAmplification()
 					tb.AddRow(fmt.Sprintf("%.0f%%", op*100), mode.String(),
 						st.FTL.GCEvents, st.FTL.Copybacks,
 						fmt.Sprintf("%.2f", waf))
+					r.Metric(fmt.Sprintf("%s_waf_op%.0f", mode.String(), op*100), waf, "x")
+					r.Metric(fmt.Sprintf("%s_gc_op%.0f", mode.String(), op*100), float64(st.FTL.GCEvents), "events")
 				}
 			}
 			return tb.String() + "\nSHARE's halved host writes relax GC pressure most when\nover-provisioning is scarce.\n", nil
@@ -224,7 +232,7 @@ func init() {
 		ID: "abl-queue",
 		Title: "Ablation: device queue depth (internal parallelism) vs the SHARE advantage " +
 			"on LinkBench",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("QueueDepth", "DWB-On (tps)", "SHARE (tps)", "SHARE/DWB")
 			for _, depth := range []int{1, 4, 16} {
@@ -280,6 +288,8 @@ func init() {
 				}
 				tb.AddRow(depth, fmtThroughput(tput[0]), fmtThroughput(tput[1]),
 					ratio(tput[1], tput[0]))
+				r.Metric(fmt.Sprintf("dwb_on_tps_qd%d", depth), tput[0], "tps")
+				r.Metric(fmt.Sprintf("share_tps_qd%d", depth), tput[1], "tps")
 			}
 			return tb.String() + "\nThe OpenSSD prototype is effectively serial (depth 1); modern\ndrives overlap commands, which absorbs part of the doubled write\ntraffic and narrows (but does not erase) the SHARE advantage.\n", nil
 		},

@@ -10,6 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "table2",
 		"pgfpw", "abl-sharetable", "abl-batch", "abl-op", "abl-atomic", "abl-sqlite", "abl-queue", "abl-ycsb",
+		"smoke",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -52,12 +53,22 @@ func TestExperimentsRunTiny(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			out, err := e.Run(Params{Scale: 0.004, Seed: 42})
+			out, rep, err := e.RunWithReport(Params{Scale: 0.004, Seed: 42})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(out, "\n") {
 				t.Fatalf("suspiciously short output: %q", out)
+			}
+			data, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateReportJSON(data); err != nil {
+				t.Fatalf("report invalid: %v", err)
+			}
+			if len(rep.Metrics) == 0 {
+				t.Fatal("experiment reported no metrics")
 			}
 		})
 	}

@@ -70,9 +70,10 @@ func fanoutForDepth3(n int) int {
 
 var batchSweep = []int{1, 4, 16, 64, 256}
 
-func runYCSBSweep(p Params, w ycsb.Workload) (*stats.Table, error) {
+func runYCSBSweep(p Params, w ycsb.Workload, r *Report) (*stats.Table, error) {
 	tb := stats.NewTable("Batch", "Original (OPS)", "SHARE (OPS)", "Tput ratio",
 		"Original (MB)", "SHARE (MB)", "Write ratio")
+	lastBatch := batchSweep[len(batchSweep)-1]
 	for _, batch := range batchSweep {
 		var tput [2]float64
 		var bytes [2]int64
@@ -83,14 +84,11 @@ func runYCSBSweep(p Params, w ycsb.Workload) (*stats.Table, error) {
 			}
 			cfg.Workload = w
 			before := st.Stats()
-			compBefore := before.Compactions
 			res, err := ycsb.Run(task, st, cfg)
 			if err != nil {
 				return nil, err
 			}
 			after := st.Stats()
-			_ = dev
-			_ = compBefore
 			// Update-path writes only (docs + wandering index nodes +
 			// commit headers), as Figure 7(b) reports; compaction traffic
 			// is Table 2's subject.
@@ -99,7 +97,18 @@ func runYCSBSweep(p Params, w ycsb.Workload) (*stats.Table, error) {
 				(after.HeaderPages - before.HeaderPages)
 			tput[i] = res.Throughput
 			bytes[i] = pages * int64(dev.PageSize())
+			if batch == lastBatch {
+				label := "original"
+				if share {
+					label = "share"
+				}
+				r.Device(fmt.Sprintf("%s-b%d", label, batch), dev)
+			}
 		}
+		r.Metric(fmt.Sprintf("original_ops_b%d", batch), tput[0], "ops/s")
+		r.Metric(fmt.Sprintf("share_ops_b%d", batch), tput[1], "ops/s")
+		r.Metric(fmt.Sprintf("original_written_b%d", batch), mb(bytes[0]), "MB")
+		r.Metric(fmt.Sprintf("share_written_b%d", batch), mb(bytes[1]), "MB")
 		tb.AddRow(batch,
 			fmtThroughput(tput[0]), fmtThroughput(tput[1]), ratio(tput[1], tput[0]),
 			fmt.Sprintf("%.1f", mb(bytes[0])), fmt.Sprintf("%.1f", mb(bytes[1])),
@@ -112,9 +121,9 @@ func init() {
 	register(Experiment{
 		ID:    "fig7",
 		Title: "Figure 7: YCSB workload-F on Couchbase — throughput and written data vs batch size",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
-			tb, err := runYCSBSweep(p, ycsb.WorkloadF)
+			tb, err := runYCSBSweep(p, ycsb.WorkloadF, r)
 			if err != nil {
 				return "", err
 			}
@@ -126,9 +135,9 @@ func init() {
 	register(Experiment{
 		ID:    "fig8",
 		Title: "Figure 8: YCSB workload-A on Couchbase — throughput vs batch size",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
-			tb, err := runYCSBSweep(p, ycsb.WorkloadA)
+			tb, err := runYCSBSweep(p, ycsb.WorkloadA, r)
 			if err != nil {
 				return "", err
 			}
@@ -139,7 +148,7 @@ func init() {
 	register(Experiment{
 		ID:    "table2",
 		Title: "Table 2: Couchbase compaction — elapsed time and written bytes",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("Mode", "Elapsed (s)", "Written (MB)", "Docs moved")
 			var elapsed [2]float64
@@ -171,6 +180,13 @@ func init() {
 				}
 				tb.AddRow(name, fmt.Sprintf("%.2f", elapsed[i]),
 					fmt.Sprintf("%.1f", written[i]), cs.DocsMoved)
+				key := "original"
+				if share {
+					key = "share"
+				}
+				r.Metric(key+"_compact_elapsed", elapsed[i], "s")
+				r.Metric(key+"_compact_written", written[i], "MB")
+				r.Device(key, dev)
 			}
 			out := tb.String()
 			out += fmt.Sprintf("\nElapsed ratio %.1fx (paper 3.1x), written ratio %.1fx (paper 7.5x).\n",
@@ -185,7 +201,7 @@ func init() {
 		ID: "abl-ycsb",
 		Title: "Extension: all six YCSB workloads — SHARE's gain tracks the write " +
 			"fraction (why the paper measured only A and F)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("Workload", "Mix", "Original (OPS)", "SHARE (OPS)", "Gain")
 			mixes := map[ycsb.Workload]string{
@@ -213,6 +229,8 @@ func init() {
 				}
 				tb.AddRow(w.String(), mixes[w],
 					fmtThroughput(tput[0]), fmtThroughput(tput[1]), ratio(tput[1], tput[0]))
+				r.Metric("original_ops_"+w.String(), tput[0], "ops/s")
+				r.Metric("share_ops_"+w.String(), tput[1], "ops/s")
 			}
 			return tb.String() + "\nSHARE leaves the read path untouched, so the read-intensive\nworkloads (B-E) see little change — exactly why §5.2 selects A and F.\n", nil
 		},

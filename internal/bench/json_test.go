@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSmokeJSONDeterministic is the acceptance check for the report
+// pipeline: two identically-seeded smoke runs — queue depth 4, multiple
+// concurrent clients — must serialize to byte-identical JSON, and the WA
+// field must exclude the aging phase.
+func TestSmokeJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a device workload; skipped in -short")
+	}
+	e, err := Get("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Scale: 0.01, Seed: 7}
+	run := func() []byte {
+		_, rep, err := e.RunWithReport(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateReportJSON(data); err != nil {
+			t.Fatalf("invalid report: %v\n%s", err, data)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var wa float64
+	found := false
+	for _, m := range rep.Metrics {
+		if m.Name == "write_amplification" {
+			wa, found = m.Value, true
+		}
+	}
+	if !found {
+		t.Fatal("smoke report missing write_amplification metric")
+	}
+	// The device is aged to 50% full before ResetStats; if the aging
+	// programs leaked into the epoch the WA would be far above any
+	// plausible steady-state value for this light workload.
+	if wa <= 0 || wa > 3 {
+		t.Fatalf("write_amplification %.3f outside sane epoch range (aging leak?)", wa)
+	}
+	if len(rep.Devices) == 0 {
+		t.Fatal("smoke report has no device telemetry")
+	}
+	d := rep.Devices[0]
+	if d.QueueDepth != 4 {
+		t.Fatalf("queue depth %d, want 4", d.QueueDepth)
+	}
+	if len(d.Latency) == 0 {
+		t.Fatal("no latency summaries in device report")
+	}
+	if d.FTL.HostWrites == 0 || d.Chip.Programs == 0 {
+		t.Fatal("epoch counters empty")
+	}
+}
+
+func TestValidateReportJSON(t *testing.T) {
+	if err := ValidateReportJSON([]byte("{")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if err := ValidateReportJSON([]byte(`{"schema":"nope"}`)); err == nil {
+		t.Fatal("accepted wrong schema")
+	}
+	good := Report{
+		Schema: ReportSchema, Experiment: "x", Title: "y",
+		Config: ConfigInfo{Scale: 1, Seed: 42}, Output: "ok\n",
+	}
+	data, err := good.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(data); err != nil {
+		t.Fatalf("rejected valid report: %v", err)
+	}
+}

@@ -61,17 +61,23 @@ func init() {
 	register(Experiment{
 		ID:    "fig5a",
 		Title: "Figure 5(a): LinkBench throughput vs page size (50 MB buffer)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("PageSize", "DWB-On (tps)", "SHARE (tps)", "SHARE/DWB")
 			for _, ps := range []int{4096, 8192, 16384} {
-				on, _, err := runLink(p, innodb.DWBOn, ps, paperBufferMB)
+				on, onRig, err := runLink(p, innodb.DWBOn, ps, paperBufferMB)
 				if err != nil {
 					return "", err
 				}
-				sh, _, err := runLink(p, innodb.Share, ps, paperBufferMB)
+				sh, shRig, err := runLink(p, innodb.Share, ps, paperBufferMB)
 				if err != nil {
 					return "", err
+				}
+				r.Metric(fmt.Sprintf("dwb_on_tps_%dk", ps/1024), on.Throughput, "tps")
+				r.Metric(fmt.Sprintf("share_tps_%dk", ps/1024), sh.Throughput, "tps")
+				if ps == 4096 {
+					r.Device("dwb-on-4k", onRig.dev)
+					r.Device("share-4k", shRig.dev)
 				}
 				tb.AddRow(fmt.Sprintf("%dKB", ps/1024),
 					fmtThroughput(on.Throughput), fmtThroughput(sh.Throughput),
@@ -84,7 +90,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig5b",
 		Title: "Figure 5(b): LinkBench throughput vs buffer pool size (4 KB pages)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			tb := stats.NewTable("Buffer", "DWB-On (tps)", "DWB-Off (tps)", "SHARE (tps)", "SHARE/DWB-On", "SHARE/DWB-Off")
 			for _, buf := range []float64{50, 100, 150} {
@@ -100,6 +106,9 @@ func init() {
 				if err != nil {
 					return "", err
 				}
+				r.Metric(fmt.Sprintf("dwb_on_tps_%.0fmb", buf), on.Throughput, "tps")
+				r.Metric(fmt.Sprintf("dwb_off_tps_%.0fmb", buf), off.Throughput, "tps")
+				r.Metric(fmt.Sprintf("share_tps_%.0fmb", buf), sh.Throughput, "tps")
 				tb.AddRow(fmt.Sprintf("%.0fMB", buf),
 					fmtThroughput(on.Throughput), fmtThroughput(off.Throughput),
 					fmtThroughput(sh.Throughput),
@@ -112,7 +121,7 @@ func init() {
 	register(Experiment{
 		ID:    "fig6",
 		Title: "Figure 6: IO activities inside the SSD (host writes, GC events, copybacks)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			// GC statistics need sustained churn — several full device
 			// turnovers — so steady-state garbage collection (not the
@@ -140,6 +149,12 @@ func init() {
 				tb.AddRow(label, "host page writes", on.FTL.HostWrites, sh.FTL.HostWrites, red(on.FTL.HostWrites, sh.FTL.HostWrites))
 				tb.AddRow(label, "GC events", on.FTL.GCEvents, sh.FTL.GCEvents, red(on.FTL.GCEvents, sh.FTL.GCEvents))
 				tb.AddRow(label, "copyback pages", on.FTL.Copybacks, sh.FTL.Copybacks, red(on.FTL.Copybacks, sh.FTL.Copybacks))
+				r.Metric(fmt.Sprintf("dwb_on_wa_%.0fmb", buf), on.WriteAmplification(), "x")
+				r.Metric(fmt.Sprintf("share_wa_%.0fmb", buf), sh.WriteAmplification(), "x")
+				if buf == 50 {
+					r.Device("dwb-on-50mb", onRig.dev)
+					r.Device("share-50mb", shRig.dev)
+				}
 			}
 			return tb.String() + "\nPaper: ~45% fewer host writes, ~55% fewer GCs, ~75% fewer copybacks.\n", nil
 		},
@@ -148,7 +163,7 @@ func init() {
 	register(Experiment{
 		ID:    "table1",
 		Title: "Table 1: LinkBench latency distribution (50 MB buffer, 4 KB pages)",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			on, _, err := runLink(p, innodb.DWBOn, 4096, paperBufferMB)
 			if err != nil {
@@ -193,6 +208,10 @@ func init() {
 			}
 			fmt.Fprintf(&b, "\nMean latency reduced by %.1fx-%.1fx; P99 by %.1fx-%.1fx.\n",
 				meanMin, meanMax, p99Min, p99Max)
+			r.Metric("mean_reduction_min", meanMin, "x")
+			r.Metric("mean_reduction_max", meanMax, "x")
+			r.Metric("p99_reduction_min", p99Min, "x")
+			r.Metric("p99_reduction_max", p99Max, "x")
 			b.WriteString("Paper: mean reduced 2.1x-4.2x, P99 reduced 2.0x-8.3x.\n")
 			return b.String(), nil
 		},

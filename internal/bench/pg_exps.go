@@ -23,7 +23,7 @@ func init() {
 	register(Experiment{
 		ID:    "pgfpw",
 		Title: "§5.3.1 in-text: PostgreSQL full_page_writes with pgbench",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			txns := scaled(40_000, p.Scale)
 			// pgbench scale: large enough that account touches are mostly
@@ -85,6 +85,9 @@ func init() {
 				walMB[i] = mb(db.WALBytes())
 				tb.AddRow(mode.String(), fmtThroughput(tps[i]),
 					fmt.Sprintf("%.1f", walMB[i]), st.WALPages, st.FullImages)
+				r.Metric(mode.String()+"_tps", tps[i], "tps")
+				r.Metric(mode.String()+"_wal", walMB[i], "MB")
+				r.Device(mode.String()+"-data", dev)
 			}
 			out := tb.String()
 			out += fmt.Sprintf("\nfull_page_writes off vs on: %.2fx throughput, WAL shrinks by %.1f MB.\n",

@@ -5,11 +5,26 @@ import (
 	"sort"
 )
 
-// Experiment is one reproducible table/figure from the paper.
+// Experiment is one reproducible table/figure from the paper. Run
+// returns the human-readable rows and fills r with the machine-readable
+// results (metrics, device telemetry); callers normally invoke it
+// through RunWithReport.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(p Params) (string, error)
+	Run   func(p Params, r *Report) (string, error)
+}
+
+// RunWithReport executes e and returns both the printed output and the
+// completed machine-readable report (with Output set).
+func (e Experiment) RunWithReport(p Params) (string, *Report, error) {
+	r := NewReport(e, p)
+	out, err := e.Run(p, r)
+	if err != nil {
+		return out, nil, err
+	}
+	r.Output = out
+	return out, r, nil
 }
 
 var registry = map[string]Experiment{}

@@ -14,7 +14,7 @@ func init() {
 		ID: "abl-sqlite",
 		Title: "§3.3/§7 extension: SQLite-style commit protocols — rollback journal " +
 			"vs WAL vs journaling turned off with SHARE",
-		Run: func(p Params) (string, error) {
+		Run: func(p Params, r *Report) (string, error) {
 			p.setDefaults()
 			txns := scaled(100_000, p.Scale)
 			if txns < 200 {
@@ -64,6 +64,9 @@ func init() {
 				}[mode]
 				tb.AddRow(mode.String(), fmtThroughput(tps[i]), st.FTL.HostWrites,
 					syncs, fmt.Sprintf("%.1f", float64(st.FTL.HostWrites)/float64(dst.Commits)))
+				r.Metric(mode.String()+"_tps", tps[i], "tps")
+				r.Metric(mode.String()+"_host_writes", float64(st.FTL.HostWrites), "pages")
+				r.Device(mode.String(), dev)
 			}
 			out := tb.String()
 			out += fmt.Sprintf("\nSHARE vs rollback journal: %.2fx; SHARE vs WAL: %.2fx.\n",

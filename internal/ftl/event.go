@@ -1,0 +1,79 @@
+package ftl
+
+// FTL event hooks. Internal state transitions the host cannot see through
+// command results — GC victim selection, relocation traffic, mapping
+// checkpoints, block retirement, read-only degradation — are emitted
+// through an optional sink, one Event per happening. The device layer
+// installs a metrics recorder here and exposes the stream as a bounded
+// trace ring (internal/metrics), so experiments and the inspector can
+// attribute amplification to its cause rather than inferring it from
+// counter deltas.
+
+// EventType enumerates the traced FTL happenings.
+type EventType uint8
+
+const (
+	// EvGCVictim: garbage collection picked a reclaim victim.
+	// Block = victim, A = valid pages to relocate.
+	EvGCVictim EventType = iota
+	// EvWearLevel: the GC pass was a wear-leveling migration of the
+	// coldest block. Block = victim, A = valid pages to relocate.
+	EvWearLevel
+	// EvCopyback: live pages were relocated out of a block (by GC or
+	// block retirement). Block = source, A = data pages, B = metadata
+	// pages moved.
+	EvCopyback
+	// EvCheckpoint: a mapping checkpoint completed. A = map snapshot
+	// pages written, B = delta-log pages truncated.
+	EvCheckpoint
+	// EvBlockRetired: a block left service permanently (program/erase
+	// failure or wear-out). Block = retired block.
+	EvBlockRetired
+	// EvReadOnly: retirements exhausted the spare budget; the device
+	// degraded to read-only mode.
+	EvReadOnly
+
+	numEventTypes
+)
+
+// NumEventTypes is the number of distinct event types, for sinks that
+// keep per-type counters.
+const NumEventTypes = int(numEventTypes)
+
+var eventNames = [numEventTypes]string{
+	EvGCVictim:     "gc-victim",
+	EvWearLevel:    "wear-level",
+	EvCopyback:     "copyback",
+	EvCheckpoint:   "checkpoint",
+	EvBlockRetired: "block-retired",
+	EvReadOnly:     "read-only",
+}
+
+func (e EventType) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "unknown"
+}
+
+// Event is one traced FTL happening. Block is -1 when no single block is
+// involved; A and B carry type-specific detail (see the EventType docs).
+type Event struct {
+	Type  EventType
+	Block int
+	A, B  int64
+}
+
+// EventSink receives events synchronously, under the device lock, in the
+// deterministic order the simulator produces them. Sinks must be cheap
+// and must not call back into the FTL.
+type EventSink func(Event)
+
+// SetEventSink installs (or, with nil, removes) the event sink.
+func (f *FTL) SetEventSink(s EventSink) { f.sink = s }
+
+func (f *FTL) emit(ev Event) {
+	if f.sink != nil {
+		f.sink(ev)
+	}
+}

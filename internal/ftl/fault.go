@@ -105,8 +105,10 @@ func (f *FTL) noteRetired(b int) {
 	}
 	f.retired[b] = true
 	f.retiredN++
-	if f.retiredN > f.spareBudget {
+	f.emit(Event{Type: EvBlockRetired, Block: b, A: int64(f.SpareBlocksLeft())})
+	if f.retiredN > f.spareBudget && !f.readOnly {
 		f.readOnly = true
+		f.emit(Event{Type: EvReadOnly, Block: -1, A: int64(f.retiredN)})
 	}
 }
 
@@ -114,6 +116,12 @@ func (f *FTL) noteRetired(b int) {
 // out of block b. Shared by GC (before erase) and block retirement.
 func (f *FTL) relocateLive(b int, buf []byte) (sim.Duration, error) {
 	var total sim.Duration
+	dataBefore, metaBefore := f.st.Copybacks, f.st.MetaMoves
+	defer func() {
+		if d, m := f.st.Copybacks-dataBefore, f.st.MetaMoves-metaBefore; d+m > 0 {
+			f.emit(Event{Type: EvCopyback, Block: b, A: d, B: m})
+		}
+	}()
 	base := uint32(b * f.geo.PagesPerBlock)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		ppn := base + uint32(i)

@@ -158,7 +158,8 @@ type FTL struct {
 	batchBuf []delta
 	batchIdx map[uint32]int // lpn -> index in batchBuf
 
-	st Stats
+	st   Stats
+	sink EventSink // optional trace hook (see event.go)
 }
 
 type delta struct {

@@ -18,6 +18,7 @@ func (f *FTL) maybeGC() (sim.Duration, error) {
 		return 0, nil
 	}
 	var total sim.Duration
+	defer func() { f.st.GCStallNanos += total }()
 	for len(f.freeBlocks) < f.cfg.GCLowWater {
 		d, err := f.gcOnce()
 		total += d
@@ -75,6 +76,7 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 			coldest = b
 		}
 	}
+	kind := EvGCVictim
 	if f.cfg.WearLevelDelta > 0 && coldest >= 0 &&
 		maxWear-coldWear > f.cfg.WearLevelDelta && coldest != victim {
 		// Wear-leveling pass: migrate the coldest block even though it may
@@ -82,11 +84,13 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 		victim = coldest
 		best = f.blockValid[coldest]
 		f.st.WearLevelMoves++
+		kind = EvWearLevel
 	} else if victim < 0 || best >= f.geo.PagesPerBlock {
 		// Nothing reclaimable: every full block is entirely valid.
 		return 0, ErrFull
 	}
 	f.st.GCEvents++
+	f.emit(Event{Type: kind, Block: victim, A: int64(best)})
 
 	buf := make([]byte, f.geo.PageSize)
 	total, err := f.relocateLive(victim, buf)

@@ -166,6 +166,7 @@ func (f *FTL) Checkpoint() (sim.Duration, error) {
 // delta is now reflected in a durable snapshot.
 func (f *FTL) checkpoint() (sim.Duration, error) {
 	f.st.Checkpoints++
+	mapBefore := f.st.MapPagesWritten
 	var total sim.Duration
 	epp := f.entriesPerMapPage()
 	seq := f.logSeq
@@ -213,12 +214,14 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 	// the list.
 	var keptP []uint32
 	var keptS []uint64
+	truncated := int64(0)
 	for i, p := range f.logPPNs {
 		if f.logSeqs[i] <= seq {
 			if f.metaLive[p] {
 				delete(f.metaLive, p)
 				f.blockValid[f.chip.BlockOf(p)]--
 			}
+			truncated++
 			continue
 		}
 		keptP = append(keptP, p)
@@ -226,6 +229,8 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 	}
 	f.logPPNs, f.logSeqs = keptP, keptS
 	f.pendingShares = 0
+	f.emit(Event{Type: EvCheckpoint, Block: -1,
+		A: f.st.MapPagesWritten - mapBefore, B: truncated})
 	return total, nil
 }
 

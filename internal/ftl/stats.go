@@ -5,6 +5,14 @@ import "fmt"
 // Stats counts FTL activity. Host* fields count commands from above;
 // the GC and metadata fields expose the internal amplification the paper
 // measures in Figure 6.
+//
+// Counter epoch semantics: every numeric field except the gauges
+// (SpareBlocksLeft, ReadOnly) is a lifetime-monotonic counter — it only
+// grows, and it is never reset. Experiment epochs (e.g. "after aging")
+// are handled one layer up: ssd.Device.ResetStats records a baseline and
+// ssd.Device.Stats reports the difference, so this struct stays a single
+// source of truth. A new field added here must be classified in
+// internal/ssd's epoch diff (counter: subtracted; gauge: passed through).
 type Stats struct {
 	HostReads    int64 // host READ pages
 	HostWrites   int64 // host WRITE pages
@@ -15,12 +23,25 @@ type Stats struct {
 
 	ForcedCopies int64 // SHARE pairs degraded to physical copies (table full)
 
-	GCEvents       int64 // garbage-collection victim erases
+	// GC and block lifecycle. GCEvents counts victim selections (reclaim
+	// passes plus the WearLevelMoves subset); a pass whose erase fails
+	// retires the block instead, so:
+	//
+	//	Erases        = successful block erases from every path
+	//	              = GCEvents - (GC passes ending in retirement)
+	//	RetiredBlocks = factory-bad + program-failure + erase-failure
+	//	                + wear-out blocks removed from service
+	//
+	// Erases always equals the NAND chip's successful-erase counter over
+	// the same window (the FTL is the chip's only client); an ssd test
+	// asserts that equivalence.
+	GCEvents       int64 // GC victim selections (includes wear-level passes)
 	WearLevelMoves int64 // GC passes spent migrating cold blocks
 	RetiredBlocks  int64 // bad/worn-out blocks removed from service
-	Copybacks      int64 // valid data pages relocated by GC
-	MetaMoves      int64 // live metadata pages relocated by GC
-	Erases         int64 // block erases (== GCEvents for this FTL)
+	Copybacks      int64 // valid data pages relocated by GC/retirement
+	MetaMoves      int64 // live metadata pages relocated by GC/retirement
+	Erases         int64 // successful block erases (all paths)
+	GCStallNanos   int64 // virtual time commands stalled waiting on GC
 
 	// Fault handling (bad-block management).
 	ProgramRetries     int64 // program faults absorbed by the retry path
@@ -43,9 +64,10 @@ func (f *FTL) Stats() Stats {
 	return st
 }
 
-// ResetStats zeroes the counters (used between experiment phases, e.g.
-// after device aging and warm-up).
-func (f *FTL) ResetStats() { f.st = Stats{} }
+// GCStallTotal returns the lifetime virtual time commands have stalled
+// on garbage collection — a cheap accessor the device layer diffs around
+// each command to attribute its GC share.
+func (f *FTL) GCStallTotal() int64 { return f.st.GCStallNanos }
 
 // FreeBlocks reports the current size of the free-block pool.
 func (f *FTL) FreeBlocks() int { return len(f.freeBlocks) }

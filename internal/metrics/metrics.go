@@ -1,0 +1,211 @@
+// Package metrics is the device observability layer: per-command latency
+// histograms in virtual time, GC-stall attribution, and a bounded trace
+// ring of FTL events (GC victims, copybacks, checkpoints, retirements,
+// read-only degradation). One Recorder is attached to every ssd.Device;
+// it is epoch-aware — Device.ResetStats clears it alongside the counter
+// baseline, so everything it reports covers only the measured window.
+//
+// All recorded quantities are either order-independent aggregates
+// (histogram bucket counts, sums, per-type counters) or produced in the
+// deterministic order of the virtual-time scheduler (the trace ring), so
+// two identically-seeded runs report byte-identical results even at
+// device queue depths above one.
+package metrics
+
+import (
+	"sync"
+
+	"share/internal/ftl"
+	"share/internal/stats"
+)
+
+// Cmd labels one host-visible device command class.
+type Cmd uint8
+
+const (
+	CmdRead Cmd = iota
+	CmdWrite
+	CmdTrim
+	CmdShare
+	CmdAtomic
+	CmdFlush
+	CmdCheckpoint
+	CmdRecover
+	NumCmds
+)
+
+var cmdNames = [NumCmds]string{
+	CmdRead:       "read",
+	CmdWrite:      "write",
+	CmdTrim:       "trim",
+	CmdShare:      "share",
+	CmdAtomic:     "atomic",
+	CmdFlush:      "flush",
+	CmdCheckpoint: "checkpoint",
+	CmdRecover:    "recover",
+}
+
+func (c Cmd) String() string {
+	if int(c) < len(cmdNames) {
+		return cmdNames[c]
+	}
+	return "unknown"
+}
+
+// TraceEvent is one FTL event as stored in the ring: the raw ftl.Event
+// plus a per-epoch sequence number and a stable string type for JSON.
+type TraceEvent struct {
+	Seq   uint64 `json:"seq"`
+	Type  string `json:"type"`
+	Block int    `json:"block"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+}
+
+// DefaultTraceCap is the trace ring size used by ssd.New.
+const DefaultTraceCap = 256
+
+// Recorder accumulates the observability state for one device. It is
+// safe for concurrent use; within one simulation run all access is
+// totally ordered by the virtual-time scheduler, so the lock is
+// uncontended and the contents are deterministic.
+type Recorder struct {
+	mu     sync.Mutex
+	lat    [NumCmds]*stats.Histogram
+	stall  [NumCmds]int64 // GC-stall virtual ns attributed per command class
+	counts [ftl.NumEventTypes]int64
+	ring   []TraceEvent // ring buffer, capacity ringCap
+	start  int          // index of the oldest event in ring
+	seq    uint64       // events seen this epoch (monotone within epoch)
+}
+
+// NewRecorder returns an empty recorder whose trace ring keeps the last
+// traceCap events (DefaultTraceCap if <= 0).
+func NewRecorder(traceCap int) *Recorder {
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCap
+	}
+	r := &Recorder{ring: make([]TraceEvent, 0, traceCap)}
+	for c := range r.lat {
+		r.lat[c] = stats.NewHistogram()
+	}
+	return r
+}
+
+// Observe records one completed command: its total latency (service +
+// queueing, virtual ns) and the portion of its service time spent
+// stalled on garbage collection.
+func (r *Recorder) Observe(c Cmd, latency, gcStall int64) {
+	r.mu.Lock()
+	r.lat[c].Add(latency)
+	r.stall[c] += gcStall
+	r.mu.Unlock()
+}
+
+// FTLEvent is the ftl.EventSink: it counts the event and appends it to
+// the trace ring, evicting the oldest entry when full.
+func (r *Recorder) FTLEvent(ev ftl.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts[ev.Type]++
+	te := TraceEvent{Seq: r.seq, Type: ev.Type.String(), Block: ev.Block, A: ev.A, B: ev.B}
+	r.seq++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, te)
+		return
+	}
+	r.ring[r.start] = te
+	r.start = (r.start + 1) % len(r.ring)
+}
+
+// Reset clears every histogram, counter and the trace ring — the start
+// of a new measurement epoch (called by ssd.Device.ResetStats).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for c := range r.lat {
+		r.lat[c] = stats.NewHistogram()
+		r.stall[c] = 0
+	}
+	r.counts = [ftl.NumEventTypes]int64{}
+	r.ring = r.ring[:0]
+	r.start = 0
+	r.seq = 0
+}
+
+// Latency returns the distribution summary (milliseconds) for one
+// command class.
+func (r *Recorder) Latency(c Cmd) stats.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lat[c].Summarize()
+}
+
+// LatencySummaries returns summaries for every command class that saw at
+// least one command, keyed by command name. The map is rendered with
+// sorted keys by encoding/json, so reports are stable.
+func (r *Recorder) LatencySummaries() map[string]stats.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]stats.Summary)
+	for c := Cmd(0); c < NumCmds; c++ {
+		if r.lat[c].Count() > 0 {
+			out[c.String()] = r.lat[c].Summarize()
+		}
+	}
+	return out
+}
+
+// GCStall returns the total GC stall (virtual ns) charged to one command
+// class this epoch.
+func (r *Recorder) GCStall(c Cmd) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stall[c]
+}
+
+// GCStallByCmd returns the nonzero GC-stall totals keyed by command name.
+func (r *Recorder) GCStallByCmd() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64)
+	for c := Cmd(0); c < NumCmds; c++ {
+		if r.stall[c] != 0 {
+			out[c.String()] = r.stall[c]
+		}
+	}
+	return out
+}
+
+// EventCounts returns the nonzero per-type FTL event totals this epoch,
+// keyed by event name.
+func (r *Recorder) EventCounts() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64)
+	for t := 0; t < ftl.NumEventTypes; t++ {
+		if r.counts[t] != 0 {
+			out[ftl.EventType(t).String()] = r.counts[t]
+		}
+	}
+	return out
+}
+
+// EventsSeen returns the total number of FTL events this epoch (including
+// those already evicted from the ring).
+func (r *Recorder) EventsSeen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Trace returns the retained events, oldest first.
+func (r *Recorder) Trace() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		out = append(out, r.ring[(r.start+i)%len(r.ring)])
+	}
+	return out
+}

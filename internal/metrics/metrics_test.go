@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"testing"
+
+	"share/internal/ftl"
+)
+
+func TestObserveAndSummaries(t *testing.T) {
+	r := NewRecorder(8)
+	r.Observe(CmdWrite, 1_000_000, 0)
+	r.Observe(CmdWrite, 3_000_000, 2_000_000)
+	r.Observe(CmdRead, 90_000, 0)
+	s := r.Latency(CmdWrite)
+	if s.Count != 2 || s.Mean != 2 { // 2 ms mean
+		t.Fatalf("write summary = %+v", s)
+	}
+	all := r.LatencySummaries()
+	if len(all) != 2 {
+		t.Fatalf("summaries for %d classes, want 2 (%v)", len(all), all)
+	}
+	if _, ok := all["trim"]; ok {
+		t.Fatal("empty class reported")
+	}
+	if got := r.GCStall(CmdWrite); got != 2_000_000 {
+		t.Fatalf("gc stall = %d", got)
+	}
+	if m := r.GCStallByCmd(); len(m) != 1 || m["write"] != 2_000_000 {
+		t.Fatalf("stall map = %v", m)
+	}
+}
+
+func TestTraceRingEvictsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.FTLEvent(ftl.Event{Type: ftl.EvGCVictim, Block: i})
+	}
+	tr := r.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(tr))
+	}
+	for i, te := range tr {
+		if te.Block != 6+i || te.Seq != uint64(6+i) {
+			t.Fatalf("ring[%d] = %+v, want block/seq %d", i, te, 6+i)
+		}
+	}
+	if r.EventsSeen() != 10 {
+		t.Fatalf("events seen = %d", r.EventsSeen())
+	}
+	if c := r.EventCounts(); c["gc-victim"] != 10 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestResetClearsEpoch(t *testing.T) {
+	r := NewRecorder(4)
+	r.Observe(CmdFlush, 5, 1)
+	r.FTLEvent(ftl.Event{Type: ftl.EvCheckpoint})
+	r.Reset()
+	if r.Latency(CmdFlush).Count != 0 || r.GCStall(CmdFlush) != 0 {
+		t.Fatal("latency/stall survived reset")
+	}
+	if len(r.Trace()) != 0 || r.EventsSeen() != 0 || len(r.EventCounts()) != 0 {
+		t.Fatal("trace survived reset")
+	}
+	// The ring works again after reset.
+	r.FTLEvent(ftl.Event{Type: ftl.EvReadOnly, Block: -1})
+	if tr := r.Trace(); len(tr) != 1 || tr[0].Type != "read-only" || tr[0].Seq != 0 {
+		t.Fatalf("post-reset trace = %+v", tr)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"share/internal/ftl"
+	"share/internal/metrics"
 	"share/internal/nand"
 	"share/internal/sim"
 )
@@ -51,6 +52,8 @@ type Device struct {
 	ftl  *ftl.FTL
 	res  *sim.MultiResource
 	cfg  Config
+	rec  *metrics.Recorder
+	base Stats // counter baseline recorded by ResetStats (epoch start)
 }
 
 // New builds a device from cfg.
@@ -71,7 +74,9 @@ func New(name string, cfg Config) (*Device, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 1
 	}
-	return &Device{chip: chip, ftl: f, res: sim.NewMultiResource(name, cfg.QueueDepth), cfg: cfg}, nil
+	rec := metrics.NewRecorder(metrics.DefaultTraceCap)
+	f.SetEventSink(rec.FTLEvent)
+	return &Device{chip: chip, ftl: f, res: sim.NewMultiResource(name, cfg.QueueDepth), cfg: cfg, rec: rec}, nil
 }
 
 // PageSize returns the device mapping unit in bytes.
@@ -90,41 +95,46 @@ func (d *Device) CapacityBytes() int64 {
 func (d *Device) MaxShareBatch() int { return d.ftl.MaxShareBatch() }
 
 // serve runs op under the device lock and charges its service time to t
-// through the single-server queue.
-func (d *Device) serve(t *sim.Task, op func() (sim.Duration, error)) error {
+// through the single-server queue. The completed command — its total
+// latency (service plus queueing) and the slice of its service time that
+// was a GC stall — is recorded in the device's metrics recorder.
+func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, error)) error {
 	d.mu.Lock()
+	stallBefore := d.ftl.GCStallTotal()
 	svc, err := op()
+	stall := d.ftl.GCStallTotal() - stallBefore
 	d.mu.Unlock()
-	d.res.Use(t, svc)
+	lat := d.res.Use(t, svc)
+	d.rec.Observe(c, lat, stall)
 	return err
 }
 
 // ReadPage reads logical page lpn into dst.
 func (d *Device) ReadPage(t *sim.Task, lpn uint32, dst []byte) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Read(lpn, dst) })
+	return d.serve(t, metrics.CmdRead, func() (sim.Duration, error) { return d.ftl.Read(lpn, dst) })
 }
 
 // WritePage writes one page of data at logical page lpn.
 func (d *Device) WritePage(t *sim.Task, lpn uint32, data []byte) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Write(lpn, data) })
+	return d.serve(t, metrics.CmdWrite, func() (sim.Duration, error) { return d.ftl.Write(lpn, data) })
 }
 
 // Trim invalidates n logical pages starting at lpn.
 func (d *Device) Trim(t *sim.Task, lpn uint32, n int) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Trim(lpn, n) })
+	return d.serve(t, metrics.CmdTrim, func() (sim.Duration, error) { return d.ftl.Trim(lpn, n) })
 }
 
 // Share issues one SHARE command. Batches wider than MaxShareBatch must be
 // split by the caller (the core host library does this).
 func (d *Device) Share(t *sim.Task, pairs []Pair) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Share(pairs) })
+	return d.serve(t, metrics.CmdShare, func() (sim.Duration, error) { return d.ftl.Share(pairs) })
 }
 
 // WriteAtomic writes a batch of pages whose mapping updates commit
 // all-or-nothing (the atomic-write FTL baseline of §6.1). The batch must
 // not exceed MaxShareBatch pages.
 func (d *Device) WriteAtomic(t *sim.Task, pages []ftl.AtomicPage) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.WriteAtomic(pages) })
+	return d.serve(t, metrics.CmdAtomic, func() (sim.Duration, error) { return d.ftl.WriteAtomic(pages) })
 }
 
 // AtomicPage re-exports the FTL atomic-write page for host code.
@@ -132,12 +142,12 @@ type AtomicPage = ftl.AtomicPage
 
 // Flush persists buffered mapping state (the FLUSH CACHE behind fsync).
 func (d *Device) Flush(t *sim.Task) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Flush() })
+	return d.serve(t, metrics.CmdFlush, func() (sim.Duration, error) { return d.ftl.Flush() })
 }
 
 // Checkpoint forces an FTL mapping checkpoint.
 func (d *Device) Checkpoint(t *sim.Task) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Checkpoint() })
+	return d.serve(t, metrics.CmdCheckpoint, func() (sim.Duration, error) { return d.ftl.Checkpoint() })
 }
 
 // Crash models a power failure: volatile device state is lost.
@@ -189,7 +199,7 @@ func (d *Device) SpareBlocksLeft() int {
 
 // Recover rebuilds the FTL from flash after Crash.
 func (d *Device) Recover(t *sim.Task) error {
-	return d.serve(t, func() (sim.Duration, error) { return d.ftl.Recover() })
+	return d.serve(t, metrics.CmdRecover, func() (sim.Duration, error) { return d.ftl.Recover() })
 }
 
 // Age pre-conditions the drive the way the paper does before measuring: it
@@ -219,35 +229,112 @@ func (d *Device) Age(t *sim.Task, fillRatio, randomFrac float64, seed int64) err
 	return d.Flush(t)
 }
 
-// Stats combines FTL and chip counters.
+// Stats combines FTL and chip counters. As returned by Device.Stats,
+// every counter covers the current measurement epoch — the window since
+// the last ResetStats (or since New) — while gauges (wear extremes, bad
+// blocks, spare budget, read-only flag) are always current absolute
+// state. Device.LifetimeStats returns the undiffed since-birth counters.
 type Stats struct {
 	FTL  ftl.Stats
 	Chip nand.Stats
 }
 
-// Stats returns a snapshot of the device counters.
-func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// sub returns the epoch view of s given the baseline recorded at
+// ResetStats: counters are differenced, gauges pass through from s. Any
+// counter added to ftl.Stats or nand.Stats must be subtracted here, or
+// epoch reports will silently mix in pre-epoch history — the bug this
+// function exists to prevent.
+func (s Stats) sub(base Stats) Stats {
+	out := s
+	// FTL counters.
+	out.FTL.HostReads -= base.FTL.HostReads
+	out.FTL.HostWrites -= base.FTL.HostWrites
+	out.FTL.Trims -= base.FTL.Trims
+	out.FTL.Shares -= base.FTL.Shares
+	out.FTL.SharePairs -= base.FTL.SharePairs
+	out.FTL.AtomicWrites -= base.FTL.AtomicWrites
+	out.FTL.ForcedCopies -= base.FTL.ForcedCopies
+	out.FTL.GCEvents -= base.FTL.GCEvents
+	out.FTL.WearLevelMoves -= base.FTL.WearLevelMoves
+	out.FTL.RetiredBlocks -= base.FTL.RetiredBlocks
+	out.FTL.Copybacks -= base.FTL.Copybacks
+	out.FTL.MetaMoves -= base.FTL.MetaMoves
+	out.FTL.Erases -= base.FTL.Erases
+	out.FTL.GCStallNanos -= base.FTL.GCStallNanos
+	out.FTL.ProgramRetries -= base.FTL.ProgramRetries
+	out.FTL.ProgramFails -= base.FTL.ProgramFails
+	out.FTL.EraseFails -= base.FTL.EraseFails
+	out.FTL.UncorrectableReads -= base.FTL.UncorrectableReads
+	out.FTL.LogPagesWritten -= base.FTL.LogPagesWritten
+	out.FTL.MapPagesWritten -= base.FTL.MapPagesWritten
+	out.FTL.Checkpoints -= base.FTL.Checkpoints
+	// FTL gauges pass through: SpareBlocksLeft, ReadOnly.
+
+	// Chip counters.
+	out.Chip.Reads -= base.Chip.Reads
+	out.Chip.Programs -= base.Chip.Programs
+	out.Chip.Erases -= base.Chip.Erases
+	out.Chip.ProgramFails -= base.Chip.ProgramFails
+	out.Chip.EraseFails -= base.Chip.EraseFails
+	out.Chip.EccCorrected -= base.Chip.EccCorrected
+	out.Chip.ReadFails -= base.Chip.ReadFails
+	// Chip gauges pass through: MaxWear, MinWear, BadBlocks.
+	return out
+}
+
+func (d *Device) lifetimeLocked() Stats {
 	return Stats{FTL: d.ftl.Stats(), Chip: d.chip.Stats()}
 }
 
-// ResetStats zeroes the FTL counters; chip counters are monotonic.
-func (d *Device) ResetStats() {
+// Stats returns the device counters for the current epoch: everything
+// since the last ResetStats (or device creation), with gauges reflecting
+// current absolute state.
+func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.ftl.ResetStats()
+	return d.lifetimeLocked().sub(d.base)
 }
 
-// WriteAmplification returns NAND programs / host writes since the last
-// ResetStats-free epoch (chip counters are lifetime, so callers comparing
-// epochs should diff Stats snapshots).
+// LifetimeStats returns the since-birth counters, ignoring any epoch
+// baseline — for wear studies and whole-life accounting.
+func (d *Device) LifetimeStats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lifetimeLocked()
+}
+
+// ResetStats starts a new measurement epoch: the current counters (FTL
+// and chip) become the baseline Stats diffs against, and the metrics
+// recorder (latency histograms, GC-stall attribution, trace ring) is
+// cleared. Experiments call it after aging/loading so write
+// amplification, GC and erase figures cover only the measured window.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.base = d.lifetimeLocked()
+	d.mu.Unlock()
+	d.rec.Reset()
+}
+
+// WriteAmplification returns NAND programs per host page write over the
+// stats window (the current epoch for Device.Stats snapshots, since both
+// numerator and denominator are baseline-diffed there).
 func (s Stats) WriteAmplification() float64 {
 	if s.FTL.HostWrites == 0 {
 		return 0
 	}
 	return float64(s.Chip.Programs) / float64(s.FTL.HostWrites)
 }
+
+// Metrics returns the device's observability recorder: per-command
+// latency histograms, GC-stall attribution and the FTL trace ring, all
+// scoped to the current epoch.
+func (d *Device) Metrics() *metrics.Recorder { return d.rec }
+
+// QueueDepth returns the device's internal command parallelism.
+func (d *Device) QueueDepth() int { return d.res.Servers() }
+
+// Geometry returns the NAND geometry backing the device.
+func (d *Device) Geometry() nand.Geometry { return d.cfg.Geometry }
 
 // FTLForTest exposes the FTL for white-box tests and the inspector tool.
 func (d *Device) FTLForTest() *ftl.FTL { return d.ftl }

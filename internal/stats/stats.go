@@ -6,81 +6,152 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 	"strings"
 )
 
+// Histogram bucketing. Samples are non-negative int64 values (nanoseconds
+// of virtual time). Buckets are log-linear, HDR-style: values below
+// subBucketCount land in exact unit buckets; above that, each power-of-two
+// octave is split into subBucketCount linear sub-buckets, bounding the
+// relative bucket width to 1/subBucketCount (~1.6%). Memory is fixed at
+// maxBuckets counters regardless of sample count, and Add is O(1).
+const (
+	subBucketBits  = 6
+	subBucketCount = 1 << subBucketBits // 64
+	// Highest index: exponent 62 (largest int64 power), sub-bucket 63.
+	maxBuckets = (62-subBucketBits+1)*subBucketCount + subBucketCount
+)
+
+// bucketIndex maps a non-negative sample to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBucketCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= subBucketBits
+	return (exp-subBucketBits+1)*subBucketCount + int((uint64(v)>>(uint(exp)-subBucketBits))&(subBucketCount-1))
+}
+
+// bucketUpper returns the largest value mapping to bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < subBucketCount {
+		return int64(idx)
+	}
+	exp := idx/subBucketCount + subBucketBits - 1
+	sub := idx % subBucketCount
+	width := int64(1) << uint(exp-subBucketBits)
+	lower := int64(subBucketCount+sub) << uint(exp-subBucketBits)
+	return lower + width - 1
+}
+
 // Histogram accumulates latency samples (nanoseconds of virtual time) and
 // reports the distribution statistics used throughout the paper: mean,
-// P25, P50, P75, P99 and max.
+// P25, P50, P75, P99 and max. Storage is a fixed set of log-scaled buckets
+// (allocated lazily up to the highest observed value), so memory stays
+// bounded and Add is O(1) no matter how many samples are recorded.
+// Percentiles are exact for values below 64 and within one bucket width
+// (relative error <= 1/64) above that; count, sum, mean, min and max are
+// always exact.
 type Histogram struct {
-	samples []int64
-	sorted  bool
-	sum     int64
-	max     int64
+	counts   []int64 // bucket counts, grown lazily toward maxBuckets
+	n        int64
+	sum      int64
+	min, max int64
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
 
-// Add records one sample.
+// Add records one sample. Negative samples are clamped to zero (virtual
+// durations are never negative; the clamp keeps the bucket math total).
 func (h *Histogram) Add(v int64) {
-	h.samples = append(h.samples, v)
-	h.sorted = false
-	h.sum += v
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
 	if v > h.max {
 		h.max = v
 	}
+	h.n++
+	h.sum += v
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int { return int(h.n) }
 
 // Sum returns the sum of all samples.
 func (h *Histogram) Sum() int64 { return h.sum }
 
 // Mean returns the arithmetic mean, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(len(h.samples))
+	return float64(h.sum) / float64(h.n)
 }
 
 // Max returns the largest sample, or 0 for an empty histogram.
 func (h *Histogram) Max() int64 { return h.max }
 
-func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
-	}
-}
-
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank, or 0 for an empty histogram.
-func (h *Histogram) Percentile(p float64) int64 {
-	if len(h.samples) == 0 {
+// Min returns the smallest sample, or 0 for an empty histogram.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
 		return 0
 	}
-	h.sort()
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	return h.min
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest rank
+// over the bucketed distribution, or 0 for an empty histogram. The result
+// is the upper edge of the rank's bucket, clamped to the observed
+// [min, max], so it is within one bucket width of the exact sample.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.n)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(h.samples) {
-		rank = len(h.samples)
+	if rank > h.n {
+		rank = h.n
 	}
-	return h.samples[rank-1]
+	var cum int64
+	for idx, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
 }
 
 // Summary is a fixed set of distribution statistics, in milliseconds, as
 // printed in the paper's Table 1.
 type Summary struct {
-	Count              int
-	Mean               float64
-	P25, P50, P75, P99 float64
-	Max                float64
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
 }
 
 // Summarize converts the histogram (nanosecond samples) into a Summary in
@@ -88,7 +159,7 @@ type Summary struct {
 func (h *Histogram) Summarize() Summary {
 	ms := func(v int64) float64 { return float64(v) / 1e6 }
 	return Summary{
-		Count: len(h.samples),
+		Count: h.Count(),
 		Mean:  h.Mean() / 1e6,
 		P25:   ms(h.Percentile(25)),
 		P50:   ms(h.Percentile(50)),
@@ -98,11 +169,28 @@ func (h *Histogram) Summarize() Summary {
 	}
 }
 
-// Merge adds all samples of other into h.
+// Merge adds all samples of other into h (bucket-wise, so it costs the
+// bucket count, not the sample count).
 func (h *Histogram) Merge(other *Histogram) {
-	for _, v := range other.samples {
-		h.Add(v)
+	if other.n == 0 {
+		return
 	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
 }
 
 // Table formats rows of named values into an aligned text table, for the

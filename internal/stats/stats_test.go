@@ -1,10 +1,27 @@
 package stats
 
 import (
+	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// within checks that got is within the histogram's guaranteed bucket
+// resolution (1/64 relative) of want.
+func within(t *testing.T, what string, got, want int64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %d, want 0", what, got)
+		}
+		return
+	}
+	if diff := math.Abs(float64(got) - float64(want)); diff/float64(want) > 1.0/subBucketCount {
+		t.Fatalf("%s = %d, want %d within 1/%d", what, got, want, subBucketCount)
+	}
+}
 
 func TestHistogramBasics(t *testing.T) {
 	h := NewHistogram()
@@ -23,21 +40,19 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Max() != 100000 {
 		t.Fatalf("max = %d", h.Max())
 	}
-	if got := h.Percentile(50); got != 50000 {
-		t.Fatalf("p50 = %d", got)
+	if h.Min() != 1000 {
+		t.Fatalf("min = %d", h.Min())
 	}
-	if got := h.Percentile(99); got != 99000 {
-		t.Fatalf("p99 = %d", got)
-	}
+	within(t, "p50", h.Percentile(50), 50000)
+	within(t, "p99", h.Percentile(99), 99000)
 	if got := h.Percentile(100); got != 100000 {
-		t.Fatalf("p100 = %d", got)
+		t.Fatalf("p100 = %d, want exact max", got)
 	}
-	if got := h.Percentile(1); got != 1000 {
-		t.Fatalf("p1 = %d", got)
-	}
+	within(t, "p1", h.Percentile(1), 1000)
 }
 
-func TestHistogramUnsortedInput(t *testing.T) {
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below the sub-bucket count land in exact unit buckets.
 	h := NewHistogram()
 	for _, v := range []int64{5, 1, 9, 3, 7} {
 		h.Add(v)
@@ -45,7 +60,6 @@ func TestHistogramUnsortedInput(t *testing.T) {
 	if h.Percentile(50) != 5 {
 		t.Fatalf("p50 = %d", h.Percentile(50))
 	}
-	// Adding after a percentile query must re-sort.
 	h.Add(2)
 	if got := h.Percentile(100); got != 9 {
 		t.Fatalf("p100 after add = %d", got)
@@ -70,6 +84,74 @@ func TestMerge(t *testing.T) {
 	a.Merge(b)
 	if a.Count() != 3 || a.Sum() != 6 {
 		t.Fatalf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+	if a.Min() != 1 || a.Max() != 3 {
+		t.Fatalf("merged min=%d max=%d", a.Min(), a.Max())
+	}
+	// Merge into an empty histogram adopts the other's min.
+	c := NewHistogram()
+	c.Merge(b)
+	if c.Min() != 2 || c.Count() != 2 {
+		t.Fatalf("empty-merge min=%d count=%d", c.Min(), c.Count())
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every value's bucket upper edge must be >= the value and within one
+	// bucket width; indices must be monotone in the value.
+	last := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20,
+		(1 << 20) + 17, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		last = idx
+		if idx >= maxBuckets {
+			t.Fatalf("index %d out of range for %d", idx, v)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("upper(%d) = %d < value %d", idx, up, v)
+		}
+		if v >= subBucketCount && float64(up-v) > float64(v)/subBucketCount+1 {
+			t.Fatalf("bucket too wide at %d: upper %d", v, up)
+		}
+	}
+}
+
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(0); i < 100_000; i++ {
+		h.Add(i * 7919) // distinct, spread over many octaves
+	}
+	if len(h.counts) > maxBuckets {
+		t.Fatalf("bucket array grew to %d (> %d)", len(h.counts), maxBuckets)
+	}
+	if h.Count() != 100_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramVsExactPercentiles(t *testing.T) {
+	// The bucketed percentile stays within resolution of the exact
+	// nearest-rank percentile over a realistic latency-shaped sample set.
+	h := NewHistogram()
+	var samples []int64
+	v := int64(90_000) // 90 µs
+	for i := 0; i < 5000; i++ {
+		v = (v*1103515245 + 12345) % 50_000_000
+		if v < 0 {
+			v = -v
+		}
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{25, 50, 75, 99} {
+		rank := int(math.Ceil(p / 100 * float64(len(samples))))
+		exact := samples[rank-1]
+		within(t, "percentile", h.Percentile(p), exact)
 	}
 }
 

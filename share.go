@@ -25,6 +25,7 @@ package share
 
 import (
 	"share/internal/ftl"
+	"share/internal/metrics"
 	"share/internal/nand"
 	"share/internal/sim"
 	"share/internal/ssd"
@@ -42,7 +43,16 @@ type Device = ssd.Device
 type Task = sim.Task
 
 // Stats aggregates device counters (host traffic, GC, copybacks, wear).
+// Device.Stats scopes counters to the epoch started by ResetStats;
+// Device.LifetimeStats returns since-birth totals.
 type Stats = ssd.Stats
+
+// Cmd labels a device command class in the metrics recorder returned by
+// Device.Metrics (latency histograms, GC-stall attribution, FTL trace).
+type Cmd = metrics.Cmd
+
+// NumCmds bounds the Cmd enumeration for iteration.
+const NumCmds = metrics.NumCmds
 
 // DeviceOptions sizes and tunes a device. Zero values select defaults.
 type DeviceOptions struct {
