@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json fmt
+.PHONY: build test check race bench bench-json bench-scale fmt
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-json
+	$(MAKE) bench-scale
 
 # race is check without vet/build, for quick re-runs.
 race:
@@ -32,6 +33,12 @@ bench:
 # before it is written). Identically-seeded runs are byte-identical.
 bench-json:
 	$(GO) run ./cmd/sharebench -exp smoke -json -outdir .
+
+# bench-scale sweeps channel count x queue depth on die-scheduled arrays
+# and writes BENCH_scale.json with per-die utilization telemetry; the
+# speedup_c4_over_c1_qd8 metric is the parallelism regression anchor.
+bench-scale:
+	$(GO) run ./cmd/sharebench -exp scale -json -outdir .
 
 fmt:
 	gofmt -l -w .

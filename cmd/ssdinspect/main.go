@@ -24,6 +24,8 @@ import (
 func main() {
 	var (
 		blocks    = flag.Int("blocks", 512, "NAND blocks (128 x 4 KiB pages each)")
+		channels  = flag.Int("channels", 0, "NAND channels (0 = geometry-blind lump-sum queue)")
+		dies      = flag.Int("dies", 0, "dies per channel (setting either enables per-die scheduling)")
 		age       = flag.Float64("age", 0.9, "aging fill ratio before the run (0 disables)")
 		writes    = flag.Int("writes", 20000, "random page writes in the measured run")
 		shareFrac = flag.Float64("sharefrac", 0.2, "fraction of operations issued as SHARE")
@@ -61,10 +63,12 @@ func main() {
 	}
 
 	dev, err := share.OpenDevice(share.DeviceOptions{
-		Blocks:        *blocks,
-		ShareTableCap: *tableCap,
-		SpareBlocks:   *spares,
-		Fault:         plan,
+		Blocks:         *blocks,
+		Channels:       *channels,
+		DiesPerChannel: *dies,
+		ShareTableCap:  *tableCap,
+		SpareBlocks:    *spares,
+		Fault:          plan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -164,6 +168,44 @@ run:
 	}
 	if st.FTL.ReadOnly {
 		fmt.Println("device state:        READ-ONLY (spare budget exhausted)")
+	}
+
+	if tel := dev.DieTelemetry(); tel != nil {
+		elapsed := t.Now() - start
+		fmt.Println("\n--- die/channel utilization (this run) ---")
+		fmt.Printf("%-6s %-8s %10s %8s %12s\n", "die", "channel", "busy(ms)", "util", "queue-wait(ms)")
+		var minBusy, maxBusy int64
+		for i, ds := range tel {
+			util := 0.0
+			if elapsed > 0 {
+				util = float64(ds.BusyNs) / float64(elapsed)
+			}
+			fmt.Printf("%-6d %-8d %10.3f %7.1f%% %12.3f\n",
+				ds.Die, ds.Channel, float64(ds.BusyNs)/1e6, util*100, float64(ds.WaitNs)/1e6)
+			if i == 0 || ds.BusyNs < minBusy {
+				minBusy = ds.BusyNs
+			}
+			if ds.BusyNs > maxBusy {
+				maxBusy = ds.BusyNs
+			}
+		}
+		skew := 0.0
+		if minBusy > 0 {
+			skew = float64(maxBusy)/float64(minBusy) - 1
+		}
+		fmt.Printf("die busy skew:       %.1f%% (max/min - 1; high skew means striping is uneven)\n", skew*100)
+		for _, cs := range dev.ChannelTelemetry() {
+			util := 0.0
+			if elapsed > 0 {
+				util = float64(cs.BusyNs) / float64(elapsed)
+			}
+			fmt.Printf("channel %d bus:       %.3f ms busy (%.1f%% of run)\n",
+				cs.Channel, float64(cs.BusyNs)/1e6, util*100)
+		}
+		if st.FTL.CrossDieCopybacks > 0 {
+			fmt.Printf("cross-die copybacks: %d (GC must stay die-local; nonzero is a bug)\n",
+				st.FTL.CrossDieCopybacks)
+		}
 	}
 
 	rec := dev.Metrics()

@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "table2",
 		"pgfpw", "abl-sharetable", "abl-batch", "abl-op", "abl-atomic", "abl-sqlite", "abl-queue", "abl-ycsb",
-		"smoke",
+		"smoke", "scale",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -71,6 +71,48 @@ func TestExperimentsRunTiny(t *testing.T) {
 				t.Fatal("experiment reported no metrics")
 			}
 		})
+	}
+}
+
+// TestScaleSpeedup is the acceptance check for die-level parallelism:
+// the scale experiment must show the 4-channel array at least doubling
+// 1-channel throughput at queue depth 8, with die telemetry attached to
+// the deepest sweep points.
+func TestScaleSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 15 sweep points; skipped in -short")
+	}
+	e, err := Get("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := e.RunWithReport(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("output missing speedup row:\n%s", out)
+	}
+	metrics := map[string]float64{}
+	for _, m := range rep.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	if sp := metrics["speedup_c4_over_c1_qd8"]; sp < 2 {
+		t.Fatalf("4-channel speedup %.2fx < 2x at qd=8\n%s", sp, out)
+	}
+	var withDies int
+	for _, d := range rep.Devices {
+		if len(d.Dies) > 0 {
+			withDies++
+			for _, ds := range d.Dies {
+				if ds.BusyNs <= 0 {
+					t.Fatalf("device %s die %d idle: %+v", d.Label, ds.Die, ds)
+				}
+			}
+		}
+	}
+	if withDies != 3 {
+		t.Fatalf("%d device reports carry die telemetry, want 3", withDies)
 	}
 }
 

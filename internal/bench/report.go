@@ -45,6 +45,14 @@ type DeviceReport struct {
 	Latency            map[string]stats.Summary `json:"latency_ms,omitempty"`
 	GCStallByCmd       map[string]int64         `json:"gc_stall_ns,omitempty"`
 	Events             map[string]int64         `json:"events,omitempty"`
+
+	// Parallelism telemetry, present only for die-scheduled devices
+	// (explicit channel/die geometry); geometry-blind devices omit all
+	// four fields, keeping their reports byte-identical to earlier runs.
+	Channels       int               `json:"channels,omitempty"`
+	DiesPerChannel int               `json:"dies_per_channel,omitempty"`
+	Dies           []ssd.DieStat     `json:"dies,omitempty"`
+	ChannelUtil    []ssd.ChannelStat `json:"channel_util,omitempty"`
 }
 
 // Report is the machine-readable result of one experiment run, written
@@ -86,7 +94,7 @@ func (r *Report) Device(label string, dev *ssd.Device) {
 	st := dev.Stats()
 	rec := dev.Metrics()
 	geo := dev.Geometry()
-	r.Devices = append(r.Devices, DeviceReport{
+	dr := DeviceReport{
 		Label:              label,
 		Blocks:             geo.Blocks,
 		PageSize:           geo.PageSize,
@@ -98,7 +106,14 @@ func (r *Report) Device(label string, dev *ssd.Device) {
 		Latency:            rec.LatencySummaries(),
 		GCStallByCmd:       rec.GCStallByCmd(),
 		Events:             rec.EventCounts(),
-	})
+	}
+	if dev.DieScheduled() {
+		dr.Channels = geo.NumChannels()
+		dr.DiesPerChannel = geo.DiesPerChannel
+		dr.Dies = dev.DieTelemetry()
+		dr.ChannelUtil = dev.ChannelTelemetry()
+	}
+	r.Devices = append(r.Devices, dr)
 }
 
 // JSON renders the report with stable formatting (indented, sorted map

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// The scale experiment measures how die-level parallelism converts queue
+// depth into throughput: the same concurrent random-write workload runs
+// against 1-, 2- and 4-channel arrays (one die per channel) at increasing
+// client counts. With one channel every program serializes through the
+// single die; with four, programs on different dies overlap, so at queue
+// depth >= 8 the 4-channel array must sustain at least twice the
+// 1-channel throughput. Per-die busy/wait telemetry for the deepest
+// sweep point of each array lands in the report, which is how the
+// BENCH_scale.json regression pins both the speedup and the evenness of
+// die-striped allocation.
+func init() {
+	register(Experiment{
+		ID:    "scale",
+		Title: "Scale: write throughput vs queue depth across 1/2/4-channel die arrays",
+		Run:   runScale,
+	})
+}
+
+// scaleBlocks keeps every array the same total size, so the sweep varies
+// only the parallelism degree, never the capacity or GC pressure.
+const scaleBlocks = 256
+
+var (
+	scaleChannels = []int{1, 2, 4}
+	scaleDepths   = []int{1, 2, 4, 8, 16}
+)
+
+// scalePoint runs one (channels, queueDepth) sweep point and returns the
+// measured write throughput in ops/s plus the device for telemetry.
+func scalePoint(p Params, channels, depth int) (float64, *ssd.Device, error) {
+	const writesPerClient = 250
+	cfg := ssd.DefaultConfig(scaleBlocks)
+	cfg.Geometry.Channels = channels
+	cfg.Geometry.DiesPerChannel = 1 // explicit: the baseline uses the same per-die scheduler
+	dev, err := ssd.New(fmt.Sprintf("scale-c%d", channels), cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	setup := sim.NewSoloTask("setup")
+	if err := dev.Age(setup, 0.5, 0.2, p.Seed); err != nil {
+		return 0, nil, err
+	}
+	dev.ResetStats() // measure the sweep workload, not the aging
+	// The aging left the die/channel servers busy until setup's clock;
+	// clients start there so elapsed time covers only the measured work.
+	t0 := setup.Now()
+
+	span := dev.Capacity() / 2
+	s := sim.NewScheduler()
+	errs := make([]error, depth)
+	for i := 0; i < depth; i++ {
+		i := i
+		s.Go(fmt.Sprintf("cli%d", i), func(task *sim.Task) {
+			task.AdvanceTo(t0)
+			rng := newRand(p.Seed + int64(i) + 1)
+			page := make([]byte, dev.PageSize())
+			for n := 0; n < writesPerClient; n++ {
+				rng.Read(page)
+				if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		})
+	}
+	end := s.Run()
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	elapsed := float64(end-t0) / float64(sim.Second)
+	return float64(depth*writesPerClient) / elapsed, dev, nil
+}
+
+func runScale(p Params, r *Report) (string, error) {
+	p.setDefaults()
+	tput := map[int]map[int]float64{}
+	var out strings.Builder
+	fmt.Fprintf(&out, "scale: random writes, %d-block arrays, 1 die per channel\n", scaleBlocks)
+	fmt.Fprintf(&out, "%-10s", "channels")
+	for _, qd := range scaleDepths {
+		fmt.Fprintf(&out, " qd=%-8d", qd)
+	}
+	out.WriteByte('\n')
+	maxDepth := scaleDepths[len(scaleDepths)-1]
+	for _, ch := range scaleChannels {
+		tput[ch] = map[int]float64{}
+		fmt.Fprintf(&out, "%-10d", ch)
+		for _, qd := range scaleDepths {
+			v, dev, err := scalePoint(p, ch, qd)
+			if err != nil {
+				return "", err
+			}
+			tput[ch][qd] = v
+			r.Metric(fmt.Sprintf("tput_c%d_qd%d", ch, qd), v, "ops/s")
+			fmt.Fprintf(&out, " %-11s", fmtThroughput(v))
+			if qd == maxDepth {
+				// Telemetry snapshot at the deepest point per array.
+				r.Device(fmt.Sprintf("c%d_qd%d", ch, qd), dev)
+			}
+		}
+		out.WriteByte('\n')
+	}
+	speedup := 0.0
+	if base := tput[1][8]; base > 0 {
+		speedup = tput[4][8] / base
+	}
+	r.Metric("speedup_c4_over_c1_qd8", speedup, "x")
+	fmt.Fprintf(&out, "4-channel speedup over 1-channel at qd=8: %s\n",
+		ratio(tput[4][8], tput[1][8]))
+	return out.String(), nil
+}

@@ -1,0 +1,80 @@
+package ftl
+
+import "share/internal/sim"
+
+// Cost plans. Every FTL command still returns one lump-sum sim.Duration —
+// the interface the whole host stack is written against — but a device
+// that schedules per-die parallelism needs to know *where* that time
+// would be spent: which die each NAND operation occupies, and how the
+// operation splits between the channel bus (page transfer) and the die
+// itself (cell read/program/erase). When recording is enabled, the FTL
+// appends one OpCost per NAND operation it issues, in issue order; the
+// device drains the plan after each command and replays it onto per-die
+// and per-channel resources. Recording is off by default so FTLs used
+// directly (tests, tools) pay nothing and never accumulate a plan.
+
+// OpKind classifies one NAND operation in a cost plan.
+type OpKind uint8
+
+const (
+	// OpRead occupies the die for the cell read, then the channel for the
+	// outbound page transfer.
+	OpRead OpKind = iota
+	// OpProgram occupies the channel for the inbound page transfer, then
+	// the die for the cell program.
+	OpProgram
+	// OpErase occupies the die only; no page crosses the bus.
+	OpErase
+)
+
+// OpCost is one NAND operation of a command's cost plan: the die it
+// occupies, the channel bus-transfer slice, and the die-resident cell
+// slice. Bus + Cell equals the chip's reported service time for the
+// operation.
+type OpCost struct {
+	Die  int
+	Kind OpKind
+	Bus  sim.Duration
+	Cell sim.Duration
+}
+
+// EnableCostPlan switches on per-operation cost recording. The device
+// layer calls it once when the geometry opts into per-die scheduling.
+func (f *FTL) EnableCostPlan() { f.planOn = true }
+
+// TakeCostPlan returns the NAND operations recorded since the last call
+// and resets the plan. The slice is in issue order.
+func (f *FTL) TakeCostPlan() []OpCost {
+	p := f.plan
+	f.plan = nil
+	return p
+}
+
+// notePPNOp records one page-granular NAND operation (read or program)
+// against the die holding ppn. d is the chip's reported service time; the
+// bus-transfer share is split off so the device can arbitrate the channel
+// separately from the die.
+func (f *FTL) notePPNOp(kind OpKind, ppn uint32, d sim.Duration) {
+	if !f.planOn || d <= 0 {
+		return
+	}
+	bus := f.chip.Timing().Transfer
+	if bus > d {
+		bus = d
+	}
+	f.plan = append(f.plan, OpCost{
+		Die:  f.geo.DieOfPPN(ppn),
+		Kind: kind,
+		Bus:  bus,
+		Cell: d - bus,
+	})
+}
+
+// noteEraseOp records a block erase against the block's die. Erases move
+// no data, so the whole duration is die-resident.
+func (f *FTL) noteEraseOp(block int, d sim.Duration) {
+	if !f.planOn || d <= 0 {
+		return
+	}
+	f.plan = append(f.plan, OpCost{Die: f.geo.DieOfBlock(block), Kind: OpErase, Cell: d})
+}

@@ -201,10 +201,22 @@ func cpDiff(got, want []uint16) string {
 }
 
 func TestCrashAtEveryMutationBoundary(t *testing.T) {
+	// The same exhaustive fuzz runs on the classic single-die geometry and
+	// on a multi-die one: die-striped allocation, die-local GC and per-die
+	// append-point recovery must preserve the prefix-oracle guarantee.
+	t.Run("single-die", func(t *testing.T) {
+		runCrashFuzz(t, nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32})
+	})
+	t.Run("multi-die-2x2", func(t *testing.T) {
+		runCrashFuzz(t, nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32, Channels: 2, DiesPerChannel: 2})
+	})
+}
+
+func runCrashFuzz(t *testing.T, geo nand.Geometry) {
 	evs := cpWorkload()
 
 	// Dry run: how many program/erase boundaries does the workload cross?
-	dry, dryChip := testFTL(t, nil)
+	dry, dryChip := testFTLGeo(t, geo, nil)
 	states := cpStates(evs, dry.Capacity())
 	base := dryChip.MutatingOps()
 	for i, ev := range evs {
@@ -218,7 +230,7 @@ func TestCrashAtEveryMutationBoundary(t *testing.T) {
 	}
 
 	for cut := 0; cut <= boundaries; cut++ {
-		f, chip := testFTL(t, nil)
+		f, chip := testFTLGeo(t, geo, nil)
 		chip.PowerCutAfter(int64(cut))
 		watermark, crashed := 0, len(evs)
 		for i, ev := range evs {

@@ -35,42 +35,84 @@ func (f *FTL) programPage(s *stream, data []byte, oob nand.OOB) (sim.Duration, u
 		if err != nil {
 			return total, 0, err
 		}
-		pd, err := f.chip.Program(ppn, data, oob)
-		total += pd
-		if err == nil {
-			return total, ppn, nil
-		}
-		if !errors.Is(err, nand.ErrProgramFail) {
-			return total, 0, err // power cut, bounds: not a media fault
-		}
-		f.st.ProgramRetries++
-		pd, err = f.chip.Program(ppn, data, oob)
-		total += pd
-		if err == nil {
-			return total, ppn, nil
-		}
-		if !errors.Is(err, nand.ErrProgramFail) {
+		d, ppn, ok, err := f.programAttempts(s, ppn, data, oob)
+		total += d
+		if err != nil {
 			return total, 0, err
 		}
-		// The retry failed too: treat the block as permanently bad, rescue
-		// its live pages, and loop to re-steer the data onto a fresh block.
-		f.st.ProgramFails++
-		d, rerr := f.retireStreamBlock(s)
+		if ok {
+			return total, ppn, nil
+		}
+		// Retirement re-steered the stream; loop to allocate a fresh page.
+	}
+}
+
+// programPageOn is programPage pinned to one die — GC relocation uses it
+// so a copyback never leaves the victim's die (no cross-die traffic, and
+// cleaning one die stays off the others' schedules). It never triggers GC.
+func (f *FTL) programPageOn(s *stream, die int, data []byte, oob nand.OOB) (sim.Duration, uint32, error) {
+	var total sim.Duration
+	for {
+		ppn, err := f.allocOn(s, die)
+		if err != nil {
+			return total, 0, err
+		}
+		d, ppn, ok, aerr := f.programAttempts(s, ppn, data, oob)
 		total += d
-		if rerr != nil {
-			return total, 0, rerr
+		if aerr != nil {
+			return total, 0, aerr
+		}
+		if ok {
+			return total, ppn, nil
 		}
 	}
 }
 
-// retireStreamBlock takes s's current block out of service after a
-// permanent program failure: the stream is detached so the next allocation
-// opens a fresh block, still-live pages are relocated (the block is
-// suspect), and the block joins the retired set.
-func (f *FTL) retireStreamBlock(s *stream) (sim.Duration, error) {
-	b := s.block
-	s.block = -1
-	s.next = 0
+// programAttempts runs the program-retry-retire state machine for one
+// allocated page: program, retry once on a media fault, and on a second
+// failure retire the page's block (rescuing its live pages) so the caller
+// re-steers onto a fresh one. ok reports whether ppn now holds the data.
+func (f *FTL) programAttempts(s *stream, ppn uint32, data []byte, oob nand.OOB) (sim.Duration, uint32, bool, error) {
+	var total sim.Duration
+	pd, err := f.chip.Program(ppn, data, oob)
+	f.notePPNOp(OpProgram, ppn, pd)
+	total += pd
+	if err == nil {
+		return total, ppn, true, nil
+	}
+	if !errors.Is(err, nand.ErrProgramFail) {
+		return total, 0, false, err // power cut, bounds: not a media fault
+	}
+	f.st.ProgramRetries++
+	pd, err = f.chip.Program(ppn, data, oob)
+	f.notePPNOp(OpProgram, ppn, pd)
+	total += pd
+	if err == nil {
+		return total, ppn, true, nil
+	}
+	if !errors.Is(err, nand.ErrProgramFail) {
+		return total, 0, false, err
+	}
+	// The retry failed too: treat the block as permanently bad, rescue its
+	// live pages, and let the caller re-steer the data onto a fresh block.
+	f.st.ProgramFails++
+	d, rerr := f.retireStreamBlock(s, f.geo.DieOfPPN(ppn))
+	total += d
+	if rerr != nil {
+		return total, 0, false, rerr
+	}
+	return total, 0, false, nil
+}
+
+// retireStreamBlock takes s's current block on one die out of service
+// after a permanent program failure: the append point is detached so the
+// next allocation opens a fresh block, still-live pages are relocated (the
+// block is suspect), and the block joins the retired set.
+func (f *FTL) retireStreamBlock(s *stream, die int) (sim.Duration, error) {
+	ap := &s.open[die]
+	b := ap.block
+	ap.block = -1
+	ap.next = 0
 	if b < 0 {
 		return 0, nil
 	}
@@ -161,6 +203,7 @@ func (f *FTL) relocateLive(b int, buf []byte) (sim.Duration, error) {
 // caller as data loss rather than silently rehomed.
 func (f *FTL) chipRead(ppn uint32, dst []byte) (nand.OOB, sim.Duration, error) {
 	oob, d, err := f.chip.Read(ppn, dst)
+	f.notePPNOp(OpRead, ppn, d)
 	if errors.Is(err, nand.ErrUncorrectable) {
 		f.st.UncorrectableReads++
 	}

@@ -108,10 +108,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// stream is an append point: a block being filled page by page.
-type stream struct {
+// appendPoint is one open block being filled page by page.
+type appendPoint struct {
 	block int // -1 when no block is open
 	next  int // next page index within block
+}
+
+// stream keeps one append point per die, so host writes, GC copybacks and
+// mapping metadata each stripe across the whole array: consecutive
+// allocations round-robin the dies, and a die that is busy cleaning never
+// blocks the stream's progress on the others. With one die this collapses
+// to the classic single open block.
+type stream struct {
+	open []appendPoint
+	rr   int // next die in the round-robin rotation
+}
+
+func newStream(dies int) stream {
+	open := make([]appendPoint, dies)
+	for i := range open {
+		open[i].block = -1
+	}
+	return stream{open: open}
 }
 
 // FTL is the translation layer over one NAND chip. It is not safe for
@@ -123,6 +141,16 @@ type FTL struct {
 	geo  nand.Geometry
 
 	capacity int // logical pages exported to the host
+	dies     int // geo.NumDies(), cached
+
+	// Per-die GC watermarks, derived from the global Config values so a
+	// single-die device keeps its historical behavior exactly.
+	gcLowDie, gcHighDie int
+
+	// Cost-plan recording (see costplan.go). Off unless the device layer
+	// enables it for per-die scheduling.
+	planOn bool
+	plan   []OpCost
 
 	// Volatile (DRAM) state, rebuilt by Recover after a crash.
 	l2p     []uint32            // logical -> physical
@@ -132,11 +160,11 @@ type FTL struct {
 
 	blockValid     []int // per block: physical pages with refs > 0 (or valid metadata)
 	blockFull      []bool
-	retired        []bool // bad/worn-out blocks permanently out of service
-	retiredN       int    // count of retired blocks (spare-budget usage)
-	spareBudget    int    // retirements tolerated before read-only
-	readOnly       bool   // degraded mode: mutating commands are refused
-	freeBlocks     []int
+	retired        []bool  // bad/worn-out blocks permanently out of service
+	retiredN       int     // count of retired blocks (spare-budget usage)
+	spareBudget    int     // retirements tolerated before read-only
+	readOnly       bool    // degraded mode: mutating commands are refused
+	freeByDie      [][]int // per-die free-block stacks (LIFO)
 	host, gc, meta stream
 
 	// Mapping durability.
@@ -191,6 +219,21 @@ func New(chip *nand.Chip, cfg Config) (*FTL, error) {
 		cfg:      cfg,
 		geo:      geo,
 		capacity: capacity,
+		dies:     geo.NumDies(),
+	}
+	// The configured watermarks describe the whole free pool; each die
+	// polices its proportional share so GC on one die cannot be starved by
+	// abundance on another. The low mark keeps the same >= 2 floor as the
+	// global clamp above — die-local copyback needs a free destination
+	// block on the victim's own die — and with one die the global values
+	// apply unchanged.
+	f.gcLowDie = (cfg.GCLowWater + f.dies - 1) / f.dies
+	if f.gcLowDie < 2 {
+		f.gcLowDie = 2
+	}
+	f.gcHighDie = (cfg.GCHighWater + f.dies - 1) / f.dies
+	if f.gcHighDie <= f.gcLowDie {
+		f.gcHighDie = f.gcLowDie + 1
 	}
 	f.spareBudget = cfg.SpareBlocks
 	if f.spareBudget <= 0 {
@@ -210,7 +253,8 @@ func New(chip *nand.Chip, cfg Config) (*FTL, error) {
 			f.blockFull[b] = true
 			continue
 		}
-		f.freeBlocks = append(f.freeBlocks, b)
+		die := geo.DieOfBlock(b)
+		f.freeByDie[die] = append(f.freeByDie[die], b)
 	}
 	if f.readOnly {
 		return nil, fmt.Errorf("ftl: %d factory-bad blocks exceed the spare budget (%d)", f.retiredN, f.spareBudget)
@@ -242,10 +286,10 @@ func (f *FTL) initVolatile() {
 	f.retired = make([]bool, f.geo.Blocks)
 	f.retiredN = 0
 	f.readOnly = false
-	f.freeBlocks = nil
-	f.host = stream{block: -1}
-	f.gc = stream{block: -1}
-	f.meta = stream{block: -1}
+	f.freeByDie = make([][]int, f.dies)
+	f.host = newStream(f.dies)
+	f.gc = newStream(f.dies)
+	f.meta = newStream(f.dies)
 	f.deltaBuf = nil
 	f.inBatch = false
 	f.batchBuf = nil
@@ -422,9 +466,35 @@ func (f *FTL) referrers(ppn uint32) []uint32 {
 	return out
 }
 
+// allocOn advances the stream's append point on one die and returns a
+// fresh physical page there, opening a block from that die's free stack
+// when needed. ErrFull means that die has no free block; the caller may
+// fall over to another die.
+func (f *FTL) allocOn(s *stream, die int) (uint32, error) {
+	ap := &s.open[die]
+	if ap.block < 0 || ap.next == f.geo.PagesPerBlock {
+		if ap.block >= 0 {
+			f.blockFull[ap.block] = true
+		}
+		free := f.freeByDie[die]
+		if len(free) == 0 {
+			return 0, ErrFull
+		}
+		ap.block = free[len(free)-1]
+		f.freeByDie[die] = free[:len(free)-1]
+		f.blockFull[ap.block] = false
+		ap.next = 0
+	}
+	ppn := uint32(ap.block*f.geo.PagesPerBlock + ap.next)
+	ap.next++
+	return ppn, nil
+}
+
 // allocDataPage returns a fresh physical page from the given stream,
-// running garbage collection first if free space is low. The returned
-// duration covers any GC work performed.
+// running garbage collection first if free space is low. Dies are tried
+// round-robin so consecutive allocations stripe across the array; a die
+// with no free block is skipped, and ErrFull surfaces only when every die
+// is exhausted. The returned duration covers any GC work performed.
 func (f *FTL) allocDataPage(s *stream) (sim.Duration, uint32, error) {
 	var total sim.Duration
 	if s != &f.gc {
@@ -434,19 +504,13 @@ func (f *FTL) allocDataPage(s *stream) (sim.Duration, uint32, error) {
 			return total, 0, err
 		}
 	}
-	if s.block < 0 || s.next == f.geo.PagesPerBlock {
-		if s.block >= 0 {
-			f.blockFull[s.block] = true
+	for i := 0; i < f.dies; i++ {
+		die := s.rr
+		s.rr = (s.rr + 1) % f.dies
+		ppn, err := f.allocOn(s, die)
+		if err == nil {
+			return total, ppn, nil
 		}
-		if len(f.freeBlocks) == 0 {
-			return total, 0, ErrFull
-		}
-		s.block = f.freeBlocks[len(f.freeBlocks)-1]
-		f.freeBlocks = f.freeBlocks[:len(f.freeBlocks)-1]
-		f.blockFull[s.block] = false
-		s.next = 0
 	}
-	ppn := uint32(s.block*f.geo.PagesPerBlock + s.next)
-	s.next++
-	return total, ppn, nil
+	return total, 0, ErrFull
 }

@@ -12,7 +12,12 @@ import (
 // (256 raw pages, 192 logical after over-provisioning).
 func testFTL(t *testing.T, mut func(*Config)) (*FTL, *nand.Chip) {
 	t.Helper()
-	chip, err := nand.New(nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}, nand.DefaultTiming())
+	return testFTLGeo(t, nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}, mut)
+}
+
+func testFTLGeo(t *testing.T, geo nand.Geometry, mut func(*Config)) (*FTL, *nand.Chip) {
+	t.Helper()
+	chip, err := nand.New(geo, nand.DefaultTiming())
 	if err != nil {
 		t.Fatal(err)
 	}

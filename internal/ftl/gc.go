@@ -13,14 +13,43 @@ func nandDataOOB(lpn uint32) nand.OOB { return nand.OOB{LPN: lpn, Tag: nand.TagD
 // the high-water mark, if it has dropped below the low-water mark. The
 // returned duration is the stall imposed on the triggering command — this
 // is the "IO operations jitter" the paper attributes to copyback traffic.
+//
+// Watermarks are policed per die: cleaning is die-local (victim, copyback
+// destination and erase all stay on one die), so a multi-die device can
+// clean one die while host traffic proceeds on the others. A die with no
+// reclaimable victim is skipped when other dies can still serve
+// allocations; ErrFull surfaces only when every die is stuck (or, on a
+// single-die device, its only die — preserving historical behavior).
 func (f *FTL) maybeGC() (sim.Duration, error) {
 	if f.inGC {
 		return 0, nil
 	}
 	var total sim.Duration
 	defer func() { f.st.GCStallNanos += total }()
-	for len(f.freeBlocks) < f.cfg.GCLowWater {
-		d, err := f.gcOnce()
+	fullDies := 0
+	for die := 0; die < f.dies; die++ {
+		d, err := f.refillDie(die)
+		total += d
+		if err == ErrFull && f.dies > 1 {
+			fullDies++
+			continue
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	if fullDies == f.dies {
+		return total, ErrFull
+	}
+	return total, nil
+}
+
+// refillDie drives one die's free stack back above the per-die high-water
+// mark once it has dropped below the low-water mark.
+func (f *FTL) refillDie(die int) (sim.Duration, error) {
+	var total sim.Duration
+	for len(f.freeByDie[die]) < f.gcLowDie {
+		d, err := f.gcOnce(die)
 		total += d
 		if err == ErrFull && len(f.logPPNs) > 0 && !f.inBatch {
 			// No reclaimable victim, but live delta-log pages are pinning
@@ -33,25 +62,27 @@ func (f *FTL) maybeGC() (sim.Duration, error) {
 			if cerr != nil {
 				return total, cerr
 			}
-			d, err = f.gcOnce()
+			d, err = f.gcOnce(die)
 			total += d
 		}
 		if err != nil {
 			return total, err
 		}
-		if len(f.freeBlocks) >= f.cfg.GCHighWater {
+		if len(f.freeByDie[die]) >= f.gcHighDie {
 			break
 		}
 	}
 	return total, nil
 }
 
-// gcOnce selects the fullest-of-stale victim block (greedy: fewest valid
-// pages), relocates its valid pages, and erases it. When static wear
-// leveling is enabled and the wear spread is too wide, the coldest full
-// block is migrated instead, so long-idle data stops pinning low-wear
-// flash (§5.3.1's lifespan argument).
-func (f *FTL) gcOnce() (sim.Duration, error) {
+// gcOnce selects the fullest-of-stale victim block on one die (greedy:
+// fewest valid pages), relocates its valid pages — within the same die —
+// and erases it. When static wear leveling is enabled and the die's wear
+// spread is too wide, the coldest full block is migrated instead, so
+// long-idle data stops pinning low-wear flash (§5.3.1's lifespan
+// argument). Victim, copyback destination and erase all stay on the given
+// die, so cleaning occupies exactly one die's schedule.
+func (f *FTL) gcOnce(die int) (sim.Duration, error) {
 	f.inGC = true
 	defer func() { f.inGC = false }()
 
@@ -60,11 +91,11 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	coldest, coldWear := -1, int64(-1)
 	var maxWear int64
 	pins := f.batchPins()
-	for b := 0; b < f.geo.Blocks; b++ {
+	for b := die; b < f.geo.Blocks; b += f.dies {
 		if w := f.chip.EraseCount(b); w > maxWear {
 			maxWear = w
 		}
-		if !f.blockFull[b] || f.retired[b] || pins[b] || b == f.host.block || b == f.gc.block || b == f.meta.block {
+		if !f.blockFull[b] || f.retired[b] || pins[b] || f.isOpenBlock(b) {
 			continue
 		}
 		if f.blockValid[b] < best {
@@ -107,6 +138,7 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 		}
 	}
 	d, err := f.chip.EraseBlock(victim)
+	f.noteEraseOp(victim, d)
 	total += d
 	if nand.Retirable(err) {
 		// Worn out, injected erase failure, or a block already marked bad:
@@ -125,8 +157,21 @@ func (f *FTL) gcOnce() (sim.Duration, error) {
 	f.st.Erases++
 	f.blockFull[victim] = false
 	f.blockValid[victim] = 0
-	f.freeBlocks = append(f.freeBlocks, victim)
+	f.freeByDie[die] = append(f.freeByDie[die], victim)
 	return total, nil
+}
+
+// isOpenBlock reports whether b is any stream's current append point on
+// any die; open blocks are never GC victims.
+func (f *FTL) isOpenBlock(b int) bool {
+	for _, s := range [...]*stream{&f.host, &f.gc, &f.meta} {
+		for i := range s.open {
+			if s.open[i].block == b {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // batchPins returns the blocks holding pages an uncommitted batch delta
@@ -158,12 +203,15 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 		return rd, err
 	}
 	total := rd
-	d, dst, err := f.programPage(&f.gc, buf, nandDataOOB(lpns[0]))
+	d, dst, err := f.programPageOn(&f.gc, f.geo.DieOfPPN(ppn), buf, nandDataOOB(lpns[0]))
 	total += d
 	if err != nil {
 		return total, err
 	}
 	f.st.Copybacks++
+	if f.geo.DieOfPPN(dst) != f.geo.DieOfPPN(ppn) {
+		f.st.CrossDieCopybacks++
+	}
 	for idx, lpn := range lpns {
 		f.dropRef(ppn, lpn)
 		f.l2p[lpn] = dst
@@ -193,12 +241,15 @@ func (f *FTL) relocateMeta(ppn uint32, oob nand.OOB, buf []byte) (sim.Duration, 
 		return rd, err
 	}
 	total := rd
-	d, dst, err := f.programPage(&f.gc, buf, nand.OOB{LPN: oob.LPN, Tag: oob.Tag})
+	d, dst, err := f.programPageOn(&f.gc, f.geo.DieOfPPN(ppn), buf, nand.OOB{LPN: oob.LPN, Tag: oob.Tag})
 	total += d
 	if err != nil {
 		return total, err
 	}
 	f.st.MetaMoves++
+	if f.geo.DieOfPPN(dst) != f.geo.DieOfPPN(ppn) {
+		f.st.CrossDieCopybacks++
+	}
 	delete(f.metaLive, ppn)
 	f.blockValid[f.chip.BlockOf(ppn)]--
 	f.metaLive[dst] = true

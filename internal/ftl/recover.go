@@ -205,30 +205,34 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		block   int
 		lastSeq uint64
 	}
-	var partials []partial
+	partialsByDie := make([][]partial, f.dies)
 	for b := 0; b < geo.Blocks; b++ {
 		if f.chip.IsBad(b) {
 			f.noteRetired(b)
 			f.blockFull[b] = true
 			continue
 		}
+		die := geo.DieOfBlock(b)
 		switch {
 		case programmed[b] == 0:
-			f.freeBlocks = append(f.freeBlocks, b)
+			f.freeByDie[die] = append(f.freeByDie[die], b)
 		case programmed[b] == geo.PagesPerBlock:
 			f.blockFull[b] = true
 		default:
-			partials = append(partials, partial{block: b, lastSeq: lastSeqInBlock[b]})
+			partialsByDie[die] = append(partialsByDie[die], partial{block: b, lastSeq: lastSeqInBlock[b]})
 		}
 	}
-	sort.Slice(partials, func(i, j int) bool { return partials[i].lastSeq > partials[j].lastSeq })
-	assign := []*stream{&f.host, &f.meta, &f.gc}
-	for i, p := range partials {
-		if i < len(assign) {
-			assign[i].block = p.block
-			assign[i].next = programmed[p.block]
-		} else {
-			f.blockFull[p.block] = true
+	// Each die's partial blocks become its append points, newest first —
+	// the same host/meta/gc assignment as before, now applied per die.
+	for die, partials := range partialsByDie {
+		sort.Slice(partials, func(i, j int) bool { return partials[i].lastSeq > partials[j].lastSeq })
+		assign := []*stream{&f.host, &f.meta, &f.gc}
+		for i, p := range partials {
+			if i < len(assign) {
+				assign[i].open[die] = appendPoint{block: p.block, next: programmed[p.block]}
+			} else {
+				f.blockFull[p.block] = true
+			}
 		}
 	}
 	return total, nil

@@ -43,6 +43,13 @@ type Stats struct {
 	Erases         int64 // successful block erases (all paths)
 	GCStallNanos   int64 // virtual time commands stalled waiting on GC
 
+	// CrossDieCopybacks counts relocations whose destination landed on a
+	// different die than the source. Die-local GC makes this zero by
+	// construction; the counter (and its invariant test) exists to catch
+	// regressions. Omitted from JSON when zero so single-die reports are
+	// unchanged.
+	CrossDieCopybacks int64 `json:",omitempty"`
+
 	// Fault handling (bad-block management).
 	ProgramRetries     int64 // program faults absorbed by the retry path
 	ProgramFails       int64 // permanent program failures (block retired, data re-steered)
@@ -69,8 +76,21 @@ func (f *FTL) Stats() Stats {
 // each command to attribute its GC share.
 func (f *FTL) GCStallTotal() int64 { return f.st.GCStallNanos }
 
-// FreeBlocks reports the current size of the free-block pool.
-func (f *FTL) FreeBlocks() int { return len(f.freeBlocks) }
+// FreeBlocks reports the current size of the free-block pool across all
+// dies.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for _, free := range f.freeByDie {
+		n += len(free)
+	}
+	return n
+}
+
+// FreeBlocksOnDie reports one die's free-block count (inspection/tests).
+func (f *FTL) FreeBlocksOnDie(die int) int { return len(f.freeByDie[die]) }
+
+// Dies returns the die count the FTL stripes over.
+func (f *FTL) Dies() int { return f.dies }
 
 // ShareTableLoad reports the current occupancy of the bounded
 // reverse-mapping table (un-checkpointed SHARE deltas).

@@ -70,13 +70,14 @@ const DefaultTraceCap = 256
 // totally ordered by the virtual-time scheduler, so the lock is
 // uncontended and the contents are deterministic.
 type Recorder struct {
-	mu     sync.Mutex
-	lat    [NumCmds]*stats.Histogram
-	stall  [NumCmds]int64 // GC-stall virtual ns attributed per command class
-	counts [ftl.NumEventTypes]int64
-	ring   []TraceEvent // ring buffer, capacity ringCap
-	start  int          // index of the oldest event in ring
-	seq    uint64       // events seen this epoch (monotone within epoch)
+	mu      sync.Mutex
+	lat     [NumCmds]*stats.Histogram
+	stall   [NumCmds]int64 // GC-stall virtual ns attributed per command class
+	counts  [ftl.NumEventTypes]int64
+	ring    []TraceEvent // ring buffer, capacity ringCap
+	start   int          // index of the oldest event in ring
+	seq     uint64       // events seen this epoch (monotone within epoch)
+	dieWait []int64      // per-die queue-stall ns (die-scheduled devices only)
 }
 
 // NewRecorder returns an empty recorder whose trace ring keeps the last
@@ -131,6 +132,39 @@ func (r *Recorder) Reset() {
 	r.ring = r.ring[:0]
 	r.start = 0
 	r.seq = 0
+	for i := range r.dieWait {
+		r.dieWait[i] = 0
+	}
+}
+
+// SetDies sizes the per-die queue-stall attribution. The device layer
+// calls it once when the geometry opts into per-die scheduling; recorders
+// of geometry-blind devices keep no per-die state.
+func (r *Recorder) SetDies(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dieWait = make([]int64, n)
+}
+
+// ObserveDieWait charges virtual nanoseconds a NAND operation spent
+// queued behind a busy die before its service could start.
+func (r *Recorder) ObserveDieWait(die int, ns int64) {
+	r.mu.Lock()
+	r.dieWait[die] += ns
+	r.mu.Unlock()
+}
+
+// DieWaits returns a copy of the per-die queue-stall totals this epoch,
+// or nil for a device without per-die scheduling.
+func (r *Recorder) DieWaits() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dieWait == nil {
+		return nil
+	}
+	out := make([]int64, len(r.dieWait))
+	copy(out, r.dieWait)
+	return out
 }
 
 // Latency returns the distribution summary (milliseconds) for one

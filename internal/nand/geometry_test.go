@@ -1,0 +1,113 @@
+package nand
+
+import "testing"
+
+// TestAddressDecomposition pins the PPN -> (channel, die, block, page)
+// mapping: blocks stripe round-robin across dies, dies stripe round-robin
+// across channels.
+func TestAddressDecomposition(t *testing.T) {
+	g := Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32, Channels: 2, DiesPerChannel: 2}
+	if got := g.NumDies(); got != 4 {
+		t.Fatalf("NumDies = %d, want 4", got)
+	}
+	if got := g.NumChannels(); got != 2 {
+		t.Fatalf("NumChannels = %d, want 2", got)
+	}
+	cases := []struct {
+		ppn                       uint32
+		channel, die, block, page int
+	}{
+		{0, 0, 0, 0, 0},
+		{7, 0, 0, 0, 7},
+		{8, 1, 1, 1, 0},  // block 1 -> die 1 -> channel 1
+		{16, 0, 2, 2, 0}, // block 2 -> die 2 -> channel 0
+		{25, 1, 3, 3, 1}, // block 3 -> die 3 -> channel 1
+		{32, 0, 0, 4, 0}, // block 4 wraps back to die 0
+		{255, 1, 3, 31, 7},
+	}
+	for _, c := range cases {
+		ch, die, block, page := g.Address(c.ppn)
+		if ch != c.channel || die != c.die || block != c.block || page != c.page {
+			t.Errorf("Address(%d) = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				c.ppn, ch, die, block, page, c.channel, c.die, c.block, c.page)
+		}
+		if got := g.DieOfPPN(c.ppn); got != c.die {
+			t.Errorf("DieOfPPN(%d) = %d, want %d", c.ppn, got, c.die)
+		}
+		if got := g.DieOfBlock(c.block); got != c.die {
+			t.Errorf("DieOfBlock(%d) = %d, want %d", c.block, got, c.die)
+		}
+		if got := g.ChannelOfDie(c.die); got != c.channel {
+			t.Errorf("ChannelOfDie(%d) = %d, want %d", c.die, got, c.channel)
+		}
+	}
+}
+
+// TestUnspecifiedGeometryIsSingleDie checks the legacy default: a geometry
+// with no channel/die counts behaves as one die on one channel and does
+// not opt into per-die scheduling.
+func TestUnspecifiedGeometryIsSingleDie(t *testing.T) {
+	g := Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}
+	if g.ParallelismSpecified() {
+		t.Fatal("unspecified geometry must not report parallelism")
+	}
+	if g.NumDies() != 1 || g.NumChannels() != 1 {
+		t.Fatalf("NumDies=%d NumChannels=%d, want 1/1", g.NumDies(), g.NumChannels())
+	}
+	for b := 0; b < g.Blocks; b++ {
+		if g.DieOfBlock(b) != 0 {
+			t.Fatalf("block %d on die %d, want 0", b, g.DieOfBlock(b))
+		}
+	}
+	g2 := Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32, Channels: 1}
+	if !g2.ParallelismSpecified() {
+		t.Fatal("Channels=1 must opt into per-die scheduling")
+	}
+}
+
+// TestDieOpCounts checks that program/read/erase attempts are attributed
+// to the die they occupy.
+func TestDieOpCounts(t *testing.T) {
+	g := Geometry{PageSize: 16, PagesPerBlock: 4, Blocks: 8, Channels: 2, DiesPerChannel: 2}
+	c, err := New(g, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.PageSize)
+	// Block 0 -> die 0, block 1 -> die 1, block 5 -> die 1.
+	if _, err := c.Program(0, buf, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(uint32(g.PagesPerBlock), buf, OOB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EraseBlock(5); err != nil {
+		t.Fatal(err)
+	}
+	ops := c.DieOpCounts()
+	if len(ops) != 4 {
+		t.Fatalf("DieOpCounts has %d dies, want 4", len(ops))
+	}
+	want := []DieOps{
+		{Reads: 1, Programs: 1},
+		{Programs: 1, Erases: 1},
+		{},
+		{},
+	}
+	for d := range want {
+		if ops[d] != want[d] {
+			t.Errorf("die %d ops = %+v, want %+v", d, ops[d], want[d])
+		}
+	}
+}
+
+// TestNewRejectsMoreDiesThanBlocks guards the striping precondition.
+func TestNewRejectsMoreDiesThanBlocks(t *testing.T) {
+	g := Geometry{PageSize: 16, PagesPerBlock: 4, Blocks: 2, Channels: 2, DiesPerChannel: 2}
+	if _, err := New(g, DefaultTiming()); err == nil {
+		t.Fatal("expected error for more dies than blocks")
+	}
+}

@@ -61,6 +61,18 @@ type Geometry struct {
 	// reaches it wears out (ErrWornOut) and must be retired by the FTL.
 	// 0 disables wear-out.
 	Endurance int64
+
+	// Channels and DiesPerChannel describe the array's internal
+	// parallelism, as on the multi-channel/multi-way OpenSSD prototype:
+	// dies operate independently, while dies on one channel share its bus
+	// for page transfers. Blocks are striped round-robin across dies
+	// (block b lives on die b mod NumDies), so consecutive block numbers
+	// land on different dies. Both zero means the parallelism is
+	// unspecified and the device layer falls back to its geometry-blind
+	// lump-sum queue; setting either field (even to 1) opts into real
+	// per-die scheduling.
+	Channels       int
+	DiesPerChannel int
 }
 
 // TotalPages returns the number of physical pages.
@@ -69,6 +81,54 @@ func (g Geometry) TotalPages() int { return g.Blocks * g.PagesPerBlock }
 // TotalBytes returns the raw capacity in bytes.
 func (g Geometry) TotalBytes() int64 {
 	return int64(g.Blocks) * int64(g.PagesPerBlock) * int64(g.PageSize)
+}
+
+// ParallelismSpecified reports whether the geometry names explicit
+// channel/die counts (opting into per-die scheduling at the device layer).
+func (g Geometry) ParallelismSpecified() bool {
+	return g.Channels > 0 || g.DiesPerChannel > 0
+}
+
+// NumChannels returns the channel count, treating unspecified as 1.
+func (g Geometry) NumChannels() int {
+	if g.Channels > 0 {
+		return g.Channels
+	}
+	return 1
+}
+
+// NumDies returns the total die count across all channels (>= 1).
+func (g Geometry) NumDies() int {
+	d := g.DiesPerChannel
+	if d < 1 {
+		d = 1
+	}
+	return g.NumChannels() * d
+}
+
+// DieOfBlock returns the die holding a block. Blocks are striped
+// round-robin across dies so sequential block allocation spreads load.
+func (g Geometry) DieOfBlock(block int) int { return block % g.NumDies() }
+
+// DieOfPPN returns the die holding a physical page.
+func (g Geometry) DieOfPPN(ppn uint32) int {
+	return g.DieOfBlock(int(ppn) / g.PagesPerBlock)
+}
+
+// ChannelOfDie returns the channel whose bus serves the given die. Dies
+// are numbered channel-major modulo: die d hangs off channel d mod
+// NumChannels, so consecutive dies — and therefore consecutive blocks —
+// alternate channels as well as dies.
+func (g Geometry) ChannelOfDie(die int) int { return die % g.NumChannels() }
+
+// Address decomposes a physical page number into its full hardware
+// coordinates: (channel, die, block, page-within-block).
+func (g Geometry) Address(ppn uint32) (channel, die, block, page int) {
+	block = int(ppn) / g.PagesPerBlock
+	page = int(ppn) % g.PagesPerBlock
+	die = g.DieOfBlock(block)
+	channel = g.ChannelOfDie(die)
+	return channel, die, block, page
 }
 
 // OOB is the out-of-band (spare) area the FTL stores with every programmed
@@ -136,7 +196,17 @@ type Chip struct {
 	eccCorrected int64
 	readFails    int64
 	badBlocks    int64
-	eraseCount   []int64 // per block
+	eraseCount   []int64  // per block
+	dieOps       []DieOps // per die: operations that occupied it
+}
+
+// DieOps counts the operations that occupied one die, including failed
+// attempts (a failing program or erase still holds the die for its full
+// service time).
+type DieOps struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
 }
 
 // New returns a fully erased chip with the given geometry and timing.
@@ -144,12 +214,19 @@ func New(geo Geometry, timing Timing) (*Chip, error) {
 	if geo.PageSize <= 0 || geo.PagesPerBlock <= 0 || geo.Blocks <= 0 {
 		return nil, fmt.Errorf("nand: invalid geometry %+v", geo)
 	}
+	if geo.Channels < 0 || geo.DiesPerChannel < 0 {
+		return nil, fmt.Errorf("nand: invalid geometry %+v", geo)
+	}
+	if geo.NumDies() > geo.Blocks {
+		return nil, fmt.Errorf("nand: geometry has more dies (%d) than blocks (%d)", geo.NumDies(), geo.Blocks)
+	}
 	return &Chip{
 		geo:        geo,
 		timing:     timing,
 		pages:      make([]page, geo.TotalPages()),
 		blockBad:   make([]bool, geo.Blocks),
 		eraseCount: make([]int64, geo.Blocks),
+		dieOps:     make([]DieOps, geo.NumDies()),
 	}, nil
 }
 
@@ -188,6 +265,7 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 		return 0, fmt.Errorf("%w: program ppn %d", ErrPowerCut, ppn)
 	}
 	cost := c.timing.Transfer + c.timing.Program
+	c.dieOps[c.geo.DieOfPPN(ppn)].Programs++
 	if p.bad || c.blockBad[c.BlockOf(ppn)] {
 		c.programFails++
 		return cost, fmt.Errorf("%w: ppn %d (%v)", ErrProgramFail, ppn, ErrBadBlock)
@@ -226,6 +304,7 @@ func (c *Chip) Read(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
 	if len(dst) != c.geo.PageSize {
 		return OOB{}, 0, fmt.Errorf("nand: read size %d != page size %d", len(dst), c.geo.PageSize)
 	}
+	c.dieOps[c.geo.DieOfPPN(ppn)].Reads++
 	switch c.nextFault(opRead) {
 	case FaultReadUncorrectable:
 		c.readFails++
@@ -260,6 +339,7 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 	if c.powerLost() {
 		return 0, fmt.Errorf("%w: erase block %d", ErrPowerCut, block)
 	}
+	c.dieOps[c.geo.DieOfBlock(block)].Erases++
 	if c.blockBad[block] {
 		c.eraseFails++
 		return c.timing.Erase, fmt.Errorf("%w: block %d", ErrBadBlock, block)
@@ -323,3 +403,11 @@ func (c *Chip) Stats() Stats {
 
 // EraseCount returns the erase count of one block.
 func (c *Chip) EraseCount(block int) int64 { return c.eraseCount[block] }
+
+// DieOpCounts returns a copy of the per-die operation counters, indexed
+// by die number. Failed attempts are included: they occupy the die too.
+func (c *Chip) DieOpCounts() []DieOps {
+	out := make([]DieOps, len(c.dieOps))
+	copy(out, c.dieOps)
+	return out
+}

@@ -257,6 +257,7 @@ type MultiResource struct {
 	name string
 	free []int64 // per-server next-idle times
 	busy int64
+	last int // server picked by the most recent Use (ExtendCurrent target)
 }
 
 // NewMultiResource returns an idle k-server resource (k >= 1).
@@ -268,6 +269,9 @@ func NewMultiResource(name string, k int) *MultiResource {
 }
 
 // Use schedules service on the earliest-free server, like Resource.Use.
+// Ties between equally idle servers deterministically pick the lowest
+// server index (the strict < below never replaces an equal candidate), so
+// identically-seeded runs assign requests to identical servers.
 func (m *MultiResource) Use(t *Task, service Duration) Duration {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: negative service time %d on %s", service, m.name))
@@ -287,8 +291,30 @@ func (m *MultiResource) Use(t *Task, service Duration) Duration {
 	done := start + service
 	m.free[best] = done
 	m.busy += service
+	m.last = best
 	t.AdvanceTo(done)
 	return done - arrival
+}
+
+// ExtendCurrent adds extra service time to the request that most recently
+// completed Use — parity with Resource.ExtendCurrent for work discovered
+// mid-service. The calling task must be the one that issued that Use; its
+// clock is pushed to the server's new completion time.
+func (m *MultiResource) ExtendCurrent(t *Task, extra Duration) {
+	if extra < 0 {
+		panic("sim: negative service extension")
+	}
+	m.free[m.last] += extra
+	m.busy += extra
+	t.AdvanceTo(m.free[m.last])
+}
+
+// FreeTimes returns a copy of each server's next-idle time, for tests and
+// utilization diagnostics.
+func (m *MultiResource) FreeTimes() []int64 {
+	out := make([]int64, len(m.free))
+	copy(out, m.free)
+	return out
 }
 
 // BusyTime returns total service time across all servers.

@@ -178,3 +178,58 @@ func TestMultiResourceDepthOneMatchesResource(t *testing.T) {
 		t.Fatalf("depth-1 multi resource diverges: %d vs %d", ta.Now(), tb.Now())
 	}
 }
+
+// TestMultiResourceExtendCurrent checks parity with Resource.ExtendCurrent:
+// the extension lands on the server the most recent Use picked and pushes
+// the caller's clock to that server's new completion time.
+func TestMultiResourceExtendCurrent(t *testing.T) {
+	task := NewSoloTask("t")
+	m := NewMultiResource("dev", 2)
+	m.Use(task, 2*Millisecond) // server 0: free at 2ms
+	m.ExtendCurrent(task, 3*Millisecond)
+	if task.Now() != 5*Millisecond {
+		t.Fatalf("task at %d, want 5ms", task.Now())
+	}
+	if free := m.FreeTimes(); free[0] != 5*Millisecond || free[1] != 0 {
+		t.Fatalf("free times = %v, want [5ms 0]", free)
+	}
+	if m.BusyTime() != 5*Millisecond {
+		t.Fatalf("busy = %d, want 5ms", m.BusyTime())
+	}
+
+	// A second request lands on the idle server 1; extending again must
+	// target that server, not server 0.
+	task2 := NewSoloTask("t2")
+	m.Use(task2, 1*Millisecond)
+	m.ExtendCurrent(task2, 1*Millisecond)
+	if free := m.FreeTimes(); free[0] != 5*Millisecond || free[1] != 2*Millisecond {
+		t.Fatalf("free times = %v, want [5ms 2ms]", free)
+	}
+}
+
+// TestMultiResourceTieBreakLowestIndex pins the deterministic server
+// selection rule: among equally idle servers, the lowest index wins. The
+// distinct service times make the assignment observable in FreeTimes.
+func TestMultiResourceTieBreakLowestIndex(t *testing.T) {
+	m := NewMultiResource("dev", 3)
+	durs := []Duration{10, 20, 30}
+	for _, d := range durs {
+		m.Use(NewSoloTask("t"), d)
+	}
+	free := m.FreeTimes()
+	for i, want := range durs {
+		if free[i] != want {
+			t.Fatalf("server %d free at %d, want %d (tie must pick lowest index): %v",
+				i, free[i], want, free)
+		}
+	}
+	// After server 1 becomes the unique earliest-free, it must be chosen
+	// even though server 0 is a lower index.
+	late := NewSoloTask("late")
+	late.Advance(5)
+	m.Use(late, 100) // earliest-free is server 0 (free=10)... arrival 5 < 10
+	free = m.FreeTimes()
+	if free[0] != 110 {
+		t.Fatalf("expected earliest-free server 0 to serve: %v", free)
+	}
+}

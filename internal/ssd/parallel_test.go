@@ -1,0 +1,165 @@
+package ssd
+
+import (
+	"testing"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// parallelConfig returns a small multi-die device configuration.
+func parallelConfig(channels, diesPerChannel int) Config {
+	cfg := Config{
+		Geometry: nand.Geometry{
+			PageSize: 512, PagesPerBlock: 8, Blocks: 64,
+			Channels: channels, DiesPerChannel: diesPerChannel,
+		},
+		Timing: nand.DefaultTiming(),
+		FTL:    DefaultConfig(64).FTL,
+	}
+	return cfg
+}
+
+// runParallelWrites drives clients concurrent writers, each issuing
+// writesPer sequential distinct-LPN writes, and returns the virtual-time
+// makespan.
+func runParallelWrites(t *testing.T, d *Device, clients, writesPer int) int64 {
+	t.Helper()
+	sched := sim.NewScheduler()
+	for c := 0; c < clients; c++ {
+		c := c
+		sched.Go("client", func(task *sim.Task) {
+			page := make([]byte, d.PageSize())
+			for i := 0; i < writesPer; i++ {
+				lpn := uint32(c*writesPer + i)
+				if err := d.WritePage(task, lpn, page); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	return sched.Run()
+}
+
+// TestDieOverlapSpeedup is the core scheduling property of the multi-die
+// device: with four channels the same concurrent workload must finish at
+// least twice as fast as on one channel, because programs on different
+// dies overlap instead of serializing through a lump-sum queue.
+func TestDieOverlapSpeedup(t *testing.T) {
+	mk := func(channels int) *Device {
+		d, err := New("par", parallelConfig(channels, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	one := runParallelWrites(t, mk(1), 8, 50)
+	four := runParallelWrites(t, mk(4), 8, 50)
+	if one <= 0 || four <= 0 {
+		t.Fatalf("degenerate makespans: 1ch=%d 4ch=%d", one, four)
+	}
+	if ratio := float64(one) / float64(four); ratio < 2 {
+		t.Fatalf("4-channel speedup %.2fx < 2x (1ch=%dns, 4ch=%dns)", ratio, one, four)
+	}
+}
+
+// TestDieSchedulingDeterministic pins that two identical multi-die runs
+// produce identical makespans and telemetry.
+func TestDieSchedulingDeterministic(t *testing.T) {
+	run := func() (int64, []DieStat) {
+		d, err := New("det", parallelConfig(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := runParallelWrites(t, d, 4, 30)
+		return mk, d.DieTelemetry()
+	}
+	mk1, tel1 := run()
+	mk2, tel2 := run()
+	if mk1 != mk2 {
+		t.Fatalf("makespans differ: %d vs %d", mk1, mk2)
+	}
+	for i := range tel1 {
+		if tel1[i] != tel2[i] {
+			t.Fatalf("die %d telemetry differs: %+v vs %+v", i, tel1[i], tel2[i])
+		}
+	}
+}
+
+// TestDieTelemetry checks that striped allocation keeps every die busy and
+// that channel telemetry sees the bus transfers.
+func TestDieTelemetry(t *testing.T) {
+	d, err := New("tel", parallelConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DieScheduled() {
+		t.Fatal("explicit geometry must enable die scheduling")
+	}
+	runParallelWrites(t, d, 4, 40)
+	tel := d.DieTelemetry()
+	if len(tel) != 4 {
+		t.Fatalf("telemetry for %d dies, want 4", len(tel))
+	}
+	var minBusy, maxBusy int64
+	for i, ds := range tel {
+		if ds.Die != i || ds.Channel != i%2 {
+			t.Fatalf("die %d mislabeled: %+v", i, ds)
+		}
+		if ds.BusyNs <= 0 {
+			t.Fatalf("die %d idle: %+v (striping failed)", i, ds)
+		}
+		if i == 0 || ds.BusyNs < minBusy {
+			minBusy = ds.BusyNs
+		}
+		if ds.BusyNs > maxBusy {
+			maxBusy = ds.BusyNs
+		}
+	}
+	// Round-robin striping of a uniform workload must stay roughly even.
+	if maxBusy > 2*minBusy {
+		t.Fatalf("die busy skew too wide: min %d max %d", minBusy, maxBusy)
+	}
+	for _, cs := range d.ChannelTelemetry() {
+		if cs.BusyNs <= 0 {
+			t.Fatalf("channel %d bus idle: %+v", cs.Channel, cs)
+		}
+	}
+	// Epoch scoping: a reset clears the telemetry.
+	d.ResetStats()
+	for _, ds := range d.DieTelemetry() {
+		if ds.BusyNs != 0 || ds.WaitNs != 0 {
+			t.Fatalf("telemetry survived ResetStats: %+v", ds)
+		}
+	}
+}
+
+// TestDieWaitAttribution: two clients hammering a single-die device must
+// queue behind the one die, and that waiting is attributed to it.
+func TestDieWaitAttribution(t *testing.T) {
+	d, err := New("wait", parallelConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runParallelWrites(t, d, 2, 20)
+	tel := d.DieTelemetry()
+	if len(tel) != 1 {
+		t.Fatalf("telemetry for %d dies, want 1", len(tel))
+	}
+	if tel[0].WaitNs <= 0 {
+		t.Fatalf("expected die-queue waiting on a contended single die: %+v", tel[0])
+	}
+}
+
+// TestLegacyPathUntouched: a geometry without channel/die counts keeps the
+// lump-sum queue and reports no die telemetry.
+func TestLegacyPathUntouched(t *testing.T) {
+	d := testDevice(t)
+	if d.DieScheduled() {
+		t.Fatal("default geometry must stay geometry-blind")
+	}
+	if d.DieTelemetry() != nil || d.ChannelTelemetry() != nil {
+		t.Fatal("geometry-blind device must report nil die/channel telemetry")
+	}
+}

@@ -25,8 +25,13 @@ type Config struct {
 	Timing   nand.Timing
 	FTL      ftl.Config
 	// QueueDepth is the number of commands the device can service
-	// concurrently (internal channel/NCQ parallelism). 1 models the
-	// single-threaded OpenSSD prototype; modern drives overlap many.
+	// concurrently when the geometry does not specify channel/die counts:
+	// a geometry-blind k-server queue approximating internal parallelism.
+	// 1 models the single-threaded OpenSSD prototype. When the geometry
+	// sets Channels/DiesPerChannel the device schedules each command's
+	// NAND operations onto real per-die servers and per-channel bus slots
+	// instead, and QueueDepth does not gate admission — concurrency is
+	// whatever the host offers (NCQ-style), bounded by the array itself.
 	QueueDepth int
 	// Fault optionally injects NAND failures (factory-bad blocks,
 	// scheduled or seeded program/erase/read faults). Installed before the
@@ -54,10 +59,30 @@ type Device struct {
 	cfg  Config
 	rec  *metrics.Recorder
 	base Stats // counter baseline recorded by ResetStats (epoch start)
+
+	// Per-die scheduling state, nil/absent on geometry-blind devices.
+	// Each die is a single-server resource (one NAND operation at a time);
+	// each channel is a single-server bus shared by its dies for page
+	// transfers. Commands replay their FTL cost plans onto these, so die
+	// overlap — not a fixed queue depth — sets the device's concurrency.
+	dieRes       []*sim.Resource
+	chanRes      []*sim.Resource
+	dieBusyBase  []int64 // busy-time baselines captured by ResetStats
+	chanBusyBase []int64
 }
 
 // New builds a device from cfg.
 func New(name string, cfg Config) (*Device, error) {
+	if cfg.Geometry.ParallelismSpecified() {
+		// Normalize so Channels=4 alone means 4×1 and DiesPerChannel=2
+		// alone means 1×2.
+		if cfg.Geometry.Channels < 1 {
+			cfg.Geometry.Channels = 1
+		}
+		if cfg.Geometry.DiesPerChannel < 1 {
+			cfg.Geometry.DiesPerChannel = 1
+		}
+	}
 	chip, err := nand.New(cfg.Geometry, cfg.Timing)
 	if err != nil {
 		return nil, err
@@ -76,7 +101,23 @@ func New(name string, cfg Config) (*Device, error) {
 	}
 	rec := metrics.NewRecorder(metrics.DefaultTraceCap)
 	f.SetEventSink(rec.FTLEvent)
-	return &Device{chip: chip, ftl: f, res: sim.NewMultiResource(name, cfg.QueueDepth), cfg: cfg, rec: rec}, nil
+	d := &Device{chip: chip, ftl: f, res: sim.NewMultiResource(name, cfg.QueueDepth), cfg: cfg, rec: rec}
+	if cfg.Geometry.ParallelismSpecified() {
+		f.EnableCostPlan()
+		dies := cfg.Geometry.NumDies()
+		d.dieRes = make([]*sim.Resource, dies)
+		for i := range d.dieRes {
+			d.dieRes[i] = sim.NewResource(fmt.Sprintf("%s/die%d", name, i))
+		}
+		d.chanRes = make([]*sim.Resource, cfg.Geometry.NumChannels())
+		for i := range d.chanRes {
+			d.chanRes[i] = sim.NewResource(fmt.Sprintf("%s/ch%d", name, i))
+		}
+		d.dieBusyBase = make([]int64, dies)
+		d.chanBusyBase = make([]int64, len(d.chanRes))
+		rec.SetDies(dies)
+	}
+	return d, nil
 }
 
 // PageSize returns the device mapping unit in bytes.
@@ -94,8 +135,11 @@ func (d *Device) CapacityBytes() int64 {
 // mapping units).
 func (d *Device) MaxShareBatch() int { return d.ftl.MaxShareBatch() }
 
-// serve runs op under the device lock and charges its service time to t
-// through the single-server queue. The completed command — its total
+// serve runs op under the device lock and charges its service time to t.
+// Geometry-blind devices push the whole lump sum through the k-server
+// queue; die-scheduled devices replay the command's cost plan onto the
+// per-die and per-channel resources, so only operations contending for
+// the same die or bus serialize. The completed command — its total
 // latency (service plus queueing) and the slice of its service time that
 // was a GC stall — is recorded in the device's metrics recorder.
 func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, error)) error {
@@ -103,10 +147,67 @@ func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, erro
 	stallBefore := d.ftl.GCStallTotal()
 	svc, err := op()
 	stall := d.ftl.GCStallTotal() - stallBefore
+	var plan []ftl.OpCost
+	if d.dieRes != nil {
+		plan = d.ftl.TakeCostPlan()
+	}
 	d.mu.Unlock()
-	lat := d.res.Use(t, svc)
+	var lat sim.Duration
+	if d.dieRes == nil {
+		lat = d.res.Use(t, svc)
+	} else {
+		lat = d.schedule(t, svc, plan)
+	}
 	d.rec.Observe(c, lat, stall)
 	return err
+}
+
+// schedule replays one command's cost plan in issue order: firmware time
+// (the service-time residue no NAND operation accounts for) advances the
+// task alone, reads occupy die then channel, programs channel then die,
+// erases the die only. Queueing behind a busy die is attributed to that
+// die in the recorder. Returns the command's total latency.
+func (d *Device) schedule(t *sim.Task, svc sim.Duration, plan []ftl.OpCost) sim.Duration {
+	arrival := t.Now()
+	var planned sim.Duration
+	for _, op := range plan {
+		planned += op.Bus + op.Cell
+	}
+	if fw := svc - planned; fw > 0 {
+		// Firmware/interface time (command overhead, OOB boot scans) is
+		// CPU-side work that occupies no die or bus.
+		t.Advance(fw)
+	}
+	for _, op := range plan {
+		bus := d.chanRes[d.cfg.Geometry.ChannelOfDie(op.Die)]
+		switch op.Kind {
+		case ftl.OpRead:
+			d.useDie(t, op.Die, op.Cell)
+			if op.Bus > 0 {
+				bus.Use(t, op.Bus)
+			}
+		case ftl.OpProgram:
+			if op.Bus > 0 {
+				bus.Use(t, op.Bus)
+			}
+			d.useDie(t, op.Die, op.Cell)
+		case ftl.OpErase:
+			d.useDie(t, op.Die, op.Cell)
+		}
+	}
+	return t.Now() - arrival
+}
+
+// useDie occupies one die for dur, charging any queueing delay to the
+// die's stall attribution.
+func (d *Device) useDie(t *sim.Task, die int, dur sim.Duration) {
+	if dur <= 0 {
+		return
+	}
+	lat := d.dieRes[die].Use(t, dur)
+	if wait := lat - dur; wait > 0 {
+		d.rec.ObserveDieWait(die, wait)
+	}
 }
 
 // ReadPage reads logical page lpn into dst.
@@ -258,6 +359,7 @@ func (s Stats) sub(base Stats) Stats {
 	out.FTL.WearLevelMoves -= base.FTL.WearLevelMoves
 	out.FTL.RetiredBlocks -= base.FTL.RetiredBlocks
 	out.FTL.Copybacks -= base.FTL.Copybacks
+	out.FTL.CrossDieCopybacks -= base.FTL.CrossDieCopybacks
 	out.FTL.MetaMoves -= base.FTL.MetaMoves
 	out.FTL.Erases -= base.FTL.Erases
 	out.FTL.GCStallNanos -= base.FTL.GCStallNanos
@@ -311,6 +413,12 @@ func (d *Device) LifetimeStats() Stats {
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	d.base = d.lifetimeLocked()
+	for i, r := range d.dieRes {
+		d.dieBusyBase[i] = r.BusyTime()
+	}
+	for i, r := range d.chanRes {
+		d.chanBusyBase[i] = r.BusyTime()
+	}
 	d.mu.Unlock()
 	d.rec.Reset()
 }
@@ -330,14 +438,71 @@ func (s Stats) WriteAmplification() float64 {
 // scoped to the current epoch.
 func (d *Device) Metrics() *metrics.Recorder { return d.rec }
 
-// QueueDepth returns the device's internal command parallelism.
+// QueueDepth returns the configured lump-sum command parallelism. It is
+// only an admission gate on geometry-blind devices; die-scheduled devices
+// derive concurrency from the array itself.
 func (d *Device) QueueDepth() int { return d.res.Servers() }
 
 // Geometry returns the NAND geometry backing the device.
 func (d *Device) Geometry() nand.Geometry { return d.cfg.Geometry }
 
+// DieScheduled reports whether the device schedules per-die (geometry
+// named explicit channel/die counts) rather than lump-sum.
+func (d *Device) DieScheduled() bool { return d.dieRes != nil }
+
+// DieStat is one die's epoch-scoped scheduling telemetry.
+type DieStat struct {
+	Die     int   `json:"die"`
+	Channel int   `json:"channel"`
+	BusyNs  int64 `json:"busy_ns"` // virtual time the die spent serving NAND operations
+	WaitNs  int64 `json:"wait_ns"` // virtual time operations queued behind this die
+}
+
+// ChannelStat is one channel bus's epoch-scoped telemetry.
+type ChannelStat struct {
+	Channel int   `json:"channel"`
+	BusyNs  int64 `json:"busy_ns"` // virtual time the bus spent transferring pages
+}
+
+// DieTelemetry returns per-die busy time and queue-stall attribution for
+// the current epoch, or nil for a geometry-blind device.
+func (d *Device) DieTelemetry() []DieStat {
+	if d.dieRes == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	waits := d.rec.DieWaits()
+	out := make([]DieStat, len(d.dieRes))
+	for i, r := range d.dieRes {
+		out[i] = DieStat{
+			Die:     i,
+			Channel: d.cfg.Geometry.ChannelOfDie(i),
+			BusyNs:  r.BusyTime() - d.dieBusyBase[i],
+			WaitNs:  waits[i],
+		}
+	}
+	return out
+}
+
+// ChannelTelemetry returns per-channel bus busy time for the current
+// epoch, or nil for a geometry-blind device.
+func (d *Device) ChannelTelemetry() []ChannelStat {
+	if d.chanRes == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ChannelStat, len(d.chanRes))
+	for i, r := range d.chanRes {
+		out[i] = ChannelStat{Channel: i, BusyNs: r.BusyTime() - d.chanBusyBase[i]}
+	}
+	return out
+}
+
 // FTLForTest exposes the FTL for white-box tests and the inspector tool.
 func (d *Device) FTLForTest() *ftl.FTL { return d.ftl }
 
-// Resource exposes the device queue, e.g. for utilization reporting.
+// Resource exposes the lump-sum device queue, e.g. for utilization
+// reporting on geometry-blind devices.
 func (d *Device) Resource() *sim.MultiResource { return d.res }

@@ -63,6 +63,14 @@ type DeviceOptions struct {
 	PageSize int
 	// PagesPerBlock overrides the 128-page erase block.
 	PagesPerBlock int
+	// Channels and DiesPerChannel describe the NAND array's parallelism.
+	// Setting either switches the device from the geometry-blind lump-sum
+	// queue to per-die scheduling: blocks stripe across dies, GC runs
+	// die-locally, and operations on different dies overlap in time (only
+	// same-die and same-channel-bus work serializes). Both default to 1
+	// when the other is set; both zero keeps the legacy single-queue model.
+	Channels       int
+	DiesPerChannel int
 	// OverProvision overrides the 10% GC headroom fraction.
 	OverProvision float64
 	// ShareTableCap bounds the device's reverse-mapping table, as on the
@@ -102,6 +110,8 @@ func OpenDevice(opts DeviceOptions) (*Device, error) {
 	if opts.PagesPerBlock != 0 {
 		cfg.Geometry.PagesPerBlock = opts.PagesPerBlock
 	}
+	cfg.Geometry.Channels = opts.Channels
+	cfg.Geometry.DiesPerChannel = opts.DiesPerChannel
 	if opts.OverProvision != 0 {
 		cfg.FTL.OverProvision = opts.OverProvision
 	}
