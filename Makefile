@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json bench-scale fmt
+# Crash-point sampling seed for `make fuzz-crash` (short mode picks a
+# seeded sample of power-cut boundaries per device). Reproduce a failing
+# CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
+CRASHCHECK_SEED ?= 1
+
+.PHONY: build test check race bench bench-json bench-scale fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -10,14 +15,26 @@ test:
 
 # check is the tier-1 gate: vet, build, and the full test suite under the
 # race detector (includes the fault-injection and crash-point fuzzing
-# suites), plus the machine-readable report smoke check. Run it before
-# sending a change.
+# suites), plus the whole-stack crash harness sample and the
+# machine-readable report smoke check. Run it before sending a change.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-crash
 	$(MAKE) bench-json
 	$(MAKE) bench-scale
+
+# fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
+# short mode: for every engine x SHARE-mode cell (innodb DWB-on/SHARE,
+# couch copy/SHARE, pgmini FPW-on/FPW-SHARE) it power-cuts the stack at a
+# CRASHCHECK_SEED-sampled set of program/erase boundaries, reopens, and
+# checks the durability oracle (no committed write lost, no uncommitted
+# write surfaced). The seeded NAND fault-plan runs (seeds 7, 11, 13 for
+# innodb/pgmini/couch) always execute in full. Long mode — plain
+# `go test ./internal/crashcheck/` — visits every boundary exhaustively.
+fuzz-crash:
+	CRASHCHECK_SEED=$(CRASHCHECK_SEED) $(GO) test -short -count=1 ./internal/crashcheck/
 
 # race is check without vet/build, for quick re-runs.
 race:

@@ -19,6 +19,7 @@ import (
 
 	"share"
 	"share/internal/ftl"
+	"share/internal/nand"
 )
 
 func main() {
@@ -29,27 +30,31 @@ func main() {
 		age       = flag.Float64("age", 0.9, "aging fill ratio before the run (0 disables)")
 		writes    = flag.Int("writes", 20000, "random page writes in the measured run")
 		shareFrac = flag.Float64("sharefrac", 0.2, "fraction of operations issued as SHARE")
+		readFrac  = flag.Float64("readfrac", 0, "fraction of operations issued as reads (exercises retry+scrub)")
 		trimFrac  = flag.Float64("trimfrac", 0.05, "fraction of operations issued as TRIM")
 		tableCap  = flag.Int("sharetable", 0, "bounded reverse-map entries (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "random seed")
 
-		faultSeed    = flag.Int64("faultseed", 1, "seed for the NAND fault plan probabilities")
-		pTransient   = flag.Float64("ptransient", 0, "probability of a transient program fault")
-		pPermanent   = flag.Float64("ppermanent", 0, "probability of a permanent program fault")
-		pErase       = flag.Float64("perase", 0, "probability of an erase fault")
-		pCorrectable = flag.Float64("pcorrectable", 0, "probability of an ECC-corrected read")
-		badBlocks    = flag.String("badblocks", "", "comma-separated factory-bad block numbers")
-		spares       = flag.Int("spares", 0, "spare-block retirement budget (0 derives it)")
+		faultSeed      = flag.Int64("faultseed", 1, "seed for the NAND fault plan probabilities")
+		pTransient     = flag.Float64("ptransient", 0, "probability of a transient program fault")
+		pPermanent     = flag.Float64("ppermanent", 0, "probability of a permanent program fault")
+		pErase         = flag.Float64("perase", 0, "probability of an erase fault")
+		pCorrectable   = flag.Float64("pcorrectable", 0, "probability of an ECC-corrected read")
+		pUncorrectable = flag.Float64("puncorrectable", 0, "probability of an uncorrectable read (drives retry+scrub)")
+		badBlocks      = flag.String("badblocks", "", "comma-separated factory-bad block numbers")
+		spares         = flag.Int("spares", 0, "spare-block retirement budget (0 derives it)")
 	)
 	flag.Parse()
 
 	var plan *share.FaultPlan
-	if *pTransient > 0 || *pPermanent > 0 || *pErase > 0 || *pCorrectable > 0 || *badBlocks != "" {
+	if *pTransient > 0 || *pPermanent > 0 || *pErase > 0 || *pCorrectable > 0 ||
+		*pUncorrectable > 0 || *badBlocks != "" {
 		plan = share.NewFaultPlan(*faultSeed)
 		plan.PProgramTransient = *pTransient
 		plan.PProgramPermanent = *pPermanent
 		plan.PErase = *pErase
 		plan.PReadCorrectable = *pCorrectable
+		plan.PReadUncorrectable = *pUncorrectable
 		for _, s := range strings.Split(*badBlocks, ",") {
 			if s = strings.TrimSpace(s); s == "" {
 				continue
@@ -119,6 +124,15 @@ run:
 				}
 				log.Fatal(err)
 			}
+		case r < *shareFrac+*trimFrac+*readFrac && len(written) > 0:
+			lpn := written[rng.Intn(len(written))]
+			// A read lost beyond the retry budget is the legitimate
+			// worst case under an uncorrectable-read fault plan; the
+			// degradation view below reports it.
+			if err := dev.ReadPage(t, lpn, buf); err != nil &&
+				!errors.Is(err, nand.ErrUncorrectable) && !errors.Is(err, ftl.ErrUnmapped) {
+				log.Fatal(err)
+			}
 		default:
 			lpn := uint32(rng.Intn(capacity))
 			rng.Read(buf[:16])
@@ -170,6 +184,31 @@ run:
 		fmt.Println("device state:        READ-ONLY (spare budget exhausted)")
 	}
 
+	// Degradation view: the device's journey from healthy media toward
+	// read-only mode — read retries and scrubbing (transient faults
+	// absorbed), block retirements (permanent damage), and how much
+	// retirement budget is left before mutating commands are refused.
+	rec := dev.Metrics()
+	evs := rec.EventCounts()
+	fmt.Println("\n--- degradation view ---")
+	fmt.Printf("read retries:        %d attempts, %d reads lost beyond retry\n",
+		st.FTL.ReadRetries, st.FTL.UncorrectableReads)
+	fmt.Printf("scrubbing:           %d suspect blocks refreshed, %d live pages relocated\n",
+		st.FTL.ScrubbedBlocks, st.FTL.ScrubRelocations)
+	fmt.Printf("retirements:         %d blocks out of service (program fails %d, erase fails %d)\n",
+		st.FTL.RetiredBlocks, st.FTL.ProgramFails, st.FTL.EraseFails)
+	fmt.Printf("spare budget:        %d retirements left before read-only\n", st.FTL.SpareBlocksLeft)
+	state := "HEALTHY (serving reads and writes)"
+	if st.FTL.ReadOnly {
+		state = "DEGRADED (read-only: mutating commands refused, reads still served)"
+	}
+	fmt.Printf("state:               %s\n", state)
+	for _, name := range []string{"read-retry", "scrub", "block-retired", "read-only"} {
+		if n := evs[name]; n > 0 {
+			fmt.Printf("event %-14s %d\n", name+":", n)
+		}
+	}
+
 	if tel := dev.DieTelemetry(); tel != nil {
 		elapsed := t.Now() - start
 		fmt.Println("\n--- die/channel utilization (this run) ---")
@@ -208,7 +247,6 @@ run:
 		}
 	}
 
-	rec := dev.Metrics()
 	if lats := rec.LatencySummaries(); len(lats) > 0 {
 		fmt.Println("\n--- command latency (virtual ms) ---")
 		fmt.Printf("%-10s %8s %9s %9s %9s %9s %12s\n",

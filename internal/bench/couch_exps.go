@@ -103,6 +103,12 @@ func runYCSBSweep(p Params, w ycsb.Workload, r *Report) (*stats.Table, error) {
 					label = "share"
 				}
 				r.Device(fmt.Sprintf("%s-b%d", label, batch), dev)
+				r.Engine(fmt.Sprintf("%s-b%d", label, batch), after.Degraded, map[string]int64{
+					"commits":               after.Commits,
+					"share_pairs":           after.SharePairs,
+					"compactions":           after.Compactions,
+					"read_only_transitions": after.ReadOnlyTransitions,
+				})
 			}
 		}
 		r.Metric(fmt.Sprintf("original_ops_b%d", batch), tput[0], "ops/s")

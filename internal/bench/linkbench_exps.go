@@ -78,6 +78,9 @@ func init() {
 				if ps == 4096 {
 					r.Device("dwb-on-4k", onRig.dev)
 					r.Device("share-4k", shRig.dev)
+					onSt, shSt := onRig.eng.Stats(), shRig.eng.Stats()
+					r.Engine("dwb-on-4k", onSt.Degraded, innoEngineCounters(onSt))
+					r.Engine("share-4k", shSt.Degraded, innoEngineCounters(shSt))
 				}
 				tb.AddRow(fmt.Sprintf("%dKB", ps/1024),
 					fmtThroughput(on.Throughput), fmtThroughput(sh.Throughput),
@@ -154,6 +157,9 @@ func init() {
 				if buf == 50 {
 					r.Device("dwb-on-50mb", onRig.dev)
 					r.Device("share-50mb", shRig.dev)
+					onSt, shSt := onRig.eng.Stats(), shRig.eng.Stats()
+					r.Engine("dwb-on-50mb", onSt.Degraded, innoEngineCounters(onSt))
+					r.Engine("share-50mb", shSt.Degraded, innoEngineCounters(shSt))
 				}
 			}
 			return tb.String() + "\nPaper: ~45% fewer host writes, ~55% fewer GCs, ~75% fewer copybacks.\n", nil

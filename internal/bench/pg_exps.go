@@ -88,6 +88,12 @@ func init() {
 				r.Metric(mode.String()+"_tps", tps[i], "tps")
 				r.Metric(mode.String()+"_wal", walMB[i], "MB")
 				r.Device(mode.String()+"-data", dev)
+				r.Engine(mode.String(), st.Degraded, map[string]int64{
+					"commits":               st.Commits,
+					"full_images":           st.FullImages,
+					"wal_read_truncations":  st.WALReadTruncations,
+					"read_only_transitions": st.ReadOnlyTransitions,
+				})
 			}
 			out := tb.String()
 			out += fmt.Sprintf("\nfull_page_writes off vs on: %.2fx throughput, WAL shrinks by %.1f MB.\n",

@@ -55,6 +55,17 @@ type DeviceReport struct {
 	ChannelUtil    []ssd.ChannelStat `json:"channel_util,omitempty"`
 }
 
+// EngineReport is a host engine's robustness telemetry: recovery work
+// (torn pages restored, redo applied, WAL replay truncations) and
+// degradation state (read-only transitions), keyed by counter name so
+// each engine reports the fields it has. Maps marshal with sorted keys,
+// preserving report determinism.
+type EngineReport struct {
+	Label    string           `json:"label"`
+	Counters map[string]int64 `json:"counters"`
+	Degraded bool             `json:"degraded,omitempty"`
+}
+
 // Report is the machine-readable result of one experiment run, written
 // as BENCH_<experiment>.json by cmd/sharebench -json. Two runs with the
 // same Params produce byte-identical reports: every field derives from
@@ -67,6 +78,7 @@ type Report struct {
 	Config     ConfigInfo     `json:"config"`
 	Metrics    []Metric       `json:"metrics,omitempty"`
 	Devices    []DeviceReport `json:"devices,omitempty"`
+	Engines    []EngineReport `json:"engines,omitempty"`
 	Output     string         `json:"output"`
 }
 
@@ -114,6 +126,11 @@ func (r *Report) Device(label string, dev *ssd.Device) {
 		dr.ChannelUtil = dev.ChannelTelemetry()
 	}
 	r.Devices = append(r.Devices, dr)
+}
+
+// Engine appends a host engine's robustness counters under label.
+func (r *Report) Engine(label string, degraded bool, counters map[string]int64) {
+	r.Engines = append(r.Engines, EngineReport{Label: label, Counters: counters, Degraded: degraded})
 }
 
 // JSON renders the report with stable formatting (indented, sorted map

@@ -152,3 +152,15 @@ func ratio(a, b float64) string {
 }
 
 func mb(bytes int64) float64 { return float64(bytes) / (1024 * 1024) }
+
+// innoEngineCounters converts innodb stats into the report's engine
+// robustness counters: recovery work and degradation visibility.
+func innoEngineCounters(st innodb.Stats) map[string]int64 {
+	return map[string]int64{
+		"commits":               st.Commits,
+		"share_pairs":           st.SharePairs,
+		"torn_restored":         st.TornRestored,
+		"redo_applied":          st.RedoApplied,
+		"read_only_transitions": st.ReadOnlyTransitions,
+	}
+}

@@ -23,6 +23,14 @@ type CompactStats struct {
 // header page (the length check §5.3.2 describes), transfers the document
 // bodies by SHARE remapping, and writes just the new index nodes.
 func (s *Store) Compact(t *sim.Task) (CompactStats, error) {
+	if s.degraded {
+		return CompactStats{}, ErrReadOnly
+	}
+	cs, err := s.compact(t)
+	return cs, s.noteDeviceErr(err)
+}
+
+func (s *Store) compact(t *sim.Task) (CompactStats, error) {
 	var cs CompactStats
 	// The open batch references current file offsets; make it durable
 	// before the file is rewritten.

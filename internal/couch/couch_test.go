@@ -2,11 +2,13 @@ package couch
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"share/internal/fsim"
+	"share/internal/nand"
 	"share/internal/sim"
 	"share/internal/ssd"
 )
@@ -510,6 +512,184 @@ func TestCrashMidCompactionRestarts(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCompactionCrashAtEveryBoundary power-cuts a compaction after every
+// program/erase the device performs (a seeded sample in short mode) and
+// checks that the reopened store always serves the full committed
+// document set — the recovered tree is the pre-compaction one, the
+// post-compaction one, or a restartable intermediate, but never loses or
+// corrupts a document.
+func TestCompactionCrashAtEveryBoundary(t *testing.T) {
+	for _, share := range []bool{false, true} {
+		t.Run(fmt.Sprintf("share=%v", share), func(t *testing.T) {
+			build := func() (*Store, *ssd.Device, *sim.Task, map[string][]byte) {
+				s, dev, task := testStore(t, 1024, func(c *Config) {
+					c.ShareMode = share
+					c.DocCacheEntries = 0
+				})
+				docs := map[string][]byte{}
+				for i := 0; i < 40; i++ {
+					k := fmt.Sprintf("user%04d", i)
+					v := val(i, 600)
+					if err := s.Set(task, []byte(k), v); err != nil {
+						t.Fatal(err)
+					}
+					docs[k] = v
+				}
+				for i := 0; i < 80; i++ {
+					k := fmt.Sprintf("user%04d", i%40)
+					v := val(i+300, 600)
+					if err := s.Set(task, []byte(k), v); err != nil {
+						t.Fatal(err)
+					}
+					docs[k] = v
+				}
+				if err := s.Commit(task); err != nil {
+					t.Fatal(err)
+				}
+				return s, dev, task, docs
+			}
+
+			// Measure the boundary space with an uninterrupted run.
+			s0, dev0, task0, _ := build()
+			opsBefore := dev0.MutatingOps()
+			if _, err := s0.Compact(task0); err != nil {
+				t.Fatal(err)
+			}
+			total := int(dev0.MutatingOps() - opsBefore)
+			if total == 0 {
+				t.Fatal("compaction performed no device mutations")
+			}
+
+			step := 1
+			if testing.Short() {
+				step = total/16 + 1
+			}
+			for cut := 1; cut <= total; cut += step {
+				s, dev, task, docs := build()
+				dev.PowerCutAfter(int64(cut))
+				_, cErr := s.Compact(task)
+				dev.DisablePowerCut()
+				dev.Crash()
+				if err := dev.Recover(task); err != nil {
+					t.Fatalf("cut %d/%d: device recovery: %v", cut, total, err)
+				}
+				fs2, err := fsim.Mount(task, dev)
+				if err != nil {
+					t.Fatalf("cut %d/%d: mount: %v", cut, total, err)
+				}
+				if err := fs2.Fsck(); err != nil {
+					t.Fatalf("cut %d/%d: fsck: %v", cut, total, err)
+				}
+				s2, err := Open(task, fs2, Config{ShareMode: share, DocCacheEntries: 0})
+				if err != nil {
+					t.Fatalf("cut %d/%d (compact err %v): reopen: %v", cut, total, cErr, err)
+				}
+				if got := s2.DocCount(); got != int64(len(docs)) {
+					t.Fatalf("cut %d/%d: doc count %d, want %d", cut, total, got, len(docs))
+				}
+				for k, v := range docs {
+					got, ok, err := s2.Get(task, []byte(k))
+					if err != nil || !ok {
+						t.Fatalf("cut %d/%d: doc %s lost: %v %v", cut, total, k, ok, err)
+					}
+					if !bytes.Equal(got, v) {
+						t.Fatalf("cut %d/%d: doc %s corrupted", cut, total, k)
+					}
+				}
+				// A restarted compaction completes from any recovered state.
+				if cut == 1 || cut == total {
+					if cs, err := s2.Compact(task); err != nil {
+						t.Fatalf("cut %d/%d: restarted compaction: %v", cut, total, err)
+					} else if cs.DocsMoved != int64(len(docs)) {
+						t.Fatalf("cut %d/%d: restarted compaction moved %d docs", cut, total, cs.DocsMoved)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCouchReadOnlyDegradation exhausts the device's spare blocks and
+// checks graceful degradation: Set/Delete/Commit/Compact fail fast with
+// ErrReadOnly while Get and Scan keep serving committed documents.
+func TestCouchReadOnlyDegradation(t *testing.T) {
+	cfg := ssd.DefaultConfig(1024)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.FTL.SpareBlocks = 1
+	dev, err := ssd.New("couch", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(task, fs, Config{BatchSize: 1, DocCacheEntries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string][]byte{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("user%04d", i)
+		v := val(i, 600)
+		if err := s.Set(task, []byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+		docs[k] = v
+	}
+	if err := s.Commit(task); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; !dev.ReadOnly() && round < 10; round++ {
+		if err := dev.SetFaultPlan(nand.NewFaultPlan(int64(round+1)).AtProgram(1, nand.FaultProgramPermanent)); err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Set(task, []byte("wear"), val(round, 600))
+	}
+	if err := dev.SetFaultPlan(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.ReadOnly() {
+		t.Fatal("device did not degrade to read-only")
+	}
+	if err := s.Set(task, []byte("late"), val(1, 100)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Set error = %v, want ErrReadOnly", err)
+	}
+	if _, err := s.Delete(task, []byte("user0000")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete error = %v, want ErrReadOnly", err)
+	}
+	if _, err := s.Compact(task); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact error = %v, want ErrReadOnly", err)
+	}
+	st := s.Stats()
+	if !st.Degraded || st.ReadOnlyTransitions != 1 {
+		t.Fatalf("stats: Degraded=%v ReadOnlyTransitions=%d", st.Degraded, st.ReadOnlyTransitions)
+	}
+	if !s.Degraded() {
+		t.Fatal("Degraded() = false after transition")
+	}
+	// Committed documents keep serving.
+	for k, v := range docs {
+		got, ok, err := s.Get(task, []byte(k))
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("doc %s unreadable in read-only mode: %v %v", k, ok, err)
+		}
+	}
+	// A wear-key Set may have committed before the device latched
+	// read-only, so the scan asserts the committed set is a subset.
+	seen := map[string]bool{}
+	if err := s.Scan(task, nil, nil, func(k, v []byte) bool { seen[string(k)] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	for k := range docs {
+		if !seen[k] {
+			t.Fatalf("scan missed doc %s in read-only mode", k)
+		}
 	}
 }
 

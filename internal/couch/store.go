@@ -15,11 +15,18 @@ package couch
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"share/internal/fsim"
+	"share/internal/ftl"
 	"share/internal/sim"
 )
+
+// ErrReadOnly is returned by mutating operations after the underlying
+// device degraded to read-only (spare blocks exhausted). Get and Scan
+// keep serving from the still-readable file and the caches.
+var ErrReadOnly = errors.New("couch: store is read-only (device degraded)")
 
 // Config tunes the store.
 type Config struct {
@@ -71,6 +78,9 @@ type Stats struct {
 	HeaderPages      int64
 	SharePairs       int64 // document versions installed by remapping
 	Compactions      int64
+
+	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
+	Degraded            bool  // gauge: store is serving read-only
 }
 
 // Store is one Couchbase-style database.
@@ -94,6 +104,11 @@ type Store struct {
 	nodeCache map[int64]*node
 	docCache  map[string][]byte
 	docOrder  []string // FIFO eviction for the doc cache
+
+	// degraded is latched when a device write fails with ftl.ErrReadOnly;
+	// mutating operations then fail fast with ErrReadOnly while reads keep
+	// serving.
+	degraded bool
 
 	st Stats
 }
@@ -273,7 +288,27 @@ func (s *Store) NeedsCompaction() bool {
 func (s *Store) DocCount() int64 { return s.docs }
 
 // Stats returns a snapshot of store counters.
-func (s *Store) Stats() Stats { return s.st }
+func (s *Store) Stats() Stats {
+	st := s.st
+	st.Degraded = s.degraded
+	return st
+}
+
+// Degraded reports whether the store has switched to read-only serving.
+func (s *Store) Degraded() bool { return s.degraded }
+
+// noteDeviceErr translates a device-level read-only failure into the
+// typed store error, latching the degraded state on first sight.
+func (s *Store) noteDeviceErr(err error) error {
+	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
+		return err
+	}
+	if !s.degraded {
+		s.degraded = true
+		s.st.ReadOnlyTransitions++
+	}
+	return ErrReadOnly
+}
 
 // FS returns the file system the store lives on.
 func (s *Store) FS() *fsim.FS { return s.fs }

@@ -141,8 +141,16 @@ func (s *Store) cacheDoc(key, v []byte) {
 
 // Set inserts or updates a document. The write is durable once the batch
 // it belongs to commits (every Config.BatchSize sets, or at an explicit
-// Commit call).
+// Commit call). After the device degrades to read-only, Set fails fast
+// with ErrReadOnly.
 func (s *Store) Set(t *sim.Task, key, value []byte) error {
+	if s.degraded {
+		return ErrReadOnly
+	}
+	return s.noteDeviceErr(s.set(t, key, value))
+}
+
+func (s *Store) set(t *sim.Task, key, value []byte) error {
 	s.st.Sets++
 	old, found, err := s.lookup(t, key)
 	if err != nil {
@@ -185,6 +193,14 @@ func (s *Store) Set(t *sim.Task, key, value []byte) error {
 
 // Delete removes a document (original path only; YCSB does not delete).
 func (s *Store) Delete(t *sim.Task, key []byte) (bool, error) {
+	if s.degraded {
+		return false, ErrReadOnly
+	}
+	found, err := s.del(t, key)
+	return found, s.noteDeviceErr(err)
+}
+
+func (s *Store) del(t *sim.Task, key []byte) (bool, error) {
 	old, found, err := s.lookup(t, key)
 	if err != nil || !found {
 		return false, err
@@ -212,6 +228,13 @@ func (s *Store) Commit(t *sim.Task) error {
 	if s.pending == 0 && len(s.shares) == 0 && !s.root.dirty {
 		return nil
 	}
+	if s.degraded {
+		return ErrReadOnly
+	}
+	return s.noteDeviceErr(s.commit(t))
+}
+
+func (s *Store) commit(t *sim.Task) error {
 	if err := s.file.Sync(t); err != nil {
 		return err
 	}

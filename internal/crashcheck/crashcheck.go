@@ -1,0 +1,213 @@
+// Package crashcheck is the whole-stack crash-recovery harness: a shared
+// durability oracle drives a deterministic transaction workload against
+// each host engine (innodb, pgmini, couch) over the simulated flash
+// stack, injects a power cut at every device program/erase boundary (or a
+// seeded sample in -short mode), restarts the stack — FTL recovery, file
+// system journal replay, engine recovery — and asserts that no
+// acknowledged transaction was lost and no unacknowledged transaction
+// surfaced partially.
+//
+// The oracle is a pure model of the workload: transaction i's effects are
+// a deterministic function of i, so the recovered engine state must equal
+// the model after exactly `committed` transactions, or after
+// `committed+1` when the in-flight transaction's commit record became
+// durable just before the ack was lost. Anything else — a lost commit, a
+// phantom write, a torn multi-key transaction — fails the run.
+//
+// Sampling is controlled by the CRASHCHECK_SEED environment variable
+// (default seed 1), so a failing sampled run can be reproduced exactly by
+// exporting the same seed.
+package crashcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"share/internal/ssd"
+)
+
+// Stack is one engine + device stack under crash test.
+type Stack interface {
+	// Devices returns the devices whose program/erase boundaries the
+	// harness cuts. Index 0 is the data device.
+	Devices() []*ssd.Device
+	// Step applies transaction i. A non-nil error means the transaction
+	// was not acknowledged (the device lost power mid-flight).
+	Step(i int) error
+	// Reopen power-cycles every device and reopens the whole stack,
+	// running crash recovery at each layer.
+	Reopen() error
+	// Verify checks the recovered state against the oracle: it must equal
+	// the model state after `committed` transactions, or after `attempted`
+	// when the in-flight commit became durable before its ack. Any other
+	// state is an error.
+	Verify(committed, attempted int) error
+}
+
+// shortSample is how many crash points are sampled per device in -short
+// mode (the first and last boundary are always included).
+const shortSample = 8
+
+// Seed returns the crash-point sampling seed: the CRASHCHECK_SEED
+// environment variable if set, else 1.
+func Seed() int64 {
+	if s := os.Getenv("CRASHCHECK_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
+
+// cutPoints selects which boundaries in [1, total] to crash at. Long mode
+// is exhaustive; -short samples shortSample points seeded by Seed()^salt.
+func cutPoints(total int64, short bool, salt int64) []int64 {
+	if total <= 0 {
+		return nil
+	}
+	if !short || total <= shortSample {
+		all := make([]int64, total)
+		for i := range all {
+			all[i] = int64(i) + 1
+		}
+		return all
+	}
+	rng := rand.New(rand.NewSource(Seed() ^ salt))
+	picked := map[int64]bool{1: true, total: true}
+	for len(picked) < shortSample {
+		picked[2+rng.Int63n(total-2)] = true
+	}
+	out := make([]int64, 0, len(picked))
+	for c := range picked {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Matrix runs the crash matrix for one stack configuration: it measures
+// the boundary space of the workload on every device with a clean run
+// (verifying recovery of the complete workload along the way), then
+// crashes a fresh stack at each selected boundary of each device and
+// verifies the durability oracle after recovery.
+func Matrix(t testing.TB, name string, build func() (Stack, error), txns int) {
+	s, err := build()
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	devs := s.Devices()
+	before := make([]int64, len(devs))
+	for i, d := range devs {
+		before[i] = d.MutatingOps()
+	}
+	for i := 0; i < txns; i++ {
+		if err := s.Step(i); err != nil {
+			t.Fatalf("%s: clean run step %d: %v", name, i, err)
+		}
+	}
+	totals := make([]int64, len(devs))
+	for i, d := range devs {
+		totals[i] = d.MutatingOps() - before[i]
+	}
+	// A crash after the full workload must preserve everything.
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("%s: clean run reopen: %v", name, err)
+	}
+	if err := s.Verify(txns, txns); err != nil {
+		t.Fatalf("%s: clean run: %v", name, err)
+	}
+
+	short := testing.Short()
+	for di := range devs {
+		cuts := cutPoints(totals[di], short, int64(di)*7919+int64(len(name)))
+		for _, cut := range cuts {
+			runCut(t, name, build, txns, di, cut, totals[di])
+		}
+	}
+}
+
+// runCut builds a fresh stack, arms a power cut after `cut` more
+// program/erase operations on device di, drives the workload until it
+// fails (or completes), then restarts the stack and checks the oracle.
+func runCut(t testing.TB, name string, build func() (Stack, error), txns, di int, cut, total int64) {
+	s, err := build()
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	devs := s.Devices()
+	devs[di].PowerCutAfter(cut)
+	committed, attempted := 0, 0
+	for i := 0; i < txns; i++ {
+		attempted = i + 1
+		if err := s.Step(i); err != nil {
+			break
+		}
+		committed = i + 1
+	}
+	for _, d := range devs {
+		d.DisablePowerCut()
+	}
+	where := fmt.Sprintf("%s: dev %d cut %d/%d (committed %d, attempted %d, seed %d)",
+		name, di, cut, total, committed, attempted, Seed())
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("%s: reopen: %v", where, err)
+	}
+	if err := s.Verify(committed, attempted); err != nil {
+		t.Fatalf("%s: %v", where, err)
+	}
+}
+
+// FaultRun drives the full workload under a NAND fault plan already
+// installed on the stack's devices, then crashes and verifies complete
+// recovery. The plan's faults must be ones the stack absorbs (transient
+// program faults, retired blocks, ECC-corrected or retried reads) so every
+// transaction still acknowledges.
+func FaultRun(t testing.TB, name string, s Stack, txns int) {
+	for i := 0; i < txns; i++ {
+		if err := s.Step(i); err != nil {
+			t.Fatalf("%s: step %d under fault plan: %v", name, i, err)
+		}
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("%s: reopen after faults: %v", name, err)
+	}
+	if err := s.Verify(txns, txns); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+// diffStates compares an engine state snapshot against the two acceptable
+// model states and returns nil when either matches exactly.
+func diffStates(got, afterCommitted, afterAttempted map[string]string) error {
+	if equalState(got, afterCommitted) || equalState(got, afterAttempted) {
+		return nil
+	}
+	// Report the first divergence against the committed-state model.
+	for k, w := range afterCommitted {
+		g, ok := got[k]
+		if !ok {
+			return fmt.Errorf("durability violation: %q missing (want %q)", k, w)
+		}
+		if g != w && afterAttempted[k] != g {
+			return fmt.Errorf("durability violation: %q = %q, want %q (committed) or %q (in-flight)",
+				k, g, w, afterAttempted[k])
+		}
+	}
+	return fmt.Errorf("torn recovery: state mixes committed and in-flight transaction effects")
+}
+
+func equalState(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

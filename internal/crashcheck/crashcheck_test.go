@@ -1,0 +1,93 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"share/internal/innodb"
+	"share/internal/nand"
+	"share/internal/pgmini"
+)
+
+// Transaction counts per workload. Small enough that the exhaustive
+// boundary space stays tractable, large enough to cross several engine
+// checkpoints and couch batch commits.
+const (
+	innoTxns  = 24
+	pgTxns    = 24
+	couchTxns = 26
+)
+
+func TestCrashMatrixInnoDBDWB(t *testing.T) {
+	Matrix(t, "innodb/dwb", func() (Stack, error) { return NewInnoDB(innodb.DWBOn) }, innoTxns)
+}
+
+func TestCrashMatrixInnoDBShare(t *testing.T) {
+	Matrix(t, "innodb/share", func() (Stack, error) { return NewInnoDB(innodb.Share) }, innoTxns)
+}
+
+func TestCrashMatrixPgFPW(t *testing.T) {
+	Matrix(t, "pgmini/fpw", func() (Stack, error) { return NewPg(pgmini.FPWOn, pgTxns) }, pgTxns)
+}
+
+func TestCrashMatrixPgShare(t *testing.T) {
+	Matrix(t, "pgmini/share", func() (Stack, error) { return NewPg(pgmini.FPWShare, pgTxns) }, pgTxns)
+}
+
+func TestCrashMatrixCouchCopy(t *testing.T) {
+	Matrix(t, "couch/copy", func() (Stack, error) { return NewCouch(false) }, couchTxns)
+}
+
+func TestCrashMatrixCouchShare(t *testing.T) {
+	Matrix(t, "couch/share", func() (Stack, error) { return NewCouch(true) }, couchTxns)
+}
+
+// faultPlan builds the standard absorbable-fault schedule used by the
+// per-engine fault runs: a transient program fault, a permanent program
+// failure (block retirement mid-workload), an ECC-corrected read and an
+// ECC-uncorrectable read that the FTL read-retry path recovers.
+func faultPlan(seed int64) *nand.FaultPlan {
+	return nand.NewFaultPlan(seed).
+		AtProgram(5, nand.FaultProgramTransient).
+		AtProgram(40, nand.FaultProgramPermanent).
+		AtRead(9, nand.FaultReadCorrectable).
+		AtRead(25, nand.FaultReadUncorrectable)
+}
+
+func TestFaultPlanInnoDB(t *testing.T) {
+	for _, mode := range []innodb.FlushMode{innodb.DWBOn, innodb.Share} {
+		s, err := NewInnoDB(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Devices()[0].SetFaultPlan(faultPlan(7)); err != nil {
+			t.Fatal(err)
+		}
+		FaultRun(t, "innodb/"+mode.String(), s, innoTxns)
+	}
+}
+
+func TestFaultPlanPg(t *testing.T) {
+	for _, mode := range []pgmini.Mode{pgmini.FPWOn, pgmini.FPWShare} {
+		s, err := NewPg(mode, pgTxns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Devices()[0].SetFaultPlan(faultPlan(11)); err != nil {
+			t.Fatal(err)
+		}
+		FaultRun(t, "pgmini", s, pgTxns)
+	}
+}
+
+func TestFaultPlanCouch(t *testing.T) {
+	for _, share := range []bool{false, true} {
+		s, err := NewCouch(share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Devices()[0].SetFaultPlan(faultPlan(13)); err != nil {
+			t.Fatal(err)
+		}
+		FaultRun(t, "couch", s, couchTxns)
+	}
+}

@@ -1,8 +1,10 @@
 package fsim
 
 import (
+	"errors"
 	"fmt"
 
+	"share/internal/ftl"
 	"share/internal/sim"
 )
 
@@ -100,6 +102,7 @@ func (fs *FS) allocExtent(want, min uint32) (Extent, error) {
 		fs.bitSet(ext.Start + i)
 		fs.markBitmapDirty(ext.Start + i)
 	}
+	fs.cancelPendingTrims(ext)
 	return ext, nil
 }
 
@@ -109,6 +112,63 @@ func (fs *FS) freeExtent(ext Extent) {
 		fs.bitClear(ext.Start + i)
 		fs.markBitmapDirty(ext.Start + i)
 	}
+}
+
+// deferTrim queues ext for device trimming at the next SyncMeta, after the
+// journal commit that records the free is durable.
+func (fs *FS) deferTrim(ext Extent) {
+	if ext.Len == 0 {
+		return
+	}
+	fs.pendingTrims = append(fs.pendingTrims, ext)
+}
+
+// cancelPendingTrims clips any queued trim overlapping ext: the pages have
+// been reallocated, so the new owner's writes supersede the old data and a
+// later trim would destroy live content.
+func (fs *FS) cancelPendingTrims(ext Extent) {
+	if len(fs.pendingTrims) == 0 {
+		return
+	}
+	out := fs.pendingTrims[:0]
+	aStart, aEnd := ext.Start, ext.Start+ext.Len
+	for _, p := range fs.pendingTrims {
+		pStart, pEnd := p.Start, p.Start+p.Len
+		if pEnd <= aStart || pStart >= aEnd {
+			out = append(out, p)
+			continue
+		}
+		if pStart < aStart {
+			out = append(out, Extent{Start: pStart, Len: aStart - pStart})
+		}
+		if pEnd > aEnd {
+			out = append(out, Extent{Start: aEnd, Len: pEnd - aEnd})
+		}
+	}
+	fs.pendingTrims = out
+}
+
+// runPendingTrims issues the trims deferred by Remove and Truncate. It
+// must run only after the journal commit that freed the pages is durable:
+// the FTL may persist its mapping deltas at any moment (GC flushes the
+// delta buffer), so an earlier trim could become durable before the
+// commit record and leave recovered metadata pointing at destroyed pages.
+func (fs *FS) runPendingTrims(t *sim.Task) error {
+	for len(fs.pendingTrims) > 0 {
+		ext := fs.pendingTrims[0]
+		if err := fs.dev.Trim(t, ext.Start, int(ext.Len)); err != nil {
+			if errors.Is(err, ftl.ErrReadOnly) {
+				// Degraded device: space reclamation is moot; drop the queue
+				// so fsyncs keep succeeding for what can still be flushed.
+				fs.pendingTrims = nil
+				return nil
+			}
+			return err
+		}
+		fs.pendingTrims = fs.pendingTrims[1:]
+	}
+	fs.pendingTrims = nil
+	return nil
 }
 
 // FreePages reports how many data pages remain unallocated.

@@ -320,3 +320,153 @@ func runRandomFSOps(t *testing.T, seed int64) {
 		}
 	}
 }
+
+// TestCheckpointDoesNotLeakUncommittedMetadata is the regression test for
+// a journaling bug: checkpointMeta used to re-render metadata home pages
+// from the *current* in-memory state instead of the images captured at
+// commit time. When a journal-full checkpoint fired at the start of a
+// transaction, uncommitted metadata (a freshly created file's inode) was
+// flushed to its home location; a crash before the transaction's commit
+// record then exposed the inode without its directory entry or bitmap
+// bits. The test fills the journal, arms a power cut at every device
+// mutation across the checkpoint-triggering transaction, and checks the
+// recovered metadata stays self-consistent.
+func TestCheckpointDoesNotLeakUncommittedMetadata(t *testing.T) {
+	const pageBytes = 512
+	content := func(i int) []byte {
+		b := make([]byte, pageBytes)
+		for j := range b {
+			b[j] = byte(i + j)
+		}
+		return b
+	}
+	build := func() (*FS, *ssd.Device, *sim.Task, int) {
+		fs, dev, task := testFS(t, 256)
+		f, err := fs.Create(task, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill the journal so the next multi-page transaction forces a
+		// checkpoint before writing its own records.
+		pages := 0
+		for fs.jHead < fs.lay.journalPages-4 {
+			if _, err := f.WriteAt(task, content(pages), int64(pages)*pageBytes); err != nil {
+				t.Fatal(err)
+			}
+			pages++
+			if err := fs.SyncMeta(task); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fs, dev, task, pages
+	}
+	vuln := func(fs *FS, task *sim.Task) error {
+		b, err := fs.Create(task, "b")
+		if err != nil {
+			return err
+		}
+		if err := b.Allocate(task, 0, 32*pageBytes); err != nil {
+			return err
+		}
+		return fs.SyncMeta(task)
+	}
+
+	// Boundary space of the vulnerable transaction, measured cleanly.
+	fs0, dev0, task0, _ := build()
+	homeBefore := fs0.metaHomeWrites
+	before := dev0.MutatingOps()
+	if err := vuln(fs0, task0); err != nil {
+		t.Fatal(err)
+	}
+	total := int(dev0.MutatingOps() - before)
+	if fs0.metaHomeWrites == homeBefore {
+		t.Fatal("setup did not trigger a journal checkpoint")
+	}
+
+	for cut := 1; cut <= total; cut++ {
+		fs, dev, task, pages := build()
+		dev.PowerCutAfter(int64(cut))
+		vErr := vuln(fs, task)
+		dev.DisablePowerCut()
+		fs2 := crashMount(t, dev, task)
+		if err := fs2.Fsck(); err != nil {
+			t.Fatalf("cut %d/%d (vuln err %v): fsck: %v", cut, total, vErr, err)
+		}
+		a, err := fs2.Open(task, "a")
+		if err != nil {
+			t.Fatalf("cut %d/%d: open a: %v", cut, total, err)
+		}
+		got := make([]byte, pageBytes)
+		for i := 0; i < pages; i++ {
+			if _, err := a.ReadAt(task, got, int64(i)*pageBytes); err != nil {
+				t.Fatalf("cut %d/%d: read a page %d: %v", cut, total, i, err)
+			}
+			if !bytes.Equal(got, content(i)) {
+				t.Fatalf("cut %d/%d: page %d of a corrupted", cut, total, i)
+			}
+		}
+		// "b" must be all-or-nothing: if the directory entry survived, its
+		// allocation must be fully recorded.
+		if fs2.Exists("b") {
+			b, err := fs2.Open(task, "b")
+			if err != nil {
+				t.Fatalf("cut %d/%d: open b: %v", cut, total, err)
+			}
+			if b.Size() != 32*pageBytes {
+				t.Fatalf("cut %d/%d: b size %d", cut, total, b.Size())
+			}
+		}
+	}
+}
+
+// TestFastCommitInLastJournalSlotReplays pins a fixed replay bug: the
+// replay loop required two free slots (a descriptor transaction's
+// minimum), so a single-block fast commit written to the very last
+// journal slot was durable on flash yet silently skipped at mount — the
+// fsync acked and the commit vanished across a crash.
+func TestFastCommitInLastJournalSlotReplays(t *testing.T) {
+	fs, dev, task := testFS(t, 256)
+	f, err := fs.Create(task, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncMeta(task); err != nil {
+		t.Fatal(err)
+	}
+	// Drive inode-only fast commits until the journal head sits on the
+	// final slot, then land one more commit exactly there.
+	page := make([]byte, fs.pageSize)
+	grow := func(i int) {
+		if _, err := f.WriteAt(task, page, int64(i)*int64(fs.pageSize)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	for fs.jHead != fs.lay.journalPages-1 {
+		grow(i)
+		i++
+		if i > 4*int(fs.lay.journalPages) {
+			t.Fatalf("journal head never reached the last slot (jHead %d)", fs.jHead)
+		}
+	}
+	grow(i)
+	if fs.jHead != fs.lay.journalPages {
+		t.Fatalf("final commit not in the last slot (jHead %d of %d)", fs.jHead, fs.lay.journalPages)
+	}
+	wantSize := f.Size()
+
+	fs2 := crashMount(t, dev, task)
+	if err := fs2.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fs2.Open(task, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != wantSize {
+		t.Fatalf("last-slot fast commit lost: size %d, want %d", a.Size(), wantSize)
+	}
+}

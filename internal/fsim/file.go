@@ -43,8 +43,10 @@ func (fs *FS) Open(t *sim.Task, name string) (*File, error) {
 	return &File{fs: fs, ino: ino, name: name}, nil
 }
 
-// Remove deletes a file, trimming its pages on the device.
+// Remove deletes a file. Its device pages are trimmed at the next fsync,
+// after the journal commit recording the deletion is durable.
 func (fs *FS) Remove(t *sim.Task, name string) error {
+	_ = t
 	ino, ok := fs.dir[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotExist, name)
@@ -52,9 +54,7 @@ func (fs *FS) Remove(t *sim.Task, name string) error {
 	ind := &fs.inodes[ino]
 	for _, ext := range ind.extents {
 		fs.freeExtent(ext)
-		if err := fs.dev.Trim(t, ext.Start, int(ext.Len)); err != nil {
-			return err
-		}
+		fs.deferTrim(ext)
 	}
 	*ind = inode{}
 	delete(fs.dir, name)
@@ -194,9 +194,7 @@ func (f *File) Truncate(t *sim.Task, size int64) error {
 				ind.extents = ind.extents[:len(ind.extents)-1]
 			}
 			f.fs.freeExtent(freed)
-			if err := f.fs.dev.Trim(t, freed.Start, int(freed.Len)); err != nil {
-				return err
-			}
+			f.fs.deferTrim(freed)
 			drop -= n
 		}
 	}

@@ -88,10 +88,22 @@ type FS struct {
 
 	dirtyMeta map[uint32]bool // home metadata pages needing journaling
 	dirtyInos map[int]bool    // inodes changed since the last commit (fast-commit path)
-	pending   map[uint32]bool // journaled pages whose home copy is stale
-	seq       uint64          // journal transaction sequence
-	ckptSeq   uint64          // all txns <= ckptSeq are reflected at home
-	jHead     uint32          // next free journal slot
+	// pending maps journaled pages whose home copy is stale to the page
+	// image as of the last commit. The checkpoint must write these captured
+	// images — re-rendering in-memory state at checkpoint time would leak
+	// uncommitted metadata (e.g. a freshly created file's inode) to home
+	// locations, which a crash then exposes without the rest of its
+	// transaction.
+	pending map[uint32][]byte
+	seq     uint64 // journal transaction sequence
+	ckptSeq uint64 // all txns <= ckptSeq are reflected at home
+	jHead   uint32 // next free journal slot
+
+	// pendingTrims holds extents freed by Remove/Truncate whose device
+	// trims are deferred until the journal commit recording the free is
+	// durable (see runPendingTrims) — trimming earlier could destroy pages
+	// the on-disk metadata still references across a crash.
+	pendingTrims []Extent
 
 	// Stats.
 	metaJournalWrites int64
@@ -152,7 +164,7 @@ func Format(t *sim.Task, dev *ssd.Device, journalPages int) (*FS, error) {
 	fs.bitmap = make([]uint64, (int(total)+63)/64)
 	fs.dirtyMeta = make(map[uint32]bool)
 	fs.dirtyInos = make(map[int]bool)
-	fs.pending = make(map[uint32]bool)
+	fs.pending = make(map[uint32][]byte)
 
 	// Write all metadata home pages and the superblock.
 	for p := lay.dirStart; p < lay.dataStart; p++ {
@@ -219,7 +231,7 @@ func Mount(t *sim.Task, dev *ssd.Device) (*FS, error) {
 	fs.seq = fs.ckptSeq
 	fs.dirtyMeta = make(map[uint32]bool)
 	fs.dirtyInos = make(map[int]bool)
-	fs.pending = make(map[uint32]bool)
+	fs.pending = make(map[uint32][]byte)
 
 	if err := fs.replayJournal(t); err != nil {
 		return nil, err

@@ -23,7 +23,7 @@ func crcJournal(b []byte) uint32 {
 // written in place (O_DIRECT), only metadata goes through the journal.
 func (fs *FS) SyncMeta(t *sim.Task) error {
 	if len(fs.dirtyMeta) == 0 {
-		return fs.dev.Flush(t)
+		return fs.flushThenTrim(t)
 	}
 	// Fast-commit path (modeled on ext4 fast commits): when the only
 	// dirty metadata is a handful of inodes — the overwhelmingly common
@@ -36,7 +36,7 @@ func (fs *FS) SyncMeta(t *sim.Task) error {
 		}
 		fs.dirtyMeta = make(map[uint32]bool)
 		fs.dirtyInos = make(map[int]bool)
-		return fs.dev.Flush(t)
+		return fs.flushThenTrim(t)
 	}
 	all := make([]uint32, 0, len(fs.dirtyMeta))
 	for p := range fs.dirtyMeta {
@@ -58,7 +58,18 @@ func (fs *FS) SyncMeta(t *sim.Task) error {
 	}
 	fs.dirtyMeta = make(map[uint32]bool)
 	fs.dirtyInos = make(map[int]bool)
-	return fs.dev.Flush(t)
+	return fs.flushThenTrim(t)
+}
+
+// flushThenTrim completes an fsync: the flush makes the committed journal
+// durable, and only then are the trims queued by Remove/Truncate issued —
+// the ordering that keeps a crash from destroying pages the on-disk
+// metadata still references.
+func (fs *FS) flushThenTrim(t *sim.Task) error {
+	if err := fs.dev.Flush(t); err != nil {
+		return err
+	}
+	return fs.runPendingTrims(t)
 }
 
 // fastCommitEligible reports whether every dirty metadata page is an inode
@@ -108,9 +119,18 @@ func (fs *FS) commitFast(t *sim.Task) error {
 			le.PutUint32(buf[eo:], ext.Start)
 			le.PutUint32(buf[eo+4:], ext.Len)
 		}
+		// The inode's home page must reach disk at the next checkpoint:
+		// patch this record into the captured committed image. The page
+		// must not be re-rendered later — by checkpoint time the in-memory
+		// page may hold uncommitted neighbours.
+		home := fs.lay.inodeStart + uint32(ino/fs.inodesPerPage())
+		img, err := fs.committedImage(t, home)
+		if err != nil {
+			return err
+		}
+		copy(img[(ino%fs.inodesPerPage())*inodeSize:], buf[off:off+inodeSize])
+		fs.pending[home] = img
 		off += inodeSize
-		// The inode's home page must reach disk at the next checkpoint.
-		fs.pending[fs.lay.inodeStart+uint32(ino/fs.inodesPerPage())] = true
 	}
 	le.PutUint32(buf[0:], crcJournal(buf[4:]))
 	if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, buf); err != nil {
@@ -149,14 +169,17 @@ func (fs *FS) commitTxn(t *sim.Task, pages []uint32) error {
 	fs.jHead++
 	fs.metaJournalWrites++
 
-	// Page images.
+	// Page images. The rendered image is captured into pending so the
+	// eventual checkpoint writes exactly what this transaction committed,
+	// never a later in-memory state that may hold uncommitted changes.
 	for _, p := range pages {
-		if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, fs.renderMetaPage(p)); err != nil {
+		img := fs.renderMetaPage(p)
+		if err := fs.dev.WritePage(t, fs.lay.journalStart+fs.jHead, img); err != nil {
 			return err
 		}
 		fs.jHead++
 		fs.metaJournalWrites++
-		fs.pending[p] = true
+		fs.pending[p] = img
 	}
 
 	// Commit record.
@@ -171,16 +194,32 @@ func (fs *FS) commitTxn(t *sim.Task, pages []uint32) error {
 	return nil
 }
 
+// committedImage returns the last-committed image of metadata page p: the
+// capture taken at commit time if p committed since the last checkpoint,
+// otherwise the home copy on the device (which a checkpoint made current).
+func (fs *FS) committedImage(t *sim.Task, p uint32) ([]byte, error) {
+	if img, ok := fs.pending[p]; ok {
+		return img, nil
+	}
+	img := make([]byte, fs.pageSize)
+	if err := fs.dev.ReadPage(t, p, img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
 // checkpointMeta writes journaled metadata pages to their home locations,
 // advances the superblock's checkpoint sequence, and resets the journal.
+// Only the page images captured at commit time are written; rendering the
+// current in-memory state here would expose uncommitted metadata.
 func (fs *FS) checkpointMeta(t *sim.Task) error {
-	for p := range fs.pending {
-		if err := fs.dev.WritePage(t, p, fs.renderMetaPage(p)); err != nil {
+	for p, img := range fs.pending {
+		if err := fs.dev.WritePage(t, p, img); err != nil {
 			return err
 		}
 		fs.metaHomeWrites++
 	}
-	fs.pending = make(map[uint32]bool)
+	fs.pending = make(map[uint32][]byte)
 	fs.ckptSeq = fs.seq
 	if err := fs.writeSuper(t); err != nil {
 		return err
@@ -209,7 +248,11 @@ func (fs *FS) replayJournal(t *sim.Task) error {
 	slot := uint32(0)
 	lastSeq := fs.ckptSeq
 	applied := false
-	for slot+2 <= fs.lay.journalPages {
+	// The loop visits every slot: a fast commit is a single block, so even
+	// the last journal slot can hold a committed transaction. (Descriptor
+	// transactions need at least two more pages; their own bound check
+	// below rejects a descriptor too close to the end.)
+	for slot < fs.lay.journalPages {
 		if err := fs.dev.ReadPage(t, fs.lay.journalStart+slot, buf); err != nil {
 			return err
 		}

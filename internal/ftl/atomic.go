@@ -42,6 +42,11 @@ func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
 		}
 	}
 	f.st.AtomicWrites++
+	sd, err := f.maybeScrub()
+	total += sd
+	if err != nil {
+		return total, err
+	}
 	// Hold the batch's deltas back from the ordinary buffer so a GC flush
 	// between page programs cannot persist a torn batch.
 	f.beginBatch()

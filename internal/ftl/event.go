@@ -32,6 +32,14 @@ const (
 	// EvReadOnly: retirements exhausted the spare budget; the device
 	// degraded to read-only mode.
 	EvReadOnly
+	// EvReadRetry: an uncorrectable read was retried. Block = the page's
+	// block, A = retry attempts used, B = 1 if a retry recovered the data
+	// (the block is then queued for scrubbing), 0 if the loss stood.
+	EvReadRetry
+	// EvScrub: a suspect block was scrubbed — live pages relocated and the
+	// block erased (or retired if the erase failed). Block = scrubbed
+	// block, A = pages relocated.
+	EvScrub
 
 	numEventTypes
 )
@@ -47,6 +55,8 @@ var eventNames = [numEventTypes]string{
 	EvCheckpoint:   "checkpoint",
 	EvBlockRetired: "block-retired",
 	EvReadOnly:     "read-only",
+	EvReadRetry:    "read-retry",
+	EvScrub:        "scrub",
 }
 
 func (e EventType) String() string {

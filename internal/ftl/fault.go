@@ -198,16 +198,140 @@ func (f *FTL) relocateLive(b int, buf []byte) (sim.Duration, error) {
 	return total, nil
 }
 
-// chipRead reads a physical page, counting uncorrectable errors: with no
-// on-device redundancy beyond per-page ECC, such a read is surfaced to the
-// caller as data loss rather than silently rehomed.
+// Read-retry and scrubbing. An uncorrectable read is often a transient
+// condition (read disturb, charge drift) that clears on a re-read with a
+// shifted sense voltage, so chipRead retries a bounded number of times with
+// a growing backoff before surfacing data loss. A page that needed a retry
+// to come back is living on suspect media: its whole block is queued for
+// scrubbing — live pages relocated to fresh flash, the block erased and
+// returned to service — at the next safe point (outside GC and atomic
+// batches), so the next read does not gamble on the same cells again.
+
+const (
+	// readRetryLimit is the number of re-read attempts after a failed read.
+	readRetryLimit = 2
+	// readRetryBackoff is the extra firmware delay charged per retry,
+	// multiplied by the attempt number (sense-voltage shift + resample).
+	readRetryBackoff = 40 * sim.Microsecond
+)
+
+// chipRead reads a physical page, retrying uncorrectable errors a bounded
+// number of times. Only a read that stays uncorrectable after the retry
+// budget is counted and surfaced to the caller as data loss: with no
+// on-device redundancy beyond per-page ECC it cannot be rehomed. A read
+// recovered by retry queues its block for scrubbing.
 func (f *FTL) chipRead(ppn uint32, dst []byte) (nand.OOB, sim.Duration, error) {
 	oob, d, err := f.chip.Read(ppn, dst)
 	f.notePPNOp(OpRead, ppn, d)
+	total := d
+	retries := 0
+	for errors.Is(err, nand.ErrUncorrectable) && retries < readRetryLimit {
+		retries++
+		f.st.ReadRetries++
+		total += readRetryBackoff * sim.Duration(retries)
+		oob, d, err = f.chip.Read(ppn, dst)
+		f.notePPNOp(OpRead, ppn, d)
+		total += d
+	}
+	if retries > 0 {
+		b := f.chip.BlockOf(ppn)
+		recovered := int64(0)
+		if err == nil {
+			recovered = 1
+			f.queueScrub(b)
+		}
+		f.emit(Event{Type: EvReadRetry, Block: b, A: int64(retries), B: recovered})
+	}
 	if errors.Is(err, nand.ErrUncorrectable) {
 		f.st.UncorrectableReads++
 	}
-	return oob, d, err
+	return oob, total, err
+}
+
+// queueScrub marks block b for relocation at the next safe point. Already
+// retired or already queued blocks are skipped.
+func (f *FTL) queueScrub(b int) {
+	if f.retired[b] || f.scrubSet[b] {
+		return
+	}
+	f.scrubSet[b] = true
+	f.scrubQueue = append(f.scrubQueue, b)
+}
+
+// maybeScrub drains the scrub queue. It runs only at safe points — from a
+// host mutating command, never re-entrantly from GC or inside an atomic
+// batch, and not once the device is read-only (scrubbing writes). A block
+// that cannot be scrubbed right now (no relocation headroom) is requeued
+// rather than failing the host command.
+func (f *FTL) maybeScrub() (sim.Duration, error) {
+	if len(f.scrubQueue) == 0 || f.inGC || f.inBatch || f.readOnly {
+		return 0, nil
+	}
+	var total sim.Duration
+	for len(f.scrubQueue) > 0 {
+		b := f.scrubQueue[0]
+		f.scrubQueue = f.scrubQueue[1:]
+		delete(f.scrubSet, b)
+		if f.retired[b] || f.isOpenBlock(b) || !f.blockFull[b] {
+			continue // retired meanwhile, still filling, or back in the free pool
+		}
+		d, err := f.scrubBlock(b)
+		total += d
+		if err == ErrFull {
+			f.queueScrub(b)
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// scrubBlock refreshes one suspect block: relocate its live pages, make the
+// relocation deltas durable, erase it and return it to the free pool. An
+// erase failure retires the block instead — exactly the GC path.
+func (f *FTL) scrubBlock(b int) (sim.Duration, error) {
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	movedBefore := f.st.Copybacks + f.st.MetaMoves
+	buf := make([]byte, f.geo.PageSize)
+	total, err := f.relocateLive(b, buf)
+	if err != nil {
+		return total, err
+	}
+	// The relocation deltas must be durable before the suspect copies are
+	// destroyed, or a crash would recover mappings into an erased block.
+	if len(f.deltaBuf) > 0 {
+		d, err := f.flushDeltaPage()
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	d, err := f.chip.EraseBlock(b)
+	f.noteEraseOp(b, d)
+	total += d
+	moved := f.st.Copybacks + f.st.MetaMoves - movedBefore
+	f.st.ScrubRelocations += moved
+	f.st.ScrubbedBlocks++
+	f.emit(Event{Type: EvScrub, Block: b, A: moved})
+	if nand.Retirable(err) {
+		if !errors.Is(err, nand.ErrWornOut) {
+			f.st.EraseFails++
+		}
+		f.retireBlock(b)
+		return total, nil
+	}
+	if err != nil {
+		return total, err
+	}
+	f.st.Erases++
+	f.blockFull[b] = false
+	f.blockValid[b] = 0
+	die := f.geo.DieOfBlock(b)
+	f.freeByDie[die] = append(f.freeByDie[die], b)
+	return total, nil
 }
 
 // ReadOnly reports whether the device has degraded to read-only mode.

@@ -153,19 +153,79 @@ func TestEraseFaultRetiresViaGC(t *testing.T) {
 func TestUncorrectableReadSurfaces(t *testing.T) {
 	f, chip := faultFTL(t, 4, nil)
 	mustWrite(t, f, 3, 0x99)
-	if err := chip.SetFaultPlan(nand.NewFaultPlan(1).AtRead(1, nand.FaultReadUncorrectable)); err != nil {
+	// The fault must hold through the whole retry budget (first attempt
+	// plus readRetryLimit re-reads) to surface as data loss.
+	plan := nand.NewFaultPlan(1)
+	for n := int64(1); n <= readRetryLimit+1; n++ {
+		plan.AtRead(n, nand.FaultReadUncorrectable)
+	}
+	if err := chip.SetFaultPlan(plan); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, f.PageSize())
 	if _, err := f.Read(3, buf); !errors.Is(err, nand.ErrUncorrectable) {
 		t.Fatalf("read error = %v, want ErrUncorrectable", err)
 	}
-	if st := f.Stats(); st.UncorrectableReads != 1 {
+	st := f.Stats()
+	if st.UncorrectableReads != 1 {
 		t.Fatalf("UncorrectableReads = %d, want 1", st.UncorrectableReads)
+	}
+	if st.ReadRetries != readRetryLimit {
+		t.Fatalf("ReadRetries = %d, want %d", st.ReadRetries, readRetryLimit)
 	}
 	// A later, clean read still works: the data itself was not destroyed.
 	if got := mustRead(t, f, 3); got[0] != 0x99 {
 		t.Fatalf("lpn 3 = %x on clean retry", got[0])
+	}
+}
+
+func TestTransientReadFaultRetriedAndScrubbed(t *testing.T) {
+	f, chip := faultFTL(t, 4, nil)
+	// Fill past one block so lpn 3's block is closed: scrubbing skips the
+	// stream's open append point (it is still being written).
+	for l := uint32(0); l < 9; l++ {
+		mustWrite(t, f, l, byte(l+1))
+	}
+	// One scheduled fault: the first attempt fails, the retry succeeds.
+	if err := chip.SetFaultPlan(nand.NewFaultPlan(1).AtRead(1, nand.FaultReadUncorrectable)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, f, 3); got[0] != 4 {
+		t.Fatalf("lpn 3 = %x after retried read", got[0])
+	}
+	st := f.Stats()
+	if st.ReadRetries != 1 {
+		t.Fatalf("ReadRetries = %d, want 1", st.ReadRetries)
+	}
+	if st.UncorrectableReads != 0 {
+		t.Fatalf("recovered read counted as uncorrectable: %d", st.UncorrectableReads)
+	}
+	if len(f.scrubQueue) != 1 {
+		t.Fatalf("scrub queue length = %d, want 1", len(f.scrubQueue))
+	}
+	// The next mutating command drains the scrub queue: the suspect
+	// block's live pages move to fresh flash and the block is refreshed.
+	mustWrite(t, f, 12, 0x66)
+	st = f.Stats()
+	if st.ScrubbedBlocks != 1 {
+		t.Fatalf("ScrubbedBlocks = %d, want 1", st.ScrubbedBlocks)
+	}
+	if st.ScrubRelocations == 0 {
+		t.Fatal("scrub relocated no pages")
+	}
+	for l := uint32(0); l < 9; l++ {
+		if got := mustRead(t, f, l); got[0] != byte(l+1) {
+			t.Fatalf("lpn %d = %x after scrub, want %x", l, got[0], l+1)
+		}
+	}
+	if got := mustRead(t, f, 12); got[0] != 0x66 {
+		t.Fatalf("lpn 12 = %x after scrub", got[0])
+	}
+	if st.RetiredBlocks != 0 {
+		t.Fatalf("scrub retired a healthy block: %d", st.RetiredBlocks)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -167,6 +167,11 @@ type FTL struct {
 	freeByDie      [][]int // per-die free-block stacks (LIFO)
 	host, gc, meta stream
 
+	// Media scrubbing: blocks whose data needed a read retry to come back,
+	// queued for relocation at the next safe point (see fault.go).
+	scrubQueue []int
+	scrubSet   map[int]bool
+
 	// Mapping durability.
 	mapDir        []uint32        // map-page index -> ppn of latest snapshot (InvalidPPN if none)
 	mapDirty      []bool          // map pages touched since their last snapshot
@@ -290,6 +295,8 @@ func (f *FTL) initVolatile() {
 	f.host = newStream(f.dies)
 	f.gc = newStream(f.dies)
 	f.meta = newStream(f.dies)
+	f.scrubQueue = nil
+	f.scrubSet = make(map[int]bool)
 	f.deltaBuf = nil
 	f.inBatch = false
 	f.batchBuf = nil
@@ -357,6 +364,11 @@ func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
 	}
 	f.st.HostWrites++
 	total := f.cfg.CommandOverhead
+	sd, err := f.maybeScrub()
+	total += sd
+	if err != nil {
+		return total, err
+	}
 	d, ppn, err := f.programPage(&f.host, data, nand.OOB{LPN: lpn, Tag: nand.TagData})
 	total += d
 	if err != nil {
@@ -381,6 +393,11 @@ func (f *FTL) Trim(lpn uint32, n int) (sim.Duration, error) {
 		return 0, ErrReadOnly
 	}
 	total := f.cfg.CommandOverhead
+	sd, err := f.maybeScrub()
+	total += sd
+	if err != nil {
+		return total, err
+	}
 	for i := 0; i < n; i++ {
 		l := lpn + uint32(i)
 		old := f.l2p[l]

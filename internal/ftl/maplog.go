@@ -130,6 +130,13 @@ func (f *FTL) flushDeltaPage() (sim.Duration, error) {
 		d, ppn, err := f.programPage(&f.meta, buf, nand.OOB{LPN: InvalidLPN, Tag: nand.TagMapLog})
 		total += d
 		if err != nil {
+			// Fold the batch back into the buffer rather than dropping it:
+			// on a capacitor-backed device these deltas may cover writes
+			// already acknowledged to the host, and the crash-time capacitor
+			// flush retries them once external power (and with it the
+			// program path) is restored. The skipped seq leaves a harmless
+			// gap — recovery orders log pages by seq, not contiguity.
+			f.deltaBuf = append(entries, f.deltaBuf...)
 			return total, err
 		}
 		f.metaLive[ppn] = true

@@ -9,8 +9,16 @@ import (
 
 // Crash discards every volatile (DRAM) structure, modeling a power
 // failure. Data already programmed to NAND — including durable mapping
-// snapshots and delta-log pages — survives; buffered deltas do not.
+// snapshots and delta-log pages — survives; buffered deltas do not,
+// except on a capacitor-backed device, whose residual charge powers one
+// final delta-page program: RAM-buffered deltas are exactly what
+// PowerCapacitor promises are durable, so they must survive the cut. (If
+// that last program itself fails — e.g. the NAND power-cut injector is
+// still armed — the deltas are lost, modeling a dead capacitor.)
 func (f *FTL) Crash() {
+	if f.cfg.PowerCapacitor && len(f.deltaBuf) > 0 {
+		_, _ = f.flushDeltaPage()
+	}
 	f.initVolatile()
 	for i := range f.mapDir {
 		f.mapDir[i] = InvalidPPN

@@ -58,6 +58,11 @@ func (f *FTL) Share(pairs []Pair) (sim.Duration, error) {
 		}
 	}
 	f.st.Shares++
+	sd, err := f.maybeScrub()
+	total += sd
+	if err != nil {
+		return total, err
+	}
 	// Hold the batch's deltas back from the ordinary buffer so a GC flush
 	// mid-command (forced copies may trigger one) cannot persist a torn batch.
 	f.beginBatch()

@@ -50,11 +50,14 @@ type Stats struct {
 	// unchanged.
 	CrossDieCopybacks int64 `json:",omitempty"`
 
-	// Fault handling (bad-block management).
+	// Fault handling (bad-block management and media scrubbing).
 	ProgramRetries     int64 // program faults absorbed by the retry path
 	ProgramFails       int64 // permanent program failures (block retired, data re-steered)
 	EraseFails         int64 // non-wear erase failures retired by GC
-	UncorrectableReads int64 // reads lost beyond ECC, surfaced to the host
+	ReadRetries        int64 // re-read attempts after an uncorrectable read
+	UncorrectableReads int64 // reads lost beyond ECC and retry, surfaced to the host
+	ScrubbedBlocks     int64 // suspect blocks refreshed after a retry-recovered read
+	ScrubRelocations   int64 // live pages relocated by scrubbing
 	SpareBlocksLeft    int64 // retirement budget remaining (snapshot, not a counter)
 	ReadOnly           bool  // device degraded: mutating commands refused
 

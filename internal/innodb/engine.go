@@ -24,15 +24,22 @@ package innodb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"share/internal/btree"
 	"share/internal/bufpool"
 	"share/internal/fsim"
+	"share/internal/ftl"
 	"share/internal/sim"
 	"share/internal/ssd"
 	"share/internal/wal"
 )
+
+// ErrReadOnly is returned by mutating operations after the underlying
+// device degraded to read-only (spare blocks exhausted). Reads keep
+// serving from the buffer pool and the still-readable tablespace.
+var ErrReadOnly = errors.New("innodb: engine is read-only (device degraded)")
 
 // FlushMode selects the dirty-page flush pipeline.
 type FlushMode int
@@ -133,6 +140,12 @@ type Engine struct {
 	applying        bool
 	imagesSinceCkpt int
 
+	// degraded is latched when a device write fails with ftl.ErrReadOnly;
+	// from then on mutating operations fail fast with ErrReadOnly while
+	// reads keep serving. Committed-but-unflushed pages stay in the pool
+	// and in the redo log (which is never truncated after degradation).
+	degraded bool
+
 	st Stats
 }
 
@@ -154,6 +167,9 @@ type Stats struct {
 	Checkpoints  int64
 	TornRestored int64 // pages restored from the DWB at recovery
 	RedoApplied  int64 // page images applied at recovery
+
+	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
+	Degraded            bool  // gauge: engine is serving read-only
 }
 
 // Open creates or recovers an engine on fs with its redo log on logDev.
@@ -337,6 +353,9 @@ func (tb *Table) onRootChange(uint32) {
 
 // CreateTable registers a new table with an empty root.
 func (e *Engine) CreateTable(t *sim.Task, name string) (*Table, error) {
+	if e.degraded {
+		return nil, ErrReadOnly
+	}
 	if _, ok := e.tables[name]; ok {
 		return nil, fmt.Errorf("innodb: table %s exists", name)
 	}
@@ -369,7 +388,28 @@ func (e *Engine) CreateTable(t *sim.Task, name string) (*Table, error) {
 func (e *Engine) Table(name string) *Table { return e.tables[name] }
 
 // Stats returns a snapshot of engine counters.
-func (e *Engine) Stats() Stats { return e.st }
+func (e *Engine) Stats() Stats {
+	st := e.st
+	st.Degraded = e.degraded
+	return st
+}
+
+// Degraded reports whether the engine has switched to read-only serving.
+func (e *Engine) Degraded() bool { return e.degraded }
+
+// noteDeviceErr translates a device-level read-only failure into the
+// engine's typed error, latching the degraded state (and counting the
+// transition) the first time it is seen. Other errors pass through.
+func (e *Engine) noteDeviceErr(err error) error {
+	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
+		return err
+	}
+	if !e.degraded {
+		e.degraded = true
+		e.st.ReadOnlyTransitions++
+	}
+	return ErrReadOnly
+}
 
 // Pool exposes buffer pool statistics.
 func (e *Engine) Pool() *bufpool.Pool { return e.pool }
@@ -377,16 +417,21 @@ func (e *Engine) Pool() *bufpool.Pool { return e.pool }
 // Log exposes the redo log (for experiment instrumentation).
 func (e *Engine) Log() *wal.Log { return e.log }
 
-// Checkpoint flushes all dirty pages and truncates the redo log.
+// Checkpoint flushes all dirty pages and truncates the redo log. After
+// degradation it refuses: truncating redo while dirty pages cannot reach
+// their homes would lose committed data.
 func (e *Engine) Checkpoint(t *sim.Task) error {
+	if e.degraded {
+		return ErrReadOnly
+	}
 	if err := e.pool.FlushAll(t); err != nil {
-		return err
+		return e.noteDeviceErr(err)
 	}
 	if err := e.fs.SyncMeta(t); err != nil {
-		return err
+		return e.noteDeviceErr(err)
 	}
 	if err := e.log.Truncate(t); err != nil {
-		return err
+		return e.noteDeviceErr(err)
 	}
 	e.imagesSinceCkpt = 0
 	e.st.Checkpoints++

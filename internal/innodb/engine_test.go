@@ -2,6 +2,7 @@ package innodb
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -478,6 +479,173 @@ func TestCrashLoopWithRandomWork(t *testing.T) {
 
 func leU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// reopenAs crashes the data device and reopens the engine under a
+// (possibly different) flush mode — the mode-switch scenario behind the
+// stale-DWB regression test below.
+func (r *testRig) reopenAs(t *testing.T, mode FlushMode) {
+	t.Helper()
+	r.data.Crash()
+	if err := r.data.Recover(r.task); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fsim.Mount(r.task, r.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.fs = fs
+	cfg := r.eng.cfg
+	cfg.FlushMode = mode
+	eng, err := Open(r.task, fs, r.logDev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = eng
+}
+
+// TestStaleDWBIgnoredInNoDWBMode is the regression test for a recovery
+// bug: restoreFromDWB ran regardless of flush mode, so an engine running
+// without a doublewrite buffer could "restore" stale page images that an
+// earlier DWB-writing epoch left behind — resurrecting old data over a
+// torn home page that redo replay was about to roll forward correctly.
+func TestStaleDWBIgnoredInNoDWBMode(t *testing.T) {
+	r := newRig(t, DWBOn, nil)
+	if _, err := r.eng.CreateTable(r.task, "kv"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		put(t, r, "kv", fmt.Sprintf("key%04d", i), "old")
+	}
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		t.Fatal(err)
+	}
+	// Leave a small, known batch in the DWB: one more update and a second
+	// checkpoint flush exactly {leaf(key0000), meta} through the DWB, so
+	// the header records pages that the workload below will also dirty.
+	put(t, r, "kv", "key0000", "old2")
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, r.eng.cfg.PageSize)
+	if _, err := r.eng.dwb.ReadAt(r.task, hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if leU32(hdr[4:]) != dwbMagic {
+		t.Fatal("expected a valid DWB header after a DWB-On checkpoint")
+	}
+	tornPage := int64(leU32(hdr[20:])) // a home page of the stale batch
+
+	// Switch the same tablespace to the no-DWB pipeline and overwrite
+	// everything; the new values live in the redo log, not yet at home.
+	r.reopenAs(t, DWBOff)
+	for i := 0; i < 40; i++ {
+		put(t, r, "kv", fmt.Sprintf("key%04d", i), "new")
+	}
+
+	// Tear a home page from the stale batch, as an interrupted home write
+	// would, make the torn state durable, and crash.
+	garbage := bytes.Repeat([]byte{0xDE}, 512)
+	if _, err := r.eng.file.WriteAt(r.task, garbage, tornPage*int64(r.eng.cfg.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.data.Flush(r.task); err != nil {
+		t.Fatal(err)
+	}
+	r.reopenAs(t, DWBOff)
+
+	if n := r.eng.Stats().TornRestored; n != 0 {
+		t.Fatalf("TornRestored = %d in a no-DWB mode: recovery consulted stale DWB state", n)
+	}
+	for i := 0; i < 40; i++ {
+		if v, ok := get(t, r, "kv", fmt.Sprintf("key%04d", i)); !ok || v != "new" {
+			t.Fatalf("key%04d = %q %v after no-DWB recovery, want \"new\"", i, v, ok)
+		}
+	}
+}
+
+// TestEngineReadOnlyDegradation drives the data device out of spare
+// blocks and checks the engine's graceful degradation contract: mutating
+// operations fail fast with ErrReadOnly, reads keep serving, and the
+// transition is visible in the engine stats.
+func TestEngineReadOnlyDegradation(t *testing.T) {
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.FTL.SpareBlocks = 1
+	data, err := ssd.New("data", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(task, fs, fastLogDevice(t), Config{
+		PageSize: 1024, PoolBytes: 64 * 1024, FlushMode: DWBOn,
+		DWBPages: 8, DataBytes: 1024 * 1024, LogPages: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &testRig{data: data, fs: fs, eng: eng, task: task}
+	if _, err := eng.CreateTable(task, "kv"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		put(t, r, "kv", fmt.Sprintf("key%04d", i), "stable")
+	}
+	if err := eng.Checkpoint(task); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the single spare block: each round schedules one permanent
+	// program fault, retiring one more block on the next flush.
+	for round := 0; !data.ReadOnly() && round < 10; round++ {
+		if err := data.SetFaultPlan(nand.NewFaultPlan(int64(round+1)).AtProgram(1, nand.FaultProgramPermanent)); err != nil {
+			t.Fatal(err)
+		}
+		tx := eng.Begin(task)
+		_ = tx.Put(eng.Table("kv"), []byte(fmt.Sprintf("wear%04d", round)), []byte("x"))
+		_ = tx.Commit()          // may fail once the device degrades
+		_ = eng.Checkpoint(task) // forces data-device programs
+	}
+	if err := data.SetFaultPlan(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !data.ReadOnly() {
+		t.Fatal("data device did not degrade to read-only")
+	}
+
+	// The next mutating operations observe (or already observed) the
+	// degradation and fail with the typed engine error.
+	if err := eng.Checkpoint(task); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Checkpoint error = %v, want ErrReadOnly", err)
+	}
+	tx := eng.Begin(task)
+	if err := tx.Put(eng.Table("kv"), []byte("late"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Commit error = %v, want ErrReadOnly", err)
+	}
+	if _, err := eng.CreateTable(task, "more"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("CreateTable error = %v, want ErrReadOnly", err)
+	}
+	st := eng.Stats()
+	if !st.Degraded || st.ReadOnlyTransitions != 1 {
+		t.Fatalf("stats: Degraded=%v ReadOnlyTransitions=%d", st.Degraded, st.ReadOnlyTransitions)
+	}
+	if !eng.Degraded() {
+		t.Fatal("Degraded() = false after transition")
+	}
+	// Reads keep serving everything durably committed before degradation.
+	for i := 0; i < 30; i++ {
+		if v, ok := get(t, r, "kv", fmt.Sprintf("key%04d", i)); !ok || v != "stable" {
+			t.Fatalf("key%04d = %q %v in read-only mode", i, v, ok)
+		}
+	}
 }
 
 func TestAtomicWriteModeCRUDAndCrash(t *testing.T) {

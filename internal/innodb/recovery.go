@@ -2,9 +2,11 @@ package innodb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"share/internal/btree"
+	"share/internal/ftl"
 	"share/internal/sim"
 )
 
@@ -18,8 +20,20 @@ import (
 //     are discarded);
 //  3. a checkpoint truncates the redo log and the table registry is
 //     loaded from the (now consistent) meta page.
+//
+// The doublewrite restore runs only in the modes that write the DWB
+// (DWB-On and SHARE). In a no-DWB configuration the file may still hold a
+// checksum-valid batch from an earlier epoch under a different mode;
+// "restoring" those stale images over homes that the current mode already
+// flushed (or that redo is about to roll forward) would resurrect old
+// data, so the no-DWB path never consults it — and invalidates it, so a
+// later mode switch cannot trip over it either.
 func (e *Engine) recover(t *sim.Task) error {
-	if err := e.restoreFromDWB(t); err != nil {
+	if e.usesDWB() {
+		if err := e.restoreFromDWB(t); err != nil {
+			return err
+		}
+	} else if err := e.invalidateDWB(t); err != nil {
 		return err
 	}
 	if err := e.replayRedo(t); err != nil {
@@ -33,6 +47,38 @@ func (e *Engine) recover(t *sim.Task) error {
 	}
 	e.pool.Drop()
 	return e.loadMeta(t)
+}
+
+// usesDWB reports whether the configured flush mode writes the
+// doublewrite buffer (and hence whether recovery may trust its contents).
+func (e *Engine) usesDWB() bool {
+	return e.cfg.FlushMode == DWBOn || e.cfg.FlushMode == Share
+}
+
+// invalidateDWB zeroes the doublewrite header so stale state from an
+// earlier epoch can never be mistaken for a valid batch. A device that has
+// degraded to read-only refuses the write; that is fine — the current mode
+// will not read the header either.
+func (e *Engine) invalidateDWB(t *sim.Task) error {
+	if e.dwb.Size() == 0 {
+		return nil
+	}
+	hdr := make([]byte, e.cfg.PageSize)
+	if _, err := e.dwb.ReadAt(t, hdr, 0); err != nil {
+		return nil // unreadable header: nothing a restore could trust anyway
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != checksum32(hdr[4:]) ||
+		binary.LittleEndian.Uint32(hdr[4:]) != dwbMagic {
+		return nil // already invalid
+	}
+	zero := make([]byte, e.cfg.PageSize)
+	if _, err := e.dwb.WriteAt(t, zero, 0); err != nil {
+		if errors.Is(err, ftl.ErrReadOnly) {
+			return nil
+		}
+		return err
+	}
+	return e.dwb.Sync(t)
 }
 
 // restoreFromDWB scans the doublewrite buffer and repairs torn home pages.

@@ -3,6 +3,7 @@ package innodb
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -111,6 +112,9 @@ func (tx *Txn) Commit() error {
 	if len(tx.order) == 0 {
 		return nil
 	}
+	if e.degraded {
+		return ErrReadOnly
+	}
 
 	// Make room in the redo ring before touching anything.
 	if e.log.Remaining() < 256 || e.imagesSinceCkpt > e.cfg.MaxLogImages {
@@ -166,11 +170,11 @@ func (tx *Txn) Commit() error {
 	}
 	if _, err := e.log.Append(t, []byte{recCommit}); err != nil {
 		e.applying = false
-		return err
+		return e.noteDeviceErr(err)
 	}
 	if err := e.log.Sync(t); err != nil {
 		e.applying = false
-		return err
+		return e.noteDeviceErr(err)
 	}
 	e.applying = false
 	e.txnPages = make(map[uint32]bool)
@@ -180,7 +184,12 @@ func (tx *Txn) Commit() error {
 	// evictions rarely stall (InnoDB's page cleaner, done synchronously).
 	if float64(e.pool.DirtyCount()) > e.cfg.DirtyRatio*float64(e.pool.Capacity()) {
 		if err := e.pool.FlushSome(t, e.cfg.DWBPages); err != nil {
-			return err
+			// The commit record is already durable: the transaction
+			// committed. A read-only device only stops the background
+			// flush; redo still covers the committed pages.
+			if derr := e.noteDeviceErr(err); !errors.Is(derr, ErrReadOnly) {
+				return err
+			}
 		}
 	}
 	return nil

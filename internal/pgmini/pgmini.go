@@ -10,16 +10,23 @@ package pgmini
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"share/internal/bufpool"
 	"share/internal/core"
 	"share/internal/fsim"
+	"share/internal/ftl"
 	"share/internal/sim"
 	"share/internal/ssd"
 	"share/internal/wal"
 )
+
+// ErrReadOnly is returned by mutating operations after the data device
+// degraded to read-only (spare blocks exhausted). Balance reads keep
+// serving from the pool and the still-readable heap.
+var ErrReadOnly = errors.New("pgmini: database is read-only (device degraded)")
 
 // Mode selects the torn-page strategy.
 type Mode int
@@ -90,6 +97,11 @@ type DB struct {
 	// with the transaction stream.
 	Background *sim.Task
 
+	// degraded is latched when a data-device write fails with
+	// ftl.ErrReadOnly; mutating operations then fail fast with ErrReadOnly
+	// while reads keep serving.
+	degraded bool
+
 	st Stats
 }
 
@@ -101,6 +113,10 @@ type Stats struct {
 	FullImages       int64 // full page images logged (FPW on)
 	Checkpoints      int64
 	DataPagesFlushed int64
+
+	WALReadTruncations  int64 // WAL scans cut short by unrecoverable read faults
+	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
+	Degraded            bool  // gauge: database is serving read-only
 }
 
 // WAL record kinds.
@@ -351,7 +367,30 @@ func (fl *pgFlusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
 // first-touch set. Data flushing is charged to the dataTask (the
 // background checkpointer when one is set); the WAL truncate runs on
 // walTask so the log device's queue stays aligned with the backends.
-func (db *DB) Checkpoint(t *sim.Task) error { return db.checkpoint(t, t) }
+// After degradation it refuses: truncating the WAL while dirty pages
+// cannot reach the heap would lose committed transactions.
+func (db *DB) Checkpoint(t *sim.Task) error {
+	if db.degraded {
+		return ErrReadOnly
+	}
+	return db.noteDeviceErr(db.checkpoint(t, t))
+}
+
+// noteDeviceErr translates a device-level read-only failure into the
+// typed engine error, latching the degraded state on first sight.
+func (db *DB) noteDeviceErr(err error) error {
+	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
+		return err
+	}
+	if !db.degraded {
+		db.degraded = true
+		db.st.ReadOnlyTransitions++
+	}
+	return ErrReadOnly
+}
+
+// Degraded reports whether the database has switched to read-only serving.
+func (db *DB) Degraded() bool { return db.degraded }
 
 func (db *DB) checkpoint(dataTask, walTask *sim.Task) error {
 	if err := db.pool.FlushAll(dataTask); err != nil {
@@ -424,8 +463,8 @@ func (db *DB) readBalance(t *sim.Task, base uint32, row int) (int64, error) {
 	return v, nil
 }
 
-// insertHistory appends a history row.
-func (db *DB) insertHistory(t *sim.Task, rng *rand.Rand) error {
+// insertHistory appends a history row holding the nonzero value v.
+func (db *DB) insertHistory(t *sim.Task, v uint64) error {
 	row := db.historyRows
 	db.historyRows++
 	pageNo := db.historyAt + uint32(row/db.perPage)
@@ -441,7 +480,6 @@ func (db *DB) insertHistory(t *sim.Task, rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
-	v := uint64(rng.Int63()) | 1 // nonzero: live history rows are detectable
 	binary.LittleEndian.PutUint64(f.Data[off:], v)
 	f.MarkDirty()
 	if db.cfg.Mode == FPWOn && !db.loggedSinceCkpt[pageNo] {
@@ -471,28 +509,51 @@ func (db *DB) insertHistory(t *sim.Task, rng *rand.Rand) error {
 	return nil
 }
 
+// TxnParams fully determines one TPC-B transaction, so a harness driving
+// Txn directly can model the expected post-state (the crashcheck
+// durability oracle does exactly that).
+type TxnParams struct {
+	Account, Teller, Branch int
+	Delta                   int64
+	HistoryVal              uint64 // must be nonzero
+}
+
 // RunTxn executes one pgbench TPC-B transaction: update an account, its
 // teller and branch, insert a history row, read the account balance, and
 // commit (fsync the WAL).
 func (db *DB) RunTxn(t *sim.Task, rng *rand.Rand) error {
-	aid := rng.Intn(db.accounts)
-	tid := rng.Intn(db.tellers)
-	bid := rng.Intn(db.branches)
-	delta := int64(rng.Intn(10000) - 5000)
+	p := TxnParams{
+		Account:    rng.Intn(db.accounts),
+		Teller:     rng.Intn(db.tellers),
+		Branch:     rng.Intn(db.branches),
+		Delta:      int64(rng.Intn(10000) - 5000),
+		HistoryVal: uint64(rng.Int63()) | 1,
+	}
+	return db.Txn(t, p)
+}
 
-	if err := db.updateTuple(t, db.accountsAt, aid, delta); err != nil {
+// Txn executes one TPC-B transaction with explicit parameters.
+func (db *DB) Txn(t *sim.Task, p TxnParams) error {
+	if db.degraded {
+		return ErrReadOnly
+	}
+	return db.noteDeviceErr(db.runTxn(t, p))
+}
+
+func (db *DB) runTxn(t *sim.Task, p TxnParams) error {
+	if err := db.updateTuple(t, db.accountsAt, p.Account, p.Delta); err != nil {
 		return err
 	}
-	if _, err := db.readBalance(t, db.accountsAt, aid); err != nil {
+	if _, err := db.readBalance(t, db.accountsAt, p.Account); err != nil {
 		return err
 	}
-	if err := db.updateTuple(t, db.tellersAt, tid, delta); err != nil {
+	if err := db.updateTuple(t, db.tellersAt, p.Teller, p.Delta); err != nil {
 		return err
 	}
-	if err := db.updateTuple(t, db.branchesAt, bid, delta); err != nil {
+	if err := db.updateTuple(t, db.branchesAt, p.Branch, p.Delta); err != nil {
 		return err
 	}
-	if err := db.insertHistory(t, rng); err != nil {
+	if err := db.insertHistory(t, p.HistoryVal|1); err != nil {
 		return err
 	}
 	if _, err := db.log.Append(t, []byte{pgRecCommit}); err != nil {
@@ -522,6 +583,8 @@ func (db *DB) RunTxn(t *sim.Task, rng *rand.Rand) error {
 func (db *DB) Stats() Stats {
 	s := db.st
 	s.WALPages = db.log.PagesWritten()
+	s.WALReadTruncations = db.log.ReadTruncations()
+	s.Degraded = db.degraded
 	return s
 }
 
@@ -537,4 +600,20 @@ func (db *DB) Accounts() int { return db.accounts }
 // Balance exposes an account balance for tests.
 func (db *DB) Balance(t *sim.Task, row int) (int64, error) {
 	return db.readBalance(t, db.accountsAt, row)
+}
+
+// Tellers returns the number of teller rows.
+func (db *DB) Tellers() int { return db.tellers }
+
+// Branches returns the number of branch rows.
+func (db *DB) Branches() int { return db.branches }
+
+// TellerBalance exposes a teller balance for tests.
+func (db *DB) TellerBalance(t *sim.Task, row int) (int64, error) {
+	return db.readBalance(t, db.tellersAt, row)
+}
+
+// BranchBalance exposes a branch balance for tests.
+func (db *DB) BranchBalance(t *sim.Task, row int) (int64, error) {
+	return db.readBalance(t, db.branchesAt, row)
 }

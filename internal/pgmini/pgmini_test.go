@@ -1,6 +1,7 @@
 package pgmini
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -229,6 +230,182 @@ func TestRecoveryPreservesConservation(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWALReadFaultTruncatesReplay injects an unrecoverable read fault on
+// a WAL page and checks the satellite contract: replay stops at the first
+// unreadable record (no panic, no error), the truncation is visible in
+// Stats, and the replayed prefix is still transactionally consistent.
+func TestWALReadFaultTruncatesReplay(t *testing.T) {
+	db, task := testDB(t, FPWOn)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(task); err != nil {
+		t.Fatal(err)
+	}
+	// Work past the checkpoint, little enough that no background flush
+	// runs: the heap holds exactly the checkpoint state and these
+	// transactions live only in the WAL.
+	for i := 0; i < 25; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.historyRows
+	// Three consecutive scheduled faults on the log chip defeat the FTL's
+	// read-retry budget, making one early WAL page unrecoverable.
+	plan := nand.NewFaultPlan(99)
+	for a := int64(4); a <= 6; a++ {
+		plan.AtRead(a, nand.FaultReadUncorrectable)
+	}
+	if err := db.LogDevice().SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	db2, task2 := reopenPg(t, db, FPWOn)
+	if err := db2.LogDevice().SetFaultPlan(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := db2.Stats()
+	if st.WALReadTruncations == 0 {
+		t.Fatal("WAL read truncation not reported in stats")
+	}
+	if db2.historyRows >= before {
+		t.Fatalf("historyRows = %d, want < %d: replay was not truncated", db2.historyRows, before)
+	}
+	if db2.historyRows < 40 {
+		t.Fatalf("historyRows = %d, want >= 40: checkpointed transactions lost", db2.historyRows)
+	}
+	// The surviving prefix is whole transactions: conservation holds.
+	var accSum, telSum, brSum int64
+	for i := 0; i < db2.accounts; i++ {
+		v, err := db2.readBalance(task2, db2.accountsAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accSum += v
+	}
+	for i := 0; i < db2.tellers; i++ {
+		v, err := db2.readBalance(task2, db2.tellersAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		telSum += v
+	}
+	for i := 0; i < db2.branches; i++ {
+		v, err := db2.readBalance(task2, db2.branchesAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brSum += v
+	}
+	if accSum != brSum || accSum != telSum {
+		t.Fatalf("conservation violated after truncated replay: acc=%d tel=%d br=%d", accSum, telSum, brSum)
+	}
+	// The database keeps working after the lossy recovery.
+	for i := 0; i < 10; i++ {
+		if err := db2.RunTxn(task2, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPgReadOnlyDegradation exhausts the data device's spare blocks and
+// checks graceful degradation: transactions fail fast with ErrReadOnly,
+// balance reads keep serving, and the transition shows up in Stats.
+func TestPgReadOnlyDegradation(t *testing.T) {
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.FTL.SpareBlocks = 1
+	dev, err := ssd.New("pg", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	fs, err := fsim.Format(task, dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := ssd.DefaultConfig(256)
+	lcfg.Geometry.PageSize = 512
+	lcfg.Geometry.PagesPerBlock = 32
+	lcfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("pglog", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(task, fs, logDev, Config{
+		Scale: 1, Mode: FPWOff, PageSize: 512, PoolBytes: 64 * 1024,
+		CheckpointEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30; i++ {
+		if err := db.RunTxn(task, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(task); err != nil {
+		t.Fatal(err)
+	}
+	wantBalance := make([]int64, db.accounts)
+	for i := range wantBalance {
+		v, err := db.readBalance(task, db.accountsAt, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBalance[i] = v
+	}
+	// Exhaust the single spare block. Redirtying an unchanged page keeps
+	// the balances stable while forcing data-device programs, so each
+	// round's permanent fault retires one more block.
+	for round := 0; !dev.ReadOnly() && round < 10; round++ {
+		if err := dev.SetFaultPlan(nand.NewFaultPlan(int64(round+1)).AtProgram(1, nand.FaultProgramPermanent)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := db.pool.Get(task, uint32(round%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.MarkDirty()
+		f.Release()
+		_ = db.Checkpoint(task)
+	}
+	if err := dev.SetFaultPlan(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.ReadOnly() {
+		t.Fatal("data device did not degrade to read-only")
+	}
+	if err := db.Checkpoint(task); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Checkpoint error = %v, want ErrReadOnly", err)
+	}
+	if err := db.RunTxn(task, rng); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RunTxn error = %v, want ErrReadOnly", err)
+	}
+	st := db.Stats()
+	if !st.Degraded || st.ReadOnlyTransitions != 1 {
+		t.Fatalf("stats: Degraded=%v ReadOnlyTransitions=%d", st.Degraded, st.ReadOnlyTransitions)
+	}
+	if !db.Degraded() {
+		t.Fatal("Degraded() = false after transition")
+	}
+	// Reads keep serving the state durable before degradation.
+	for i := range wantBalance {
+		v, err := db.Balance(task, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != wantBalance[i] {
+			t.Fatalf("account %d = %d in read-only mode, want %d", i, v, wantBalance[i])
+		}
 	}
 }
 

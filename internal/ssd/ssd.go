@@ -275,6 +275,15 @@ func (d *Device) DisablePowerCut() {
 	d.chip.DisablePowerCut()
 }
 
+// SetFaultPlan installs (or, with nil, removes) a NAND fault plan on a
+// running device — fault-injection harnesses use it to switch faults on
+// after a clean setup phase.
+func (d *Device) SetFaultPlan(p *nand.FaultPlan) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.chip.SetFaultPlan(p)
+}
+
 // MutatingOps returns the chip's successful program+erase count — the
 // boundary space a crash-point fuzzer iterates over.
 func (d *Device) MutatingOps() int64 {
@@ -366,7 +375,10 @@ func (s Stats) sub(base Stats) Stats {
 	out.FTL.ProgramRetries -= base.FTL.ProgramRetries
 	out.FTL.ProgramFails -= base.FTL.ProgramFails
 	out.FTL.EraseFails -= base.FTL.EraseFails
+	out.FTL.ReadRetries -= base.FTL.ReadRetries
 	out.FTL.UncorrectableReads -= base.FTL.UncorrectableReads
+	out.FTL.ScrubbedBlocks -= base.FTL.ScrubbedBlocks
+	out.FTL.ScrubRelocations -= base.FTL.ScrubRelocations
 	out.FTL.LogPagesWritten -= base.FTL.LogPagesWritten
 	out.FTL.MapPagesWritten -= base.FTL.MapPagesWritten
 	out.FTL.Checkpoints -= base.FTL.Checkpoints

@@ -43,6 +43,9 @@ type Log struct {
 	durable int64  // highest LSN guaranteed durable
 	written int64  // page writes issued
 	bytes   int64  // record payload bytes appended
+
+	readTruncations int64 // ReadAll scans ended early by an unreadable page
+	lastReadErr     error // device error that ended the last truncated scan
 }
 
 // New creates an empty log over [start, start+pages) of dev.
@@ -147,17 +150,33 @@ func (l *Log) PagesWritten() int64 { return l.written }
 // BytesAppended returns total record payload bytes appended.
 func (l *Log) BytesAppended() int64 { return l.bytes }
 
+// ReadTruncations returns how many ReadAll scans ended early because a log
+// page was unreadable (replay stopped at the last recoverable record).
+func (l *Log) ReadTruncations() int64 { return l.readTruncations }
+
+// LastReadError returns the device error that ended the most recent
+// truncated scan, or nil if every scan completed.
+func (l *Log) LastReadError() error { return l.lastReadErr }
+
 // ReadAll returns every complete record currently readable from the log
 // area in append order, for crash recovery. It scans pages in slot order
 // with increasing sequence numbers and reassembles the byte stream; a torn
 // or missing tail ends the scan, dropping any trailing partial record.
+//
+// An unreadable page — a device read fault the FTL's retry path could not
+// recover — also ends the scan rather than failing recovery outright: the
+// log is replayable up to the last readable record, exactly like a torn
+// tail, and the truncation is counted (ReadTruncations, LastReadError) so
+// the engine can report it. Records past the bad page are lost.
 func (l *Log) ReadAll(t *sim.Task) ([][]byte, error) {
 	buf := make([]byte, l.pageSize)
 	var stream []byte
 	var lastSeq uint64
 	for slot := uint32(0); slot < l.pages; slot++ {
 		if err := l.dev.ReadPage(t, l.start+slot, buf); err != nil {
-			return nil, err
+			l.readTruncations++
+			l.lastReadErr = err
+			break
 		}
 		if binary.LittleEndian.Uint32(buf[0:]) != pageMagic {
 			break
