@@ -5,7 +5,7 @@ GO ?= go
 # CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
 CRASHCHECK_SEED ?= 1
 
-.PHONY: build test check race bench bench-json bench-scale fuzz-crash fmt
+.PHONY: build test check race bench bench-json bench-scale bench-soak fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ check:
 	$(MAKE) fuzz-crash
 	$(MAKE) bench-json
 	$(MAKE) bench-scale
+	$(MAKE) bench-soak
 
 # fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
 # short mode: for every engine x SHARE-mode cell (innodb DWB-on/SHARE,
@@ -56,6 +57,14 @@ bench-json:
 # speedup_c4_over_c1_qd8 metric is the parallelism regression anchor.
 bench-scale:
 	$(GO) run ./cmd/sharebench -exp scale -json -outdir .
+
+# bench-soak ages a device through several drive-writes on endogenously
+# decaying media (read disturb + retention + wear) with and without the
+# background patrol scrubber and writes BENCH_soak.json. The patrol run
+# must hold uncorrectable reads at zero while the unscrubbed control
+# degrades; TestSoakScrubberHoldsZero pins the contrast.
+bench-soak:
+	$(GO) run ./cmd/sharebench -exp soak -json -outdir .
 
 fmt:
 	gofmt -l -w .

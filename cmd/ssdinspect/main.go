@@ -35,6 +35,11 @@ func main() {
 		tableCap  = flag.Int("sharetable", 0, "bounded reverse-map entries (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "random seed")
 
+		media       = flag.Bool("media", false, "install the endogenous media-aging model (wear/disturb/retention RBER growth)")
+		mediaBurn   = flag.Float64("mediaburn", 1, "aging-rate multiplier on the media model's wear/disturb/retention weights")
+		patrolEvery = flag.Int("patrolevery", 0, "run one background patrol-scrub step every N operations (0 disables)")
+		health      = flag.Bool("health", false, "print the device health view (per-die wear and RBER, refreshes, patrol queue)")
+
 		faultSeed      = flag.Int64("faultseed", 1, "seed for the NAND fault plan probabilities")
 		pTransient     = flag.Float64("ptransient", 0, "probability of a transient program fault")
 		pPermanent     = flag.Float64("ppermanent", 0, "probability of a permanent program fault")
@@ -67,6 +72,13 @@ func main() {
 		}
 	}
 
+	var mm *share.MediaModel
+	if *media {
+		mm = share.DefaultMediaModel(*seed)
+		mm.WearWeight = int64(float64(mm.WearWeight) * *mediaBurn)
+		mm.DisturbWeight = int64(float64(mm.DisturbWeight) * *mediaBurn)
+		mm.RetentionWeight = int64(float64(mm.RetentionWeight) * *mediaBurn)
+	}
 	dev, err := share.OpenDevice(share.DeviceOptions{
 		Blocks:         *blocks,
 		Channels:       *channels,
@@ -74,6 +86,7 @@ func main() {
 		ShareTableCap:  *tableCap,
 		SpareBlocks:    *spares,
 		Fault:          plan,
+		Media:          mm,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -148,6 +161,11 @@ run:
 			}
 		}
 		completed++
+		if *patrolEvery > 0 && completed%*patrolEvery == 0 {
+			if _, err := dev.PatrolStep(t); err != nil {
+				log.Fatalf("patrol step: %v", err)
+			}
+		}
 	}
 	if err := dev.Flush(t); err != nil && !errors.Is(err, ftl.ErrReadOnly) {
 		log.Fatal(err)
@@ -206,6 +224,32 @@ run:
 	for _, name := range []string{"read-retry", "scrub", "block-retired", "read-only"} {
 		if n := evs[name]; n > 0 {
 			fmt.Printf("event %-14s %d\n", name+":", n)
+		}
+	}
+
+	// Health view: the device's self-assessment — per-die wear spread and
+	// predicted raw bit-error rates, self-healing activity, and the patrol
+	// and scrub queue depths a healthy duty cycle keeps near zero.
+	if *health {
+		h := dev.Health()
+		fmt.Println("\n--- health view (lifetime) ---")
+		fmt.Printf("media aging model:   %v\n", h.MediaEnabled)
+		fmt.Printf("blocks refreshed:    %d (%d by background patrol)\n", h.BlocksRefreshed, h.PatrolRefreshes)
+		fmt.Printf("blocks retired:      %d\n", h.RetiredBlocks)
+		fmt.Printf("patrol backlog:      %d blocks at/over the refresh threshold\n", h.PatrolBacklog)
+		fmt.Printf("scrub queue:         %d blocks flagged by retry-recovered reads\n", h.ScrubQueueDepth)
+		fmt.Printf("ECC escalations:     %d retries, %d soft decodes\n", h.ReadRetries, h.SoftDecodes)
+		fmt.Printf("data loss:           %d reads lost, %d pages lost during relocation\n",
+			h.UncorrectableReads, h.LostPages)
+		if h.MediaEnabled {
+			fmt.Printf("predicted RBER:      mean %.3g, worst block %.3g\n", h.MeanRBER, h.MaxRBER)
+		}
+		fmt.Printf("%-5s %-8s %-7s %-8s %-22s %-11s %s\n",
+			"die", "channel", "blocks", "retired", "erases(min/mean/max)", "mean-RBER", "max-RBER")
+		for _, dh := range h.Dies {
+			fmt.Printf("%-5d %-8d %-7d %-8d %6d /%7.1f /%6d %-11.3g %.3g\n",
+				dh.Die, dh.Channel, dh.Blocks, dh.Retired,
+				dh.MinWear, dh.MeanWear, dh.MaxWear, dh.MeanRBER, dh.MaxRBER)
 		}
 	}
 

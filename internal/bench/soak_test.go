@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSoakScrubberHoldsZero is the acceptance check for media aging and
+// self-healing: across >= 3 simulated drive-writes on endogenously
+// decaying media, the patrol scrubber must hold host-visible uncorrectable
+// reads (and pages lost during relocation) at zero, while the unscrubbed
+// control demonstrably degrades — the contrast that proves the scrubber is
+// load-bearing rather than the model being toothless.
+func TestSoakScrubberHoldsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ages a device through several drive-writes; skipped in -short")
+	}
+	e, err := Get("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := e.RunWithReport(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	for _, m := range rep.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	if dw := metrics["drive_writes"]; dw < 3 {
+		t.Fatalf("soak covered only %.2f drive-writes, want >= 3\n%s", dw, out)
+	}
+	if u := metrics["uncorrectable_on"]; u != 0 {
+		t.Fatalf("patrol run lost %.0f reads, want 0\n%s", u, out)
+	}
+	if l := metrics["lost_pages_on"]; l != 0 {
+		t.Fatalf("patrol run lost %.0f pages during relocation, want 0\n%s", l, out)
+	}
+	if u := metrics["uncorrectable_off"]; u == 0 {
+		t.Fatalf("unscrubbed control lost nothing — the control is not a control\n%s", out)
+	}
+	if r := metrics["patrol_refreshes"]; r == 0 {
+		t.Fatalf("patrol never refreshed a block\n%s", out)
+	}
+	// The ECC ladder must have been exercised on the way down: the control
+	// run escalates reads into soft decodes before losing them.
+	if sd := metrics["soft_decodes_off"]; sd == 0 {
+		t.Fatalf("control run never soft-decoded a read\n%s", out)
+	}
+	// Health telemetry: the control's worst-block error rate must exceed
+	// the patrolled device's — refreshing resets retention and disturb.
+	if on, off := metrics["rber_max_on"], metrics["rber_max_off"]; on <= 0 || off <= on {
+		t.Fatalf("RBER contrast missing: patrol %.3g vs control %.3g\n%s", on, off, out)
+	}
+}
+
+// TestSoakJSONDeterministic pins the soak report bytes: two
+// identically-seeded runs of the full aging workload — media decay, ECC
+// escalations, patrol scheduling and all — must serialize identically.
+func TestSoakJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ages two devices twice; skipped in -short")
+	}
+	e, err := Get("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Seed: 7}
+	run := func() []byte {
+		_, rep, err := e.RunWithReport(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateReportJSON(data); err != nil {
+			t.Fatalf("invalid report: %v\n%s", err, data)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded soak runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

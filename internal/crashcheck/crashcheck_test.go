@@ -12,9 +12,10 @@ import (
 // boundary space stays tractable, large enough to cross several engine
 // checkpoints and couch batch commits.
 const (
-	innoTxns  = 24
-	pgTxns    = 24
-	couchTxns = 26
+	innoTxns        = 24
+	pgTxns          = 24
+	couchTxns       = 26
+	couchPatrolTxns = 14
 )
 
 func TestCrashMatrixInnoDBDWB(t *testing.T) {
@@ -39,6 +40,34 @@ func TestCrashMatrixCouchCopy(t *testing.T) {
 
 func TestCrashMatrixCouchShare(t *testing.T) {
 	Matrix(t, "couch/share", func() (Stack, error) { return NewCouch(true) }, couchTxns)
+}
+
+// TestCrashMatrixCouchPatrol power-cuts inside patrol-scrub refresh windows:
+// the stack runs on aging media with the patrol scrubber interleaved between
+// transactions, so block refreshes (relocate + erase) are part of the
+// measured boundary space and the matrix crashes inside them. A preliminary
+// clean run proves the patrol actually refreshes blocks under this tuning —
+// otherwise the matrix would be the plain couch test wearing a costume.
+func TestCrashMatrixCouchPatrol(t *testing.T) {
+	build := func() (Stack, error) { return NewCouchPatrol() }
+	s, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < couchPatrolTxns; i++ {
+		if err := s.Step(i); err != nil {
+			t.Fatalf("clean patrol run step %d: %v", i, err)
+		}
+	}
+	st := s.Devices()[0].LifetimeStats()
+	if st.FTL.PatrolRefreshes == 0 {
+		t.Fatal("patrol never refreshed a block; the crash matrix would not cover refresh windows")
+	}
+	if st.FTL.UncorrectableReads != 0 || st.FTL.LostPages != 0 {
+		t.Fatalf("aging model lost data in the clean run (uncorrectable %d, lost pages %d); "+
+			"crash tests require fully recoverable media", st.FTL.UncorrectableReads, st.FTL.LostPages)
+	}
+	Matrix(t, "couch/patrol", build, couchPatrolTxns)
 }
 
 // faultPlan builds the standard absorbable-fault schedule used by the

@@ -403,3 +403,89 @@ func (s *couchStack) Verify(committed, attempted int) error {
 	}
 	return diffStates(got, s.couchModel(committed), s.couchModel(attempted))
 }
+
+// ---------------------------------------------------------------------------
+// couch on aging media under patrol scrubbing
+
+const (
+	// couchPatrolIdle is declared per transaction so retention risk climbs
+	// fast enough that blocks keep crossing the patrol threshold.
+	couchPatrolIdle = 150 * sim.Millisecond
+	// couchPatrolSteps patrol steps run after every transaction.
+	couchPatrolSteps = 2
+)
+
+// newAgingDataDevice builds the couch data device on endogenously decaying
+// media tuned for crash testing: retention pulls blocks over the (lowered)
+// patrol threshold within a few transactions so refreshes are frequent,
+// while the effectively infinite retry/soft ECC limits guarantee every read
+// stays recoverable. The point is to power-cut inside patrol refresh
+// relocation/erase windows — never to lose data, which would change the
+// durability oracle's semantics.
+func newAgingDataDevice(name string) (*ssd.Device, error) {
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.Media = &nand.MediaModel{
+		Seed:            3,
+		WearWeight:      1,
+		DisturbWeight:   2,
+		RetentionWeight: 400,
+		RetentionUnit:   sim.Second,
+		PageNoise:       20,
+		FastLimit:       600,
+		RetryLimit:      1 << 40,
+		SoftLimit:       1 << 41,
+	}
+	cfg.FTL.PatrolThresholdPct = 50
+	return ssd.New(name, cfg)
+}
+
+// couchPatrolStack ages its data device and drives the background patrol
+// scrubber between transactions, so the crash matrix's program/erase
+// boundary space includes points inside patrol refresh windows (a refresh
+// relocates a whole block's live pages and erases it).
+type couchPatrolStack struct {
+	couchStack
+}
+
+// NewCouchPatrol builds a couch stack on aging media whose Step interleaves
+// patrol scrubbing with the workload.
+func NewCouchPatrol() (Stack, error) {
+	data, err := newAgingDataDevice("cc-couch-patrol")
+	if err != nil {
+		return nil, err
+	}
+	task := sim.NewSoloTask("crashcheck")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		return nil, err
+	}
+	cfg := couch.Config{BatchSize: 1, ShareMode: true}
+	st, err := couch.Open(task, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < couchKeys; i++ {
+		if err := st.Set(task, couchKey(i), couchVal(-1)); err != nil {
+			return nil, err
+		}
+	}
+	return &couchPatrolStack{couchStack{task: task, data: data, store: st, cfg: cfg}}, nil
+}
+
+func (s *couchPatrolStack) Step(i int) error {
+	if err := s.couchStack.Step(i); err != nil {
+		return err
+	}
+	// Retained data ages between transactions, then the patrol gets its
+	// duty-cycle slice. A power cut armed on the device fires inside these
+	// refresh windows exactly as it does inside foreground commits.
+	s.data.AdvanceMediaTime(couchPatrolIdle)
+	for k := 0; k < couchPatrolSteps; k++ {
+		if _, err := s.data.PatrolStep(s.task); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,10 @@ const (
 	// block erased (or retired if the erase failed). Block = scrubbed
 	// block, A = pages relocated.
 	EvScrub
+	// EvPatrolRefresh: the background patrol scrubber refreshed a block
+	// whose predicted media risk crossed the patrol threshold. Block =
+	// refreshed block, A = its risk level at refresh time.
+	EvPatrolRefresh
 
 	numEventTypes
 )
@@ -55,8 +59,9 @@ var eventNames = [numEventTypes]string{
 	EvCheckpoint:   "checkpoint",
 	EvBlockRetired: "block-retired",
 	EvReadOnly:     "read-only",
-	EvReadRetry:    "read-retry",
-	EvScrub:        "scrub",
+	EvReadRetry:     "read-retry",
+	EvScrub:         "scrub",
+	EvPatrolRefresh: "patrol-refresh",
 }
 
 func (e EventType) String() string {

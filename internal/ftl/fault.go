@@ -135,6 +135,7 @@ func (f *FTL) retireBlock(b int) {
 		return
 	}
 	f.st.RetiredBlocks++
+	f.clearPoison(b)
 	f.noteRetired(b)
 }
 
@@ -198,38 +199,63 @@ func (f *FTL) relocateLive(b int, buf []byte) (sim.Duration, error) {
 	return total, nil
 }
 
-// Read-retry and scrubbing. An uncorrectable read is often a transient
-// condition (read disturb, charge drift) that clears on a re-read with a
-// shifted sense voltage, so chipRead retries a bounded number of times with
-// a growing backoff before surfacing data loss. A page that needed a retry
-// to come back is living on suspect media: its whole block is queued for
+// The ECC retry ladder and scrubbing. An uncorrectable fast read is often
+// a recoverable condition (read disturb, charge drift) that a stronger —
+// and slower — correction step can still decode, so chipRead escalates
+// through the chip's read strengths before surfacing data loss: the fast
+// on-the-fly ECC pass, then a shifted-sense re-read after a short firmware
+// backoff, then a soft-decision decode over multiple sense levels at
+// several times the read latency. A page that needed any escalation to
+// come back is living on suspect media: its whole block is queued for
 // scrubbing — live pages relocated to fresh flash, the block erased and
 // returned to service — at the next safe point (outside GC and atomic
 // batches), so the next read does not gamble on the same cells again.
 
 const (
-	// readRetryLimit is the number of re-read attempts after a failed read.
+	// readRetryLimit is the number of escalation rungs above the fast read
+	// (shifted-sense re-read, then soft decode).
 	readRetryLimit = 2
-	// readRetryBackoff is the extra firmware delay charged per retry,
-	// multiplied by the attempt number (sense-voltage shift + resample).
+	// readRetryBackoff is the extra firmware delay charged per escalation,
+	// multiplied by the rung number (reconfigure sense voltages, resample).
 	readRetryBackoff = 40 * sim.Microsecond
 )
 
-// chipRead reads a physical page, retrying uncorrectable errors a bounded
-// number of times. Only a read that stays uncorrectable after the retry
-// budget is counted and surfaced to the caller as data loss: with no
-// on-device redundancy beyond per-page ECC it cannot be rehomed. A read
-// recovered by retry queues its block for scrubbing.
+// chipRead reads a physical page through the ECC retry ladder. Only a read
+// that stays uncorrectable after the full ladder is counted and surfaced
+// to the caller as data loss: with no on-device redundancy beyond per-page
+// ECC it cannot be rehomed. A read recovered by any escalation queues its
+// block for scrubbing.
 func (f *FTL) chipRead(ppn uint32, dst []byte) (nand.OOB, sim.Duration, error) {
+	if f.poisoned[ppn] {
+		// Pending sector: an earlier relocation already proved this data
+		// lost, and the copy here is only the loss marker. Firmware answers
+		// from the pending list after the plain sense — no point running the
+		// ladder over bits it knows are gone.
+		oob, d, _ := f.chip.Read(ppn, dst)
+		f.notePPNOp(OpRead, ppn, d)
+		f.st.UncorrectableReads++
+		return oob, d, nand.ErrUncorrectable
+	}
 	oob, d, err := f.chip.Read(ppn, dst)
 	f.notePPNOp(OpRead, ppn, d)
 	total := d
 	retries := 0
-	for errors.Is(err, nand.ErrUncorrectable) && retries < readRetryLimit {
+	if errors.Is(err, nand.ErrUncorrectable) {
+		// Rung 2: re-read with a shifted sense voltage.
 		retries++
 		f.st.ReadRetries++
-		total += readRetryBackoff * sim.Duration(retries)
-		oob, d, err = f.chip.Read(ppn, dst)
+		total += readRetryBackoff
+		oob, d, err = f.chip.ReadShifted(ppn, dst)
+		f.notePPNOp(OpRead, ppn, d)
+		total += d
+	}
+	if errors.Is(err, nand.ErrUncorrectable) {
+		// Rung 3: soft-decision decode, the strongest correction available.
+		retries++
+		f.st.ReadRetries++
+		f.st.SoftDecodes++
+		total += 2 * readRetryBackoff
+		oob, d, err = f.chip.ReadSoft(ppn, dst)
 		f.notePPNOp(OpRead, ppn, d)
 		total += d
 	}
@@ -277,6 +303,17 @@ func (f *FTL) maybeScrub() (sim.Duration, error) {
 		}
 		d, err := f.scrubBlock(b)
 		total += d
+		if err == ErrFull && f.metaHeal {
+			// A rotten live metadata page blocks this scrub; heal it from
+			// RAM (forced checkpoint) and retry the block once.
+			hd, herr := f.healMeta()
+			total += hd
+			if herr != nil {
+				return total, herr
+			}
+			d, err = f.scrubBlock(b)
+			total += d
+		}
 		if err == ErrFull {
 			f.queueScrub(b)
 			return total, nil
@@ -329,9 +366,41 @@ func (f *FTL) scrubBlock(b int) (sim.Duration, error) {
 	f.st.Erases++
 	f.blockFull[b] = false
 	f.blockValid[b] = 0
+	f.clearPoison(b)
 	die := f.geo.DieOfBlock(b)
 	f.freeByDie[die] = append(f.freeByDie[die], b)
 	return total, nil
+}
+
+// clearPoison forgets a block's pending-sector marks: erasure destroys the
+// poisoned replacement copies, and a retired block is never read again.
+func (f *FTL) clearPoison(b int) {
+	if len(f.poisoned) == 0 {
+		return
+	}
+	base := uint32(b * f.geo.PagesPerBlock)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		delete(f.poisoned, base+uint32(i))
+	}
+}
+
+// healMeta rewrites rotten on-flash metadata from RAM. A live mapping
+// snapshot or delta-log page that no ECC rung could read is not data loss
+// while the device is powered — the in-memory mapping is authoritative — so
+// the repair is a forced checkpoint: dirty snapshots (including any marked
+// dirty because their flash copy was unreadable) are rewritten fresh and
+// the delta log is truncated, after which the unreadable copies are stale
+// and their blocks reclaim normally.
+func (f *FTL) healMeta() (sim.Duration, error) {
+	if !f.metaHeal || f.inBatch {
+		return 0, nil
+	}
+	f.metaHeal = false
+	wasGC := f.inGC
+	f.inGC = true // the checkpoint's own programs must not re-enter GC
+	d, err := f.Checkpoint()
+	f.inGC = wasGC
+	return d, err
 }
 
 // ReadOnly reports whether the device has degraded to read-only mode.

@@ -91,6 +91,12 @@ type Config struct {
 	// read-only. 0 derives it from the over-provisioned area, keeping the
 	// GC working set out of reach of retirement.
 	SpareBlocks int
+	// PatrolThresholdPct tunes the background patrol scrubber (see
+	// patrol.go): a block whose predicted worst-page risk reaches this
+	// percentage of the media model's fast-ECC limit is refreshed on the
+	// next patrol step. 0 selects the default of 80. Meaningless without a
+	// media model on the chip.
+	PatrolThresholdPct int
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -171,6 +177,16 @@ type FTL struct {
 	// queued for relocation at the next safe point (see fault.go).
 	scrubQueue []int
 	scrubSet   map[int]bool
+	// Pending sectors: physical pages whose data was lost to an
+	// uncorrectable read during relocation. The replacement copy holds only
+	// the loss marker; reads of it answer uncorrectable without burning the
+	// ECC ladder. RAM-only — a power cycle forgets the marks, like a real
+	// drive's pending-sector list collapsing after the sectors are remapped.
+	poisoned map[uint32]bool
+	// metaHeal requests a forced checkpoint: a live metadata page was found
+	// unreadable during relocation and must be rewritten from RAM before its
+	// block can be reclaimed (see healMeta).
+	metaHeal bool
 
 	// Mapping durability.
 	mapDir        []uint32        // map-page index -> ppn of latest snapshot (InvalidPPN if none)
@@ -297,6 +313,8 @@ func (f *FTL) initVolatile() {
 	f.meta = newStream(f.dies)
 	f.scrubQueue = nil
 	f.scrubSet = make(map[int]bool)
+	f.poisoned = make(map[uint32]bool)
+	f.metaHeal = false
 	f.deltaBuf = nil
 	f.inBatch = false
 	f.batchBuf = nil

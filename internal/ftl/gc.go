@@ -51,13 +51,18 @@ func (f *FTL) refillDie(die int) (sim.Duration, error) {
 	for len(f.freeByDie[die]) < f.gcLowDie {
 		d, err := f.gcOnce(die)
 		total += d
-		if err == ErrFull && len(f.logPPNs) > 0 && !f.inBatch {
-			// No reclaimable victim, but live delta-log pages are pinning
-			// blocks: an early checkpoint retires them and retries. The
-			// checkpoint itself must not re-enter GC.
+		// No reclaimable victim can mean live delta-log pages are pinning
+		// blocks, or a rotten metadata page needs rewriting from RAM before
+		// its block can go: an early checkpoint retires them and the pass
+		// retries. The loop makes progress — every heal turns at least one
+		// unreadable live metadata page stale — and exits as soon as a pass
+		// succeeds or a checkpoint has nothing left to clear. The checkpoint
+		// itself must not re-enter GC.
+		for err == ErrFull && (len(f.logPPNs) > 0 || f.metaHeal) && !f.inBatch {
 			f.inGC = true
 			cd, cerr := f.Checkpoint()
 			f.inGC = false
+			f.metaHeal = false
 			total += cd
 			if cerr != nil {
 				return total, cerr
@@ -155,6 +160,7 @@ func (f *FTL) gcOnce(die int) (sim.Duration, error) {
 		return total, err
 	}
 	f.st.Erases++
+	f.clearPoison(victim)
 	f.blockFull[victim] = false
 	f.blockValid[victim] = 0
 	f.freeByDie[die] = append(f.freeByDie[die], victim)
@@ -198,17 +204,37 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 		// Defensive: refcount said valid but no live referrer.
 		panic("ftl: valid page with no referrers")
 	}
+	wasPoisoned := f.poisoned[ppn]
 	_, rd, err := f.chipRead(ppn, buf)
-	if err != nil {
-		return rd, err
-	}
 	total := rd
+	lost := false
+	if errors.Is(err, nand.ErrUncorrectable) {
+		// The data is gone — every ECC rung failed and there is no
+		// on-device redundancy to rebuild from. The block is still about to
+		// be reclaimed, so the loss itself is relocated: a blank replacement
+		// is programmed and remembered as a pending sector that keeps
+		// reading back uncorrectable until the host rewrites the logical
+		// page. Aborting instead would wedge GC on the rotten block forever.
+		for i := range buf {
+			buf[i] = 0
+		}
+		if !wasPoisoned {
+			f.st.LostPages++
+		}
+		lost = true
+	} else if err != nil {
+		return total, err
+	}
 	d, dst, err := f.programPageOn(&f.gc, f.geo.DieOfPPN(ppn), buf, nandDataOOB(lpns[0]))
 	total += d
 	if err != nil {
 		return total, err
 	}
 	f.st.Copybacks++
+	if lost {
+		f.poisoned[dst] = true
+	}
+	delete(f.poisoned, ppn)
 	if f.geo.DieOfPPN(dst) != f.geo.DieOfPPN(ppn) {
 		f.st.CrossDieCopybacks++
 	}
@@ -237,6 +263,23 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 // so relocation does not disturb it.
 func (f *FTL) relocateMeta(ppn uint32, oob nand.OOB, buf []byte) (sim.Duration, error) {
 	_, rd, err := f.chipRead(ppn, buf)
+	if errors.Is(err, nand.ErrUncorrectable) {
+		// The flash copy is unreadable, but its contents are not lost: the
+		// RAM mapping is authoritative while the device is powered. Mark the
+		// covering snapshot dirty (map pages) and request a metadata heal —
+		// a forced checkpoint rewrites the state from RAM and truncates the
+		// log, leaving this copy stale. Until then the block cannot be
+		// reclaimed, exactly like one pinned by live log pages, so report
+		// ErrFull and let the caller's checkpoint-and-retry path run.
+		if oob.Tag == nand.TagMapBase {
+			if idx := int(oob.LPN); idx < len(f.mapDirty) {
+				f.mapDirty[idx] = true
+			}
+		}
+		f.st.MetaFaults++
+		f.metaHeal = true
+		return rd, ErrFull
+	}
 	if err != nil {
 		return rd, err
 	}

@@ -1,0 +1,130 @@
+package ftl
+
+import (
+	"share/internal/sim"
+)
+
+// Background patrol scrubbing. The reactive scrub path (fault.go) only
+// heals blocks a read already stumbled over — it can never reach data that
+// is rotting unread. Retention errors accumulate precisely on such cold
+// blocks, so a device that relies on reactive scrubbing alone eventually
+// loses data that nobody touched. The patrol scrubber closes that gap: a
+// low-priority background sweep that ranks every block by its predicted
+// media risk — the chip model's combination of erase count (wear), read
+// count since erase (disturb), retention age, and static page weakness —
+// and refreshes the riskiest block once it crosses a threshold safely
+// below the fast-ECC correction limit. A refresh is an ordinary scrub:
+// live pages relocate to fresh flash, the mapping deltas are made durable,
+// and the block is erased back into the free pool, resetting its disturb
+// and retention clocks.
+//
+// Scheduling is the host's business: the device layer exposes one
+// PatrolStep per invocation and replays its NAND cost plan onto the
+// per-die resource servers, so patrol traffic queues behind foreground
+// I/O in virtual time exactly like any other internal work, and a host
+// that calls PatrolStep at a low duty cycle gets a scrubber that yields
+// to foreground load.
+
+// defaultPatrolThresholdPct is the refresh trigger as a percentage of the
+// media model's FastLimit: refreshing at 80% keeps even a freshly-crossed
+// block two full escalation rungs away from data loss.
+const defaultPatrolThresholdPct = 80
+
+// patrolThreshold returns the risk level at which patrol refreshes a
+// block, or 0 if no media model is installed.
+func (f *FTL) patrolThreshold() int64 {
+	m := f.chip.Media()
+	if m == nil {
+		return 0
+	}
+	pct := int64(f.cfg.PatrolThresholdPct)
+	if pct <= 0 {
+		pct = defaultPatrolThresholdPct
+	}
+	return m.FastLimit * pct / 100
+}
+
+// patrolEligible reports whether block b is a candidate for a patrol
+// refresh: holding live data, fully written (an open block is still being
+// filled and will be handled by its stream), and still in service.
+func (f *FTL) patrolEligible(b int) bool {
+	return !f.retired[b] && f.blockFull[b] && f.blockValid[b] > 0 && !f.isOpenBlock(b)
+}
+
+// PatrolStep performs one increment of background patrol: sweep the
+// per-block risk predictions and refresh the single riskiest block at or
+// above the patrol threshold. It returns the virtual time consumed and
+// the refreshed block, or -1 when nothing needed refreshing. A step that
+// cannot refresh right now (no relocation headroom, device read-only,
+// mid-GC or mid-batch) is a no-op; the block stays ranked for the next
+// step. Callers invoke it periodically at whatever duty cycle they can
+// afford — each step does at most one block of work, so patrol never
+// monopolizes the device.
+func (f *FTL) PatrolStep() (sim.Duration, int, error) {
+	if !f.chip.MediaEnabled() || f.readOnly || f.inGC || f.inBatch {
+		return 0, -1, nil
+	}
+	f.st.PatrolScans++
+	thr := f.patrolThreshold()
+	victim, worst := -1, int64(0)
+	for b := 0; b < f.geo.Blocks; b++ {
+		if !f.patrolEligible(b) {
+			continue
+		}
+		if r := f.chip.BlockRisk(b); r >= thr && r > worst {
+			victim, worst = b, r
+		}
+	}
+	// The sweep itself is firmware work over in-RAM counters: one command
+	// overhead, no NAND traffic.
+	if victim < 0 {
+		return f.cfg.CommandOverhead, -1, nil
+	}
+	d, err := f.scrubBlock(victim)
+	total := f.cfg.CommandOverhead + d
+	if err == ErrFull {
+		// No headroom to relocate into right now — or a rotten live
+		// metadata page that must be rewritten from RAM first. Heal the
+		// metadata if that is what blocked the scrub; either way a later
+		// step retries the same block.
+		if f.metaHeal {
+			hd, herr := f.healMeta()
+			total += hd
+			if herr != nil {
+				return total, -1, herr
+			}
+		}
+		return total, -1, nil
+	}
+	if err != nil {
+		return total, -1, err
+	}
+	f.st.PatrolRefreshes++
+	f.emit(Event{Type: EvPatrolRefresh, Block: victim, A: worst})
+	return total, victim, nil
+}
+
+// PatrolBacklog reports how many blocks currently sit at or above the
+// patrol refresh threshold — the queue depth a healthy patrol duty cycle
+// keeps near zero. Returns 0 without a media model.
+func (f *FTL) PatrolBacklog() int {
+	if !f.chip.MediaEnabled() {
+		return 0
+	}
+	thr := f.patrolThreshold()
+	n := 0
+	for b := 0; b < f.geo.Blocks; b++ {
+		if f.patrolEligible(b) && f.chip.BlockRisk(b) >= thr {
+			n++
+		}
+	}
+	return n
+}
+
+// ScrubQueueLen reports the reactive scrub queue depth (blocks flagged by
+// retry-recovered reads, awaiting a safe point).
+func (f *FTL) ScrubQueueLen() int { return len(f.scrubQueue) }
+
+// IsRetired reports whether block b has been permanently taken out of
+// service.
+func (f *FTL) IsRetired(b int) bool { return f.retired[b] }

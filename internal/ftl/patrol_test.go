@@ -1,0 +1,185 @@
+package ftl
+
+import (
+	"testing"
+
+	"share/internal/nand"
+	"share/internal/sim"
+)
+
+// patrolModel is an aggressive aging model for patrol tests: retention
+// rots blocks at 100 risk/second against a fast limit of 1000, so the
+// 80% patrol threshold trips after 8 idle seconds and data loss (past the
+// 1500 soft limit) after 15.
+func patrolModel() *nand.MediaModel {
+	return &nand.MediaModel{
+		Seed:            3,
+		RetentionWeight: 100,
+		RetentionUnit:   sim.Second,
+		FastLimit:       1000,
+		RetryLimit:      1200,
+		SoftLimit:       1500,
+	}
+}
+
+// mediaFTL builds the standard test FTL with an aging model installed.
+func mediaFTL(t *testing.T, m *nand.MediaModel, mut func(*Config)) (*FTL, *nand.Chip) {
+	t.Helper()
+	f, chip := testFTL(t, mut)
+	if err := chip.SetMediaModel(m); err != nil {
+		t.Fatal(err)
+	}
+	return f, chip
+}
+
+func TestPatrolNoopWithoutMedia(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 0, 0x11)
+	d, b, err := f.PatrolStep()
+	if err != nil || b != -1 || d != 0 {
+		t.Fatalf("PatrolStep without media: d=%d b=%d err=%v, want 0/-1/nil", d, b, err)
+	}
+	if f.Stats().PatrolScans != 0 {
+		t.Fatal("patrol scan counted without media model")
+	}
+}
+
+func TestPatrolIdleBelowThreshold(t *testing.T) {
+	f, _ := mediaFTL(t, patrolModel(), nil)
+	for i := 0; i < 24; i++ {
+		mustWrite(t, f, uint32(i), byte(i))
+	}
+	d, b, err := f.PatrolStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != -1 {
+		t.Fatalf("patrol refreshed fresh block %d", b)
+	}
+	if d == 0 {
+		t.Fatal("patrol sweep consumed no virtual time")
+	}
+	st := f.Stats()
+	if st.PatrolScans != 1 || st.PatrolRefreshes != 0 {
+		t.Fatalf("scans=%d refreshes=%d, want 1/0", st.PatrolScans, st.PatrolRefreshes)
+	}
+}
+
+// TestPatrolRefreshesRottingBlocks lets retention push full blocks over
+// the patrol threshold, then drives PatrolStep until the backlog drains
+// and confirms the data survived unharmed.
+func TestPatrolRefreshesRottingBlocks(t *testing.T) {
+	f, chip := mediaFTL(t, patrolModel(), nil)
+	const n = 24
+	for i := 0; i < n; i++ {
+		mustWrite(t, f, uint32(i), byte(i+1))
+	}
+	// 9 idle seconds: risk 900, over the 800 threshold but still inside
+	// the fast ECC limit — patrol should act before any read suffers.
+	chip.AdvanceMediaTime(9 * sim.Second)
+	if f.PatrolBacklog() == 0 {
+		t.Fatal("no patrol backlog after rotting")
+	}
+	refreshed := 0
+	for i := 0; i < 64; i++ {
+		_, b, err := f.PatrolStep()
+		if err != nil {
+			t.Fatalf("patrol step %d: %v", i, err)
+		}
+		if b == -1 {
+			break
+		}
+		refreshed++
+		if f.IsRetired(b) {
+			t.Fatalf("patrol retired healthy block %d", b)
+		}
+	}
+	if refreshed == 0 {
+		t.Fatal("patrol refreshed nothing")
+	}
+	if got := f.PatrolBacklog(); got != 0 {
+		t.Fatalf("patrol backlog %d after drain", got)
+	}
+	st := f.Stats()
+	if st.PatrolRefreshes != int64(refreshed) {
+		t.Fatalf("PatrolRefreshes = %d, want %d", st.PatrolRefreshes, refreshed)
+	}
+	for i := 0; i < n; i++ {
+		if got := mustRead(t, f, uint32(i)); got[0] != byte(i+1) {
+			t.Fatalf("lpn %d = %x after patrol refresh", i, got[0])
+		}
+	}
+	if st := f.Stats(); st.UncorrectableReads != 0 {
+		t.Fatalf("UncorrectableReads = %d with patrol running", st.UncorrectableReads)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetentionLossWithoutPatrol is the control: the same rot with no
+// patrol steps ends in uncorrectable reads once risk passes the soft
+// decode limit.
+func TestRetentionLossWithoutPatrol(t *testing.T) {
+	f, chip := mediaFTL(t, patrolModel(), nil)
+	const n = 24
+	for i := 0; i < n; i++ {
+		mustWrite(t, f, uint32(i), byte(i+1))
+	}
+	chip.AdvanceMediaTime(16 * sim.Second) // risk 1600 > soft limit 1500
+	lost := 0
+	buf := make([]byte, f.PageSize())
+	for i := 0; i < n; i++ {
+		if _, err := f.Read(uint32(i), buf); err != nil {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no reads lost without patrol — control is not a control")
+	}
+	if st := f.Stats(); st.UncorrectableReads != int64(lost) {
+		t.Fatalf("UncorrectableReads = %d, want %d", st.UncorrectableReads, lost)
+	}
+}
+
+// TestMediaLadderEscalation drives one block's read disturb through every
+// ECC rung via the FTL read path: fast reads degrade into shifted-sense
+// retries, then soft decodes, with the suspect block queued for scrubbing.
+func TestMediaLadderEscalation(t *testing.T) {
+	m := &nand.MediaModel{
+		Seed:          3,
+		DisturbWeight: 1,
+		FastLimit:     50,
+		RetryLimit:    500,
+		SoftLimit:     5000,
+		RetentionUnit: sim.Second,
+	}
+	f, chip := mediaFTL(t, m, nil)
+	mustWrite(t, f, 0, 0x7E)
+	ppnBlock := -1
+	buf := make([]byte, f.PageSize())
+	for i := 0; i < 600; i++ {
+		if _, err := f.Read(0, buf); err != nil {
+			t.Fatalf("read %d lost: %v", i, err)
+		}
+		if buf[0] != 0x7E {
+			t.Fatalf("read %d returned %x", i, buf[0])
+		}
+		if ppnBlock == -1 {
+			ppnBlock = chip.BlockOf(f.l2p[0])
+		}
+	}
+	st := f.Stats()
+	if st.ReadRetries == 0 {
+		t.Fatal("disturb never escalated past the fast read")
+	}
+	if st.SoftDecodes == 0 {
+		t.Fatal("disturb never escalated to soft decode")
+	}
+	if st.UncorrectableReads != 0 {
+		t.Fatalf("UncorrectableReads = %d, ladder should have recovered all", st.UncorrectableReads)
+	}
+	if len(f.scrubQueue) == 0 && st.ScrubbedBlocks == 0 {
+		t.Fatal("retry-recovered reads never flagged the block for scrubbing")
+	}
+}

@@ -61,6 +61,14 @@ type Stats struct {
 	SpareBlocksLeft    int64 // retirement budget remaining (snapshot, not a counter)
 	ReadOnly           bool  // device degraded: mutating commands refused
 
+	// ECC-ladder escalation and background patrol (zero without a media
+	// model; omitted from JSON so aging-free reports are byte-identical).
+	SoftDecodes     int64 `json:",omitempty"` // reads escalated to soft-decision decode
+	PatrolScans     int64 `json:",omitempty"` // patrol sweep steps executed
+	PatrolRefreshes int64 `json:",omitempty"` // blocks refreshed by patrol before failing
+	LostPages       int64 `json:",omitempty"` // data pages relocated as pending sectors (contents lost)
+	MetaFaults      int64 `json:",omitempty"` // live metadata pages found unreadable, healed from RAM
+
 	LogPagesWritten int64 // mapping delta-log pages programmed
 	MapPagesWritten int64 // mapping snapshot pages programmed
 	Checkpoints     int64

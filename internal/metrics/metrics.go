@@ -31,6 +31,7 @@ const (
 	CmdFlush
 	CmdCheckpoint
 	CmdRecover
+	CmdPatrol
 	NumCmds
 )
 
@@ -43,6 +44,7 @@ var cmdNames = [NumCmds]string{
 	CmdFlush:      "flush",
 	CmdCheckpoint: "checkpoint",
 	CmdRecover:    "recover",
+	CmdPatrol:     "patrol",
 }
 
 func (c Cmd) String() string {

@@ -51,6 +51,11 @@ var (
 	// ErrPowerCut is returned for program/erase attempts after the armed
 	// power-cut point; reads still work, modeling post-restart inspection.
 	ErrPowerCut = errors.New("nand: power lost")
+	// ErrFaultPlan is returned by SetFaultPlan when a plan fails validation
+	// against the chip: out-of-range block or operation indices,
+	// out-of-range probabilities, or fault kinds scheduled on the wrong
+	// operation class.
+	ErrFaultPlan = errors.New("nand: invalid fault plan")
 )
 
 // Retirable reports whether err means the affected block is permanently
@@ -112,10 +117,77 @@ func (p *FaultPlan) AtRead(n int64, kind FaultKind) *FaultPlan {
 	return p
 }
 
-// SetFaultPlan installs (or, with nil, removes) a fault plan. Factory-bad
-// blocks are marked immediately; the FTL discovers them via IsBad when it
-// formats or recovers.
+// validate checks the plan against a chip's geometry before it is
+// installed: block references in range, 1-based operation indices,
+// probabilities in [0,1] with class sums <= 1, and scheduled kinds that
+// belong to the operation class they are scheduled on. All errors wrap
+// ErrFaultPlan (and ErrBounds where a range is violated).
+func (p *FaultPlan) validate(geo Geometry) error {
+	for _, b := range p.FactoryBad {
+		if b < 0 || b >= geo.Blocks {
+			return fmt.Errorf("%w: %w: factory-bad block %d outside [0,%d)", ErrFaultPlan, ErrBounds, b, geo.Blocks)
+		}
+	}
+	classes := []struct {
+		name    string
+		at      map[int64]FaultKind
+		allowed []FaultKind
+	}{
+		{"program", p.progAt, []FaultKind{FaultProgramTransient, FaultProgramPermanent}},
+		{"erase", p.eraseAt, []FaultKind{FaultErase}},
+		{"read", p.readAt, []FaultKind{FaultReadCorrectable, FaultReadUncorrectable}},
+	}
+	for _, cl := range classes {
+		for n, kind := range cl.at {
+			if n < 1 {
+				return fmt.Errorf("%w: %w: scheduled %s fault at op %d (indices are 1-based)",
+					ErrFaultPlan, ErrBounds, cl.name, n)
+			}
+			ok := kind == FaultNone
+			for _, a := range cl.allowed {
+				ok = ok || kind == a
+			}
+			if !ok {
+				return fmt.Errorf("%w: fault kind %d cannot be scheduled on a %s operation",
+					ErrFaultPlan, kind, cl.name)
+			}
+		}
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"PProgramTransient", p.PProgramTransient},
+		{"PProgramPermanent", p.PProgramPermanent},
+		{"PErase", p.PErase},
+		{"PReadCorrectable", p.PReadCorrectable},
+		{"PReadUncorrectable", p.PReadUncorrectable},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("%w: %s = %v outside [0,1]", ErrFaultPlan, pr.name, pr.v)
+		}
+	}
+	if s := p.PProgramTransient + p.PProgramPermanent; s > 1 {
+		return fmt.Errorf("%w: program fault probabilities sum to %v > 1", ErrFaultPlan, s)
+	}
+	if s := p.PReadCorrectable + p.PReadUncorrectable; s > 1 {
+		return fmt.Errorf("%w: read fault probabilities sum to %v > 1", ErrFaultPlan, s)
+	}
+	return nil
+}
+
+// SetFaultPlan validates the plan against the chip's geometry and installs
+// it (or, with nil, removes any plan). A plan that fails validation is
+// rejected with an error wrapping ErrFaultPlan and the chip is left
+// untouched. Factory-bad blocks are marked immediately; the FTL discovers
+// them via IsBad when it formats or recovers.
 func (c *Chip) SetFaultPlan(p *FaultPlan) error {
+	if p != nil {
+		if err := p.validate(c.geo); err != nil {
+			return err
+		}
+	}
 	c.plan = p
 	c.faultRng = nil
 	c.planProg, c.planErase, c.planRead = 0, 0, 0
@@ -124,9 +196,6 @@ func (c *Chip) SetFaultPlan(p *FaultPlan) error {
 	}
 	c.faultRng = rand.New(rand.NewSource(p.Seed))
 	for _, b := range p.FactoryBad {
-		if b < 0 || b >= c.geo.Blocks {
-			return fmt.Errorf("%w: factory-bad block %d", ErrBounds, b)
-		}
 		c.markBad(b)
 	}
 	return nil

@@ -1,0 +1,350 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// Media aging. Real MLC NAND does not fail only when told to: its raw bit
+// error rate (RBER) rises endogenously with use. Three mechanisms dominate:
+//
+//   - wear: every program/erase cycle damages the tunnel oxide, so a
+//     block's baseline error rate grows with its erase count;
+//   - read disturb: reading a page weakly programs the other pages of its
+//     block, so heavily-read blocks accumulate errors in their seldom-read
+//     pages;
+//   - retention: programmed cells leak charge over time, so data that
+//     merely sits there decays, fastest in worn blocks.
+//
+// MediaModel turns those into a deterministic per-page "risk level": an
+// abstract integer proportional to the page's predicted RBER (one unit ==
+// 1e-9 RBER, so the default FastLimit of 100_000 is an RBER of 1e-4 —
+// mid-life MLC). A read's outcome is classified by comparing the page's
+// risk against the strength of the ECC step used:
+//
+//	risk <= FastLimit/2   clean read
+//	risk <= FastLimit     corrected by the fast on-the-fly BCH/LDPC pass
+//	risk <= RetryLimit    fast read FAILS; a re-read with a shifted sense
+//	                      voltage (Chip.ReadShifted) recovers it
+//	risk <= SoftLimit     shifted read fails too; only a soft-decision
+//	                      decode over multiple sense levels (Chip.ReadSoft)
+//	                      recovers it, at several times the read latency
+//	risk >  SoftLimit     uncorrectable at every strength: data loss
+//
+// Everything is a pure function of the chip's operation history plus a
+// seeded static per-page weakness, so identically-seeded runs see
+// identical failures. A FaultPlan, when installed, remains the override
+// layer: its scheduled and probabilistic read faults take precedence over
+// the model's classification.
+//
+// The model's notion of time is the media clock: the sum of all NAND
+// operation service times, plus any idle time the host declares via
+// AdvanceMediaTime. Retention age of a block is measured from its last
+// erase on that clock.
+type MediaModel struct {
+	// Seed drives the static per-page weakness spread (some pages are
+	// manufactured weaker than others). Identical seeds give identical
+	// weakness maps.
+	Seed int64
+
+	// WearWeight is the risk added to every page of a block per erase
+	// cycle (tunnel-oxide damage).
+	WearWeight int64
+	// DisturbWeight is the risk added to every page of a block per read
+	// of any page in that block (read disturb). Cleared by erase.
+	DisturbWeight int64
+	// RetentionWeight is the risk added to every page of a block per
+	// RetentionUnit elapsed on the media clock since the block's last
+	// erase (charge leakage). Cleared by erase.
+	RetentionWeight int64
+	// RetentionUnit is the media-clock granule RetentionWeight applies
+	// per. Must be > 0 when RetentionWeight > 0.
+	RetentionUnit sim.Duration
+
+	// PageNoise is the maximum static per-page weakness: each page gets a
+	// seeded offset in [0, PageNoise], fixed for the chip's lifetime.
+	PageNoise int64
+
+	// ECC correction strengths, in risk units (ascending).
+	FastLimit  int64 // fast read path corrects up to here
+	RetryLimit int64 // shifted-sense re-read corrects up to here
+	SoftLimit  int64 // soft-decision decode corrects up to here
+}
+
+// RBERPerRiskUnit converts model risk units to a raw bit error rate:
+// risk 100_000 == RBER 1e-4.
+const RBERPerRiskUnit = 1e-9
+
+// DefaultMediaModel returns a mid-2010s MLC-class aging model: ~10k erase
+// cycles, ~100k block reads, or ~5.5 virtual hours of retention to reach
+// the fast ECC limit, with a 20% weak-page spread.
+func DefaultMediaModel(seed int64) *MediaModel {
+	return &MediaModel{
+		Seed:            seed,
+		WearWeight:      10,
+		DisturbWeight:   1,
+		RetentionWeight: 5,
+		RetentionUnit:   sim.Second,
+		PageNoise:       20_000,
+		FastLimit:       100_000,
+		RetryLimit:      140_000,
+		SoftLimit:       180_000,
+	}
+}
+
+// ErrMediaModel is returned when a media model's parameters are invalid.
+var ErrMediaModel = errors.New("nand: invalid media model")
+
+func (m *MediaModel) validate() error {
+	if m.WearWeight < 0 || m.DisturbWeight < 0 || m.RetentionWeight < 0 || m.PageNoise < 0 {
+		return fmt.Errorf("%w: negative weight", ErrMediaModel)
+	}
+	if m.RetentionWeight > 0 && m.RetentionUnit <= 0 {
+		return fmt.Errorf("%w: RetentionWeight set with RetentionUnit %d", ErrMediaModel, m.RetentionUnit)
+	}
+	if m.FastLimit <= 0 || m.RetryLimit < m.FastLimit || m.SoftLimit < m.RetryLimit {
+		return fmt.Errorf("%w: ECC limits must satisfy 0 < FastLimit <= RetryLimit <= SoftLimit (got %d/%d/%d)",
+			ErrMediaModel, m.FastLimit, m.RetryLimit, m.SoftLimit)
+	}
+	return nil
+}
+
+// SetMediaModel installs (or, with nil, removes) the endogenous aging
+// model. Installing resets no history: disturb counters and the media
+// clock continue from where they are, so the model can be switched on
+// after a setup phase.
+func (c *Chip) SetMediaModel(m *MediaModel) error {
+	if m == nil {
+		c.media = nil
+		c.pageWeak = nil
+		c.blockWeak = nil
+		return nil
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	mm := *m // private copy: later caller mutation must not change behavior
+	c.media = &mm
+	c.pageWeak = make([]int64, c.geo.TotalPages())
+	c.blockWeak = make([]int64, c.geo.Blocks)
+	if c.readDisturb == nil {
+		c.readDisturb = make([]int64, c.geo.Blocks)
+		c.erasedAt = make([]int64, c.geo.Blocks)
+	}
+	for ppn := range c.pageWeak {
+		w := int64(0)
+		if mm.PageNoise > 0 {
+			w = int64(splitmix64(uint64(mm.Seed)^(uint64(ppn)*0x9E3779B97F4A7C15)) % uint64(mm.PageNoise+1))
+		}
+		c.pageWeak[ppn] = w
+		if b := ppn / c.geo.PagesPerBlock; w > c.blockWeak[b] {
+			c.blockWeak[b] = w
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derive the static
+// per-page weakness from the model seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// MediaEnabled reports whether the endogenous aging model is installed.
+func (c *Chip) MediaEnabled() bool { return c.media != nil }
+
+// Media returns the installed aging model, or nil. Callers must treat it
+// as read-only.
+func (c *Chip) Media() *MediaModel { return c.media }
+
+// AdvanceMediaTime adds idle time to the media clock, aging retained data
+// without any operation being issued. Hosts use it to model power-on idle
+// periods; NAND operation service times accrue automatically.
+func (c *Chip) AdvanceMediaTime(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("nand: negative media time advance %d", d))
+	}
+	c.mediaClock += d
+}
+
+// MediaClock returns the chip's media time: total operation service time
+// plus declared idle time, in virtual nanoseconds.
+func (c *Chip) MediaClock() sim.Duration { return c.mediaClock }
+
+// tickMedia accrues one operation's service time on the media clock.
+func (c *Chip) tickMedia(d sim.Duration) {
+	if c.media != nil {
+		c.mediaClock += d
+	}
+}
+
+// blockBaseRisk is the risk shared by every page of block b: wear,
+// accumulated read disturb, and retention age since the last erase.
+func (c *Chip) blockBaseRisk(b int) int64 {
+	m := c.media
+	risk := m.WearWeight * c.eraseCount[b]
+	risk += m.DisturbWeight * c.readDisturb[b]
+	if m.RetentionWeight > 0 {
+		age := c.mediaClock - c.erasedAt[b]
+		risk += m.RetentionWeight * (age / m.RetentionUnit)
+	}
+	return risk
+}
+
+// pageRisk is the predicted risk level of one physical page.
+func (c *Chip) pageRisk(ppn uint32) int64 {
+	return c.blockBaseRisk(int(ppn)/c.geo.PagesPerBlock) + c.pageWeak[ppn]
+}
+
+// BlockRisk returns the predicted risk of block b's weakest (most
+// error-prone) page — the number a patrol scrubber ranks blocks by.
+// Returns 0 when no media model is installed.
+func (c *Chip) BlockRisk(b int) int64 {
+	if c.media == nil {
+		return 0
+	}
+	return c.blockBaseRisk(b) + c.blockWeak[b]
+}
+
+// ReadDisturbCount returns block b's accumulated read count since its
+// last erase (0 when the model has never been installed).
+func (c *Chip) ReadDisturbCount(b int) int64 {
+	if c.readDisturb == nil {
+		return 0
+	}
+	return c.readDisturb[b]
+}
+
+// readStrength selects which ECC step a read attempt uses.
+type readStrength uint8
+
+const (
+	strengthFast readStrength = iota // on-the-fly ECC, base latency
+	strengthShifted                  // shifted sense voltage re-read
+	strengthSoft                     // soft-decision decode, several senses
+)
+
+// limit returns the risk level the strength corrects up to.
+func (m *MediaModel) limit(s readStrength) int64 {
+	switch s {
+	case strengthShifted:
+		return m.RetryLimit
+	case strengthSoft:
+		return m.SoftLimit
+	}
+	return m.FastLimit
+}
+
+// readCost returns the service time of a read attempt at the given
+// strength: a shifted re-read pays one extra sense, a soft-decision decode
+// samples several reference voltages before decoding.
+func (c *Chip) readCost(s readStrength) sim.Duration {
+	switch s {
+	case strengthShifted:
+		return 2*c.timing.ReadPage + c.timing.Transfer
+	case strengthSoft:
+		return 6*c.timing.ReadPage + c.timing.Transfer
+	}
+	return c.timing.ReadPage + c.timing.Transfer
+}
+
+// classifyRead resolves one read attempt of ppn at the given strength
+// against the installed media model (no-op success when none): it charges
+// the read's disturb to the block and reports whether the data came back,
+// and whether ECC had to correct it.
+func (c *Chip) classifyRead(ppn uint32, s readStrength) (ok, corrected bool) {
+	if c.media == nil {
+		return true, false
+	}
+	risk := c.pageRisk(ppn)
+	// The sense operation itself disturbs the block — including failed
+	// attempts — so retries on a rotten block keep aging it.
+	c.readDisturb[int(ppn)/c.geo.PagesPerBlock]++
+	lim := c.media.limit(s)
+	if risk > lim {
+		return false, false
+	}
+	return true, risk > c.media.FastLimit/2
+}
+
+// ReadShifted re-reads a page with a shifted sense voltage: the second
+// rung of the ECC ladder. It corrects up to the model's RetryLimit at one
+// extra page-read of latency. Fault-plan read faults still apply (the
+// plan is the override layer).
+func (c *Chip) ReadShifted(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
+	c.retryReads++
+	return c.readAt(ppn, dst, strengthShifted)
+}
+
+// ReadSoft performs a soft-decision decode: the last rung of the ECC
+// ladder, sampling several sense levels to feed a soft decoder. It
+// corrects up to the model's SoftLimit at several times the read latency.
+func (c *Chip) ReadSoft(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
+	c.softReads++
+	return c.readAt(ppn, dst, strengthSoft)
+}
+
+// readAt is the shared read path at a given ECC strength (Chip.Read is
+// readAt with strengthFast).
+func (c *Chip) readAt(ppn uint32, dst []byte, s readStrength) (OOB, sim.Duration, error) {
+	if int(ppn) >= len(c.pages) {
+		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrBounds, ppn)
+	}
+	p := &c.pages[ppn]
+	if p.state != PageProgrammed {
+		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrFreeRead, ppn)
+	}
+	if len(dst) != c.geo.PageSize {
+		return OOB{}, 0, fmt.Errorf("nand: read size %d != page size %d", len(dst), c.geo.PageSize)
+	}
+	cost := c.readCost(s)
+	c.tickMedia(cost)
+	c.dieOps[c.geo.DieOfPPN(ppn)].Reads++
+	// The fault plan overrides the media model: a scheduled or seeded read
+	// fault decides the outcome no matter how healthy the page is, and a
+	// scheduled correctable fault succeeds no matter how rotten.
+	switch c.nextFault(opRead) {
+	case FaultReadUncorrectable:
+		if c.media != nil {
+			c.readDisturb[int(ppn)/c.geo.PagesPerBlock]++
+		}
+		c.readFails++
+		return OOB{}, cost, fmt.Errorf("%w: ppn %d", ErrUncorrectable, ppn)
+	case FaultReadCorrectable:
+		if c.media != nil {
+			c.readDisturb[int(ppn)/c.geo.PagesPerBlock]++
+		}
+		c.eccCorrected++
+	default:
+		ok, corrected := c.classifyRead(ppn, s)
+		if !ok {
+			c.readFails++
+			if s == strengthFast {
+				c.mediaHardReads++
+			}
+			return OOB{}, cost, fmt.Errorf("%w: ppn %d (risk %d over %s limit)",
+				ErrUncorrectable, ppn, c.pageRisk(ppn), s)
+		}
+		if corrected {
+			c.eccCorrected++
+		}
+	}
+	copy(dst, p.data)
+	c.reads++
+	return p.oob, cost, nil
+}
+
+func (s readStrength) String() string {
+	switch s {
+	case strengthShifted:
+		return "shifted-read"
+	case strengthSoft:
+		return "soft-decode"
+	}
+	return "fast-read"
+}

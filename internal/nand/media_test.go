@@ -1,0 +1,292 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+
+	"share/internal/sim"
+)
+
+// mediaChip returns a small chip with an installed aging model whose
+// thresholds are tiny, so tests can rot pages with a handful of ops.
+func mediaChip(t *testing.T, m *MediaModel) *Chip {
+	t.Helper()
+	c, err := New(Geometry{PageSize: 16, PagesPerBlock: 4, Blocks: 8}, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMediaModel(m); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// testModel: no static noise (exact thresholds), fast limit 100,
+// shifted-read limit 200, soft-decode limit 300.
+func testModel(mut func(*MediaModel)) *MediaModel {
+	m := &MediaModel{
+		Seed:            7,
+		FastLimit:       100,
+		RetryLimit:      200,
+		SoftLimit:       300,
+		RetentionUnit:   sim.Second,
+		RetentionWeight: 0,
+	}
+	if mut != nil {
+		mut(m)
+	}
+	return m
+}
+
+func programPage(t *testing.T, c *Chip, ppn uint32) {
+	t.Helper()
+	buf := make([]byte, c.Geometry().PageSize)
+	buf[0] = byte(ppn)
+	if _, err := c.Program(ppn, buf, OOB{LPN: ppn}); err != nil {
+		t.Fatalf("program ppn %d: %v", ppn, err)
+	}
+}
+
+func TestMediaModelValidation(t *testing.T) {
+	c := mediaChip(t, testModel(nil))
+	bad := []*MediaModel{
+		testModel(func(m *MediaModel) { m.WearWeight = -1 }),
+		testModel(func(m *MediaModel) { m.RetentionWeight = 5; m.RetentionUnit = 0 }),
+		testModel(func(m *MediaModel) { m.FastLimit = 0 }),
+		testModel(func(m *MediaModel) { m.RetryLimit = m.FastLimit - 1 }),
+		testModel(func(m *MediaModel) { m.SoftLimit = m.RetryLimit - 1 }),
+	}
+	for i, m := range bad {
+		if err := c.SetMediaModel(m); !errors.Is(err, ErrMediaModel) {
+			t.Errorf("bad model %d: got %v, want ErrMediaModel", i, err)
+		}
+	}
+	if err := c.SetMediaModel(nil); err != nil {
+		t.Fatalf("removing model: %v", err)
+	}
+	if c.MediaEnabled() {
+		t.Fatal("model still enabled after removal")
+	}
+}
+
+// TestReadDisturbEscalation reads one page until its block's disturb risk
+// crosses each ECC strength in turn: fast read fails first, the shifted
+// re-read still recovers, then the soft decode, and finally nothing does.
+func TestReadDisturbEscalation(t *testing.T) {
+	c := mediaChip(t, testModel(func(m *MediaModel) { m.DisturbWeight = 1 }))
+	programPage(t, c, 0)
+	buf := make([]byte, c.Geometry().PageSize)
+
+	// Reads succeed on the fast path until accumulated disturb exceeds
+	// FastLimit (risk is assessed before the read's own disturb lands).
+	for c.ReadDisturbCount(0) <= 100 {
+		if _, _, err := c.Read(0, buf); err != nil {
+			t.Fatalf("fast read at disturb %d: %v", c.ReadDisturbCount(0), err)
+		}
+	}
+	if _, _, err := c.Read(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("read past FastLimit: got %v, want ErrUncorrectable", err)
+	}
+	if _, _, err := c.ReadShifted(0, buf); err != nil {
+		t.Fatalf("shifted read should recover at risk %d: %v", c.ReadDisturbCount(0), err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("shifted read returned wrong data")
+	}
+	// Push past RetryLimit: shifted fails, soft decode recovers.
+	for c.ReadDisturbCount(0) <= 200 {
+		c.ReadShifted(0, buf)
+	}
+	if _, _, err := c.ReadShifted(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("shifted read past RetryLimit: got %v", err)
+	}
+	if _, _, err := c.ReadSoft(0, buf); err != nil {
+		t.Fatalf("soft decode should recover: %v", err)
+	}
+	// Push past SoftLimit: data loss at every strength.
+	for c.ReadDisturbCount(0) <= 300 {
+		c.ReadSoft(0, buf)
+	}
+	if _, _, err := c.ReadSoft(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("soft decode past SoftLimit: got %v", err)
+	}
+	st := c.Stats()
+	if st.RetryReads == 0 || st.SoftReads == 0 || st.MediaHardReads == 0 {
+		t.Fatalf("ladder counters not populated: %+v", st)
+	}
+}
+
+// TestRetentionAging rots a block purely by idle time and confirms erase
+// resets both retention age and disturb.
+func TestRetentionAging(t *testing.T) {
+	c := mediaChip(t, testModel(func(m *MediaModel) {
+		m.RetentionWeight = 10 // 10 risk units per virtual second
+	}))
+	programPage(t, c, 0)
+	buf := make([]byte, c.Geometry().PageSize)
+
+	c.AdvanceMediaTime(9 * sim.Second) // risk 90 <= 100
+	if _, _, err := c.Read(0, buf); err != nil {
+		t.Fatalf("read at risk 90: %v", err)
+	}
+	c.AdvanceMediaTime(2 * sim.Second) // risk 110 > fast limit
+	if _, _, err := c.Read(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("read past retention limit: got %v", err)
+	}
+	if r := c.BlockRisk(0); r <= 100 {
+		t.Fatalf("BlockRisk = %d, want > 100", r)
+	}
+
+	if _, err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReadDisturbCount(0) != 0 {
+		t.Fatal("erase did not reset disturb")
+	}
+	programPage(t, c, 0)
+	if _, _, err := c.Read(0, buf); err != nil {
+		t.Fatalf("read after refresh: %v", err)
+	}
+}
+
+// TestWearRaisesRisk confirms erase cycles contribute permanent risk.
+func TestWearRaisesRisk(t *testing.T) {
+	c := mediaChip(t, testModel(func(m *MediaModel) { m.WearWeight = 50 }))
+	for i := 0; i < 3; i++ {
+		if _, err := c.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := c.BlockRisk(0); r != 150 {
+		t.Fatalf("BlockRisk after 3 erases = %d, want 150", r)
+	}
+	programPage(t, c, 0)
+	buf := make([]byte, c.Geometry().PageSize)
+	// Risk 151 with the read's own disturb... DisturbWeight is 0 here, so 150.
+	if _, _, err := c.Read(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("read on worn block: got %v, want ErrUncorrectable", err)
+	}
+	if _, _, err := c.ReadShifted(0, buf); err != nil {
+		t.Fatalf("shifted read on worn block: %v", err)
+	}
+}
+
+// TestMediaDeterminism: identical seeds give identical weakness maps and
+// therefore identical outcomes; different seeds differ.
+func TestMediaDeterminism(t *testing.T) {
+	risks := func(seed int64) []int64 {
+		c := mediaChip(t, testModel(func(m *MediaModel) {
+			m.Seed = seed
+			m.PageNoise = 1000
+		}))
+		out := make([]int64, c.Geometry().Blocks)
+		for b := range out {
+			out[b] = c.BlockRisk(b)
+		}
+		return out
+	}
+	a, b, other := risks(42), risks(42), risks(43)
+	differ := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different risk at block %d: %d vs %d", i, a[i], b[i])
+		}
+		differ = differ || a[i] != other[i]
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical weakness maps")
+	}
+}
+
+// TestFaultPlanOverridesMedia: scheduled read faults win over the model in
+// both directions.
+func TestFaultPlanOverridesMedia(t *testing.T) {
+	c := mediaChip(t, testModel(nil))
+	// Fresh, healthy page + scheduled uncorrectable fault at read 1.
+	if err := c.SetFaultPlan(NewFaultPlan(1).AtRead(1, FaultReadUncorrectable).AtRead(2, FaultReadCorrectable)); err != nil {
+		t.Fatal(err)
+	}
+	programPage(t, c, 0)
+	buf := make([]byte, c.Geometry().PageSize)
+	if _, _, err := c.Read(0, buf); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("scheduled fault on healthy page: got %v", err)
+	}
+	// Scheduled correctable fault succeeds even on a rotten page.
+	c.AdvanceMediaTime(1000 * sim.Second)
+	c.media.RetentionWeight = 10 // rot everything far past SoftLimit
+	if _, _, err := c.Read(0, buf); err != nil {
+		t.Fatalf("scheduled correctable fault on rotten page: got %v", err)
+	}
+	if c.Stats().EccCorrected == 0 {
+		t.Fatal("correctable override not counted")
+	}
+}
+
+func TestMediaClockAccrues(t *testing.T) {
+	c := mediaChip(t, testModel(nil))
+	start := c.MediaClock()
+	programPage(t, c, 0)
+	buf := make([]byte, c.Geometry().PageSize)
+	c.Read(0, buf)
+	c.EraseBlock(1)
+	want := c.timing.Transfer + c.timing.Program + c.timing.ReadPage + c.timing.Transfer + c.timing.Erase
+	if got := c.MediaClock() - start; got != want {
+		t.Fatalf("media clock accrued %d, want %d", got, want)
+	}
+	c.AdvanceMediaTime(5 * sim.Second)
+	if got := c.MediaClock() - start; got != want+5*sim.Second {
+		t.Fatalf("AdvanceMediaTime: clock %d, want %d", got, want+5*sim.Second)
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	c, err := New(Geometry{PageSize: 16, PagesPerBlock: 4, Blocks: 8}, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plan *FaultPlan
+	}{
+		{"factory-bad out of range", &FaultPlan{FactoryBad: []int{8}}},
+		{"factory-bad negative", &FaultPlan{FactoryBad: []int{-1}}},
+		{"zero op index", NewFaultPlan(1).AtProgram(0, FaultProgramTransient)},
+		{"negative op index", NewFaultPlan(1).AtRead(-3, FaultReadCorrectable)},
+		{"erase kind on program op", NewFaultPlan(1).AtProgram(1, FaultErase)},
+		{"program kind on erase op", NewFaultPlan(1).AtErase(1, FaultProgramPermanent)},
+		{"program kind on read op", NewFaultPlan(1).AtRead(1, FaultProgramTransient)},
+		{"probability over 1", &FaultPlan{PErase: 1.5}},
+		{"negative probability", &FaultPlan{PReadCorrectable: -0.1}},
+		{"program probs sum over 1", &FaultPlan{PProgramTransient: 0.6, PProgramPermanent: 0.6}},
+		{"read probs sum over 1", &FaultPlan{PReadCorrectable: 0.7, PReadUncorrectable: 0.7}},
+	}
+	for _, tc := range cases {
+		if err := c.SetFaultPlan(tc.plan); !errors.Is(err, ErrFaultPlan) {
+			t.Errorf("%s: got %v, want ErrFaultPlan", tc.name, err)
+		}
+	}
+	// A rejected plan must leave the chip untouched.
+	if err := c.SetFaultPlan(&FaultPlan{FactoryBad: []int{2, 99}}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if c.IsBad(2) {
+		t.Fatal("rejected plan partially applied: block 2 marked bad")
+	}
+	if c.plan != nil {
+		t.Fatal("rejected plan installed")
+	}
+	// Valid plans still work, including FaultNone overrides.
+	ok := NewFaultPlan(1).
+		AtProgram(3, FaultProgramTransient).
+		AtErase(2, FaultErase).
+		AtRead(5, FaultNone)
+	ok.FactoryBad = []int{0, 7}
+	ok.PReadCorrectable = 0.5
+	ok.PReadUncorrectable = 0.5
+	if err := c.SetFaultPlan(ok); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if !c.IsBad(0) || !c.IsBad(7) {
+		t.Fatal("factory-bad blocks not marked")
+	}
+}

@@ -187,17 +187,29 @@ type Chip struct {
 	cutArmed  bool
 	cutAt     int64
 
+	// Endogenous media aging (see media.go). All nil/zero until a
+	// MediaModel is installed.
+	media       *MediaModel
+	mediaClock  sim.Duration
+	readDisturb []int64 // per block: reads since last erase
+	erasedAt    []int64 // per block: media-clock time of last erase
+	pageWeak    []int64 // per page: seeded static weakness
+	blockWeak   []int64 // per block: max pageWeak of its pages
+
 	// Statistics.
-	reads        int64
-	programs     int64
-	erases       int64
-	programFails int64
-	eraseFails   int64
-	eccCorrected int64
-	readFails    int64
-	badBlocks    int64
-	eraseCount   []int64  // per block
-	dieOps       []DieOps // per die: operations that occupied it
+	reads          int64
+	programs       int64
+	erases         int64
+	programFails   int64
+	eraseFails     int64
+	eccCorrected   int64
+	readFails      int64
+	badBlocks      int64
+	retryReads     int64
+	softReads      int64
+	mediaHardReads int64
+	eraseCount     []int64  // per block
+	dieOps         []DieOps // per die: operations that occupied it
 }
 
 // DieOps counts the operations that occupied one die, including failed
@@ -265,6 +277,7 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 		return 0, fmt.Errorf("%w: program ppn %d", ErrPowerCut, ppn)
 	}
 	cost := c.timing.Transfer + c.timing.Program
+	c.tickMedia(cost)
 	c.dieOps[c.geo.DieOfPPN(ppn)].Programs++
 	if p.bad || c.blockBad[c.BlockOf(ppn)] {
 		c.programFails++
@@ -292,29 +305,12 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 }
 
 // Read copies physical page ppn into dst (which must be one page long) and
-// returns its OOB and the service time.
+// returns its OOB and the service time. This is the fast read path: the
+// on-the-fly ECC pass corrects up to the media model's FastLimit; pages
+// rotted past it fail with ErrUncorrectable and need the stronger (and
+// slower) ReadShifted / ReadSoft rungs of the ECC ladder.
 func (c *Chip) Read(ppn uint32, dst []byte) (OOB, sim.Duration, error) {
-	if int(ppn) >= len(c.pages) {
-		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrBounds, ppn)
-	}
-	p := &c.pages[ppn]
-	if p.state != PageProgrammed {
-		return OOB{}, 0, fmt.Errorf("%w: ppn %d", ErrFreeRead, ppn)
-	}
-	if len(dst) != c.geo.PageSize {
-		return OOB{}, 0, fmt.Errorf("nand: read size %d != page size %d", len(dst), c.geo.PageSize)
-	}
-	c.dieOps[c.geo.DieOfPPN(ppn)].Reads++
-	switch c.nextFault(opRead) {
-	case FaultReadUncorrectable:
-		c.readFails++
-		return OOB{}, c.timing.ReadPage + c.timing.Transfer, fmt.Errorf("%w: ppn %d", ErrUncorrectable, ppn)
-	case FaultReadCorrectable:
-		c.eccCorrected++
-	}
-	copy(dst, p.data)
-	c.reads++
-	return p.oob, c.timing.ReadPage + c.timing.Transfer, nil
+	return c.readAt(ppn, dst, strengthFast)
 }
 
 // ReadOOB returns just the OOB of a programmed page. It models the cheap
@@ -339,6 +335,7 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 	if c.powerLost() {
 		return 0, fmt.Errorf("%w: erase block %d", ErrPowerCut, block)
 	}
+	c.tickMedia(c.timing.Erase)
 	c.dieOps[c.geo.DieOfBlock(block)].Erases++
 	if c.blockBad[block] {
 		c.eraseFails++
@@ -361,6 +358,12 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 	}
 	c.erases++
 	c.eraseCount[block]++
+	// Erase restores the cells: accumulated read disturb is gone and the
+	// retention clock restarts for whatever is programmed next.
+	if c.readDisturb != nil {
+		c.readDisturb[block] = 0
+		c.erasedAt[block] = c.mediaClock
+	}
 	return c.timing.Erase, nil
 }
 
@@ -377,6 +380,14 @@ type Stats struct {
 	EccCorrected int64 // reads that needed ECC correction
 	ReadFails    int64 // uncorrectable reads
 	BadBlocks    int64 // blocks factory-bad or failed in service
+
+	// ECC ladder and media-aging counters (zero with the model off; the
+	// omitempty tags keep aging-free benchmark reports byte-identical).
+	RetryReads     int64 `json:",omitempty"` // shifted-sense re-read attempts
+	SoftReads      int64 `json:",omitempty"` // soft-decision decode attempts
+	MediaHardReads int64 `json:",omitempty"` // fast reads failed by endogenous aging
+	MaxPageRisk    int64 `json:",omitempty"` // gauge: worst predicted page risk (1 unit = 1e-9 RBER)
+	MeanPageRisk   int64 `json:",omitempty"` // gauge: mean per-block worst-page risk
 }
 
 // Stats returns a snapshot of the chip's counters.
@@ -385,7 +396,20 @@ func (c *Chip) Stats() Stats {
 		Reads: c.reads, Programs: c.programs, Erases: c.erases,
 		ProgramFails: c.programFails, EraseFails: c.eraseFails,
 		EccCorrected: c.eccCorrected, ReadFails: c.readFails,
-		BadBlocks: c.badBlocks,
+		BadBlocks:  c.badBlocks,
+		RetryReads: c.retryReads, SoftReads: c.softReads,
+		MediaHardReads: c.mediaHardReads,
+	}
+	if c.media != nil && c.geo.Blocks > 0 {
+		var sum int64
+		for b := 0; b < c.geo.Blocks; b++ {
+			r := c.BlockRisk(b)
+			if r > s.MaxPageRisk {
+				s.MaxPageRisk = r
+			}
+			sum += r
+		}
+		s.MeanPageRisk = sum / int64(c.geo.Blocks)
 	}
 	if len(c.eraseCount) > 0 {
 		s.MinWear = c.eraseCount[0]

@@ -37,6 +37,12 @@ type Config struct {
 	// scheduled or seeded program/erase/read faults). Installed before the
 	// FTL formats the chip, so factory marks are honored from the start.
 	Fault *nand.FaultPlan
+	// Media optionally installs an endogenous aging model (read disturb,
+	// retention, wear — see nand.MediaModel): the device then degrades
+	// with its own access pattern and the FTL's ECC ladder and patrol
+	// scrubber have real work to do. Nil keeps media perfect, which also
+	// keeps aging-free experiment output byte-identical.
+	Media *nand.MediaModel
 }
 
 // DefaultConfig returns a small OpenSSD-like device: 4 KiB pages, 128
@@ -89,6 +95,11 @@ func New(name string, cfg Config) (*Device, error) {
 	}
 	if cfg.Fault != nil {
 		if err := chip.SetFaultPlan(cfg.Fault); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Media != nil {
+		if err := chip.SetMediaModel(cfg.Media); err != nil {
 			return nil, err
 		}
 	}
@@ -312,6 +323,39 @@ func (d *Device) Recover(t *sim.Task) error {
 	return d.serve(t, metrics.CmdRecover, func() (sim.Duration, error) { return d.ftl.Recover() })
 }
 
+// PatrolStep runs one increment of the background patrol scrubber: rank
+// blocks by predicted media risk and refresh the riskiest one past the
+// patrol threshold (see ftl.PatrolStep). The step's NAND work is served
+// like any other command — replayed onto the per-die resource servers on
+// die-scheduled devices — so patrol traffic queues behind foreground I/O
+// in virtual time; hosts control its priority by how often they call it.
+// Returns the refreshed block, or -1 if none needed refreshing.
+func (d *Device) PatrolStep(t *sim.Task) (int, error) {
+	refreshed := -1
+	err := d.serve(t, metrics.CmdPatrol, func() (sim.Duration, error) {
+		dur, b, err := d.ftl.PatrolStep()
+		refreshed = b
+		return dur, err
+	})
+	return refreshed, err
+}
+
+// AdvanceMediaTime ages retained data by idle virtual time (power-on idle
+// between bursts of work). A no-op without a media model.
+func (d *Device) AdvanceMediaTime(dur sim.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chip.AdvanceMediaTime(dur)
+}
+
+// MediaEnabled reports whether the device carries an endogenous aging
+// model.
+func (d *Device) MediaEnabled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.chip.MediaEnabled()
+}
+
 // Age pre-conditions the drive the way the paper does before measuring: it
 // fills fillRatio of the logical space and then rewrites randomFrac of it
 // in random order, so steady-state garbage collection is active during the
@@ -379,6 +423,11 @@ func (s Stats) sub(base Stats) Stats {
 	out.FTL.UncorrectableReads -= base.FTL.UncorrectableReads
 	out.FTL.ScrubbedBlocks -= base.FTL.ScrubbedBlocks
 	out.FTL.ScrubRelocations -= base.FTL.ScrubRelocations
+	out.FTL.SoftDecodes -= base.FTL.SoftDecodes
+	out.FTL.PatrolScans -= base.FTL.PatrolScans
+	out.FTL.PatrolRefreshes -= base.FTL.PatrolRefreshes
+	out.FTL.LostPages -= base.FTL.LostPages
+	out.FTL.MetaFaults -= base.FTL.MetaFaults
 	out.FTL.LogPagesWritten -= base.FTL.LogPagesWritten
 	out.FTL.MapPagesWritten -= base.FTL.MapPagesWritten
 	out.FTL.Checkpoints -= base.FTL.Checkpoints
@@ -392,7 +441,11 @@ func (s Stats) sub(base Stats) Stats {
 	out.Chip.EraseFails -= base.Chip.EraseFails
 	out.Chip.EccCorrected -= base.Chip.EccCorrected
 	out.Chip.ReadFails -= base.Chip.ReadFails
-	// Chip gauges pass through: MaxWear, MinWear, BadBlocks.
+	out.Chip.RetryReads -= base.Chip.RetryReads
+	out.Chip.SoftReads -= base.Chip.SoftReads
+	out.Chip.MediaHardReads -= base.Chip.MediaHardReads
+	// Chip gauges pass through: MaxWear, MinWear, BadBlocks, MaxPageRisk,
+	// MeanPageRisk.
 	return out
 }
 
@@ -510,6 +563,113 @@ func (d *Device) ChannelTelemetry() []ChannelStat {
 		out[i] = ChannelStat{Channel: i, BusyNs: r.BusyTime() - d.chanBusyBase[i]}
 	}
 	return out
+}
+
+// DieHealth is one die's media-health summary: wear spread across its
+// blocks plus (with a media model) predicted worst-page RBER.
+type DieHealth struct {
+	Die      int     `json:"die"`
+	Channel  int     `json:"channel"`
+	Blocks   int     `json:"blocks"`
+	Retired  int     `json:"retired"`
+	MinWear  int64   `json:"min_wear"`
+	MaxWear  int64   `json:"max_wear"`
+	MeanWear float64 `json:"mean_wear"`
+	MeanRBER float64 `json:"mean_rber,omitempty"` // mean per-block worst-page RBER
+	MaxRBER  float64 `json:"max_rber,omitempty"`  // worst block's predicted RBER
+}
+
+// Health is the device's self-assessment: per-die wear and predicted RBER,
+// self-healing activity (blocks refreshed and retired), and the current
+// patrol/scrub queue depths. Counters are lifetime totals — health is a
+// whole-life view, not an epoch one.
+type Health struct {
+	MediaEnabled       bool        `json:"media_enabled"`
+	Dies               []DieHealth `json:"dies"`
+	BlocksRefreshed    int64       `json:"blocks_refreshed"` // scrubbed: reactive + patrol
+	PatrolRefreshes    int64       `json:"patrol_refreshes"` // the patrol-initiated subset
+	RetiredBlocks      int64       `json:"retired_blocks"`
+	PatrolBacklog      int         `json:"patrol_backlog"`    // blocks at/over the refresh threshold
+	ScrubQueueDepth    int         `json:"scrub_queue_depth"` // reactive queue from retry-recovered reads
+	ReadRetries        int64       `json:"read_retries"`
+	SoftDecodes        int64       `json:"soft_decodes"`
+	UncorrectableReads int64       `json:"uncorrectable_reads"`
+	LostPages          int64       `json:"lost_pages"` // pending sectors: data lost during relocation
+	MeanRBER           float64     `json:"mean_rber,omitempty"`
+	MaxRBER            float64     `json:"max_rber,omitempty"`
+}
+
+// Health computes the device health report.
+func (d *Device) Health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	geo := d.cfg.Geometry
+	fst := d.ftl.Stats()
+	h := Health{
+		MediaEnabled:       d.chip.MediaEnabled(),
+		Dies:               make([]DieHealth, geo.NumDies()),
+		BlocksRefreshed:    fst.ScrubbedBlocks,
+		PatrolRefreshes:    fst.PatrolRefreshes,
+		RetiredBlocks:      fst.RetiredBlocks,
+		PatrolBacklog:      d.ftl.PatrolBacklog(),
+		ScrubQueueDepth:    d.ftl.ScrubQueueLen(),
+		ReadRetries:        fst.ReadRetries,
+		SoftDecodes:        fst.SoftDecodes,
+		UncorrectableReads: fst.UncorrectableReads,
+		LostPages:          fst.LostPages,
+	}
+	type agg struct {
+		wearSum, riskSum int64
+	}
+	sums := make([]agg, len(h.Dies))
+	for i := range h.Dies {
+		h.Dies[i] = DieHealth{Die: i, Channel: geo.ChannelOfDie(i), MinWear: -1}
+	}
+	for b := 0; b < geo.Blocks; b++ {
+		die := geo.DieOfBlock(b)
+		dh := &h.Dies[die]
+		dh.Blocks++
+		if d.ftl.IsRetired(b) {
+			dh.Retired++
+		}
+		w := d.chip.EraseCount(b)
+		sums[die].wearSum += w
+		if w > dh.MaxWear {
+			dh.MaxWear = w
+		}
+		if dh.MinWear < 0 || w < dh.MinWear {
+			dh.MinWear = w
+		}
+		if h.MediaEnabled {
+			r := d.chip.BlockRisk(b)
+			sums[die].riskSum += r
+			rber := float64(r) * nand.RBERPerRiskUnit
+			if rber > dh.MaxRBER {
+				dh.MaxRBER = rber
+			}
+			if rber > h.MaxRBER {
+				h.MaxRBER = rber
+			}
+		}
+	}
+	var riskTotal int64
+	for i := range h.Dies {
+		dh := &h.Dies[i]
+		if dh.MinWear < 0 {
+			dh.MinWear = 0
+		}
+		if dh.Blocks > 0 {
+			dh.MeanWear = float64(sums[i].wearSum) / float64(dh.Blocks)
+			if h.MediaEnabled {
+				dh.MeanRBER = float64(sums[i].riskSum) * nand.RBERPerRiskUnit / float64(dh.Blocks)
+			}
+		}
+		riskTotal += sums[i].riskSum
+	}
+	if h.MediaEnabled && geo.Blocks > 0 {
+		h.MeanRBER = float64(riskTotal) * nand.RBERPerRiskUnit / float64(geo.Blocks)
+	}
+	return h
 }
 
 // FTLForTest exposes the FTL for white-box tests and the inspector tool.

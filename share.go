@@ -87,6 +87,16 @@ type DeviceOptions struct {
 	// Fault optionally injects NAND failures: factory-bad blocks plus
 	// scheduled or seeded program/erase/read faults (see nand.FaultPlan).
 	Fault *FaultPlan
+	// Media optionally installs an endogenous media-aging model: per-page
+	// raw bit-error risk grows with wear, read disturb and retention age,
+	// reads escalate through the FTL's ECC retry ladder as risk crosses the
+	// model's limits, and Device.PatrolStep drives the background patrol
+	// scrubber that refreshes blocks before they rot past recovery (see
+	// nand.MediaModel; DefaultMediaModel gives calibrated defaults).
+	Media *MediaModel
+	// PatrolThresholdPct overrides the patrol refresh trigger as a percent
+	// of the media model's fast-ECC limit (0 means the default 80).
+	PatrolThresholdPct int
 }
 
 // FaultPlan schedules NAND failures for fault-injection runs: factory-bad
@@ -96,6 +106,16 @@ type FaultPlan = nand.FaultPlan
 
 // NewFaultPlan returns an empty fault plan with the given probability seed.
 func NewFaultPlan(seed int64) *FaultPlan { return nand.NewFaultPlan(seed) }
+
+// MediaModel parameterizes endogenous media aging: seeded per-page
+// weakness plus wear, read-disturb and retention-driven raw bit-error
+// growth, with the ECC strength limits that grade reads into clean,
+// corrected, retried, soft-decoded or lost.
+type MediaModel = nand.MediaModel
+
+// DefaultMediaModel returns a media model with calibrated default weights
+// and ECC limits, seeded for deterministic per-page weakness.
+func DefaultMediaModel(seed int64) *MediaModel { return nand.DefaultMediaModel(seed) }
 
 // OpenDevice creates a fresh simulated device.
 func OpenDevice(opts DeviceOptions) (*Device, error) {
@@ -119,6 +139,8 @@ func OpenDevice(opts DeviceOptions) (*Device, error) {
 	cfg.FTL.PowerCapacitor = opts.PowerCapacitor
 	cfg.FTL.SpareBlocks = opts.SpareBlocks
 	cfg.Fault = opts.Fault
+	cfg.Media = opts.Media
+	cfg.FTL.PatrolThresholdPct = opts.PatrolThresholdPct
 	return ssd.New("share-ssd", cfg)
 }
 
