@@ -5,7 +5,7 @@ GO ?= go
 # CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
 CRASHCHECK_SEED ?= 1
 
-.PHONY: build test check race bench bench-json bench-scale bench-soak fuzz-crash fmt
+.PHONY: build test check race bench bench-json bench-scale bench-soak bench-tenants fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ check:
 	$(MAKE) bench-json
 	$(MAKE) bench-scale
 	$(MAKE) bench-soak
+	$(MAKE) bench-tenants
 
 # fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
 # short mode: for every engine x SHARE-mode cell (innodb DWB-on/SHARE,
@@ -65,6 +66,14 @@ bench-scale:
 # degrades; TestSoakScrubberHoldsZero pins the contrast.
 bench-soak:
 	$(GO) run ./cmd/sharebench -exp soak -json -outdir .
+
+# bench-tenants sweeps client count x tenant count over per-tenant couch
+# stores on a 4-channel device behind fair-share admission and writes
+# BENCH_tenants.json; speedup_t4_c8_over_c1 (client scaling) and
+# fairness_t4_c8 (balanced per-tenant billing) are the concurrency
+# regression anchors, pinned by TestTenantsScaling.
+bench-tenants:
+	$(GO) run ./cmd/sharebench -exp tenants -json -outdir .
 
 fmt:
 	gofmt -l -w .

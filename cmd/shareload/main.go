@@ -1,0 +1,121 @@
+// Command shareload drives a shareserver with concurrent closed-loop
+// clients spread across tenants and reports per-tenant op counts and
+// error totals. It is the interactive companion to the stress harness:
+// point it at a running shareserver to watch fair-share admission shape
+// a mixed-tenant load.
+//
+// Usage:
+//
+//	shareload [-addr 127.0.0.1:7379] [-clients 8] [-tenants 2]
+//	          [-ops 1000] [-value-bytes 64] [-seed 42]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	tenant string
+	ops    int
+	errs   int
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7379", "shareserver address")
+		clients = flag.Int("clients", 8, "concurrent connections")
+		tenants = flag.Int("tenants", 2, "tenants to spread clients across")
+		ops     = flag.Int("ops", 1000, "operations per client")
+		valLen  = flag.Int("value-bytes", 64, "value size in bytes")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	results := make(chan result, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant%d", cl%*tenants)
+			res := result{tenant: tenant}
+			defer func() { results <- res }()
+			conn, err := net.Dial("tcp", *addr)
+			if err != nil {
+				res.errs++
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			do := func(line string) string {
+				if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+					return "ERR " + err.Error()
+				}
+				resp, err := r.ReadString('\n')
+				if err != nil {
+					return "ERR " + err.Error()
+				}
+				return strings.TrimRight(resp, "\n")
+			}
+			if resp := do("USE " + tenant); resp != "OK" {
+				res.errs++
+				return
+			}
+			rng := rand.New(rand.NewSource(*seed + int64(cl)))
+			value := strings.Repeat("x", *valLen)
+			for i := 0; i < *ops; i++ {
+				key := fmt.Sprintf("c%dk%d", cl, rng.Intn(*ops))
+				var resp string
+				switch rng.Intn(10) {
+				case 0:
+					resp = do("COMMIT")
+				case 1, 2, 3:
+					resp = do("GET " + key)
+				default:
+					resp = do(fmt.Sprintf("SET %s %s", key, value))
+				}
+				if strings.HasPrefix(resp, "ERR") {
+					res.errs++
+				} else {
+					res.ops++
+				}
+			}
+			do("COMMIT")
+			do("QUIT")
+		}(cl)
+	}
+	wg.Wait()
+	close(results)
+
+	perTenant := make(map[string]*result)
+	totalOps, totalErrs := 0, 0
+	for res := range results {
+		agg := perTenant[res.tenant]
+		if agg == nil {
+			agg = &result{tenant: res.tenant}
+			perTenant[res.tenant] = agg
+		}
+		agg.ops += res.ops
+		agg.errs += res.errs
+		totalOps += res.ops
+		totalErrs += res.errs
+	}
+	elapsed := time.Since(start).Seconds()
+	for tenant, agg := range perTenant {
+		fmt.Printf("%-12s ops=%-8d errs=%d\n", tenant, agg.ops, agg.errs)
+	}
+	fmt.Printf("total        ops=%-8d errs=%d  %.0f ops/s (wall)\n",
+		totalOps, totalErrs, float64(totalOps)/elapsed)
+	if totalErrs > 0 {
+		os.Exit(1)
+	}
+}

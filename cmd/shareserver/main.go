@@ -1,0 +1,59 @@
+// Command shareserver serves multi-tenant key-value stores over TCP from
+// one simulated SHARE-capable SSD. Every tenant gets its own database
+// file (internal/couch) in a shared file system (internal/fsim); the
+// device queue is guarded by a fair-share admission gate (internal/qos)
+// so no tenant can starve the rest.
+//
+// Usage:
+//
+//	shareserver [-addr 127.0.0.1:7379] [-blocks 512] [-channels 4]
+//	            [-batch 8] [-quantum-us 2000] [-share]
+//
+// Protocol (line-based; see internal/server for details):
+//
+//	USE <tenant> | SET <key> <value> | GET <key> | DEL <key>
+//	COMMIT | STATS | QUIT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"share/internal/server"
+	"share/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7379", "listen address")
+		blocks    = flag.Int("blocks", 512, "device blocks")
+		channels  = flag.Int("channels", 4, "NAND channels")
+		batch     = flag.Int("batch", 8, "sets per durable batch")
+		quantumUS = flag.Int64("quantum-us", 0, "fair-share quantum in microseconds (0: default)")
+		shareMode = flag.Bool("share", false, "use SHARE remapping for commits")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		Blocks:    *blocks,
+		Channels:  *channels,
+		BatchSize: *batch,
+		Quantum:   sim.Duration(*quantumUS) * sim.Microsecond,
+		ShareMode: *shareMode,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shareserver:", err)
+		os.Exit(1)
+	}
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shareserver:", err)
+		os.Exit(1)
+	}
+	fmt.Println("shareserver listening on", bound)
+	if err := s.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "shareserver:", err)
+		os.Exit(1)
+	}
+}

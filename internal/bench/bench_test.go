@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "table2",
 		"pgfpw", "abl-sharetable", "abl-batch", "abl-op", "abl-atomic", "abl-sqlite", "abl-queue", "abl-ycsb",
-		"smoke", "scale", "soak",
+		"smoke", "scale", "soak", "tenants",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -113,6 +113,45 @@ func TestScaleSpeedup(t *testing.T) {
 	}
 	if withDies != 3 {
 		t.Fatalf("%d device reports carry die telemetry, want 3", withDies)
+	}
+}
+
+// TestTenantsScaling is the acceptance check for concurrent multi-tenant
+// serving: at 4 tenants, adding clients must keep raising throughput
+// (at least 2x going from 1 to 8 clients), per-tenant fair-share billing
+// must stay balanced, and the deepest sweep point must carry device
+// telemetry with every die busy.
+func TestTenantsScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 12 sweep points; skipped in -short")
+	}
+	e, err := Get("tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := e.RunWithReport(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	for _, m := range rep.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	if sp := metrics["speedup_t4_c8_over_c1"]; sp < 2 {
+		t.Fatalf("4-tenant client speedup %.2fx < 2x\n%s", sp, out)
+	}
+	// With symmetric closed-loop clients, no tenant should be starved:
+	// min/max billed service at the deepest point stays above half.
+	if f := metrics["fairness_t4_c8"]; f < 0.5 {
+		t.Fatalf("fair-share billing ratio %.2f < 0.5 at t4/c8\n%s", f, out)
+	}
+	if len(rep.Devices) != 1 {
+		t.Fatalf("%d device reports, want 1 (deepest point)", len(rep.Devices))
+	}
+	for _, ds := range rep.Devices[0].Dies {
+		if ds.BusyNs <= 0 {
+			t.Fatalf("die %d idle at t4/c8: %+v", ds.Die, ds)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package couch
 
 import (
+	"sync/atomic"
+
 	"share/internal/core"
 	"share/internal/sim"
 	"share/internal/ssd"
@@ -23,7 +25,9 @@ type CompactStats struct {
 // header page (the length check §5.3.2 describes), transfers the document
 // bodies by SHARE remapping, and writes just the new index nodes.
 func (s *Store) Compact(t *sim.Task) (CompactStats, error) {
-	if s.degraded {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if s.degraded.Load() {
 		return CompactStats{}, ErrReadOnly
 	}
 	cs, err := s.compact(t)
@@ -34,7 +38,7 @@ func (s *Store) compact(t *sim.Task) (CompactStats, error) {
 	var cs CompactStats
 	// The open batch references current file offsets; make it durable
 	// before the file is rewritten.
-	if err := s.Commit(t); err != nil {
+	if err := s.commitLocked(t); err != nil {
 		return cs, err
 	}
 	start := t.Now()
@@ -180,7 +184,9 @@ func (s *Store) compact(t *sim.Task) (CompactStats, error) {
 		return cs, err
 	}
 	_ = old
-	s.st.Compactions++
+	atomic.AddInt64(&s.st.Compactions, 1)
+	// Outstanding snapshots reference the removed file; fence them.
+	s.compactEpoch.Add(1)
 
 	devAfter := s.fs.Device().Stats()
 	cs.BytesWritten = (devAfter.FTL.HostWrites - devBefore.FTL.HostWrites) * int64(s.page)

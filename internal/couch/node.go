@@ -200,7 +200,8 @@ func (s *Store) serializeNode(n *node, childOffs []int64) []byte {
 	return buf
 }
 
-// loadNode reads and parses a node page at off.
+// loadNode reads and parses a node page at off, caching the result in
+// the store's shared node cache (callers hold the store latch).
 func (s *Store) loadNode(t *sim.Task, off int64) (*node, error) {
 	if cached, ok := s.nodeCache[off]; ok {
 		return cached, nil
@@ -209,6 +210,17 @@ func (s *Store) loadNode(t *sim.Task, off int64) (*node, error) {
 	if _, err := s.file.ReadAt(t, buf, off); err != nil {
 		return nil, err
 	}
+	n, err := parseNode(buf, off)
+	if err != nil {
+		return nil, err
+	}
+	s.nodeCache[off] = n
+	return n, nil
+}
+
+// parseNode validates and decodes one serialized node page. It touches
+// no store state, so Snapshot readers share it without the latch.
+func parseNode(buf []byte, off int64) (*node, error) {
 	if binary.LittleEndian.Uint32(buf[0:]) != checksum32(buf[4:]) {
 		return nil, fmt.Errorf("couch: node checksum mismatch at %d", off)
 	}
@@ -238,7 +250,6 @@ func (s *Store) loadNode(t *sim.Task, off int64) (*node, error) {
 			n.size += internalEntrySize(key)
 		}
 	}
-	s.nodeCache[off] = n
 	return n, nil
 }
 

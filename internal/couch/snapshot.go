@@ -1,0 +1,190 @@
+package couch
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"share/internal/sim"
+)
+
+// ErrSnapshotStale is returned by snapshot reads after the store compacted:
+// the file the snapshot references has been swapped away and its pages
+// trimmed.
+var ErrSnapshotStale = errors.New("couch: snapshot predates a compaction")
+
+// Snapshot is a point-in-time reader over the last committed index root.
+// Because the tree is copy-on-write — nodes and documents are immutable
+// once written — a snapshot can be read by any number of concurrent tasks
+// without taking the store latch: it resolves nodes through its own
+// private cache and never touches the store's mutable state. Writers keep
+// committing while snapshot reads are in flight.
+//
+// Two caveats, both inherent to the storage design:
+//
+//   - SHARE-mode commits remap a same-sized document's *old* location onto
+//     the new version without touching the index (§4.3), so a snapshot
+//     taken before such an update reads the new value through the old
+//     reference. The snapshot is point-in-time for the index structure,
+//     not for documents updated via the SHARE fast path — the same
+//     aliasing the device-level remap creates for any stale file reader.
+//   - Compaction swaps the database file and trims the old one; snapshot
+//     reads from before the swap fail with ErrSnapshotStale.
+type Snapshot struct {
+	s       *Store
+	file    fsimFile
+	rootOff int64
+	epoch   int64
+
+	cmu   sync.Mutex // guards cache: one snapshot may serve many readers
+	cache map[int64]*node
+}
+
+// fsimFile is the minimal file surface a snapshot needs; it lets tests
+// substitute a failing reader.
+type fsimFile interface {
+	ReadAt(t *sim.Task, p []byte, off int64) (int, error)
+}
+
+// Snapshot captures the last committed tree root. The returned snapshot
+// serves reads concurrently with later writes; it observes no write that
+// commits after this call (modulo the SHARE aliasing documented above).
+func (s *Store) Snapshot(t *sim.Task) *Snapshot {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	return &Snapshot{
+		s:       s,
+		file:    s.file,
+		rootOff: s.committedRoot,
+		epoch:   s.compactEpoch.Load(),
+		cache:   make(map[int64]*node),
+	}
+}
+
+// stale reports whether the snapshot's file has been compacted away.
+func (sn *Snapshot) stale() bool { return sn.s.compactEpoch.Load() != sn.epoch }
+
+// node loads (or returns the cached copy of) the node at off.
+func (sn *Snapshot) node(t *sim.Task, off int64) (*node, error) {
+	sn.cmu.Lock()
+	n, ok := sn.cache[off]
+	sn.cmu.Unlock()
+	if ok {
+		return n, nil
+	}
+	buf := make([]byte, sn.s.cfg.NodeSize)
+	if _, err := sn.file.ReadAt(t, buf, off); err != nil {
+		return nil, err
+	}
+	n, err := parseNode(buf, off)
+	if err != nil {
+		return nil, err
+	}
+	sn.cmu.Lock()
+	sn.cache[off] = n
+	sn.cmu.Unlock()
+	return n, nil
+}
+
+// Get returns the value of key as of the snapshot.
+func (sn *Snapshot) Get(t *sim.Task, key []byte) ([]byte, bool, error) {
+	if sn.stale() {
+		return nil, false, ErrSnapshotStale
+	}
+	if sn.rootOff < 0 {
+		return nil, false, nil // empty tree at snapshot time
+	}
+	off := sn.rootOff
+	for {
+		n, err := sn.node(t, off)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i, ok := n.exactIdx(key)
+			if !ok {
+				return nil, false, nil
+			}
+			v, err := sn.readDoc(t, n.refs[i], key)
+			if err != nil {
+				return nil, false, err
+			}
+			return v, true, nil
+		}
+		if len(n.kids) == 0 {
+			return nil, false, nil
+		}
+		off = n.kids[n.findIdx(key)].off
+	}
+}
+
+// readDoc fetches a document through the snapshot's file handle without
+// touching the store's document cache.
+func (sn *Snapshot) readDoc(t *sim.Task, ref docRef, wantKey []byte) ([]byte, error) {
+	st := sn.s
+	buf := make([]byte, int(ref.pages)*st.page)
+	if _, err := sn.file.ReadAt(t, buf, ref.off); err != nil {
+		return nil, err
+	}
+	return decodeDoc(buf, ref.off, wantKey)
+}
+
+// Scan iterates snapshot documents with keys in [start, end) in key
+// order; fn returning false stops the scan. A nil end scans to the end.
+func (sn *Snapshot) Scan(t *sim.Task, start, end []byte, fn func(key, value []byte) bool) error {
+	if sn.stale() {
+		return ErrSnapshotStale
+	}
+	if sn.rootOff < 0 {
+		return nil
+	}
+	stop := errors.New("couch: snapshot scan stopped") // sentinel
+	err := sn.scanAt(t, sn.rootOff, start, end, fn, stop)
+	if err == stop {
+		return nil
+	}
+	return err
+}
+
+func (sn *Snapshot) scanAt(t *sim.Task, off int64, start, end []byte, fn func(k, v []byte) bool, stop error) error {
+	n, err := sn.node(t, off)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		i := 0
+		if len(start) > 0 {
+			i, _ = n.exactIdx(start)
+			for i < len(n.keys) && bytes.Compare(n.keys[i], start) < 0 {
+				i++
+			}
+		}
+		for ; i < len(n.keys); i++ {
+			if end != nil && bytes.Compare(n.keys[i], end) >= 0 {
+				return stop
+			}
+			v, err := sn.readDoc(t, n.refs[i], n.keys[i])
+			if err != nil {
+				return err
+			}
+			if !fn(n.keys[i], v) {
+				return stop
+			}
+		}
+		return nil
+	}
+	i := 0
+	if len(start) > 0 {
+		i = n.findIdx(start)
+	}
+	for ; i < len(n.kids); i++ {
+		if end != nil && i > 0 && bytes.Compare(n.keys[i], end) >= 0 {
+			return stop
+		}
+		if err := sn.scanAt(t, n.kids[i].off, start, end, fn, stop); err != nil {
+			return err
+		}
+		start = nil // later subtrees scan from their beginning
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package couch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"share/internal/sim"
+)
+
+// TestSnapshotIsolation: a snapshot taken after N documents must keep
+// serving exactly those N documents — same keys, same values — while a
+// writer keeps inserting and updating behind it. Original (non-SHARE)
+// mode, so even same-sized updates wander the tree and the old versions
+// stay intact on disk.
+func TestSnapshotIsolation(t *testing.T) {
+	s, _, task := testStore(t, 512, func(c *Config) { c.BatchSize = 8 })
+	const initial = 200
+	for i := 0; i < initial; i++ {
+		if err := s.Set(task, []byte(fmt.Sprintf("user%04d", i)), val(i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(task); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot(task)
+
+	// Writer: overwrite every doc with different content and add new ones.
+	for i := 0; i < initial; i++ {
+		if err := s.Set(task, []byte(fmt.Sprintf("user%04d", i)), val(i+7, 301)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := initial; i < initial+50; i++ {
+		if err := s.Set(task, []byte(fmt.Sprintf("user%04d", i)), val(i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(task); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot still sees the old world.
+	for i := 0; i < initial; i++ {
+		v, ok, err := snap.Get(task, []byte(fmt.Sprintf("user%04d", i)))
+		if err != nil || !ok {
+			t.Fatalf("snapshot get %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, val(i, 300)) {
+			t.Fatalf("snapshot get %d: value changed under snapshot", i)
+		}
+	}
+	if _, ok, err := snap.Get(task, []byte(fmt.Sprintf("user%04d", initial+10))); err != nil || ok {
+		t.Fatalf("snapshot sees later insert: ok=%v err=%v", ok, err)
+	}
+	count := 0
+	if err := snap.Scan(task, nil, nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != initial {
+		t.Fatalf("snapshot scan saw %d docs, want %d", count, initial)
+	}
+
+	// The live store sees the new world.
+	v, ok, err := s.Get(task, []byte("user0003"))
+	if err != nil || !ok || !bytes.Equal(v, val(10, 301)) {
+		t.Fatalf("live get after update: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSnapshotConcurrentReaders serves one shared snapshot from many real
+// goroutines while a writer mutates the store — the -race regression for
+// the latch-free snapshot read path.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	s, _, task := testStore(t, 512, func(c *Config) { c.BatchSize = 8 })
+	const docs = 150
+	for i := 0; i < docs; i++ {
+		if err := s.Set(task, []byte(fmt.Sprintf("user%04d", i)), val(i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(task); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot(task)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rt := sim.NewSoloTask(fmt.Sprintf("reader%d", r))
+			for i := 0; i < docs; i++ {
+				k := []byte(fmt.Sprintf("user%04d", (i*7+r)%docs))
+				v, ok, err := snap.Get(rt, k)
+				if err != nil || !ok || len(v) != 300 {
+					errs <- fmt.Errorf("reader %d key %s: ok=%v err=%v", r, k, ok, err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Concurrent writer on its own task.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wt := sim.NewSoloTask("writer")
+		for i := 0; i < docs; i++ {
+			if err := s.Set(wt, []byte(fmt.Sprintf("user%04d", i)), val(i+3, 320)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotStaleAfterCompaction: compaction swaps the database file,
+// so older snapshots must refuse with ErrSnapshotStale instead of reading
+// trimmed pages.
+func TestSnapshotStaleAfterCompaction(t *testing.T) {
+	s, _, task := testStore(t, 512, func(c *Config) { c.BatchSize = 4 })
+	for i := 0; i < 100; i++ {
+		if err := s.Set(task, []byte(fmt.Sprintf("user%04d", i)), val(i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(task); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot(task)
+	if _, _, err := snap.Get(task, []byte("user0000")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := snap.Get(task, []byte("user0000")); !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("snapshot read after compaction = %v, want ErrSnapshotStale", err)
+	}
+	// A fresh snapshot over the compacted file works.
+	fresh := s.Snapshot(task)
+	if v, ok, err := fresh.Get(task, []byte("user0042")); err != nil || !ok || !bytes.Equal(v, val(42, 300)) {
+		t.Fatalf("fresh snapshot get: ok=%v err=%v", ok, err)
+	}
+}

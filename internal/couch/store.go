@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"share/internal/fsim"
 	"share/internal/ftl"
@@ -84,11 +85,21 @@ type Stats struct {
 }
 
 // Store is one Couchbase-style database.
+//
+// Concurrency: a store latch (s.mu) serializes every mutating operation
+// and the cache-touching read paths (Get, Scan, Height resolve nodes into
+// shared caches). Point-in-time readers that must not queue behind
+// writers use Snapshot, which walks the last committed tree root through
+// a private node cache and touches no shared mutable state. The
+// unlatched accessors FileSize, StaleRatio, NeedsCompaction and DocCount
+// are quiescent-only: call them while no writer is active.
 type Store struct {
 	fs   *fsim.FS
 	file *fsim.File
 	cfg  Config
 	page int // device page size
+
+	mu sim.Mutex // store latch: tree, caches, file append point
 
 	root    *node
 	eof     int64 // append point
@@ -105,12 +116,20 @@ type Store struct {
 	docCache  map[string][]byte
 	docOrder  []string // FIFO eviction for the doc cache
 
+	// committedRoot is the index root offset written by the last header —
+	// the point-in-time tree Snapshot readers traverse. -1 until the first
+	// header commits a non-empty tree.
+	committedRoot int64
+	// compactEpoch counts completed compactions; snapshots record it and
+	// refuse to read after the file they reference has been swapped away.
+	compactEpoch atomic.Int64
+
 	// degraded is latched when a device write fails with ftl.ErrReadOnly;
 	// mutating operations then fail fast with ErrReadOnly while reads keep
 	// serving.
-	degraded bool
+	degraded atomic.Bool
 
-	st Stats
+	st Stats // counters updated via atomics; read with Stats()
 }
 
 type sharePending struct {
@@ -126,11 +145,12 @@ func Open(t *sim.Task, fs *fsim.FS, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		fs:        fs,
-		cfg:       cfg,
-		page:      fs.Device().PageSize(),
-		nodeCache: make(map[int64]*node),
-		docCache:  make(map[string][]byte),
+		fs:            fs,
+		cfg:           cfg,
+		page:          fs.Device().PageSize(),
+		nodeCache:     make(map[int64]*node),
+		docCache:      make(map[string][]byte),
+		committedRoot: -1,
 	}
 	if fs.Exists(cfg.Name) {
 		f, err := fs.Open(t, cfg.Name)
@@ -180,7 +200,8 @@ func (s *Store) writeHeader(t *sim.Task) error {
 		return err
 	}
 	s.eof += int64(s.cfg.NodeSize)
-	s.st.HeaderPages += int64(s.cfg.NodeSize / s.page)
+	atomic.AddInt64(&s.st.HeaderPages, int64(s.cfg.NodeSize/s.page))
+	s.committedRoot = rootOff
 	return nil
 }
 
@@ -215,7 +236,7 @@ func (s *Store) flushNodes(t *sim.Task, n *node) (int64, error) {
 		return 0, err
 	}
 	s.eof += int64(s.cfg.NodeSize)
-	s.st.NodePagesWritten += int64(s.cfg.NodeSize / s.page)
+	atomic.AddInt64(&s.st.NodePagesWritten, int64(s.cfg.NodeSize/s.page))
 	// The previous version of this node is now stale.
 	if n.off >= 0 {
 		s.stale += int64(s.cfg.NodeSize)
@@ -248,6 +269,7 @@ func (s *Store) recover(t *sim.Task) error {
 		}
 		s.hdrSeq = binary.LittleEndian.Uint64(buf[8:])
 		rootOff := int64(binary.LittleEndian.Uint64(buf[16:]))
+		s.committedRoot = rootOff
 		s.stale = int64(binary.LittleEndian.Uint64(buf[24:]))
 		s.docs = int64(binary.LittleEndian.Uint64(buf[32:]))
 		s.eof = off + ns
@@ -287,15 +309,25 @@ func (s *Store) NeedsCompaction() bool {
 // DocCount returns the number of live documents.
 func (s *Store) DocCount() int64 { return s.docs }
 
-// Stats returns a snapshot of store counters.
+// Stats returns a snapshot of store counters. Counters are maintained
+// with atomics, so the snapshot is safe to take while sessions run.
 func (s *Store) Stats() Stats {
-	st := s.st
-	st.Degraded = s.degraded
+	var st Stats
+	st.Sets = atomic.LoadInt64(&s.st.Sets)
+	st.Gets = atomic.LoadInt64(&s.st.Gets)
+	st.Commits = atomic.LoadInt64(&s.st.Commits)
+	st.DocPagesWritten = atomic.LoadInt64(&s.st.DocPagesWritten)
+	st.NodePagesWritten = atomic.LoadInt64(&s.st.NodePagesWritten)
+	st.HeaderPages = atomic.LoadInt64(&s.st.HeaderPages)
+	st.SharePairs = atomic.LoadInt64(&s.st.SharePairs)
+	st.Compactions = atomic.LoadInt64(&s.st.Compactions)
+	st.ReadOnlyTransitions = atomic.LoadInt64(&s.st.ReadOnlyTransitions)
+	st.Degraded = s.degraded.Load()
 	return st
 }
 
 // Degraded reports whether the store has switched to read-only serving.
-func (s *Store) Degraded() bool { return s.degraded }
+func (s *Store) Degraded() bool { return s.degraded.Load() }
 
 // noteDeviceErr translates a device-level read-only failure into the
 // typed store error, latching the degraded state on first sight.
@@ -303,9 +335,8 @@ func (s *Store) noteDeviceErr(err error) error {
 	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
 		return err
 	}
-	if !s.degraded {
-		s.degraded = true
-		s.st.ReadOnlyTransitions++
+	if s.degraded.CompareAndSwap(false, true) {
+		atomic.AddInt64(&s.st.ReadOnlyTransitions, 1)
 	}
 	return ErrReadOnly
 }
@@ -327,6 +358,8 @@ func (s *Store) SetBatchSize(n int) {
 
 // Height returns the index depth.
 func (s *Store) Height(t *sim.Task) (int, error) {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
 	h := 1
 	n := s.root
 	for !n.leaf {

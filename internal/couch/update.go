@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"share/internal/core"
 	"share/internal/sim"
@@ -40,7 +41,7 @@ func (s *Store) writeDoc(t *sim.Task, key, value []byte) (docRef, error) {
 		return docRef{}, err
 	}
 	s.eof += int64(len(buf))
-	s.st.DocPagesWritten += int64(pages)
+	atomic.AddInt64(&s.st.DocPagesWritten, int64(pages))
 	return ref, nil
 }
 
@@ -51,17 +52,23 @@ func (s *Store) readDoc(t *sim.Task, ref docRef, wantKey []byte) ([]byte, error)
 	if _, err := s.file.ReadAt(t, buf, ref.off); err != nil {
 		return nil, err
 	}
+	return decodeDoc(buf, ref.off, wantKey)
+}
+
+// decodeDoc validates a serialized document and returns its value. It
+// touches no store state, so Snapshot readers share it without the latch.
+func decodeDoc(buf []byte, off int64, wantKey []byte) ([]byte, error) {
 	if binary.LittleEndian.Uint32(buf[0:]) != checksum32(buf[4:]) {
-		return nil, fmt.Errorf("couch: doc checksum mismatch at %d", ref.off)
+		return nil, fmt.Errorf("couch: doc checksum mismatch at %d", off)
 	}
 	if binary.LittleEndian.Uint32(buf[4:]) != docMagic {
-		return nil, fmt.Errorf("couch: bad doc magic at %d", ref.off)
+		return nil, fmt.Errorf("couch: bad doc magic at %d", off)
 	}
 	klen := int(binary.LittleEndian.Uint16(buf[8:]))
 	vlen := int(binary.LittleEndian.Uint32(buf[12:]))
 	key := buf[docHdrLen : docHdrLen+klen]
 	if wantKey != nil && !bytes.Equal(key, wantKey) {
-		return nil, fmt.Errorf("couch: doc key mismatch at %d", ref.off)
+		return nil, fmt.Errorf("couch: doc key mismatch at %d", off)
 	}
 	return buf[docHdrLen+klen : docHdrLen+klen+vlen], nil
 }
@@ -101,9 +108,13 @@ func (s *Store) lookup(t *sim.Task, key []byte) (docRef, bool, error) {
 	return n.refs[i], true, nil
 }
 
-// Get returns the current value of key.
+// Get returns the current value of key. It takes the store latch (the
+// lookup resolves nodes into the shared caches); use Snapshot for reads
+// that must not queue behind writers.
 func (s *Store) Get(t *sim.Task, key []byte) ([]byte, bool, error) {
-	s.st.Gets++
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	atomic.AddInt64(&s.st.Gets, 1)
 	if v, ok := s.docCache[string(key)]; ok {
 		out := make([]byte, len(v))
 		copy(out, v)
@@ -144,14 +155,16 @@ func (s *Store) cacheDoc(key, v []byte) {
 // Commit call). After the device degrades to read-only, Set fails fast
 // with ErrReadOnly.
 func (s *Store) Set(t *sim.Task, key, value []byte) error {
-	if s.degraded {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if s.degraded.Load() {
 		return ErrReadOnly
 	}
 	return s.noteDeviceErr(s.set(t, key, value))
 }
 
 func (s *Store) set(t *sim.Task, key, value []byte) error {
-	s.st.Sets++
+	atomic.AddInt64(&s.st.Sets, 1)
 	old, found, err := s.lookup(t, key)
 	if err != nil {
 		return err
@@ -186,14 +199,16 @@ func (s *Store) set(t *sim.Task, key, value []byte) error {
 	s.cacheDoc(key, value)
 	s.pending++
 	if s.pending >= s.cfg.BatchSize {
-		return s.Commit(t)
+		return s.commitLocked(t)
 	}
 	return nil
 }
 
 // Delete removes a document (original path only; YCSB does not delete).
 func (s *Store) Delete(t *sim.Task, key []byte) (bool, error) {
-	if s.degraded {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if s.degraded.Load() {
 		return false, ErrReadOnly
 	}
 	found, err := s.del(t, key)
@@ -213,7 +228,7 @@ func (s *Store) del(t *sim.Task, key []byte) (bool, error) {
 	delete(s.docCache, string(key))
 	s.pending++
 	if s.pending >= s.cfg.BatchSize {
-		return true, s.Commit(t)
+		return true, s.commitLocked(t)
 	}
 	return true, nil
 }
@@ -225,10 +240,17 @@ func (s *Store) del(t *sim.Task, key []byte) (bool, error) {
 // nodes wander to the tail and a new header is written under a second
 // fsync-covered write sequence.
 func (s *Store) Commit(t *sim.Task) error {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	return s.commitLocked(t)
+}
+
+// commitLocked is Commit with the store latch already held.
+func (s *Store) commitLocked(t *sim.Task) error {
 	if s.pending == 0 && len(s.shares) == 0 && !s.root.dirty {
 		return nil
 	}
-	if s.degraded {
+	if s.degraded.Load() {
 		return ErrReadOnly
 	}
 	return s.noteDeviceErr(s.commit(t))
@@ -252,7 +274,7 @@ func (s *Store) commit(t *sim.Task) error {
 		}
 	}
 	s.pending = 0
-	s.st.Commits++
+	atomic.AddInt64(&s.st.Commits, 1)
 	return nil
 }
 
@@ -288,7 +310,7 @@ func (s *Store) applyShares(t *sim.Task) error {
 				sOff = 0
 			}
 		}
-		s.st.SharePairs++
+		atomic.AddInt64(&s.st.SharePairs, 1)
 	}
 	if err := core.ShareAll(t, dev, pairs); err != nil {
 		return err
@@ -421,8 +443,12 @@ func (s *Store) walkNode(t *sim.Task, n *node, fn func(key []byte, ref docRef) e
 
 // Scan iterates live documents with keys in [start, end) in key order,
 // loading each document's value; fn returning false stops the scan. A nil
-// end scans to the end of the index. Used by YCSB workload E.
+// end scans to the end of the index. Used by YCSB workload E. It holds
+// the store latch for the whole scan; use Snapshot.Scan for long scans
+// that must not block writers.
 func (s *Store) Scan(t *sim.Task, start, end []byte, fn func(key, value []byte) bool) error {
+	s.mu.Lock(t)
+	defer s.mu.Unlock(t)
 	stop := fmt.Errorf("couch: scan stopped") // sentinel
 	err := s.scanNode(t, s.root, start, end, fn, stop)
 	if err == stop {

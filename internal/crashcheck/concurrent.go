@@ -1,0 +1,258 @@
+package crashcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"share/internal/fsim"
+	"share/internal/innodb"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// Concurrent-session crash cell: several sessions commit multi-key
+// transactions through the engine's group-commit path at the same
+// (virtual) time when the power cut lands, so a cut can fall inside a
+// coalesced log flush that carries several transactions' commit records.
+// Sessions run as scheduler tasks, which makes the interleaving — and
+// therefore every cut point — deterministic and reproducible.
+//
+// The sequential Matrix oracle (state equals the model after `committed`
+// or `attempted` transactions) does not apply when commits interleave,
+// so this cell partitions the keyspace: session s owns concKeysPer keys
+// that only its own transactions touch, and transaction j of a session
+// writes value j to every owned key. After recovery each partition must
+// be atomic and durable on its own: all of a session's keys carry the
+// same transaction index j*, with acked <= j* <= attempted. A smaller j*
+// is a lost acknowledged commit; a larger one is a phantom; disagreeing
+// keys are a torn transaction — the multi-tenant torn-write bug class
+// that page stealing from an unsynced transaction would produce.
+const (
+	concSessions = 4
+	concTxnsPer  = 10
+	concKeysPer  = 3
+)
+
+type concInnoStack struct {
+	task *sim.Task
+	data *ssd.Device
+	log  *ssd.Device
+	eng  *innodb.Engine
+	tbl  *innodb.Table
+	cfg  innodb.Config
+}
+
+func concKey(sess, k int) []byte { return []byte(fmt.Sprintf("s%dk%d", sess, k)) }
+func concVal(sess, j int) []byte { return []byte(fmt.Sprintf("s%d-t%03d", sess, j)) }
+
+// newConcInno builds an innodb stack preloaded with every session's keys
+// at transaction index 0.
+func newConcInno(mode innodb.FlushMode) (*concInnoStack, error) {
+	data, err := newDataDevice("cc-conc-data")
+	if err != nil {
+		return nil, err
+	}
+	task := sim.NewSoloTask("crashcheck-conc")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		return nil, err
+	}
+	logDev, err := newLogDevice("cc-conc-log")
+	if err != nil {
+		return nil, err
+	}
+	cfg := innodb.Config{
+		PageSize:  1024,
+		PoolBytes: 64 * 1024,
+		FlushMode: mode,
+		DWBPages:  8,
+		DataBytes: 1024 * 1024,
+		LogPages:  2048,
+	}
+	eng, err := innodb.Open(task, fs, logDev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := eng.CreateTable(task, "t")
+	if err != nil {
+		return nil, err
+	}
+	tx := eng.Begin(task)
+	for sess := 0; sess < concSessions; sess++ {
+		for k := 0; k < concKeysPer; k++ {
+			if err := tx.Put(tbl, concKey(sess, k), concVal(sess, 0)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if err := eng.Checkpoint(task); err != nil {
+		return nil, err
+	}
+	return &concInnoStack{task: task, data: data, log: logDev, eng: eng, tbl: tbl, cfg: cfg}, nil
+}
+
+// runSessions drives every session's transactions on one scheduler and
+// reports, per session, the last acknowledged transaction index and the
+// last attempted one (attempted == acked+1 when a commit died mid-flight).
+func (s *concInnoStack) runSessions() (acked, attempted [concSessions]int) {
+	sched := sim.NewScheduler()
+	for sess := 0; sess < concSessions; sess++ {
+		sess := sess
+		sched.Go(fmt.Sprintf("sess%d", sess), func(task *sim.Task) {
+			for j := 1; j <= concTxnsPer; j++ {
+				attempted[sess] = j
+				tx := s.eng.Begin(task)
+				ok := true
+				for k := 0; k < concKeysPer; k++ {
+					if err := tx.Put(s.tbl, concKey(sess, k), concVal(sess, j)); err != nil {
+						tx.Rollback()
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					return
+				}
+				acked[sess] = j
+			}
+		})
+	}
+	sched.Run()
+	return acked, attempted
+}
+
+func (s *concInnoStack) reopen() error {
+	for _, d := range []*ssd.Device{s.data, s.log} {
+		d.Crash()
+		if err := d.Recover(s.task); err != nil {
+			return err
+		}
+	}
+	fs, err := fsim.Mount(s.task, s.data)
+	if err != nil {
+		return err
+	}
+	eng, err := innodb.Open(s.task, fs, s.log, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.eng = eng
+	s.tbl = eng.Table("t")
+	if s.tbl == nil {
+		return fmt.Errorf("table lost across recovery")
+	}
+	return nil
+}
+
+// verify checks each session's partition for atomicity and durability.
+func (s *concInnoStack) verify(acked, attempted [concSessions]int) error {
+	tx := s.eng.Begin(s.task)
+	defer tx.Rollback()
+	for sess := 0; sess < concSessions; sess++ {
+		vals := make([]string, concKeysPer)
+		for k := 0; k < concKeysPer; k++ {
+			v, ok, err := tx.Get(s.tbl, concKey(sess, k))
+			if err != nil {
+				return fmt.Errorf("read %s: %v", concKey(sess, k), err)
+			}
+			if !ok {
+				return fmt.Errorf("key %s missing after recovery", concKey(sess, k))
+			}
+			vals[k] = string(v)
+		}
+		for k := 1; k < concKeysPer; k++ {
+			if vals[k] != vals[0] {
+				return fmt.Errorf("torn transaction: session %d keys disagree after recovery: %q vs %q",
+					sess, vals[0], vals[k])
+			}
+		}
+		// Map the recovered value back to a transaction index.
+		jStar := -1
+		for j := 0; j <= concTxnsPer; j++ {
+			if vals[0] == string(concVal(sess, j)) {
+				jStar = j
+				break
+			}
+		}
+		if jStar < 0 {
+			return fmt.Errorf("session %d: unrecognized recovered value %q", sess, vals[0])
+		}
+		if jStar < acked[sess] {
+			return fmt.Errorf("lost commit: session %d recovered txn %d, acked through %d",
+				sess, jStar, acked[sess])
+		}
+		if jStar > attempted[sess] {
+			return fmt.Errorf("phantom commit: session %d recovered txn %d, attempted only %d",
+				sess, jStar, attempted[sess])
+		}
+	}
+	return nil
+}
+
+// ConcurrentMatrix is the concurrent-session crash cell: it measures the
+// boundary space with a clean run (all sessions must fully commit and
+// survive a crash), then power-cuts a fresh stack at each selected
+// boundary of each device while the sessions are running, recovers, and
+// checks the partitioned oracle.
+func ConcurrentMatrix(t testing.TB, name string, mode innodb.FlushMode) {
+	s, err := newConcInno(mode)
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	devs := []*ssd.Device{s.data, s.log}
+	before := make([]int64, len(devs))
+	for i, d := range devs {
+		before[i] = d.MutatingOps()
+	}
+	acked, attempted := s.runSessions()
+	for sess := 0; sess < concSessions; sess++ {
+		if acked[sess] != concTxnsPer {
+			t.Fatalf("%s: clean run: session %d acked %d/%d", name, sess, acked[sess], concTxnsPer)
+		}
+	}
+	totals := make([]int64, len(devs))
+	for i, d := range devs {
+		totals[i] = d.MutatingOps() - before[i]
+	}
+	if err := s.reopen(); err != nil {
+		t.Fatalf("%s: clean run reopen: %v", name, err)
+	}
+	if err := s.verify(acked, attempted); err != nil {
+		t.Fatalf("%s: clean run: %v", name, err)
+	}
+
+	short := testing.Short()
+	for di := range devs {
+		cuts := cutPoints(totals[di], short, int64(di)*104729+int64(len(name)))
+		for _, cut := range cuts {
+			runConcurrentCut(t, name, mode, di, cut, totals[di])
+		}
+	}
+}
+
+func runConcurrentCut(t testing.TB, name string, mode innodb.FlushMode, di int, cut, total int64) {
+	s, err := newConcInno(mode)
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	devs := []*ssd.Device{s.data, s.log}
+	devs[di].PowerCutAfter(cut)
+	acked, attempted := s.runSessions()
+	for _, d := range devs {
+		d.DisablePowerCut()
+	}
+	where := fmt.Sprintf("%s: dev %d cut %d/%d (acked %v, attempted %v, seed %d)",
+		name, di, cut, total, acked, attempted, Seed())
+	if err := s.reopen(); err != nil {
+		t.Fatalf("%s: reopen: %v", where, err)
+	}
+	if err := s.verify(acked, attempted); err != nil {
+		t.Fatalf("%s: %v", where, err)
+	}
+}

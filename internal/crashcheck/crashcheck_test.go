@@ -120,3 +120,16 @@ func TestFaultPlanCouch(t *testing.T) {
 		FaultRun(t, "couch", s, couchTxns)
 	}
 }
+
+// TestCrashConcurrentInnoDBDWB and ...Share are the concurrent-session
+// crash cells: four scheduler sessions commit multi-key transactions
+// through the group-commit path while the power cut lands — including
+// inside coalesced log flushes carrying several commit records — and the
+// partitioned oracle checks per-session atomicity and durability.
+func TestCrashConcurrentInnoDBDWB(t *testing.T) {
+	ConcurrentMatrix(t, "innodb-conc/dwb", innodb.DWBOn)
+}
+
+func TestCrashConcurrentInnoDBShare(t *testing.T) {
+	ConcurrentMatrix(t, "innodb-conc/share", innodb.Share)
+}

@@ -12,6 +12,8 @@ func (fs *FS) Create(t *sim.Task, name string) (*File, error) {
 	if len(name) == 0 || len(name) > MaxNameLen {
 		return nil, fmt.Errorf("fsim: bad name %q", name)
 	}
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	if _, ok := fs.dir[name]; ok {
 		return nil, ErrExist
 	}
@@ -29,13 +31,13 @@ func (fs *FS) Create(t *sim.Task, name string) (*File, error) {
 	fs.dir[name] = ino
 	fs.markDirDirty()
 	fs.markInodeDirty(ino)
-	_ = t
 	return &File{fs: fs, ino: ino, name: name}, nil
 }
 
 // Open returns a handle to an existing file.
 func (fs *FS) Open(t *sim.Task, name string) (*File, error) {
-	_ = t
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	ino, ok := fs.dir[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
@@ -46,7 +48,8 @@ func (fs *FS) Open(t *sim.Task, name string) (*File, error) {
 // Remove deletes a file. Its device pages are trimmed at the next fsync,
 // after the journal commit recording the deletion is durable.
 func (fs *FS) Remove(t *sim.Task, name string) error {
-	_ = t
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	ino, ok := fs.dir[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotExist, name)
@@ -72,7 +75,8 @@ func (fs *FS) Exists(name string) bool {
 // Rename changes a file's name (used by compaction to swap the new
 // database file into place).
 func (fs *FS) Rename(t *sim.Task, oldName, newName string) error {
-	_ = t
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	ino, ok := fs.dir[oldName]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
@@ -154,6 +158,13 @@ func (f *File) MapRange(off, length int64) ([]Extent, error) {
 // Allocate ensures pages backing [off, off+length) exist (fallocate).
 // The file size is extended to cover the range if needed.
 func (f *File) Allocate(t *sim.Task, off, length int64) error {
+	f.fs.latch.Lock(t)
+	defer f.fs.latch.Unlock(t)
+	return f.allocate(t, off, length)
+}
+
+// allocate is Allocate with the latch already held.
+func (f *File) allocate(t *sim.Task, off, length int64) error {
 	if off < 0 || length < 0 {
 		return fmt.Errorf("fsim: negative allocate range")
 	}
@@ -176,6 +187,8 @@ func (f *File) Truncate(t *sim.Task, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("fsim: negative truncate")
 	}
+	f.fs.latch.Lock(t)
+	defer f.fs.latch.Unlock(t)
 	ind := &f.fs.inodes[f.ino]
 	ps := int64(f.fs.pageSize)
 	keepPages := uint32((size + ps - 1) / ps)
@@ -207,6 +220,9 @@ func (f *File) Truncate(t *sim.Task, size int64) error {
 
 // WriteAt writes p at byte offset off (direct I/O). Space is allocated as
 // needed; partial-page writes perform a read-modify-write of the page.
+// Allocation and extent resolution happen under the FS latch; the data
+// page I/O runs outside it, so sessions writing different files overlap
+// at the device.
 func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("fsim: negative offset")
@@ -216,23 +232,38 @@ func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
 	}
 	fs := f.fs
 	ps := int64(fs.pageSize)
-	if err := f.Allocate(t, off, int64(len(p))); err != nil {
+	fs.latch.Lock(t)
+	if err := f.allocate(t, off, int64(len(p))); err != nil {
+		fs.latch.Unlock(t)
 		return 0, err
 	}
+	firstPage := uint32(off / ps)
+	lastPage := uint32((off + int64(len(p)) - 1) / ps)
+	lpns := make([]uint32, 0, lastPage-firstPage+1)
+	for pg := firstPage; pg <= lastPage; pg++ {
+		lpn, _, err := f.lpnAt(pg)
+		if err != nil {
+			fs.latch.Unlock(t)
+			return 0, err
+		}
+		lpns = append(lpns, lpn)
+	}
+	// Any write dirties the inode (mtime/size), which ordered-mode
+	// journaling will carry into the next fsync transaction. allocate
+	// already extended the size to cover the range.
+	fs.markInodeDirty(f.ino)
+	fs.latch.Unlock(t)
+
 	written := 0
 	buf := make([]byte, fs.pageSize)
 	for written < len(p) {
 		cur := off + int64(written)
-		pageOff := uint32(cur / ps)
 		within := int(cur % ps)
 		n := fs.pageSize - within
 		if n > len(p)-written {
 			n = len(p) - written
 		}
-		lpn, _, err := f.lpnAt(pageOff)
-		if err != nil {
-			return written, err
-		}
+		lpn := lpns[uint32(cur/ps)-firstPage]
 		if within == 0 && n == fs.pageSize {
 			if err := fs.dev.WritePage(t, lpn, p[written:written+n]); err != nil {
 				return written, err
@@ -248,25 +279,22 @@ func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
 		}
 		written += n
 	}
-	ind := &fs.inodes[f.ino]
-	if off+int64(len(p)) > ind.size {
-		ind.size = off + int64(len(p))
-	}
-	// Any write dirties the inode (mtime), which ordered-mode journaling
-	// will carry into the next fsync transaction.
-	fs.markInodeDirty(f.ino)
 	return written, nil
 }
 
 // ReadAt reads into p from byte offset off. Reads past EOF return io.EOF
-// after the available bytes.
+// after the available bytes. The size and extent map are snapshotted
+// under the FS latch; the data page I/O runs outside it.
 func (f *File) ReadAt(t *sim.Task, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("fsim: negative offset")
 	}
 	fs := f.fs
+	ps := int64(fs.pageSize)
+	fs.latch.Lock(t)
 	size := fs.inodes[f.ino].size
 	if off >= size {
+		fs.latch.Unlock(t)
 		return 0, io.EOF
 	}
 	max := int(size - off)
@@ -274,21 +302,29 @@ func (f *File) ReadAt(t *sim.Task, p []byte, off int64) (int, error) {
 	if want > max {
 		want = max
 	}
-	ps := int64(fs.pageSize)
+	firstPage := uint32(off / ps)
+	lastPage := uint32((off + int64(want) - 1) / ps)
+	lpns := make([]uint32, 0, lastPage-firstPage+1)
+	for pg := firstPage; pg <= lastPage; pg++ {
+		lpn, _, err := f.lpnAt(pg)
+		if err != nil {
+			fs.latch.Unlock(t)
+			return 0, err
+		}
+		lpns = append(lpns, lpn)
+	}
+	fs.latch.Unlock(t)
+
 	buf := make([]byte, fs.pageSize)
 	read := 0
 	for read < want {
 		cur := off + int64(read)
-		pageOff := uint32(cur / ps)
 		within := int(cur % ps)
 		n := fs.pageSize - within
 		if n > want-read {
 			n = want - read
 		}
-		lpn, _, err := f.lpnAt(pageOff)
-		if err != nil {
-			return read, err
-		}
+		lpn := lpns[uint32(cur/ps)-firstPage]
 		if err := fs.dev.ReadPage(t, lpn, buf); err != nil {
 			return read, err
 		}

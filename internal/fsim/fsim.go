@@ -77,10 +77,22 @@ type layout struct {
 }
 
 // FS is a mounted file system.
+//
+// Concurrency: a dual-mode sim.Mutex latch serializes every operation
+// that touches shared metadata (directory, inode table, bitmap, journal,
+// trim queue), so multiple sessions — scheduler tasks or real solo-task
+// goroutines — can drive one FS. Data-page I/O in ReadAt/WriteAt runs
+// outside the latch (the extent map is resolved under it first), so
+// sessions working on different files overlap at the device exactly like
+// O_DIRECT traffic. Concurrent access to the *same* file is the
+// application's job to coordinate, as with POSIX. Exists/Stats/Fsck/
+// FreePages read without the latch and are meant for setup and
+// post-run checks on a quiescent FS.
 type FS struct {
 	dev      *ssd.Device
 	pageSize int
 	lay      layout
+	latch    sim.Mutex // guards all fields below
 
 	dir    map[string]int
 	inodes []inode

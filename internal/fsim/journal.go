@@ -22,6 +22,8 @@ func crcJournal(b []byte) uint32 {
 // is the ordered-journaling-mode fsync path: data pages were already
 // written in place (O_DIRECT), only metadata goes through the journal.
 func (fs *FS) SyncMeta(t *sim.Task) error {
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	if len(fs.dirtyMeta) == 0 {
 		return fs.flushThenTrim(t)
 	}

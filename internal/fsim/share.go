@@ -18,6 +18,8 @@ import (
 // device's atomic batch limit — each issued SHARE command is atomic on its
 // own, exactly like the prototype's vendor-unique SATA command.
 func (fs *FS) ShareRange(t *sim.Task, dst *File, dstOff int64, src *File, srcOff int64, length int64) error {
+	fs.latch.Lock(t)
+	defer fs.latch.Unlock(t)
 	ps := int64(fs.pageSize)
 	if dstOff%ps != 0 || srcOff%ps != 0 || length%ps != 0 {
 		return fmt.Errorf("%w: dstOff %d srcOff %d len %d", ErrAlign, dstOff, srcOff, length)

@@ -26,6 +26,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"share/internal/btree"
 	"share/internal/bufpool"
@@ -119,6 +121,21 @@ func (c *Config) setDefaults(devPage int) error {
 const metaMagic = 0x494E4D54 // "INMT"
 
 // Engine is one database instance.
+//
+// Concurrency and locking hierarchy (acquire downward, never upward):
+//
+//	e.mu (transaction latch) → e.gcMu (group-commit state)
+//	e.mu → fs latch / wal latch → sim resources
+//	e.protMu / atomics — leaf locks, no yields underneath
+//
+// Nothing acquires e.mu while holding gcMu; the commit path releases
+// e.mu before joining the group-commit rendezvous so the log fsync
+// overlaps other sessions' apply phases (checkpointLocked's drain takes
+// gcMu under e.mu, which the hierarchy permits).
+//
+// A session holds e.mu from Begin through apply and redo append, then
+// releases it and joins the group-commit pipeline (gcMu/gcCond), so the
+// expensive log fsync overlaps the next session's apply phase.
 type Engine struct {
 	fs     *fsim.FS
 	file   *fsim.File
@@ -135,18 +152,38 @@ type Engine struct {
 	hwm    uint32 // next free engine page (page 0 is the meta page)
 	dwbSeq uint64
 
-	// Redo bookkeeping.
+	// Redo bookkeeping, guarded by e.mu.
 	txnPages        map[uint32]bool // pages dirtied by the txn being applied (no-steal)
 	applying        bool
 	imagesSinceCkpt int
+
+	// Group commit: transactions that appended their commit record release
+	// e.mu and rendezvous here. The first becomes the leader and issues one
+	// log sync for every record appended so far; the rest wait for its
+	// broadcast. gcUnsynced counts commits between append and durability —
+	// checkpoints drain it before truncating redo.
+	gcMu       sim.Mutex
+	gcCond     sim.Cond // broadcast after each completed sync attempt
+	gcDrain    sim.Cond // broadcast when gcUnsynced drops to zero
+	gcSyncing  bool     // a leader's sync is in flight
+	gcDurable  int64    // log LSN horizon made durable by group syncs
+	gcGen      uint64   // completed sync attempts (failure detection)
+	gcErr      error    // outcome of the most recent sync attempt
+	gcUnsynced int      // commits appended but not yet durable
+
+	// protected holds refcounted no-steal pins: pages applied by a commit
+	// whose record is not yet durable. It outlives e.mu (released only
+	// after the group sync), so it has its own leaf lock.
+	protMu    sync.Mutex
+	protected map[uint32]int
 
 	// degraded is latched when a device write fails with ftl.ErrReadOnly;
 	// from then on mutating operations fail fast with ErrReadOnly while
 	// reads keep serving. Committed-but-unflushed pages stay in the pool
 	// and in the redo log (which is never truncated after degradation).
-	degraded bool
+	degraded atomic.Bool
 
-	st Stats
+	st Stats // counters updated via atomics; read with Stats()
 }
 
 // Table is a named B+tree.
@@ -168,6 +205,9 @@ type Stats struct {
 	TornRestored int64 // pages restored from the DWB at recovery
 	RedoApplied  int64 // page images applied at recovery
 
+	GroupCommits int64 // log syncs issued by group-commit leaders
+	GroupedTxns  int64 // commits that rode another transaction's sync
+
 	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
 	Degraded            bool  // gauge: engine is serving read-only
 }
@@ -178,12 +218,13 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*Engine, er
 		return nil, err
 	}
 	e := &Engine{
-		fs:       fs,
-		logDev:   logDev,
-		cfg:      cfg,
-		tables:   make(map[string]*Table),
-		txnPages: make(map[uint32]bool),
-		hwm:      1,
+		fs:        fs,
+		logDev:    logDev,
+		cfg:       cfg,
+		tables:    make(map[string]*Table),
+		txnPages:  make(map[uint32]bool),
+		protected: make(map[uint32]int),
+		hwm:       1,
 	}
 	log, err := wal.New(logDev, 0, cfg.LogPages)
 	if err != nil {
@@ -220,7 +261,9 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*Engine, er
 		return nil, err
 	}
 	pool.FlushBatchSize = cfg.DWBPages
-	pool.Protected = func(pageNo uint32) bool { return e.applying && e.txnPages[pageNo] }
+	pool.Protected = func(pageNo uint32) bool {
+		return (e.applying && e.txnPages[pageNo]) || e.pinned(pageNo)
+	}
 	pool.OnDirty = func(pageNo uint32) {
 		if e.applying {
 			e.txnPages[pageNo] = true
@@ -353,7 +396,9 @@ func (tb *Table) onRootChange(uint32) {
 
 // CreateTable registers a new table with an empty root.
 func (e *Engine) CreateTable(t *sim.Task, name string) (*Table, error) {
-	if e.degraded {
+	e.mu.Lock(t)
+	defer e.mu.Unlock(t)
+	if e.degraded.Load() {
 		return nil, ErrReadOnly
 	}
 	if _, ok := e.tables[name]; ok {
@@ -378,7 +423,7 @@ func (e *Engine) CreateTable(t *sim.Task, name string) (*Table, error) {
 		return nil, err
 	}
 	// DDL is made durable immediately (redo records only cover DML).
-	if err := e.Checkpoint(t); err != nil {
+	if err := e.checkpointLocked(t); err != nil {
 		return nil, err
 	}
 	return tb, nil
@@ -387,15 +432,27 @@ func (e *Engine) CreateTable(t *sim.Task, name string) (*Table, error) {
 // Table returns a registered table or nil.
 func (e *Engine) Table(name string) *Table { return e.tables[name] }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters. Counters are maintained
+// with atomics, so the snapshot is safe to take while sessions run.
 func (e *Engine) Stats() Stats {
-	st := e.st
-	st.Degraded = e.degraded
+	var st Stats
+	st.Commits = atomic.LoadInt64(&e.st.Commits)
+	st.FlushBatches = atomic.LoadInt64(&e.st.FlushBatches)
+	st.PagesToDWB = atomic.LoadInt64(&e.st.PagesToDWB)
+	st.PagesToHome = atomic.LoadInt64(&e.st.PagesToHome)
+	st.SharePairs = atomic.LoadInt64(&e.st.SharePairs)
+	st.Checkpoints = atomic.LoadInt64(&e.st.Checkpoints)
+	st.TornRestored = atomic.LoadInt64(&e.st.TornRestored)
+	st.RedoApplied = atomic.LoadInt64(&e.st.RedoApplied)
+	st.GroupCommits = atomic.LoadInt64(&e.st.GroupCommits)
+	st.GroupedTxns = atomic.LoadInt64(&e.st.GroupedTxns)
+	st.ReadOnlyTransitions = atomic.LoadInt64(&e.st.ReadOnlyTransitions)
+	st.Degraded = e.degraded.Load()
 	return st
 }
 
 // Degraded reports whether the engine has switched to read-only serving.
-func (e *Engine) Degraded() bool { return e.degraded }
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
 
 // noteDeviceErr translates a device-level read-only failure into the
 // engine's typed error, latching the degraded state (and counting the
@@ -404,11 +461,89 @@ func (e *Engine) noteDeviceErr(err error) error {
 	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
 		return err
 	}
-	if !e.degraded {
-		e.degraded = true
-		e.st.ReadOnlyTransitions++
+	if e.degraded.CompareAndSwap(false, true) {
+		atomic.AddInt64(&e.st.ReadOnlyTransitions, 1)
 	}
 	return ErrReadOnly
+}
+
+// pinned reports whether pageNo carries a no-steal pin from a commit
+// whose record is not yet durable.
+func (e *Engine) pinned(pageNo uint32) bool {
+	e.protMu.Lock()
+	defer e.protMu.Unlock()
+	return e.protected[pageNo] > 0
+}
+
+// protect pins pages against stealing until unprotect. Pins are
+// refcounted: concurrent commits may dirty the same page.
+func (e *Engine) protect(pages []uint32) {
+	e.protMu.Lock()
+	for _, p := range pages {
+		e.protected[p]++
+	}
+	e.protMu.Unlock()
+}
+
+// unprotect drops the pins taken by protect.
+func (e *Engine) unprotect(pages []uint32) {
+	e.protMu.Lock()
+	for _, p := range pages {
+		if e.protected[p]--; e.protected[p] <= 0 {
+			delete(e.protected, p)
+		}
+	}
+	e.protMu.Unlock()
+}
+
+// groupSync makes the commit record at myLSN durable, coalescing with
+// concurrent commits: the first arrival becomes the leader and issues one
+// log sync covering every record appended so far; later arrivals wait for
+// its broadcast and only sync themselves if the leader's flush predates
+// their append. Called without e.mu, so the fsync overlaps other
+// sessions' apply phases. Returns the outcome of the sync that covered
+// (or failed) this transaction.
+func (e *Engine) groupSync(t *sim.Task, myLSN int64) error {
+	e.gcMu.Lock(t)
+	grouped := false
+	var err error
+	for err == nil && e.gcDurable <= myLSN {
+		if e.gcSyncing {
+			grouped = true
+			gen := e.gcGen
+			e.gcCond.Wait(t, &e.gcMu)
+			if e.gcGen != gen && e.gcErr != nil && e.gcDurable <= myLSN {
+				err = e.gcErr
+			}
+			continue
+		}
+		e.gcSyncing = true
+		e.gcMu.Unlock(t)
+		serr := e.log.Sync(t)
+		durable := e.log.DurableLSN()
+		e.gcMu.Lock(t)
+		e.gcSyncing = false
+		e.gcGen++
+		e.gcErr = serr
+		if serr == nil {
+			if durable > e.gcDurable {
+				e.gcDurable = durable
+			}
+			atomic.AddInt64(&e.st.GroupCommits, 1)
+		} else {
+			err = serr
+		}
+		e.gcCond.Broadcast(t)
+	}
+	if grouped && err == nil {
+		atomic.AddInt64(&e.st.GroupedTxns, 1)
+	}
+	e.gcUnsynced--
+	if e.gcUnsynced == 0 {
+		e.gcDrain.Broadcast(t)
+	}
+	e.gcMu.Unlock(t)
+	return err
 }
 
 // Pool exposes buffer pool statistics.
@@ -421,9 +556,25 @@ func (e *Engine) Log() *wal.Log { return e.log }
 // degradation it refuses: truncating redo while dirty pages cannot reach
 // their homes would lose committed data.
 func (e *Engine) Checkpoint(t *sim.Task) error {
-	if e.degraded {
+	e.mu.Lock(t)
+	defer e.mu.Unlock(t)
+	return e.checkpointLocked(t)
+}
+
+// checkpointLocked is Checkpoint with e.mu already held. It first drains
+// in-flight group commits: their records must be durable before the redo
+// log is truncated underneath them. The drain cannot deadlock — every
+// unsynced commit released e.mu before joining groupSync, and holding
+// e.mu here stops new commits from appending, so gcUnsynced only falls.
+func (e *Engine) checkpointLocked(t *sim.Task) error {
+	if e.degraded.Load() {
 		return ErrReadOnly
 	}
+	e.gcMu.Lock(t)
+	for e.gcUnsynced > 0 {
+		e.gcDrain.Wait(t, &e.gcMu)
+	}
+	e.gcMu.Unlock(t)
 	if err := e.pool.FlushAll(t); err != nil {
 		return e.noteDeviceErr(err)
 	}
@@ -434,6 +585,6 @@ func (e *Engine) Checkpoint(t *sim.Task) error {
 		return e.noteDeviceErr(err)
 	}
 	e.imagesSinceCkpt = 0
-	e.st.Checkpoints++
+	atomic.AddInt64(&e.st.Checkpoints, 1)
 	return nil
 }

@@ -3,6 +3,7 @@ package innodb
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"share/internal/btree"
 	"share/internal/bufpool"
@@ -22,7 +23,7 @@ type flusher struct{ e *Engine }
 // detectable and the doublewrite restore can match images to homes.
 func (fl *flusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
 	e := fl.e
-	e.st.FlushBatches++
+	atomic.AddInt64(&e.st.FlushBatches, 1)
 	lsn := uint64(e.log.LSN())
 	for _, pg := range pages {
 		btree.SetPageNo(pg.Data, pg.PageNo)
@@ -94,7 +95,7 @@ func (fl *flusher) atomicHome(t *sim.Task, pages []bufpool.PageImage) error {
 			return fmt.Errorf("innodb: engine page %d maps to %d device pages, want %d",
 				pg.PageNo, i, perEngine)
 		}
-		e.st.PagesToHome++
+		atomic.AddInt64(&e.st.PagesToHome, 1)
 	}
 	return flush()
 }
@@ -122,7 +123,7 @@ func (fl *flusher) writeDWB(t *sim.Task, pages []bufpool.PageImage) error {
 		if _, err := e.dwb.WriteAt(t, pg.Data, ps*int64(1+i)); err != nil {
 			return err
 		}
-		e.st.PagesToDWB++
+		atomic.AddInt64(&e.st.PagesToDWB, 1)
 	}
 	return e.dwb.Sync(t)
 }
@@ -135,7 +136,7 @@ func (fl *flusher) writeHome(t *sim.Task, pages []bufpool.PageImage, sync bool) 
 		if _, err := e.file.WriteAt(t, pg.Data, ps*int64(pg.PageNo)); err != nil {
 			return err
 		}
-		e.st.PagesToHome++
+		atomic.AddInt64(&e.st.PagesToHome, 1)
 	}
 	if sync {
 		return e.file.Sync(t)
@@ -185,7 +186,7 @@ func (fl *flusher) shareHome(t *sim.Task, pages []bufpool.PageImage) error {
 				sOff = 0
 			}
 		}
-		e.st.SharePairs++
+		atomic.AddInt64(&e.st.SharePairs, 1)
 	}
 	return core.ShareAll(t, e.fs.Device(), pairs)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"share/internal/btree"
 	"share/internal/ftl"
@@ -117,7 +118,7 @@ func (e *Engine) restoreFromDWB(t *sim.Task) error {
 		if _, err := e.file.WriteAt(t, img, ps*int64(pageNo)); err != nil {
 			return err
 		}
-		e.st.TornRestored++
+		atomic.AddInt64(&e.st.TornRestored, 1)
 	}
 	return e.file.Sync(t)
 }
@@ -146,7 +147,7 @@ func (e *Engine) replayRedo(t *sim.Task) error {
 				if _, err := e.file.WriteAt(t, img[5:], ps*int64(pageNo)); err != nil {
 					return err
 				}
-				e.st.RedoApplied++
+				atomic.AddInt64(&e.st.RedoApplied, 1)
 			}
 			pending = pending[:0]
 		default:

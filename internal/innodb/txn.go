@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"share/internal/sim"
 )
@@ -94,8 +95,16 @@ func (tx *Txn) Scan(tb *Table, start, end []byte, fn func(k, v []byte) bool) err
 //  1. apply the buffered writes to the trees (pages dirtied here are
 //     protected from flushing — no-steal);
 //  2. log a full image of every page the transaction dirtied (first
-//     write of redo), then a commit record, and fsync the log;
-//  3. release the no-steal protection and the transaction lock.
+//     write of redo), then a commit record;
+//  3. release the transaction lock and join the group-commit rendezvous:
+//     one leader fsyncs the log for every commit record appended so far,
+//     so concurrent sessions share a single flush (see Engine.groupSync);
+//  4. once the record is durable, release the no-steal pins.
+//
+// The dirtied pages stay pinned (refcounted, via e.protect) across the
+// group sync: another session holding e.mu may trigger an adaptive flush
+// while this commit awaits durability, and stealing a subset of this
+// transaction's pages would put a torn transaction on disk.
 //
 // A crash before the commit record is durable leaves no trace: dirty
 // pages never reached the tablespace. A crash after it is replayed from
@@ -107,18 +116,20 @@ func (tx *Txn) Commit() error {
 		return fmt.Errorf("innodb: commit of finished txn")
 	}
 	tx.done = true
-	defer e.mu.Unlock(t)
 
 	if len(tx.order) == 0 {
+		e.mu.Unlock(t)
 		return nil
 	}
-	if e.degraded {
+	if e.degraded.Load() {
+		e.mu.Unlock(t)
 		return ErrReadOnly
 	}
 
 	// Make room in the redo ring before touching anything.
 	if e.log.Remaining() < 256 || e.imagesSinceCkpt > e.cfg.MaxLogImages {
-		if err := e.Checkpoint(t); err != nil {
+		if err := e.checkpointLocked(t); err != nil {
+			e.mu.Unlock(t)
 			return err
 		}
 	}
@@ -126,6 +137,11 @@ func (tx *Txn) Commit() error {
 	// 1. Apply to trees under no-steal protection.
 	e.applying = true
 	e.txnPages = make(map[uint32]bool)
+	fail := func(err error) error {
+		e.applying = false
+		e.mu.Unlock(t)
+		return err
+	}
 	for _, ref := range tx.order {
 		tb := e.tables[e.order[ref.table]]
 		v := tx.writes[ref.table][ref.key]
@@ -136,13 +152,11 @@ func (tx *Txn) Commit() error {
 			err = tb.tree.Put(t, []byte(ref.key), *v)
 		}
 		if err != nil {
-			e.applying = false
-			return err
+			return fail(err)
 		}
 	}
 	if err := e.persistMeta(t); err != nil { // roots/hwm may have moved
-		e.applying = false
-		return err
+		return fail(err)
 	}
 
 	// 2. Redo: full images of dirtied pages, then the commit record.
@@ -155,41 +169,58 @@ func (tx *Txn) Commit() error {
 	for _, pageNo := range dirtied {
 		f, err := e.pool.Get(t, pageNo)
 		if err != nil {
-			e.applying = false
-			return err
+			return fail(err)
 		}
 		rec[0] = recPageImage
 		binary.LittleEndian.PutUint32(rec[1:], pageNo)
 		copy(rec[5:], f.Data)
 		f.Release()
 		if _, err := e.log.Append(t, rec); err != nil {
-			e.applying = false
-			return err
+			return fail(err)
 		}
 		e.imagesSinceCkpt++
 	}
-	if _, err := e.log.Append(t, []byte{recCommit}); err != nil {
-		e.applying = false
-		return e.noteDeviceErr(err)
+	myLSN, err := e.log.Append(t, []byte{recCommit})
+	if err != nil {
+		return fail(e.noteDeviceErr(err))
 	}
-	if err := e.log.Sync(t); err != nil {
-		e.applying = false
-		return e.noteDeviceErr(err)
-	}
+
+	// 3. Hand the pages over to the refcounted pin set (it outlives e.mu),
+	// register with the group-commit drain counter, and release the
+	// transaction lock so the next session can apply while we sync.
+	e.protect(dirtied)
 	e.applying = false
 	e.txnPages = make(map[uint32]bool)
-	e.st.Commits++
+	e.gcMu.Lock(t)
+	e.gcUnsynced++
+	e.gcMu.Unlock(t)
+	e.mu.Unlock(t)
 
-	// 3. Adaptive flushing: keep the dirty ratio under control so foreground
+	err = e.groupSync(t, myLSN)
+
+	// 4. Durable (or failed): drop the no-steal pins either way — on a
+	// failed sync the engine degrades and nothing flushes anymore.
+	e.unprotect(dirtied)
+	if err != nil {
+		return e.noteDeviceErr(err)
+	}
+	atomic.AddInt64(&e.st.Commits, 1)
+
+	// Adaptive flushing: keep the dirty ratio under control so foreground
 	// evictions rarely stall (InnoDB's page cleaner, done synchronously).
+	// Pool access requires e.mu, so the ratio is checked under it.
+	e.mu.Lock(t)
+	var ferr error
 	if float64(e.pool.DirtyCount()) > e.cfg.DirtyRatio*float64(e.pool.Capacity()) {
-		if err := e.pool.FlushSome(t, e.cfg.DWBPages); err != nil {
-			// The commit record is already durable: the transaction
-			// committed. A read-only device only stops the background
-			// flush; redo still covers the committed pages.
-			if derr := e.noteDeviceErr(err); !errors.Is(derr, ErrReadOnly) {
-				return err
-			}
+		ferr = e.pool.FlushSome(t, e.cfg.DWBPages)
+	}
+	e.mu.Unlock(t)
+	if ferr != nil {
+		// The commit record is already durable: the transaction
+		// committed. A read-only device only stops the background
+		// flush; redo still covers the committed pages.
+		if derr := e.noteDeviceErr(ferr); !errors.Is(derr, ErrReadOnly) {
+			return ferr
 		}
 	}
 	return nil

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"share/internal/ftl"
+)
+
+// Group commit and concurrent sessions make the recorder a multi-writer
+// sink. Hammer every entry point from parallel goroutines while readers
+// snapshot; the race detector is the assertion, plus a lost-update check
+// on the command counts.
+func TestRecorderConcurrentWriters(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetDies(4)
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < rounds; n++ {
+				r.Observe(CmdWrite, int64(n+1), int64(n%3))
+				r.FTLEvent(ftl.Event{Type: ftl.EvGCVictim, Block: n, A: 1})
+				r.ObserveDieWait(n%4, 5)
+				if n%64 == 0 {
+					_ = r.LatencySummaries()
+					_ = r.EventCounts()
+					_ = r.Trace()
+					_ = r.DieWaits()
+					_ = r.GCStallByCmd()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Latency(CmdWrite).Count; got != workers*rounds {
+		t.Fatalf("lost observations: count=%d want %d", got, workers*rounds)
+	}
+	if got := r.EventsSeen(); got != uint64(workers*rounds) {
+		t.Fatalf("lost events: seen=%d want %d", got, workers*rounds)
+	}
+	r.Reset()
+	if got := r.Latency(CmdWrite).Count; got != 0 {
+		t.Fatalf("reset left count=%d", got)
+	}
+}

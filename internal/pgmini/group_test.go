@@ -1,0 +1,120 @@
+package pgmini
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"share/internal/fsim"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+func groupRig(t *testing.T, mode Mode) (*DB, *ssd.Device) {
+	t.Helper()
+	cfg := ssd.DefaultConfig(512)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	data, err := ssd.New("data", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("setup")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := ssd.DefaultConfig(256)
+	lcfg.Geometry.PageSize = 512
+	lcfg.Geometry.PagesPerBlock = 32
+	lcfg.Timing = nand.Timing{
+		ReadPage: 20 * sim.Microsecond,
+		Program:  50 * sim.Microsecond,
+		Erase:    500 * sim.Microsecond,
+		Transfer: 5 * sim.Microsecond,
+	}
+	lcfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("log", lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(task, fs, logDev, Config{Scale: 1, Mode: mode, CheckpointEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, data
+}
+
+// TestPgGroupCommitCoalesces drives concurrent scheduler backends through
+// TPC-B transactions and checks that WAL syncs coalesced and the final
+// balance invariant holds: sum(branches) == sum(tellers) == sum(accounts).
+func TestPgGroupCommitCoalesces(t *testing.T) {
+	db, _ := groupRig(t, FPWOn)
+
+	const backends = 6
+	const txnsPer = 25
+	sched := sim.NewScheduler()
+	var failMu sync.Mutex
+	var failErr error
+	for b := 0; b < backends; b++ {
+		b := b
+		sched.Go(fmt.Sprintf("backend%d", b), func(task *sim.Task) {
+			rng := rand.New(rand.NewSource(int64(1000 + b)))
+			for i := 0; i < txnsPer; i++ {
+				if err := db.RunTxn(task, rng); err != nil {
+					failMu.Lock()
+					failErr = err
+					failMu.Unlock()
+					return
+				}
+			}
+		})
+	}
+	sched.Run()
+	if failErr != nil {
+		t.Fatal(failErr)
+	}
+
+	st := db.Stats()
+	if st.Commits != backends*txnsPer {
+		t.Fatalf("Commits = %d, want %d", st.Commits, backends*txnsPer)
+	}
+	if st.GroupCommits >= st.Commits {
+		t.Fatalf("GroupCommits = %d not < Commits = %d: no coalescing", st.GroupCommits, st.Commits)
+	}
+	if st.GroupedTxns == 0 {
+		t.Fatal("GroupedTxns = 0: no transaction rode another backend's sync")
+	}
+	t.Logf("commits=%d leader-syncs=%d grouped=%d", st.Commits, st.GroupCommits, st.GroupedTxns)
+
+	// TPC-B invariant: every delta hits one account, one teller and one
+	// branch, so the three table sums must agree.
+	task := sim.NewSoloTask("check")
+	var accSum, telSum, brSum int64
+	for i := 0; i < db.Accounts(); i++ {
+		v, err := db.Balance(task, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accSum += v
+	}
+	for i := 0; i < db.Tellers(); i++ {
+		v, err := db.TellerBalance(task, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		telSum += v
+	}
+	for i := 0; i < db.Branches(); i++ {
+		v, err := db.BranchBalance(task, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brSum += v
+	}
+	if accSum != telSum || telSum != brSum {
+		t.Fatalf("balance invariant broken: accounts=%d tellers=%d branches=%d", accSum, telSum, brSum)
+	}
+}

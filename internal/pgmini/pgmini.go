@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"share/internal/bufpool"
 	"share/internal/core"
@@ -71,6 +73,15 @@ const (
 )
 
 // DB is one pgmini database.
+//
+// Concurrency: a database latch (db.mu) serializes the transaction apply
+// phase — heap updates, WAL appends and the commit record. Sessions then
+// release the latch and rendezvous at the group-commit state (gcMu): one
+// leader fsyncs the WAL for every commit record appended so far, so the
+// flush overlaps the next session”s apply, exactly as in the innodb
+// engine. Pages dirtied by a transaction stay pinned (refcounted,
+// no-steal) until its commit record is durable — PostgreSQL proper
+// enforces the same WAL-before-data rule via page LSNs.
 type DB struct {
 	fs      *fsim.FS
 	file    *fsim.File
@@ -88,8 +99,27 @@ type DB struct {
 	branchesAt, tellersAt, accountsAt, historyAt uint32
 	historyRows                                  int
 
+	mu sim.Mutex // database latch: pool, heap layout, WAL append order
+
 	loggedSinceCkpt map[uint32]bool // FPW first-touch set
 	txnsSinceCkpt   int
+
+	// Apply-phase dirty tracking and refcounted no-steal pins, as in the
+	// innodb engine (see Engine.protect).
+	applying  bool
+	txnPages  map[uint32]bool
+	protMu    sync.Mutex
+	protected map[uint32]int
+
+	// Group commit rendezvous (see (*DB).groupSync).
+	gcMu       sim.Mutex
+	gcCond     sim.Cond
+	gcDrain    sim.Cond
+	gcSyncing  bool
+	gcDurable  int64
+	gcGen      uint64
+	gcErr      error
+	gcUnsynced int
 
 	// Background, when set, is the task checkpoint and background-writer
 	// flushes are charged to — PostgreSQL's checkpointer runs alongside
@@ -100,9 +130,9 @@ type DB struct {
 	// degraded is latched when a data-device write fails with
 	// ftl.ErrReadOnly; mutating operations then fail fast with ErrReadOnly
 	// while reads keep serving.
-	degraded bool
+	degraded atomic.Bool
 
-	st Stats
+	st Stats // counters updated via atomics; read with Stats()
 }
 
 // Stats counts engine activity.
@@ -113,6 +143,9 @@ type Stats struct {
 	FullImages       int64 // full page images logged (FPW on)
 	Checkpoints      int64
 	DataPagesFlushed int64
+
+	GroupCommits int64 // WAL syncs issued by group-commit leaders
+	GroupedTxns  int64 // commits that rode another session's sync
 
 	WALReadTruncations  int64 // WAL scans cut short by unrecoverable read faults
 	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
@@ -155,7 +188,12 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*DB, error)
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 2000
 	}
-	db := &DB{fs: fs, logDev: logDev, cfg: cfg, loggedSinceCkpt: make(map[uint32]bool)}
+	db := &DB{
+		fs: fs, logDev: logDev, cfg: cfg,
+		loggedSinceCkpt: make(map[uint32]bool),
+		txnPages:        make(map[uint32]bool),
+		protected:       make(map[uint32]int),
+	}
 	db.perPage = (cfg.PageSize - pageHdrSize) / tupleSize
 	db.branches = branchesPerScale * cfg.Scale
 	db.tellers = tellersPerScale * cfg.Scale
@@ -205,6 +243,19 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*DB, error)
 	pool, err := bufpool.New(file, cfg.PageSize, int(cfg.PoolBytes/int64(cfg.PageSize)), &pgFlusher{db: db})
 	if err != nil {
 		return nil, err
+	}
+	pool.Protected = func(pageNo uint32) bool {
+		if db.applying && db.txnPages[pageNo] {
+			return true
+		}
+		db.protMu.Lock()
+		defer db.protMu.Unlock()
+		return db.protected[pageNo] > 0
+	}
+	pool.OnDirty = func(pageNo uint32) {
+		if db.applying {
+			db.txnPages[pageNo] = true
+		}
 	}
 	db.pool = pool
 	if existing {
@@ -320,7 +371,7 @@ type pgFlusher struct{ db *DB }
 func (fl *pgFlusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
 	db := fl.db
 	ps := int64(db.cfg.PageSize)
-	db.st.DataPagesFlushed += int64(len(pages))
+	atomic.AddInt64(&db.st.DataPagesFlushed, int64(len(pages)))
 	if db.cfg.Mode == FPWShare {
 		var pairs []ssd.Pair
 		for i, pg := range pages {
@@ -370,7 +421,9 @@ func (fl *pgFlusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
 // After degradation it refuses: truncating the WAL while dirty pages
 // cannot reach the heap would lose committed transactions.
 func (db *DB) Checkpoint(t *sim.Task) error {
-	if db.degraded {
+	db.mu.Lock(t)
+	defer db.mu.Unlock(t)
+	if db.degraded.Load() {
 		return ErrReadOnly
 	}
 	return db.noteDeviceErr(db.checkpoint(t, t))
@@ -382,17 +435,26 @@ func (db *DB) noteDeviceErr(err error) error {
 	if err == nil || !errors.Is(err, ftl.ErrReadOnly) {
 		return err
 	}
-	if !db.degraded {
-		db.degraded = true
-		db.st.ReadOnlyTransitions++
+	if db.degraded.CompareAndSwap(false, true) {
+		atomic.AddInt64(&db.st.ReadOnlyTransitions, 1)
 	}
 	return ErrReadOnly
 }
 
 // Degraded reports whether the database has switched to read-only serving.
-func (db *DB) Degraded() bool { return db.degraded }
+func (db *DB) Degraded() bool { return db.degraded.Load() }
 
+// checkpoint runs with db.mu held. It first drains in-flight group
+// commits: their WAL records must be durable before the ring is
+// truncated underneath them. The drain cannot deadlock — every unsynced
+// commit released db.mu before joining groupSync, and holding db.mu here
+// stops new commits from appending, so gcUnsynced only falls.
 func (db *DB) checkpoint(dataTask, walTask *sim.Task) error {
+	db.gcMu.Lock(walTask)
+	for db.gcUnsynced > 0 {
+		db.gcDrain.Wait(walTask, &db.gcMu)
+	}
+	db.gcMu.Unlock(walTask)
 	if err := db.pool.FlushAll(dataTask); err != nil {
 		return err
 	}
@@ -404,8 +466,74 @@ func (db *DB) checkpoint(dataTask, walTask *sim.Task) error {
 	}
 	db.loggedSinceCkpt = make(map[uint32]bool)
 	db.txnsSinceCkpt = 0
-	db.st.Checkpoints++
+	atomic.AddInt64(&db.st.Checkpoints, 1)
 	return nil
+}
+
+// protect pins pages against stealing until unprotect (refcounted).
+func (db *DB) protect(pages []uint32) {
+	db.protMu.Lock()
+	for _, p := range pages {
+		db.protected[p]++
+	}
+	db.protMu.Unlock()
+}
+
+// unprotect drops the pins taken by protect.
+func (db *DB) unprotect(pages []uint32) {
+	db.protMu.Lock()
+	for _, p := range pages {
+		if db.protected[p]--; db.protected[p] <= 0 {
+			delete(db.protected, p)
+		}
+	}
+	db.protMu.Unlock()
+}
+
+// groupSync makes the WAL record at myLSN durable, coalescing with
+// concurrent commits (leader/follower rendezvous — see the innodb
+// engine's groupSync for the protocol discussion).
+func (db *DB) groupSync(t *sim.Task, myLSN int64) error {
+	db.gcMu.Lock(t)
+	grouped := false
+	var err error
+	for err == nil && db.gcDurable <= myLSN {
+		if db.gcSyncing {
+			grouped = true
+			gen := db.gcGen
+			db.gcCond.Wait(t, &db.gcMu)
+			if db.gcGen != gen && db.gcErr != nil && db.gcDurable <= myLSN {
+				err = db.gcErr
+			}
+			continue
+		}
+		db.gcSyncing = true
+		db.gcMu.Unlock(t)
+		serr := db.log.Sync(t)
+		durable := db.log.DurableLSN()
+		db.gcMu.Lock(t)
+		db.gcSyncing = false
+		db.gcGen++
+		db.gcErr = serr
+		if serr == nil {
+			if durable > db.gcDurable {
+				db.gcDurable = durable
+			}
+			atomic.AddInt64(&db.st.GroupCommits, 1)
+		} else {
+			err = serr
+		}
+		db.gcCond.Broadcast(t)
+	}
+	if grouped && err == nil {
+		atomic.AddInt64(&db.st.GroupedTxns, 1)
+	}
+	db.gcUnsynced--
+	if db.gcUnsynced == 0 {
+		db.gcDrain.Broadcast(t)
+	}
+	db.gcMu.Unlock(t)
+	return err
 }
 
 // updateTuple adds delta to the 8-byte balance of row in the table whose
@@ -432,8 +560,8 @@ func (db *DB) updateTuple(t *sim.Task, base uint32, row int, delta int64) error 
 			return err
 		}
 		db.loggedSinceCkpt[pageNo] = true
-		db.st.FullImages++
-		db.st.WALRecords++
+		atomic.AddInt64(&db.st.FullImages, 1)
+		atomic.AddInt64(&db.st.WALRecords, 1)
 	}
 	f.Release()
 
@@ -446,7 +574,7 @@ func (db *DB) updateTuple(t *sim.Task, base uint32, row int, delta int64) error 
 	if _, err := db.log.Append(t, rec); err != nil {
 		return err
 	}
-	db.st.WALRecords++
+	atomic.AddInt64(&db.st.WALRecords, 1)
 	return nil
 }
 
@@ -492,8 +620,8 @@ func (db *DB) insertHistory(t *sim.Task, v uint64) error {
 			return err
 		}
 		db.loggedSinceCkpt[pageNo] = true
-		db.st.FullImages++
-		db.st.WALRecords++
+		atomic.AddInt64(&db.st.FullImages, 1)
+		atomic.AddInt64(&db.st.WALRecords, 1)
 	}
 	f.Release()
 	rec := make([]byte, 17)
@@ -505,7 +633,7 @@ func (db *DB) insertHistory(t *sim.Task, v uint64) error {
 	if _, err := db.log.Append(t, rec); err != nil {
 		return err
 	}
-	db.st.WALRecords++
+	atomic.AddInt64(&db.st.WALRecords, 1)
 	return nil
 }
 
@@ -532,37 +660,71 @@ func (db *DB) RunTxn(t *sim.Task, rng *rand.Rand) error {
 	return db.Txn(t, p)
 }
 
-// Txn executes one TPC-B transaction with explicit parameters.
+// Txn executes one TPC-B transaction with explicit parameters. The apply
+// phase (heap updates + WAL appends) runs under the database latch; the
+// WAL fsync happens in the group-commit rendezvous with the latch
+// released, so concurrent sessions share one flush.
 func (db *DB) Txn(t *sim.Task, p TxnParams) error {
-	if db.degraded {
+	if db.degraded.Load() {
 		return ErrReadOnly
 	}
 	return db.noteDeviceErr(db.runTxn(t, p))
 }
 
 func (db *DB) runTxn(t *sim.Task, p TxnParams) error {
-	if err := db.updateTuple(t, db.accountsAt, p.Account, p.Delta); err != nil {
+	db.mu.Lock(t)
+	db.applying = true
+	db.txnPages = make(map[uint32]bool)
+	fail := func(err error) error {
+		db.applying = false
+		db.mu.Unlock(t)
 		return err
+	}
+	if err := db.updateTuple(t, db.accountsAt, p.Account, p.Delta); err != nil {
+		return fail(err)
 	}
 	if _, err := db.readBalance(t, db.accountsAt, p.Account); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := db.updateTuple(t, db.tellersAt, p.Teller, p.Delta); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := db.updateTuple(t, db.branchesAt, p.Branch, p.Delta); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := db.insertHistory(t, p.HistoryVal|1); err != nil {
+		return fail(err)
+	}
+	myLSN, err := db.log.Append(t, []byte{pgRecCommit})
+	if err != nil {
+		return fail(err)
+	}
+
+	// Hand the dirtied pages to the refcounted pin set (it outlives the
+	// latch), register with the drain counter, and release the latch so
+	// the next session applies while we sync.
+	dirtied := make([]uint32, 0, len(db.txnPages))
+	for pageNo := range db.txnPages {
+		dirtied = append(dirtied, pageNo)
+	}
+	db.protect(dirtied)
+	db.applying = false
+	db.txnPages = make(map[uint32]bool)
+	db.gcMu.Lock(t)
+	db.gcUnsynced++
+	db.gcMu.Unlock(t)
+	db.mu.Unlock(t)
+
+	err = db.groupSync(t, myLSN)
+	db.unprotect(dirtied)
+	if err != nil {
 		return err
 	}
-	if _, err := db.log.Append(t, []byte{pgRecCommit}); err != nil {
-		return err
-	}
-	if err := db.log.Sync(t); err != nil {
-		return err
-	}
-	db.st.Commits++
+	atomic.AddInt64(&db.st.Commits, 1)
+
+	// Checkpoint / background-writer decisions need the latch back.
+	db.mu.Lock(t)
+	defer db.mu.Unlock(t)
 	db.txnsSinceCkpt++
 	bg := t
 	if db.Background != nil {
@@ -580,11 +742,21 @@ func (db *DB) runTxn(t *sim.Task, p TxnParams) error {
 }
 
 // Stats returns engine counters; WALPages reflects the log device.
+// Counters are maintained with atomics, so the snapshot is safe to take
+// while sessions run.
 func (db *DB) Stats() Stats {
-	s := db.st
+	var s Stats
+	s.Commits = atomic.LoadInt64(&db.st.Commits)
+	s.WALRecords = atomic.LoadInt64(&db.st.WALRecords)
+	s.FullImages = atomic.LoadInt64(&db.st.FullImages)
+	s.Checkpoints = atomic.LoadInt64(&db.st.Checkpoints)
+	s.DataPagesFlushed = atomic.LoadInt64(&db.st.DataPagesFlushed)
+	s.GroupCommits = atomic.LoadInt64(&db.st.GroupCommits)
+	s.GroupedTxns = atomic.LoadInt64(&db.st.GroupedTxns)
+	s.ReadOnlyTransitions = atomic.LoadInt64(&db.st.ReadOnlyTransitions)
 	s.WALPages = db.log.PagesWritten()
 	s.WALReadTruncations = db.log.ReadTruncations()
-	s.Degraded = db.degraded
+	s.Degraded = db.degraded.Load()
 	return s
 }
 
@@ -597,8 +769,11 @@ func (db *DB) LogDevice() *ssd.Device { return db.logDev }
 // Accounts returns the number of account rows.
 func (db *DB) Accounts() int { return db.accounts }
 
-// Balance exposes an account balance for tests.
+// Balance exposes an account balance for tests and servers. It takes the
+// database latch: the buffer pool is not safe for unlatched access.
 func (db *DB) Balance(t *sim.Task, row int) (int64, error) {
+	db.mu.Lock(t)
+	defer db.mu.Unlock(t)
 	return db.readBalance(t, db.accountsAt, row)
 }
 
@@ -610,10 +785,14 @@ func (db *DB) Branches() int { return db.branches }
 
 // TellerBalance exposes a teller balance for tests.
 func (db *DB) TellerBalance(t *sim.Task, row int) (int64, error) {
+	db.mu.Lock(t)
+	defer db.mu.Unlock(t)
 	return db.readBalance(t, db.tellersAt, row)
 }
 
 // BranchBalance exposes a branch balance for tests.
 func (db *DB) BranchBalance(t *sim.Task, row int) (int64, error) {
+	db.mu.Lock(t)
+	defer db.mu.Unlock(t)
 	return db.readBalance(t, db.branchesAt, row)
 }

@@ -1,0 +1,174 @@
+// Package qos provides per-tenant fair-share admission ahead of the
+// device queue. A multi-tenant front-end (cmd/shareserver) funnels every
+// tenant's commands into one simulated SSD; without admission control a
+// tenant issuing large or frequent commands starves the others at the
+// device FIFO. FairShare implements ssd.Admission with a start-time-fair
+// policy: each tenant is billed the device service time it consumes, and
+// a command from a tenant whose bill runs ahead of the least-billed
+// *present* tenant by more than a quantum has its start delayed — the
+// submitting task's virtual clock is advanced to the time the lagging
+// tenant, consuming continuously, would have caught up.
+//
+// Delaying the start tag instead of parking the goroutine keeps the
+// controller deadlock-free by construction: no command ever waits on a
+// wakeup that another tenant may never deliver. In scheduler mode the
+// advanced clock pushes the command behind other tenants' earlier
+// arrivals (the scheduler always runs the earliest clock), so shaping is
+// exact and deterministic; in solo mode the penalty lands in the
+// command's measured virtual latency the same way queueing at a busy
+// device resource does. The penalty is recomputed per command, so a
+// one-off overshoot (the lagging tenant stops consuming) corrects itself
+// at the next admit.
+//
+// Idle tenants earn no credit: on return from a real idle period — more
+// than a quantum of virtual time since the tenant's last completion — a
+// tenant's bill is bumped up to the present minimum, so sleeping does
+// not bank burst capacity (the classic start-time fair queueing rule).
+// The same grace window keeps a closed-loop client, which is "inactive"
+// for zero virtual width between a completion and its next submit, both
+// billed continuously and counted in the minimum that throttles others.
+package qos
+
+import (
+	"share/internal/sim"
+)
+
+// FairShare is a per-tenant admission gate. Install on a device with
+// ssd.Device.SetAdmission. The zero value is not usable; construct with
+// NewFairShare.
+type FairShare struct {
+	quantum sim.Duration
+
+	mu  sim.Mutex
+	ten map[string]*tenantState
+
+	admits    int64        // total tagged commands admitted
+	throttles int64        // commands that were delayed
+	delayed   sim.Duration // total virtual time of start delays
+}
+
+type tenantState struct {
+	consumed sim.Duration // billed device service time
+	active   int          // commands submitted and not yet completed
+	lastDone int64        // virtual time of the last completion
+}
+
+// DefaultQuantum bounds how far one tenant's billed service may run
+// ahead of the least-billed present tenant. Larger values admit burstier
+// schedules; smaller values interleave tenants more strictly at the cost
+// of more frequent delays.
+const DefaultQuantum = 2 * sim.Millisecond
+
+// NewFairShare returns a controller with the given fairness quantum;
+// quantum <= 0 selects DefaultQuantum.
+func NewFairShare(quantum sim.Duration) *FairShare {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &FairShare{quantum: quantum, ten: make(map[string]*tenantState)}
+}
+
+// minPresentLocked returns the smallest bill among present tenants: those
+// with commands in flight, or whose last completion is within the grace
+// window of now (a closed-loop client between ops). ok is false when no
+// tenant is present. Callers hold f.mu.
+func (f *FairShare) minPresentLocked(now int64) (sim.Duration, bool) {
+	var min sim.Duration
+	found := false
+	for _, u := range f.ten {
+		if u.active == 0 && now-u.lastDone > f.quantum {
+			continue
+		}
+		if !found || u.consumed < min {
+			min = u.consumed
+			found = true
+		}
+	}
+	return min, found
+}
+
+// Admit delays task t's command start until its tenant is within quantum
+// of the least-billed present tenant's consumption horizon. Commands with
+// an empty tenant bypass the gate entirely (single-tenant stacks pay
+// nothing).
+func (f *FairShare) Admit(t *sim.Task, tenant string) {
+	if tenant == "" {
+		return
+	}
+	f.mu.Lock(t)
+	u := f.ten[tenant]
+	if u == nil {
+		u = &tenantState{lastDone: -1 << 62} // never completed: no grace
+		f.ten[tenant] = u
+	}
+	if u.active == 0 && t.Now()-u.lastDone > f.quantum {
+		// Returning from a real idle period (or arriving for the first
+		// time): forfeit banked credit so a long-idle tenant cannot burst
+		// past the tenants that kept working, and a newcomer does not
+		// drag the minimum down and stall everyone while it catches up
+		// from zero.
+		if m, ok := f.minPresentLocked(t.Now()); ok && u.consumed < m {
+			u.consumed = m
+		}
+	}
+	u.active++
+	var delay sim.Duration
+	if m, _ := f.minPresentLocked(t.Now()); u.consumed-m > f.quantum {
+		// The lagging tenant consumes service continuously while present,
+		// so it reaches our bill minus the quantum after this much more
+		// virtual time. Push this command's start tag there.
+		delay = u.consumed - m - f.quantum
+		f.throttles++
+		f.delayed += delay
+	}
+	f.admits++
+	f.mu.Unlock(t)
+	if delay > 0 {
+		t.Advance(delay)
+	}
+}
+
+// Done bills the tenant for the service time its command consumed and
+// records the completion time that keeps a closed-loop tenant present
+// through its zero-width resubmit gap.
+func (f *FairShare) Done(t *sim.Task, tenant string, svc sim.Duration) {
+	if tenant == "" {
+		return
+	}
+	f.mu.Lock(t)
+	u := f.ten[tenant]
+	if u == nil || u.active == 0 {
+		f.mu.Unlock(t)
+		panic("qos: Done without matching Admit for tenant " + tenant)
+	}
+	u.consumed += svc
+	u.active--
+	if t.Now() > u.lastDone {
+		u.lastDone = t.Now()
+	}
+	f.mu.Unlock(t)
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	Admits    int64                   // tagged commands admitted
+	Throttles int64                   // commands whose start was delayed
+	Delayed   sim.Duration            // total virtual start-delay imposed
+	Consumed  map[string]sim.Duration // billed service time per tenant
+}
+
+// Stats snapshots admission counters and per-tenant bills.
+func (f *FairShare) Stats(t *sim.Task) Stats {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	st := Stats{
+		Admits:    f.admits,
+		Throttles: f.throttles,
+		Delayed:   f.delayed,
+		Consumed:  make(map[string]sim.Duration, len(f.ten)),
+	}
+	for name, u := range f.ten {
+		st.Consumed[name] = u.consumed
+	}
+	return st
+}

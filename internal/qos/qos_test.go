@@ -1,0 +1,177 @@
+package qos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// TestFairShareBoundsSkew: a hog submitting from four parallel streams
+// consumes device service four times faster than a single-stream light
+// tenant, so the gate must delay it. While the light tenant is present, the
+// hog's billed service may not run ahead of the light tenant's by more
+// than quantum plus the commands already in flight when the cap was
+// crossed.
+func TestFairShareBoundsSkew(t *testing.T) {
+	const quantum = 1 * sim.Millisecond
+	const hogSvc = 200 * sim.Microsecond
+	const lightSvc = 50 * sim.Microsecond
+	const hogStreams = 4
+	const hogOps = 100 // per stream
+	const lightOps = 400
+	f := NewFairShare(quantum)
+
+	sched := sim.NewScheduler()
+	for s := 0; s < hogStreams; s++ {
+		sched.Go(fmt.Sprintf("hog%d", s), func(task *sim.Task) {
+			for i := 0; i < hogOps; i++ {
+				f.Admit(task, "hog")
+				task.Advance(hogSvc)
+				f.Done(task, "hog", hogSvc)
+			}
+		})
+	}
+	var hogAtLightDone sim.Duration
+	sched.Go("light", func(task *sim.Task) {
+		for i := 0; i < lightOps; i++ {
+			f.Admit(task, "light")
+			task.Advance(lightSvc)
+			f.Done(task, "light", lightSvc)
+		}
+		hogAtLightDone = f.Stats(task).Consumed["hog"]
+	})
+	sched.Run()
+
+	task := sim.NewSoloTask("check")
+	st := f.Stats(task)
+	if want := int64(hogStreams*hogOps + lightOps); st.Admits != want {
+		t.Fatalf("Admits = %d, want %d", st.Admits, want)
+	}
+	if st.Throttles == 0 {
+		t.Fatal("Throttles = 0: the hog was never delayed")
+	}
+	const lightTotal = lightOps * lightSvc
+	// At the moment the light tenant finished its last command it had
+	// lightTotal billed; the hog may lead by quantum plus its in-flight
+	// commands at that instant.
+	if maxHog := lightTotal + quantum + hogStreams*hogSvc; hogAtLightDone > maxHog {
+		t.Fatalf("hog consumed %dus while light was active, cap %dus",
+			hogAtLightDone/sim.Microsecond, maxHog/sim.Microsecond)
+	}
+	// After the light tenant went idle the hog free-runs to completion.
+	if want := sim.Duration(hogStreams * hogOps * hogSvc); st.Consumed["hog"] != want {
+		t.Fatalf("hog total = %d, want %d", st.Consumed["hog"], want)
+	}
+	t.Logf("hog@light-done=%dus light-total=%dus throttles=%d delayed=%dus",
+		hogAtLightDone/sim.Microsecond, lightTotal/sim.Microsecond, st.Throttles, st.Delayed/sim.Microsecond)
+}
+
+// TestFairShareSingleTenantNeverParks: with one tenant (or untagged
+// commands) the gate must be free.
+func TestFairShareSingleTenantNeverParks(t *testing.T) {
+	f := NewFairShare(0)
+	task := sim.NewSoloTask("solo")
+	for i := 0; i < 100; i++ {
+		f.Admit(task, "only")
+		f.Done(task, "only", 1*sim.Millisecond)
+		f.Admit(task, "") // untagged bypasses entirely
+		f.Done(task, "", 1*sim.Millisecond)
+	}
+	st := f.Stats(task)
+	if st.Throttles != 0 {
+		t.Fatalf("Throttles = %d, want 0 for a single tenant", st.Throttles)
+	}
+	if st.Admits != 100 {
+		t.Fatalf("Admits = %d, want 100 (untagged commands are not counted)", st.Admits)
+	}
+}
+
+// TestFairShareSoloRace hammers the controller from real goroutines under
+// -race: many workers across few tenants, with idle gaps (workers drop
+// out and return) to exercise the idle-credit-forfeit path.
+func TestFairShareSoloRace(t *testing.T) {
+	f := NewFairShare(200 * sim.Microsecond)
+	const workers = 8
+	const tenants = 3
+	const ops = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := sim.NewSoloTask(fmt.Sprintf("w%d", w))
+			tenant := fmt.Sprintf("t%d", w%tenants)
+			rng := rand.New(rand.NewSource(int64(77 + w)))
+			for i := 0; i < ops; i++ {
+				svc := sim.Duration(10+rng.Intn(90)) * sim.Microsecond
+				f.Admit(task, tenant)
+				task.Advance(svc)
+				f.Done(task, tenant, svc)
+			}
+		}(w)
+	}
+	wg.Wait()
+	task := sim.NewSoloTask("check")
+	st := f.Stats(task)
+	if st.Admits != workers*ops {
+		t.Fatalf("Admits = %d, want %d", st.Admits, workers*ops)
+	}
+	var total sim.Duration
+	for _, c := range st.Consumed {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no service billed")
+	}
+}
+
+// TestFairShareOnDevice wires the controller into a real simulated SSD:
+// two tenants submit concurrently through the admission gate; both finish
+// and both get billed.
+func TestFairShareOnDevice(t *testing.T) {
+	cfg := ssd.DefaultConfig(256)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	dev, err := ssd.New("qos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFairShare(500 * sim.Microsecond)
+	dev.SetAdmission(f)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, tenant := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			task := sim.NewSoloTask(tenant)
+			task.SetTenant(tenant)
+			buf := make([]byte, 512)
+			copy(buf, tenant)
+			for i := 0; i < 64; i++ {
+				if err := dev.WritePage(task, uint32(i), buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("check")
+	st := f.Stats(task)
+	if st.Consumed["alpha"] == 0 || st.Consumed["beta"] == 0 {
+		t.Fatalf("both tenants must be billed: %v", st.Consumed)
+	}
+	if st.Admits != 128 {
+		t.Fatalf("Admits = %d, want 128", st.Admits)
+	}
+}

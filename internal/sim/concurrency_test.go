@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// Solo tasks are real goroutines; the dual-mode Mutex must give them
+// mutual exclusion and advance a blocked waiter's clock past the unlock.
+func TestSoloMutexExcludes(t *testing.T) {
+	var m Mutex
+	var counter int
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			task := NewSoloTask("w")
+			for n := 0; n < rounds; n++ {
+				m.Lock(task)
+				counter++
+				task.Advance(10)
+				m.Unlock(task)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Fatalf("lost updates: counter=%d want %d", counter, workers*rounds)
+	}
+}
+
+// A solo waiter that blocked on a held Mutex must come back with its
+// clock at or past the holder's unlock time — lock waits cost virtual
+// time in solo mode just as they do under a scheduler.
+func TestSoloMutexAdvancesWaiterClock(t *testing.T) {
+	var m Mutex
+	holder := NewSoloTask("holder")
+	m.Lock(holder)
+	holder.Advance(5000)
+
+	acquired := make(chan int64)
+	go func() {
+		w := NewSoloTask("waiter")
+		m.Lock(w)
+		acquired <- w.Now()
+		m.Unlock(w)
+	}()
+	// Let the waiter reach the blocking wait, then release at t=5000.
+	m.Unlock(holder)
+	if got := <-acquired; got < 5000 {
+		t.Fatalf("waiter clock %d, want >= 5000 (unlock time)", got)
+	}
+}
+
+// Dual-mode Cond: solo waiters must block until Broadcast and advance to
+// the broadcaster's clock.
+func TestSoloCondBroadcast(t *testing.T) {
+	var m Mutex
+	var c Cond
+	ready := false
+	const waiters = 4
+	var wg sync.WaitGroup
+	clocks := make([]int64, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewSoloTask("w")
+			m.Lock(w)
+			for !ready {
+				c.Wait(w, &m)
+			}
+			clocks[i] = w.Now()
+			m.Unlock(w)
+		}(i)
+	}
+	b := NewSoloTask("leader")
+	b.Advance(7777)
+	m.Lock(b)
+	ready = true
+	c.Broadcast(b)
+	m.Unlock(b)
+	wg.Wait()
+	for i, ck := range clocks {
+		if ck < 7777 {
+			t.Fatalf("waiter %d clock %d, want >= 7777 (broadcast time)", i, ck)
+		}
+	}
+}
+
+// Scheduler-mode Cond: followers wait for a leader's broadcast without
+// deadlocking the virtual-time run loop, and wake at the leader's clock.
+func TestSchedulerCond(t *testing.T) {
+	var m Mutex
+	var c Cond
+	done := false
+	s := NewScheduler()
+	var followerEnd int64
+	s.Go("follower", func(task *Task) {
+		m.Lock(task)
+		for !done {
+			c.Wait(task, &m)
+		}
+		m.Unlock(task)
+		followerEnd = task.Now()
+	})
+	s.Go("leader", func(task *Task) {
+		task.Advance(1000)
+		m.Lock(task)
+		task.Advance(500)
+		done = true
+		c.Broadcast(task)
+		m.Unlock(task)
+	})
+	s.Run()
+	if followerEnd < 1500 {
+		t.Fatalf("follower finished at %d, want >= 1500", followerEnd)
+	}
+}
+
+// Concurrent solo submitters on one Resource / MultiResource: the virtual
+// busy-time accounting must not lose updates (and the race detector must
+// stay quiet).
+func TestResourceConcurrentUse(t *testing.T) {
+	r := NewResource("dev")
+	mr := NewMultiResource("mdev", 4)
+	const workers, rounds = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task := NewSoloTask("w")
+			for n := 0; n < rounds; n++ {
+				r.Use(task, 7)
+				mr.Use(task, 11)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.BusyTime(), int64(workers*rounds*7); got != want {
+		t.Fatalf("Resource busy=%d want %d", got, want)
+	}
+	if got, want := mr.BusyTime(), int64(workers*rounds*11); got != want {
+		t.Fatalf("MultiResource busy=%d want %d", got, want)
+	}
+}

@@ -11,9 +11,28 @@
 // time t receives it at max(t, resourceFree) and both clocks advance past
 // the service time. Because the scheduler resumes tasks in virtual-time
 // order, arbitration is by arrival time, which is exactly a FIFO queue.
+// Concurrency model. Scheduler tasks are goroutines, but the scheduler
+// physically serializes them (channel handoffs establish happens-before
+// edges), so scheduler tasks never race with each other. Solo tasks are
+// ordinary goroutines with no such serialization: a server front-end may
+// drive many solo tasks into the same Device at once. Every shared sim
+// object (Resource, MultiResource, Mutex, Cond) therefore carries an
+// internal sync.Mutex so concurrent solo submitters are race-free. The
+// one rule: an internal lock is never held across Yield — holding a real
+// lock while the scheduler hands control to another task that then blocks
+// on it would deadlock the process, not the simulation.
+//
+// Mutex and Cond are dual-mode: scheduler tasks park virtually (the
+// scheduler skips blocked tasks until the holder wakes them), solo tasks
+// block for real on an internal condition variable. Mixing scheduler and
+// solo tasks on the same Mutex/Cond is not supported — a solo unlock
+// cannot safely poke a scheduler's run loop.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Duration is a span of virtual time in nanoseconds.
 type Duration = int64
@@ -30,9 +49,10 @@ const (
 // A Task is either standalone (created by NewSoloTask) or owned by a
 // Scheduler (created by Scheduler.Go).
 type Task struct {
-	name  string
-	now   int64
-	sched *Scheduler
+	name   string
+	now    int64
+	tenant string // owning tenant, for fair-share admission ("" = none)
+	sched  *Scheduler
 	// resume is signalled by the scheduler to let this task run;
 	// the task signals yielded when it hands control back.
 	resume  chan struct{}
@@ -50,6 +70,13 @@ func NewSoloTask(name string) *Task {
 
 // Name returns the task's diagnostic name.
 func (t *Task) Name() string { return t.name }
+
+// SetTenant tags the task with the tenant on whose behalf it submits
+// I/O; fair-share admission (internal/qos) bills service time to it.
+func (t *Task) SetTenant(tenant string) { t.tenant = tenant }
+
+// Tenant returns the task's tenant tag ("" if untagged).
+func (t *Task) Tenant() string { return t.tenant }
 
 // Now returns the task's current virtual time in nanoseconds.
 func (t *Task) Now() int64 { return t.now }
@@ -149,9 +176,21 @@ func (s *Scheduler) Run() int64 {
 // Mutex is a virtual-time mutual-exclusion lock. Lock parks the task until
 // the holder unlocks; the waiter's clock is advanced to the unlock time,
 // so lock waits show up as real latency in the simulation.
+//
+// Mutex is dual-mode: scheduler tasks park virtually (the scheduler skips
+// them until the holder wakes them), while solo tasks block for real on an
+// internal condition variable, making the lock usable from concurrent
+// server goroutines. A single Mutex must be driven either by one
+// scheduler's tasks or by solo tasks, never a mix.
 type Mutex struct {
+	sm      sync.Mutex // guards held/waiters/unlockedAt; never held across Yield
+	cond    *sync.Cond // lazily built; solo waiters block here
 	held    bool
-	waiters []*Task
+	waiters []*Task // parked scheduler tasks
+	// unlockedAt is the virtual time of the latest unlock, used to advance
+	// a solo waiter's clock so lock waits cost virtual time in solo mode
+	// the same way scheduler-mode waits do.
+	unlockedAt int64
 }
 
 // Lock acquires m for task t, blocking in virtual time while it is held.
@@ -160,19 +199,35 @@ type Mutex struct {
 // relocks would monopolize the mutex, since it never yields in between.
 func (m *Mutex) Lock(t *Task) {
 	t.Yield()
+	m.sm.Lock()
 	for m.held {
 		if t.sched == nil {
-			panic("sim: solo task cannot wait on a held Mutex")
+			// Solo task: block for real until an Unlock broadcasts.
+			if m.cond == nil {
+				m.cond = sync.NewCond(&m.sm)
+			}
+			m.cond.Wait()
+			continue
 		}
+		// Scheduler task: park virtually. The internal lock must be
+		// dropped across Yield — the task that unlocks needs it.
 		t.blocked = true
 		m.waiters = append(m.waiters, t)
+		m.sm.Unlock()
 		t.Yield()
+		m.sm.Lock()
 	}
 	m.held = true
+	if t.sched == nil && m.unlockedAt > t.now {
+		t.now = m.unlockedAt
+	}
+	m.sm.Unlock()
 }
 
 // TryLock acquires m if free and reports whether it did.
 func (m *Mutex) TryLock(t *Task) bool {
+	m.sm.Lock()
+	defer m.sm.Unlock()
 	if m.held {
 		return false
 	}
@@ -183,15 +238,85 @@ func (m *Mutex) TryLock(t *Task) bool {
 // Unlock releases m and wakes every waiter, advancing their clocks to the
 // unlocking task's current time; they re-contend in virtual-clock order.
 func (m *Mutex) Unlock(t *Task) {
+	m.sm.Lock()
 	if !m.held {
+		m.sm.Unlock()
 		panic("sim: unlock of free Mutex")
 	}
 	m.held = false
+	if t.now > m.unlockedAt {
+		m.unlockedAt = t.now
+	}
 	for _, w := range m.waiters {
 		w.blocked = false
 		w.AdvanceTo(t.now)
 	}
 	m.waiters = m.waiters[:0]
+	if m.cond != nil {
+		m.cond.Broadcast()
+	}
+	m.sm.Unlock()
+}
+
+// Cond is a virtual-time condition variable tied to a Mutex, dual-mode
+// like the Mutex itself. It is the primitive behind group commit: follower
+// transactions Wait until the leader's sync Broadcasts durability.
+type Cond struct {
+	sm      sync.Mutex // guards waiters/gen/wakeAt; never held across Yield
+	sc      *sync.Cond // lazily built; solo waiters block here
+	waiters []*Task    // parked scheduler tasks
+	gen     uint64     // bumped by Broadcast so solo waiters detect wakeups
+	wakeAt  int64      // virtual time of the latest Broadcast
+}
+
+// Wait atomically releases mu and parks t until Broadcast, then reacquires
+// mu before returning. The waiter's clock is advanced to the broadcaster's
+// time, so the wait costs virtual time. As with every condition variable,
+// callers must re-check their predicate in a loop.
+func (c *Cond) Wait(t *Task, mu *Mutex) {
+	if t.sched != nil {
+		c.sm.Lock()
+		c.waiters = append(c.waiters, t)
+		c.sm.Unlock()
+		t.blocked = true
+		mu.Unlock(t)
+		t.Yield()
+		mu.Lock(t)
+		return
+	}
+	c.sm.Lock()
+	if c.sc == nil {
+		c.sc = sync.NewCond(&c.sm)
+	}
+	gen := c.gen
+	mu.Unlock(t)
+	for gen == c.gen {
+		c.sc.Wait()
+	}
+	if c.wakeAt > t.now {
+		t.now = c.wakeAt
+	}
+	c.sm.Unlock()
+	mu.Lock(t)
+}
+
+// Broadcast wakes every waiter, advancing each clock to t's current time.
+// The associated Mutex should be held (waiters re-contend for it on wake).
+func (c *Cond) Broadcast(t *Task) {
+	c.sm.Lock()
+	for _, w := range c.waiters {
+		w.blocked = false
+		w.AdvanceTo(t.now)
+	}
+	c.waiters = c.waiters[:0]
+	if t.now > c.wakeAt {
+		c.wakeAt = t.now
+	}
+	c.gen++
+	if c.sc != nil {
+		c.sc.Broadcast()
+	}
+	c.sm.Unlock()
 }
 
 // Resource is a single-server FIFO queue in virtual time, e.g. a storage
@@ -199,8 +324,9 @@ func (m *Mutex) Unlock(t *Task) {
 // may begin for the calling task.
 type Resource struct {
 	name string
-	free int64 // earliest time the resource is idle
-	busy int64 // accumulated busy time, for utilization reports
+	mu   sync.Mutex // guards free/busy against concurrent solo submitters
+	free int64      // earliest time the resource is idle
+	busy int64      // accumulated busy time, for utilization reports
 }
 
 // NewResource returns an idle resource.
@@ -218,6 +344,7 @@ func (r *Resource) Use(t *Task, service Duration) Duration {
 	}
 	arrival := t.now
 	t.Yield() // arbitrate by arrival time
+	r.mu.Lock()
 	start := arrival
 	if r.free > start {
 		start = r.free
@@ -225,6 +352,7 @@ func (r *Resource) Use(t *Task, service Duration) Duration {
 	done := start + service
 	r.free = done
 	r.busy += service
+	r.mu.Unlock()
 	t.AdvanceTo(done)
 	return done - arrival
 }
@@ -238,16 +366,27 @@ func (r *Resource) ExtendCurrent(t *Task, extra Duration) {
 	if extra < 0 {
 		panic("sim: negative service extension")
 	}
+	r.mu.Lock()
 	r.free += extra
 	r.busy += extra
-	t.AdvanceTo(r.free)
+	free := r.free
+	r.mu.Unlock()
+	t.AdvanceTo(free)
 }
 
 // Free returns the virtual time at which the resource next becomes idle.
-func (r *Resource) Free() int64 { return r.free }
+func (r *Resource) Free() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.free
+}
 
 // BusyTime returns the total virtual time spent serving requests.
-func (r *Resource) BusyTime() int64 { return r.busy }
+func (r *Resource) BusyTime() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
 
 // MultiResource is a k-server FIFO queue in virtual time: up to k requests
 // are in service simultaneously (an NCQ-style device with internal
@@ -255,7 +394,8 @@ func (r *Resource) BusyTime() int64 { return r.busy }
 // waiting collapses.
 type MultiResource struct {
 	name string
-	free []int64 // per-server next-idle times
+	mu   sync.Mutex // guards free/busy/last against concurrent solo submitters
+	free []int64    // per-server next-idle times
 	busy int64
 	last int // server picked by the most recent Use (ExtendCurrent target)
 }
@@ -278,6 +418,7 @@ func (m *MultiResource) Use(t *Task, service Duration) Duration {
 	}
 	arrival := t.now
 	t.Yield()
+	m.mu.Lock()
 	best := 0
 	for i := 1; i < len(m.free); i++ {
 		if m.free[i] < m.free[best] {
@@ -292,6 +433,7 @@ func (m *MultiResource) Use(t *Task, service Duration) Duration {
 	m.free[best] = done
 	m.busy += service
 	m.last = best
+	m.mu.Unlock()
 	t.AdvanceTo(done)
 	return done - arrival
 }
@@ -304,21 +446,30 @@ func (m *MultiResource) ExtendCurrent(t *Task, extra Duration) {
 	if extra < 0 {
 		panic("sim: negative service extension")
 	}
+	m.mu.Lock()
 	m.free[m.last] += extra
 	m.busy += extra
-	t.AdvanceTo(m.free[m.last])
+	free := m.free[m.last]
+	m.mu.Unlock()
+	t.AdvanceTo(free)
 }
 
 // FreeTimes returns a copy of each server's next-idle time, for tests and
 // utilization diagnostics.
 func (m *MultiResource) FreeTimes() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]int64, len(m.free))
 	copy(out, m.free)
 	return out
 }
 
 // BusyTime returns total service time across all servers.
-func (m *MultiResource) BusyTime() int64 { return m.busy }
+func (m *MultiResource) BusyTime() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.busy
+}
 
 // Servers returns the parallelism degree.
 func (m *MultiResource) Servers() int { return len(m.free) }

@@ -1,0 +1,130 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"share/internal/ftl"
+	"share/internal/sim"
+)
+
+// Regression test for the single-submitter races: N real goroutines (solo
+// tasks) hammer every command class while other goroutines read the
+// epoch/telemetry surface (Stats, ResetStats, Health, DieTelemetry,
+// Metrics). Before the sim resources and recorder grew internal locks,
+// this raced on Resource.free/busy and the histogram state; run it under
+// -race (make check does).
+func TestConcurrentSubmitters(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"lump-sum-qd8", func() Config {
+			c := DefaultConfig(128)
+			c.QueueDepth = 8
+			return c
+		}()},
+		{"die-scheduled-4ch", func() Config {
+			c := DefaultConfig(256)
+			c.Geometry.Channels = 4
+			c.Geometry.DiesPerChannel = 2
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dev, err := New("racedev", tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup := sim.NewSoloTask("setup")
+			if err := dev.Age(setup, 0.4, 0.1, 42); err != nil {
+				t.Fatal(err)
+			}
+			dev.ResetStats()
+
+			const workers, ops = 8, 150
+			span := dev.Capacity() / 2
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			stop := make(chan struct{})
+			// Telemetry readers poll concurrently with in-flight serves.
+			var rg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				rg.Add(1)
+				go func() {
+					defer rg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_ = dev.Stats()
+						_ = dev.LifetimeStats()
+						_ = dev.Health()
+						_ = dev.DieTelemetry()
+						_ = dev.ChannelTelemetry()
+						_ = dev.Metrics().LatencySummaries()
+						_ = dev.ReadOnly()
+					}
+				}()
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					task := sim.NewSoloTask(fmt.Sprintf("cli%d", w))
+					task.SetTenant(fmt.Sprintf("tenant%d", w%3))
+					rng := rand.New(rand.NewSource(int64(w) + 1))
+					page := make([]byte, dev.PageSize())
+					for n := 0; n < ops; n++ {
+						lpn := uint32(rng.Intn(span))
+						var err error
+						switch n % 8 {
+						case 0, 1, 2:
+							rng.Read(page)
+							err = dev.WritePage(task, lpn, page)
+						case 3, 4:
+							if rerr := dev.ReadPage(task, lpn, page); rerr != nil &&
+								!errors.Is(rerr, ftl.ErrUnmapped) {
+								err = rerr
+							}
+						case 5:
+							src := uint32(rng.Intn(span))
+							if serr := dev.Share(task, []Pair{{Dst: lpn, Src: src, Len: 1}}); serr != nil &&
+								!errors.Is(serr, ftl.ErrUnmapped) {
+								err = serr
+							}
+						case 6:
+							err = dev.Trim(task, lpn, 1)
+						case 7:
+							err = dev.Flush(task)
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(stop)
+			rg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			// ResetStats must be race-free against nothing in flight and
+			// leave a clean epoch.
+			dev.ResetStats()
+			st := dev.Stats()
+			if st.FTL.HostWrites != 0 || st.Chip.Programs != 0 {
+				t.Fatalf("epoch not clean after ResetStats: %+v", st.FTL)
+			}
+		})
+	}
+}

@@ -56,7 +56,23 @@ func DefaultConfig(blocks int) Config {
 	}
 }
 
+// Admission gates command entry ahead of the device queue, e.g. for
+// per-tenant fair-share scheduling (internal/qos). Admit may block the
+// task (in virtual or real time) until its tenant is within its share;
+// Done reports the service time the command consumed so the controller
+// can bill it. Implementations must be safe for concurrent submitters.
+type Admission interface {
+	Admit(t *sim.Task, tenant string)
+	Done(t *sim.Task, tenant string, svc sim.Duration)
+}
+
 // Device is a simulated SHARE-capable SSD.
+//
+// Concurrency: Device.mu serializes FTL/chip work (the firmware is
+// single-threaded), while the virtual-time cost of each command is paid
+// outside the lock on the sim resource servers, which carry their own
+// internal locks — so multiple solo-task goroutines may submit commands
+// concurrently, overlapping on distinct dies exactly like NCQ traffic.
 type Device struct {
 	mu   sync.Mutex
 	chip *nand.Chip
@@ -64,7 +80,8 @@ type Device struct {
 	res  *sim.MultiResource
 	cfg  Config
 	rec  *metrics.Recorder
-	base Stats // counter baseline recorded by ResetStats (epoch start)
+	adm  Admission // optional per-tenant admission gate; set before serving
+	base Stats     // counter baseline recorded by ResetStats (epoch start)
 
 	// Per-die scheduling state, nil/absent on geometry-blind devices.
 	// Each die is a single-server resource (one NAND operation at a time);
@@ -154,6 +171,9 @@ func (d *Device) MaxShareBatch() int { return d.ftl.MaxShareBatch() }
 // latency (service plus queueing) and the slice of its service time that
 // was a GC stall — is recorded in the device's metrics recorder.
 func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, error)) error {
+	if d.adm != nil {
+		d.adm.Admit(t, t.Tenant())
+	}
 	d.mu.Lock()
 	stallBefore := d.ftl.GCStallTotal()
 	svc, err := op()
@@ -169,9 +189,17 @@ func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, erro
 	} else {
 		lat = d.schedule(t, svc, plan)
 	}
+	if d.adm != nil {
+		d.adm.Done(t, t.Tenant(), svc)
+	}
 	d.rec.Observe(c, lat, stall)
 	return err
 }
+
+// SetAdmission installs (or, with nil, removes) a per-tenant admission
+// gate ahead of the device queue. Install it before concurrent submitters
+// start; the field itself is not lock-protected.
+func (d *Device) SetAdmission(a Admission) { d.adm = a }
 
 // schedule replays one command's cost plan in issue order: firmware time
 // (the service-time residue no NAND operation accounts for) advances the

@@ -1,0 +1,74 @@
+package stress
+
+import (
+	"testing"
+
+	"share/internal/server"
+)
+
+// TestStressServer is the make-check stress cell: 8 workers over 3
+// tenants, each mirroring its writes locally and verifying every read,
+// over real TCP against the full serving stack (protocol loop, couch,
+// fsim, qos admission, multi-channel device) under the race detector.
+func TestStressServer(t *testing.T) {
+	cfg := Config{
+		Workers: 8,
+		Tenants: 3,
+		Cycles:  150,
+		Keys:    24,
+		Seed:    42,
+		Server:  server.Config{Blocks: 256, PageSize: 512, BatchSize: 4},
+	}
+	if testing.Short() {
+		cfg.Workers = 4
+		cfg.Cycles = 60
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("stress run failed: %s", rep)
+	}
+	if want := int64(cfg.Workers * cfg.Cycles); rep.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", rep.Cycles, want)
+	}
+}
+
+// TestStressSingleTenant keeps every worker on one tenant so all
+// connections contend on one couch store — the hot-latch variant.
+func TestStressSingleTenant(t *testing.T) {
+	rep, err := Run(Config{
+		Workers: 6,
+		Tenants: 1,
+		Cycles:  80,
+		Keys:    16,
+		Seed:    7,
+		Server:  server.Config{Blocks: 256, PageSize: 512, BatchSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("stress run failed: %s", rep)
+	}
+}
+
+// TestReportMerge pins the accounting arithmetic.
+func TestReportMerge(t *testing.T) {
+	a := Report{Cycles: 10, WriteErrors: 1}
+	a.Merge(Report{Cycles: 5, ReadErrors: 2, DataErrors: 3})
+	want := Report{Cycles: 15, WriteErrors: 1, ReadErrors: 2, DataErrors: 3}
+	if a != want {
+		t.Fatalf("merge = %+v, want %+v", a, want)
+	}
+	if !a.Failed() {
+		t.Fatal("Failed() = false with errors present")
+	}
+	clean := Report{Cycles: 99}
+	if clean.Failed() {
+		t.Fatal("Failed() = true with no errors")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"share/internal/sim"
 	"share/internal/ssd"
@@ -30,22 +31,32 @@ const (
 
 // Log is an append-only record log over a contiguous LPN range of a
 // device. Old space is reclaimed by Truncate after engine checkpoints.
+//
+// The log is safe for concurrent use: a latch serializes Append, Sync,
+// Truncate and ReadAll, and it is held across the device I/O — the tail
+// slot is rewritten by both Append (when a page fills) and Sync (partial
+// tail), and interleaving a stale tail image between those writes would
+// corrupt the stream”s record boundaries. Scalar counters (head, lsn,
+// durable, written, bytes) are mirrored through atomics so the getters
+// need no latch and never queue behind a leader”s fsync.
 type Log struct {
 	dev      *ssd.Device
 	start    uint32 // first LPN of the log area
 	pages    uint32 // log area length
 	pageSize int
 
-	head    uint32 // slot holding the current (partial) page
-	seq     uint64 // page sequence number
-	pending []byte // stream bytes not yet part of a full page
-	lsn     int64  // next record LSN (monotonic record counter)
-	durable int64  // highest LSN guaranteed durable
-	written int64  // page writes issued
-	bytes   int64  // record payload bytes appended
+	latch sim.Mutex // serializes mutators, held across device I/O
 
-	readTruncations int64 // ReadAll scans ended early by an unreadable page
-	lastReadErr     error // device error that ended the last truncated scan
+	head    atomic.Uint32 // slot holding the current (partial) page
+	seq     uint64        // page sequence number (latch only)
+	pending []byte        // stream bytes not yet part of a full page (latch only)
+	lsn     atomic.Int64  // next record LSN (monotonic record counter)
+	durable atomic.Int64  // highest LSN guaranteed durable
+	written atomic.Int64  // page writes issued
+	bytes   atomic.Int64  // record payload bytes appended
+
+	readTruncations atomic.Int64 // ReadAll scans ended early by an unreadable page
+	lastReadErr     error        // device error that ended the last truncated scan (latch)
 }
 
 // New creates an empty log over [start, start+pages) of dev.
@@ -60,37 +71,38 @@ func New(dev *ssd.Device, start, pages uint32) (*Log, error) {
 func (l *Log) capacityPerPage() int { return l.pageSize - pageHdr }
 
 // Remaining returns how many whole pages of ring space are left.
-func (l *Log) Remaining() int { return int(l.pages - l.head) }
+func (l *Log) Remaining() int { return int(l.pages - l.head.Load()) }
 
 // Append buffers one record and returns its LSN. Records may exceed a
 // page; they are segmented across pages. The record becomes durable only
 // after Sync returns.
 func (l *Log) Append(t *sim.Task, rec []byte) (int64, error) {
+	l.latch.Lock(t)
+	defer l.latch.Unlock(t)
 	need := (len(l.pending) + recHdr + len(rec) + l.capacityPerPage() - 1) / l.capacityPerPage()
-	if int(l.head)+need > int(l.pages) {
+	if int(l.head.Load())+need > int(l.pages) {
 		return 0, ErrFull
 	}
 	var hdr [recHdr]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
 	l.pending = append(l.pending, hdr[:]...)
 	l.pending = append(l.pending, rec...)
-	l.bytes += int64(len(rec))
+	l.bytes.Add(int64(len(rec)))
 	// Emit full pages eagerly.
 	for len(l.pending) >= l.capacityPerPage() {
 		if err := l.emit(t, l.capacityPerPage(), true); err != nil {
 			return 0, err
 		}
 	}
-	lsn := l.lsn
-	l.lsn++
-	return lsn, nil
+	return l.lsn.Add(1) - 1, nil
 }
 
 // emit writes the first n pending bytes into the current slot. advance
 // moves to the next slot (used when the page is full); otherwise the slot
 // will be rewritten by later emits (partial sync of the tail page).
 func (l *Log) emit(t *sim.Task, n int, advance bool) error {
-	if l.head >= l.pages {
+	head := l.head.Load()
+	if head >= l.pages {
 		return ErrFull
 	}
 	buf := make([]byte, l.pageSize)
@@ -99,20 +111,24 @@ func (l *Log) emit(t *sim.Task, n int, advance bool) error {
 	binary.LittleEndian.PutUint64(buf[4:], l.seq)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(n))
 	copy(buf[pageHdr:], l.pending[:n])
-	if err := l.dev.WritePage(t, l.start+l.head, buf); err != nil {
+	if err := l.dev.WritePage(t, l.start+head, buf); err != nil {
 		return err
 	}
-	l.written++
+	l.written.Add(1)
 	if advance {
 		l.pending = l.pending[n:]
-		l.head++
+		l.head.Store(head + 1)
 	}
 	return nil
 }
 
 // Sync makes every appended record durable: it writes the partial tail
-// page and issues a device flush. This is the fsync in a commit.
+// page and issues a device flush. This is the fsync in a commit. The
+// latch is held across the flush, so the durable horizon recorded on
+// return covers exactly the records appended before this Sync.
 func (l *Log) Sync(t *sim.Task) error {
+	l.latch.Lock(t)
+	defer l.latch.Unlock(t)
 	if len(l.pending) > 0 {
 		if err := l.emit(t, len(l.pending), false); err != nil {
 			return err
@@ -121,7 +137,7 @@ func (l *Log) Sync(t *sim.Task) error {
 	if err := l.dev.Flush(t); err != nil {
 		return err
 	}
-	l.durable = l.lsn
+	l.durable.Store(l.lsn.Load())
 	return nil
 }
 
@@ -129,30 +145,32 @@ func (l *Log) Sync(t *sim.Task) error {
 // records are reflected in the data files, so the ring restarts. The freed
 // pages are trimmed.
 func (l *Log) Truncate(t *sim.Task) error {
+	l.latch.Lock(t)
+	defer l.latch.Unlock(t)
 	if err := l.dev.Trim(t, l.start, int(l.pages)); err != nil {
 		return err
 	}
-	l.head = 0
+	l.head.Store(0)
 	l.pending = nil
 	return nil
 }
 
 // LSN returns the next record LSN (== count of records appended).
-func (l *Log) LSN() int64 { return l.lsn }
+func (l *Log) LSN() int64 { return l.lsn.Load() }
 
 // DurableLSN returns the highest LSN guaranteed durable by a prior Sync.
-func (l *Log) DurableLSN() int64 { return l.durable }
+func (l *Log) DurableLSN() int64 { return l.durable.Load() }
 
 // PagesWritten returns the number of log page writes issued — the measure
 // the PostgreSQL full-page-writes experiment compares.
-func (l *Log) PagesWritten() int64 { return l.written }
+func (l *Log) PagesWritten() int64 { return l.written.Load() }
 
 // BytesAppended returns total record payload bytes appended.
-func (l *Log) BytesAppended() int64 { return l.bytes }
+func (l *Log) BytesAppended() int64 { return l.bytes.Load() }
 
 // ReadTruncations returns how many ReadAll scans ended early because a log
 // page was unreadable (replay stopped at the last recoverable record).
-func (l *Log) ReadTruncations() int64 { return l.readTruncations }
+func (l *Log) ReadTruncations() int64 { return l.readTruncations.Load() }
 
 // LastReadError returns the device error that ended the most recent
 // truncated scan, or nil if every scan completed.
@@ -169,12 +187,14 @@ func (l *Log) LastReadError() error { return l.lastReadErr }
 // tail, and the truncation is counted (ReadTruncations, LastReadError) so
 // the engine can report it. Records past the bad page are lost.
 func (l *Log) ReadAll(t *sim.Task) ([][]byte, error) {
+	l.latch.Lock(t)
+	defer l.latch.Unlock(t)
 	buf := make([]byte, l.pageSize)
 	var stream []byte
 	var lastSeq uint64
 	for slot := uint32(0); slot < l.pages; slot++ {
 		if err := l.dev.ReadPage(t, l.start+slot, buf); err != nil {
-			l.readTruncations++
+			l.readTruncations.Add(1)
 			l.lastReadErr = err
 			break
 		}
