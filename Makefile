@@ -5,7 +5,7 @@ GO ?= go
 # CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
 CRASHCHECK_SEED ?= 1
 
-.PHONY: build test check race bench bench-json bench-scale bench-soak bench-tenants fuzz-crash fmt
+.PHONY: build test check race bench bench-json bench-scale bench-soak bench-streams bench-tenants fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ check:
 	$(MAKE) bench-json
 	$(MAKE) bench-scale
 	$(MAKE) bench-soak
+	$(MAKE) bench-streams
 	$(MAKE) bench-tenants
 
 # fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
@@ -66,6 +67,15 @@ bench-scale:
 # degrades; TestSoakScrubberHoldsZero pins the contrast.
 bench-soak:
 	$(GO) run ./cmd/sharebench -exp soak -json -outdir .
+
+# bench-streams ages three identical 4-channel devices under zipfian
+# updates — hints off, explicit hot/cold host hints, auto-stream
+# classifier — plus a couch-on-fsim whole-stack leg, and writes
+# BENCH_streams.json; the wa_reduction_* and copyback_reduction_*
+# metrics are the write-placement regression anchors, pinned by
+# TestStreamsWAReduction.
+bench-streams:
+	$(GO) run ./cmd/sharebench -exp streams -json -outdir .
 
 # bench-tenants sweeps client count x tenant count over per-tenant couch
 # stores on a 4-channel device behind fair-share admission and writes

@@ -100,3 +100,8 @@ func BenchmarkAblationYCSBAll(b *testing.B) { runExperiment(b, "abl-ycsb") }
 // BenchmarkSmoke runs the fast mixed-workload telemetry check behind
 // `make bench-json`.
 func BenchmarkSmoke(b *testing.B) { runExperiment(b, "smoke") }
+
+// BenchmarkStreams runs the multi-stream write-placement comparison
+// behind `make bench-streams` (hints off vs on vs auto under zipfian
+// aging, plus the couch whole-stack leg).
+func BenchmarkStreams(b *testing.B) { runExperiment(b, "streams") }

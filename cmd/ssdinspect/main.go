@@ -35,6 +35,9 @@ func main() {
 		tableCap  = flag.Int("sharetable", 0, "bounded reverse-map entries (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "random seed")
 
+		streams    = flag.Int("streams", 0, "host write streams (0 = legacy single-stream; >0 bins writes by LPN range and prints the streams view)")
+		autoStream = flag.Bool("autostream", false, "let the FTL's update-frequency classifier place unhinted writes (requires -streams >= 2)")
+
 		media       = flag.Bool("media", false, "install the endogenous media-aging model (wear/disturb/retention RBER growth)")
 		mediaBurn   = flag.Float64("mediaburn", 1, "aging-rate multiplier on the media model's wear/disturb/retention weights")
 		patrolEvery = flag.Int("patrolevery", 0, "run one background patrol-scrub step every N operations (0 disables)")
@@ -87,6 +90,8 @@ func main() {
 		SpareBlocks:    *spares,
 		Fault:          plan,
 		Media:          mm,
+		Streams:        *streams,
+		AutoStream:     *autoStream,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,7 +154,14 @@ run:
 		default:
 			lpn := uint32(rng.Intn(capacity))
 			rng.Read(buf[:16])
-			if err := dev.WritePage(t, lpn, buf); err != nil {
+			// With streams configured, bin writes by LPN range — a stand-in
+			// for the per-object hints a host would send — unless the
+			// auto-classifier is doing the placing.
+			hint := -1
+			if *streams > 0 && !*autoStream {
+				hint = int(lpn) * *streams / capacity
+			}
+			if err := dev.WritePageStream(t, lpn, buf, hint); err != nil {
 				if errors.Is(err, ftl.ErrReadOnly) {
 					break run
 				}
@@ -224,6 +236,33 @@ run:
 	for _, name := range []string{"read-retry", "scrub", "block-retired", "read-only"} {
 		if n := evs[name]; n > 0 {
 			fmt.Printf("event %-14s %d\n", name+":", n)
+		}
+	}
+
+	// Streams view: where each write stream is appending right now (open
+	// block per die, how full it is, how much of it is still valid) and
+	// the traffic and GC copyback debt attributed to each stream. Hot
+	// streams should show low valid ratios (their blocks die young and
+	// erase cheaply); a cold stream's open blocks stay near 100% valid.
+	if *streams > 0 {
+		geo := dev.Geometry()
+		fmt.Println("\n--- streams view (lifetime) ---")
+		fmt.Printf("host streams:        %d (auto-classify: %v)\n", *streams, *autoStream)
+		for _, si := range dev.StreamInfos() {
+			fmt.Printf("%-7s writes %-9d copybacks %d\n", si.Name, si.Written, si.Copybacks)
+			for _, ob := range si.Open {
+				if ob.Block < 0 {
+					fmt.Printf("  die %-3d (no open block)\n", ob.Die)
+					continue
+				}
+				occ := float64(ob.NextPage) / float64(geo.PagesPerBlock)
+				valid := 0.0
+				if ob.NextPage > 0 {
+					valid = float64(ob.ValidPages) / float64(ob.NextPage)
+				}
+				fmt.Printf("  die %-3d block %-6d %3d/%3d pages (%.0f%% full, %.0f%% valid)\n",
+					ob.Die, ob.Block, ob.NextPage, geo.PagesPerBlock, occ*100, valid*100)
+			}
 		}
 	}
 

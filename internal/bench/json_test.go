@@ -73,6 +73,68 @@ func TestSmokeJSONDeterministic(t *testing.T) {
 	}
 }
 
+// TestLegacyReportsOmitStreamCounters guards the legacy report format:
+// a device without host streams must serialize with no per-stream fields
+// at all — the pre-streams BENCH_*.json files stay byte-identical, which
+// CI enforces by regenerating them and diffing.
+func TestLegacyReportsOmitStreamCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a device workload; skipped in -short")
+	}
+	e, err := Get("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.RunWithReport(Params{Scale: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"StreamWrites", "StreamCopybacks"} {
+		if bytes.Contains(data, []byte(field)) {
+			t.Fatalf("legacy smoke report leaks %s:\n%s", field, data)
+		}
+	}
+}
+
+// TestStreamsJSONDeterministic: the streams report must be reproducible
+// byte for byte (CI regenerates BENCH_streams.json and diffs it), and the
+// hints device telemetry must carry the per-stream counters the legacy
+// reports omit.
+func TestStreamsJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ages three devices, twice; skipped in -short")
+	}
+	e, err := Get("streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		_, rep, err := e.RunWithReport(Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateReportJSON(data); err != nil {
+			t.Fatalf("invalid report: %v\n%s", err, data)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded streams runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte("StreamWrites")) {
+		t.Fatalf("streams report missing per-stream counters:\n%s", a)
+	}
+}
+
 func TestValidateReportJSON(t *testing.T) {
 	if err := ValidateReportJSON([]byte("{")); err == nil {
 		t.Fatal("accepted malformed JSON")

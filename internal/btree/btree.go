@@ -137,6 +137,11 @@ func next(p []byte) uint32       { return binary.LittleEndian.Uint32(p[offNext:]
 func setNext(p []byte, v uint32) { binary.LittleEndian.PutUint32(p[offNext:], v) }
 func isLeaf(p []byte) bool       { return p[offType] == typeLeaf }
 
+// IsLeaf reports whether a formatted page image is a leaf page. Engines
+// use it to classify flush traffic (leaf/heap vs interior/index) for
+// device write-stream hints.
+func IsLeaf(p []byte) bool { return isLeaf(p) }
+
 func slotOff(i int) int { return headerSize + 2*i }
 func slot(p []byte, i int) int {
 	return int(binary.LittleEndian.Uint16(p[slotOff(i):]))

@@ -57,6 +57,11 @@ func (s *Store) compact(t *sim.Task) (CompactStats, error) {
 	if err != nil {
 		return cs, err
 	}
+	if s.cfg.StreamHints && s.fs.Device().Streams() > 1 {
+		// Compaction output is live-only data that will sit cold until the
+		// next compaction; keep it out of the append stream's blocks.
+		dst.SetStream(streamCompact)
+	}
 
 	var entries []entryKV
 	var dstEOF int64
@@ -184,6 +189,10 @@ func (s *Store) compact(t *sim.Task) (CompactStats, error) {
 		return cs, err
 	}
 	_ = old
+	if s.cfg.StreamHints && s.fs.Device().Streams() > 1 {
+		// The new file is the append log now; fresh appends are hot again.
+		s.file.SetStream(streamAppend)
+	}
 	atomic.AddInt64(&s.st.Compactions, 1)
 	// Outstanding snapshots reference the removed file; fence them.
 	s.compactEpoch.Add(1)

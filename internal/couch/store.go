@@ -48,6 +48,12 @@ type Config struct {
 	// depth equal to the paper's (three levels for 250k documents), so the
 	// wandering-tree write amplification per update is preserved.
 	MaxFanout int
+	// StreamHints tags device writes with per-object stream hints on
+	// multi-stream devices: ordinary append-log traffic (documents, index
+	// nodes, headers) takes stream 0 and compaction output stream 1, so the
+	// long-lived compacted data stops sharing erase blocks with the churning
+	// append tail. No effect when the device is single-stream.
+	StreamHints bool
 }
 
 func (c *Config) setDefaults(devPage int) error {
@@ -175,8 +181,18 @@ func Open(t *sim.Task, fs *fsim.FS, cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
+	if cfg.StreamHints && fs.Device().Streams() > 1 {
+		s.file.SetStream(streamAppend)
+	}
 	return s, nil
 }
+
+// Stream layout when StreamHints is on (clamped by the device, so fewer
+// configured streams degrade toward sharing).
+const (
+	streamAppend  = 0 // append log: documents, wandering-tree nodes, headers
+	streamCompact = 1 // compaction output: live data, cold after the swap
+)
 
 // header layout: u32 checksum, u32 magic, u64 seq, i64 rootOff,
 // i64 stale, i64 docs. Headers are NodeSize-aligned blocks at the file

@@ -31,7 +31,7 @@ func (fs *FS) Create(t *sim.Task, name string) (*File, error) {
 	fs.dir[name] = ino
 	fs.markDirDirty()
 	fs.markInodeDirty(ino)
-	return &File{fs: fs, ino: ino, name: name}, nil
+	return &File{fs: fs, ino: ino, name: name, stream: -1}, nil
 }
 
 // Open returns a handle to an existing file.
@@ -42,7 +42,7 @@ func (fs *FS) Open(t *sim.Task, name string) (*File, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
 	}
-	return &File{fs: fs, ino: ino, name: name}, nil
+	return &File{fs: fs, ino: ino, name: name, stream: -1}, nil
 }
 
 // Remove deletes a file. Its device pages are trimmed at the next fsync,
@@ -92,6 +92,16 @@ func (fs *FS) Rename(t *sim.Task, oldName, newName string) error {
 
 // Name returns the name the handle was opened with.
 func (f *File) Name() string { return f.name }
+
+// SetStream sets the handle's default device write-stream hint: every
+// WriteAt through this handle carries it, so a whole file's pages land in
+// one open NAND block per die (per-object placement, the fadvise-style
+// knob of multi-stream SSDs). A negative value restores unhinted writes.
+// Per-handle, not per-inode: two handles on one file may hint differently.
+func (f *File) SetStream(s int) { f.stream = s }
+
+// Stream returns the handle's default write-stream hint (< 0 unhinted).
+func (f *File) Stream() int { return f.stream }
 
 // Size returns the file length in bytes.
 func (f *File) Size() int64 { return f.fs.inodes[f.ino].size }
@@ -222,8 +232,15 @@ func (f *File) Truncate(t *sim.Task, size int64) error {
 // needed; partial-page writes perform a read-modify-write of the page.
 // Allocation and extent resolution happen under the FS latch; the data
 // page I/O runs outside it, so sessions writing different files overlap
-// at the device.
+// at the device. Device writes carry the handle's default stream hint.
 func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
+	return f.WriteAtStream(t, p, off, f.stream)
+}
+
+// WriteAtStream is WriteAt with a per-write stream override: stream >= 0
+// steers this write's pages to that device stream regardless of the
+// handle default, stream < 0 writes unhinted.
+func (f *File) WriteAtStream(t *sim.Task, p []byte, off int64, stream int) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("fsim: negative offset")
 	}
@@ -265,7 +282,7 @@ func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
 		}
 		lpn := lpns[uint32(cur/ps)-firstPage]
 		if within == 0 && n == fs.pageSize {
-			if err := fs.dev.WritePage(t, lpn, p[written:written+n]); err != nil {
+			if err := fs.dev.WritePageStream(t, lpn, p[written:written+n], stream); err != nil {
 				return written, err
 			}
 		} else {
@@ -273,7 +290,7 @@ func (f *File) WriteAt(t *sim.Task, p []byte, off int64) (int, error) {
 				return written, err
 			}
 			copy(buf[within:], p[written:written+n])
-			if err := fs.dev.WritePage(t, lpn, buf); err != nil {
+			if err := fs.dev.WritePageStream(t, lpn, buf, stream); err != nil {
 				return written, err
 			}
 		}

@@ -124,9 +124,10 @@ type FS struct {
 
 // File is an open handle. Handles stay valid until Remove.
 type File struct {
-	fs   *FS
-	ino  int
-	name string
+	fs     *FS
+	ino    int
+	name   string
+	stream int // default device write-stream hint for this handle; < 0 unhinted
 }
 
 func (fs *FS) inodesPerPage() int     { return fs.pageSize / inodeSize }

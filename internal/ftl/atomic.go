@@ -53,7 +53,7 @@ func (f *FTL) WriteAtomic(pages []AtomicPage) (sim.Duration, error) {
 	defer f.endBatch()
 	for _, p := range pages {
 		f.st.HostWrites++
-		d, ppn, err := f.programPage(&f.host, p.Data, nandDataOOB(p.LPN))
+		d, ppn, err := f.programPage(&f.hosts[0], p.Data, nandDataOOB(p.LPN))
 		total += d
 		if err != nil {
 			return total, err

@@ -74,6 +74,9 @@ func (f *FTL) programPageOn(s *stream, die int, data []byte, oob nand.OOB) (sim.
 // re-steers onto a fresh one. ok reports whether ppn now holds the data.
 func (f *FTL) programAttempts(s *stream, ppn uint32, data []byte, oob nand.OOB) (sim.Duration, uint32, bool, error) {
 	var total sim.Duration
+	// Every program is stamped with the writing stream's identity so
+	// recovery can hand partially-written blocks back to their exact owner.
+	oob.Stream = s.id
 	pd, err := f.chip.Program(ppn, data, oob)
 	f.notePPNOp(OpProgram, ppn, pd)
 	total += pd

@@ -97,6 +97,20 @@ type Config struct {
 	// next patrol step. 0 selects the default of 80. Meaningless without a
 	// media model on the chip.
 	PatrolThresholdPct int
+	// HostStreams is the number of host-visible write streams, each with
+	// its own per-die open blocks, so the host can segregate objects with
+	// different lifetimes into different NAND blocks (multi-stream write
+	// placement). 0 selects the legacy single host stream and omits the
+	// per-stream telemetry, keeping existing reports byte-identical. The
+	// count is validated against the per-die free-block headroom at mount
+	// (see StreamConfigError).
+	HostStreams int
+	// AutoStream classifies writes that carry no stream hint into streams
+	// by per-LPN update frequency: frequently rewritten (hot) pages climb
+	// to higher stream indices, cold pages stay in stream 0. Requires
+	// HostStreams >= 2. The heat table is volatile — a crash resets the
+	// classifier, which then re-learns from post-recovery traffic.
+	AutoStream bool
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -120,22 +134,25 @@ type appendPoint struct {
 	next  int // next page index within block
 }
 
-// stream keeps one append point per die, so host writes, GC copybacks and
-// mapping metadata each stripe across the whole array: consecutive
+// stream keeps one append point per die, so each host stream, GC copybacks
+// and mapping metadata stripe across the whole array: consecutive
 // allocations round-robin the dies, and a die that is busy cleaning never
 // blocks the stream's progress on the others. With one die this collapses
-// to the classic single open block.
+// to the classic single open block. id is stamped into the OOB of every
+// page the stream programs, so recovery can reassign partial blocks to
+// their exact owner.
 type stream struct {
 	open []appendPoint
-	rr   int // next die in the round-robin rotation
+	rr   int   // next die in the round-robin rotation
+	id   uint8 // host stream index, or nand.StreamGC / nand.StreamMeta
 }
 
-func newStream(dies int) stream {
+func newStream(dies int, id uint8) stream {
 	open := make([]appendPoint, dies)
 	for i := range open {
 		open[i].block = -1
 	}
-	return stream{open: open}
+	return stream{open: open, id: id}
 }
 
 // FTL is the translation layer over one NAND chip. It is not safe for
@@ -164,14 +181,23 @@ type FTL struct {
 	refs    []uint16            // physical -> number of logical referrers
 	extra   map[uint32][]uint32 // physical -> additional referrers from SHARE
 
-	blockValid     []int // per block: physical pages with refs > 0 (or valid metadata)
-	blockFull      []bool
-	retired        []bool  // bad/worn-out blocks permanently out of service
-	retiredN       int     // count of retired blocks (spare-budget usage)
-	spareBudget    int     // retirements tolerated before read-only
-	readOnly       bool    // degraded mode: mutating commands are refused
-	freeByDie      [][]int // per-die free-block stacks (LIFO)
-	host, gc, meta stream
+	blockValid  []int // per block: physical pages with refs > 0 (or valid metadata)
+	blockFull   []bool
+	retired     []bool   // bad/worn-out blocks permanently out of service
+	retiredN    int      // count of retired blocks (spare-budget usage)
+	spareBudget int      // retirements tolerated before read-only
+	readOnly    bool     // degraded mode: mutating commands are refused
+	freeByDie   [][]int  // per-die free-block stacks (LIFO)
+	hosts       []stream // host write streams (index = stream id; legacy mode has one)
+	gc, meta    stream   // internal relocation and mapping-metadata streams
+
+	// Multi-stream placement state (see streams.go). pageStream remembers
+	// which host stream each data page's contents originated from, so GC
+	// copybacks are attributed to the stream whose data caused them even
+	// after relocation; heat is the auto-stream update-frequency table.
+	pageStream []uint8
+	heat       []uint8 // per-LPN saturating heat counter; nil unless AutoStream
+	heatTicks  int     // unhinted writes since the last heat decay
 
 	// Media scrubbing: blocks whose data needed a read retry to come back,
 	// queued for relocation at the next safe point (see fault.go).
@@ -256,6 +282,16 @@ func New(chip *nand.Chip, cfg Config) (*FTL, error) {
 	if f.gcHighDie <= f.gcLowDie {
 		f.gcHighDie = f.gcLowDie + 1
 	}
+	if err := f.validateStreams(reserve); err != nil {
+		return nil, err
+	}
+	if cfg.HostStreams > 0 {
+		// Multi-stream mode: per-stream telemetry is reported (and omitted
+		// entirely — nil slices — in legacy mode, keeping those reports
+		// byte-identical).
+		f.st.StreamWrites = make([]int64, cfg.HostStreams)
+		f.st.StreamCopybacks = make([]int64, cfg.HostStreams)
+	}
 	f.spareBudget = cfg.SpareBlocks
 	if f.spareBudget <= 0 {
 		// By default retirement may consume the over-provisioned headroom
@@ -308,9 +344,23 @@ func (f *FTL) initVolatile() {
 	f.retiredN = 0
 	f.readOnly = false
 	f.freeByDie = make([][]int, f.dies)
-	f.host = newStream(f.dies)
-	f.gc = newStream(f.dies)
-	f.meta = newStream(f.dies)
+	n := f.cfg.HostStreams
+	if n < 1 {
+		n = 1
+	}
+	f.hosts = make([]stream, n)
+	for i := range f.hosts {
+		f.hosts[i] = newStream(f.dies, uint8(i))
+	}
+	f.gc = newStream(f.dies, nand.StreamGC)
+	f.meta = newStream(f.dies, nand.StreamMeta)
+	f.pageStream = make([]uint8, total)
+	if f.cfg.AutoStream && n > 1 {
+		f.heat = make([]uint8, f.capacity)
+	} else {
+		f.heat = nil
+	}
+	f.heatTicks = 0
 	f.scrubQueue = nil
 	f.scrubSet = make(map[int]bool)
 	f.poisoned = make(map[uint32]bool)
@@ -372,8 +422,19 @@ func (f *FTL) Read(lpn uint32, dst []byte) (sim.Duration, error) {
 
 // Write programs data (one page) for lpn at a new physical location and
 // updates the mapping, logging the change. It may trigger garbage
-// collection; the returned duration includes any GC stall.
+// collection; the returned duration includes any GC stall. The write
+// carries no stream hint: the auto-stream classifier places it if enabled,
+// otherwise it goes to stream 0 (the only stream in legacy mode).
 func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
+	return f.WriteStream(lpn, data, -1)
+}
+
+// WriteStream is Write with an explicit placement hint: stream >= 0 names
+// the host stream the page should join (clamped to the configured count),
+// stream < 0 means no hint. Pages written to different streams fill
+// different open blocks, so objects with different lifetimes stop sharing
+// erase units.
+func (f *FTL) WriteStream(lpn uint32, data []byte, stream int) (sim.Duration, error) {
 	if err := f.checkRange(lpn, 1); err != nil {
 		return 0, err
 	}
@@ -387,10 +448,15 @@ func (f *FTL) Write(lpn uint32, data []byte) (sim.Duration, error) {
 	if err != nil {
 		return total, err
 	}
-	d, ppn, err := f.programPage(&f.host, data, nand.OOB{LPN: lpn, Tag: nand.TagData})
+	s := f.pickStream(stream, lpn)
+	d, ppn, err := f.programPage(&f.hosts[s], data, nand.OOB{LPN: lpn, Tag: nand.TagData})
 	total += d
 	if err != nil {
 		return total, err
+	}
+	f.pageStream[ppn] = uint8(s)
+	if s < len(f.st.StreamWrites) {
+		f.st.StreamWrites[s]++
 	}
 	old := f.l2p[lpn]
 	f.dropRef(old, lpn)
@@ -418,6 +484,11 @@ func (f *FTL) Trim(lpn uint32, n int) (sim.Duration, error) {
 	}
 	for i := 0; i < n; i++ {
 		l := lpn + uint32(i)
+		if f.heat != nil {
+			// Discarded data restarts cold: the page's update history says
+			// nothing about whatever is written there next.
+			f.heat[l] = 0
+		}
 		old := f.l2p[l]
 		if old == InvalidPPN {
 			continue

@@ -170,7 +170,14 @@ func (f *FTL) gcOnce(die int) (sim.Duration, error) {
 // isOpenBlock reports whether b is any stream's current append point on
 // any die; open blocks are never GC victims.
 func (f *FTL) isOpenBlock(b int) bool {
-	for _, s := range [...]*stream{&f.host, &f.gc, &f.meta} {
+	for h := range f.hosts {
+		for i := range f.hosts[h].open {
+			if f.hosts[h].open[i].block == b {
+				return true
+			}
+		}
+	}
+	for _, s := range [...]*stream{&f.gc, &f.meta} {
 		for i := range s.open {
 			if s.open[i].block == b {
 				return true
@@ -225,10 +232,17 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 	} else if err != nil {
 		return total, err
 	}
+	src := f.pageStream[ppn]
 	d, dst, err := f.programPageOn(&f.gc, f.geo.DieOfPPN(ppn), buf, nandDataOOB(lpns[0]))
 	total += d
 	if err != nil {
 		return total, err
+	}
+	// The copied page keeps its origin stream, and the copyback is billed
+	// to that stream: auto/hint quality shows up as a per-stream skew.
+	f.pageStream[dst] = src
+	if int(src) < len(f.st.StreamCopybacks) {
+		f.st.StreamCopybacks[src]++
 	}
 	f.st.Copybacks++
 	if lost {

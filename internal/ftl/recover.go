@@ -50,7 +50,15 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		oobLPN[i] = InvalidLPN
 	}
 	lastSeqInBlock := make([]uint64, geo.Blocks)
-	programmed := make([]int, geo.Blocks) // programmed pages per block (prefix length)
+	lastStream := make([]uint8, geo.Blocks)      // stream that wrote each block's newest page
+	oobStream := make([]uint8, geo.TotalPages()) // writing stream per data page
+	// frontier is each block's append frontier: one past its highest
+	// programmed page. This is deliberately not a count — a power cut can
+	// land between the append point advancing and the page programming, and
+	// the capacitor's final delta flush then programs the following page,
+	// leaving a permanent hole. Appending at the count would collide with
+	// the page beyond the hole; holes are simply wasted until erase.
+	frontier := make([]int, geo.Blocks)
 	buf := make([]byte, geo.PageSize)
 
 	oldMapDir := make([]uint32, len(f.mapDir)) // latest snapshot ppn per idx
@@ -71,13 +79,18 @@ func (f *FTL) Recover() (sim.Duration, error) {
 			return total, err
 		}
 		b := f.chip.BlockOf(ppn)
-		programmed[b]++
+		frontier[b] = f.chip.PageIndexInBlock(ppn) + 1
 		if oob.Seq > lastSeqInBlock[b] {
 			lastSeqInBlock[b] = oob.Seq
 		}
+		// Pages within a block are programmed in ascending order, so the
+		// last programmed page this scan sees is the block's newest — its
+		// OOB stream stamp identifies the block's current owner.
+		lastStream[b] = oob.Stream
 		switch oob.Tag {
 		case nand.TagData:
 			oobLPN[ppn] = oob.LPN
+			oobStream[ppn] = oob.Stream
 		case nand.TagMapBase:
 			_, rd, err := f.chipRead(ppn, buf)
 			total += rd
@@ -204,6 +217,19 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		}
 	}
 
+	// Rebuild per-page origin streams best-effort from the OOB stamps: a
+	// page the host wrote carries its stream index; a GC-relocated copy
+	// carries StreamGC (the origin is lost across power cuts) and is billed
+	// to stream 0 from here on.
+	for p := range f.pageStream {
+		if oobLPN[p] == InvalidLPN {
+			continue
+		}
+		if s := oobStream[p]; int(s) < len(f.hosts) {
+			f.pageStream[p] = s
+		}
+	}
+
 	// Classify blocks: erased -> free; full -> GC candidates; partial ->
 	// append points (newest first), leftovers sealed as full. Blocks the
 	// chip knows are bad (factory marks, program/erase failures — the
@@ -222,25 +248,39 @@ func (f *FTL) Recover() (sim.Duration, error) {
 		}
 		die := geo.DieOfBlock(b)
 		switch {
-		case programmed[b] == 0:
+		case frontier[b] == 0:
 			f.freeByDie[die] = append(f.freeByDie[die], b)
-		case programmed[b] == geo.PagesPerBlock:
+		case frontier[b] == geo.PagesPerBlock:
+			// No appendable pages left — full even if a power-cut hole
+			// means fewer than PagesPerBlock pages actually programmed.
 			f.blockFull[b] = true
 		default:
 			partialsByDie[die] = append(partialsByDie[die], partial{block: b, lastSeq: lastSeqInBlock[b]})
 		}
 	}
-	// Each die's partial blocks become its append points, newest first —
-	// the same host/meta/gc assignment as before, now applied per die.
+	// Each die's partial blocks become its append points again: the OOB
+	// stream stamp on a block's newest page names the exact stream that was
+	// filling it at the cut. If two partials claim the same stream on one
+	// die (possible after retirement re-steering), the newest wins and the
+	// older is sealed full; a stamp with no live stream (host count shrank
+	// across the reboot) seals the block too.
 	for die, partials := range partialsByDie {
 		sort.Slice(partials, func(i, j int) bool { return partials[i].lastSeq > partials[j].lastSeq })
-		assign := []*stream{&f.host, &f.meta, &f.gc}
-		for i, p := range partials {
-			if i < len(assign) {
-				assign[i].open[die] = appendPoint{block: p.block, next: programmed[p.block]}
-			} else {
-				f.blockFull[p.block] = true
+		for _, p := range partials {
+			var s *stream
+			switch id := lastStream[p.block]; {
+			case id == nand.StreamGC:
+				s = &f.gc
+			case id == nand.StreamMeta:
+				s = &f.meta
+			case int(id) < len(f.hosts):
+				s = &f.hosts[id]
 			}
+			if s == nil || s.open[die].block >= 0 {
+				f.blockFull[p.block] = true
+				continue
+			}
+			s.open[die] = appendPoint{block: p.block, next: frontier[p.block]}
 		}
 	}
 	return total, nil

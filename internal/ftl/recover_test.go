@@ -2,7 +2,10 @@ package ftl
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"share/internal/nand"
 )
 
 func crashAndRecover(t *testing.T, f *FTL) {
@@ -170,6 +173,51 @@ func TestRecoveredDeviceContinuesUnderLoad(t *testing.T) {
 		want := payload(2, l)
 		if got := mustRead(t, f, uint32(l)); !bytes.Equal(got, want) {
 			t.Fatalf("lpn %d mismatch after repeated crashes", l)
+		}
+	}
+}
+
+// TestRecoverPowerCutHole: a power cut can land between the append point
+// advancing and the page programming, and a post-cut program (the
+// capacitor's final delta flush in the field; an explicit resume here)
+// then lands on the following page, leaving a permanent hole in the
+// block. Recovery must resume appending past the highest programmed page
+// (the frontier), not at the programmed-page count — counting would aim
+// the append point at a programmed page and every subsequent write in
+// that block would fail with a non-free-page program error.
+func TestRecoverPowerCutHole(t *testing.T) {
+	f, chip := testFTL(t, nil)
+	mustWrite(t, f, 0, 0x01)
+	mustWrite(t, f, 1, 0x02)
+
+	// The cut program advances the host append point but leaves its page
+	// free; restoring power and writing again programs the next page of
+	// the same block, so the block now has a hole.
+	chip.PowerCutAfter(0)
+	if _, err := f.Write(2, fill(0x03, f.PageSize())); !errors.Is(err, nand.ErrPowerCut) {
+		t.Fatalf("cut write: %v, want ErrPowerCut", err)
+	}
+	chip.DisablePowerCut()
+	mustWrite(t, f, 2, 0x03)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	crashAndRecover(t, f)
+
+	// Filling the rest of the device must never collide with the pages
+	// beyond the hole.
+	for round := 0; round < 2; round++ {
+		for l := uint32(0); l < 16; l++ {
+			mustWrite(t, f, l, byte(0x10+round))
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for l := uint32(0); l < 16; l++ {
+		if got := mustRead(t, f, l); got[0] != 0x11 {
+			t.Fatalf("lpn %d = %x after post-recovery writes", l, got[0])
 		}
 	}
 }

@@ -116,7 +116,7 @@ func (f *FTL) forcedCopy(dst, srcPPN uint32) (sim.Duration, error) {
 		return rd, err
 	}
 	total := rd
-	d, ppn, err := f.programPage(&f.host, buf, nandDataOOB(dst))
+	d, ppn, err := f.programPage(&f.hosts[0], buf, nandDataOOB(dst))
 	total += d
 	if err != nil {
 		return total, err

@@ -72,11 +72,25 @@ type Stats struct {
 	LogPagesWritten int64 // mapping delta-log pages programmed
 	MapPagesWritten int64 // mapping snapshot pages programmed
 	Checkpoints     int64
+
+	// Per-host-stream telemetry, indexed by stream id. Nil unless the
+	// device was configured with explicit host streams (HostStreams > 0),
+	// so legacy single-stream reports stay byte-identical. StreamCopybacks
+	// bills each GC relocation to the stream that originally wrote the
+	// page — segregation quality shows up as skew across these buckets.
+	StreamWrites    []int64 `json:",omitempty"` // host pages programmed per stream
+	StreamCopybacks []int64 `json:",omitempty"` // GC copybacks per origin stream
 }
 
 // Stats returns a snapshot of the counters plus the current health state.
 func (f *FTL) Stats() Stats {
 	st := f.st
+	// The struct copy above shares slice backing arrays with the live
+	// counters; snapshot them so callers' baselines stay frozen.
+	if f.st.StreamWrites != nil {
+		st.StreamWrites = append([]int64(nil), f.st.StreamWrites...)
+		st.StreamCopybacks = append([]int64(nil), f.st.StreamCopybacks...)
+	}
 	st.SpareBlocksLeft = int64(f.SpareBlocksLeft())
 	st.ReadOnly = f.readOnly
 	return st

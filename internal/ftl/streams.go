@@ -1,0 +1,147 @@
+package ftl
+
+import "fmt"
+
+// Multi-stream write placement. The host (or the auto-classifier) steers
+// each write into one of N host streams; every stream fills its own open
+// block per die, so objects with different lifetimes — redo logs vs heap
+// pages, append logs vs compaction output — stop sharing erase units and
+// GC stops copying long-lived data out of the way of short-lived data.
+// This is the "Enlightening Flash Storage to Stream Writes by Objects"
+// sequel to the SHARE paper, grafted onto the same per-die stream
+// machinery the FTL already used for its internal gc/meta traffic.
+
+// heatStep is the auto-stream classifier's per-write heat increment. With
+// 8-bit saturating counters and halving decay every capacity writes, a
+// page needs a sustained rewrite rate well above uniform to climb bins.
+const heatStep = 16
+
+// StreamConfigError reports a stream configuration the geometry cannot
+// support: every host stream holds one open block per die, and the per-die
+// free pool must keep the GC low-water reserve plus the internal gc/meta
+// streams' open blocks available even with every host stream mid-block.
+type StreamConfigError struct {
+	Streams int // requested host streams
+	Max     int // most this geometry/over-provisioning can support
+	Reason  string
+}
+
+func (e *StreamConfigError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("ftl: invalid stream config (%d streams): %s", e.Streams, e.Reason)
+	}
+	return fmt.Sprintf("ftl: %d host streams exceed per-die free-block headroom (max %d for this geometry)",
+		e.Streams, e.Max)
+}
+
+// validateStreams rejects stream configs at mount that would otherwise
+// fail mid-GC with an opaque out-of-space error. reserve is the global
+// over-provisioned block count.
+func (f *FTL) validateStreams(reserve int) error {
+	cfg := f.cfg
+	if cfg.HostStreams < 0 {
+		return &StreamConfigError{Streams: cfg.HostStreams, Reason: "count must be >= 0"}
+	}
+	if cfg.AutoStream && cfg.HostStreams < 2 {
+		return &StreamConfigError{Streams: cfg.HostStreams, Reason: "auto-stream needs at least 2 host streams"}
+	}
+	if cfg.HostStreams == 0 {
+		return nil
+	}
+	// Per die: the open blocks of all host streams plus gc and meta must
+	// coexist with the GC low-water reserve, or refilling a die can wedge.
+	max := reserve/f.dies - 2 - f.gcLowDie
+	if cfg.HostStreams > max {
+		return &StreamConfigError{Streams: cfg.HostStreams, Max: max}
+	}
+	return nil
+}
+
+// pickStream resolves a write's placement: an explicit hint >= 0 names a
+// host stream directly (clamped to the configured count); without a hint
+// the auto-classifier bins the LPN by update frequency, and with the
+// classifier off everything lands in stream 0.
+func (f *FTL) pickStream(hint int, lpn uint32) int {
+	if hint >= 0 {
+		if hint >= len(f.hosts) {
+			return len(f.hosts) - 1
+		}
+		return hint
+	}
+	if f.heat == nil {
+		return 0
+	}
+	// Bin on the pre-bump heat so the first write of a page is cold, then
+	// bump with saturation. Heat decays by halving once per capacity's
+	// worth of unhinted writes, so bins track recent update frequency
+	// rather than lifetime totals.
+	h := f.heat[lpn]
+	s := int(h) * len(f.hosts) / 256
+	if int(h)+heatStep < 255 {
+		f.heat[lpn] = h + heatStep
+	} else {
+		f.heat[lpn] = 255
+	}
+	f.heatTicks++
+	if f.heatTicks >= f.capacity {
+		f.heatTicks = 0
+		for i, v := range f.heat {
+			f.heat[i] = v / 2
+		}
+	}
+	return s
+}
+
+// HostStreamCount reports the number of host write streams (1 in legacy
+// single-stream mode).
+func (f *FTL) HostStreamCount() int { return len(f.hosts) }
+
+// AutoStreamEnabled reports whether the update-frequency classifier is
+// placing unhinted writes.
+func (f *FTL) AutoStreamEnabled() bool { return f.heat != nil }
+
+// OpenBlockInfo describes one stream's append point on one die.
+type OpenBlockInfo struct {
+	Die        int
+	Block      int // -1 when no block is open
+	NextPage   int // pages already programmed in the open block
+	ValidPages int // still-valid pages in the open block
+}
+
+// StreamInfo is one stream's placement state and telemetry, for the
+// inspector: where it is writing on each die, and how much traffic and GC
+// copyback debt it has accumulated.
+type StreamInfo struct {
+	Name      string // "host0".."hostN-1", "gc", "meta"
+	Open      []OpenBlockInfo
+	Written   int64 // host pages programmed (host streams only)
+	Copybacks int64 // GC copybacks attributed to this stream's data
+}
+
+// StreamInfos snapshots every stream — host streams first, then the
+// internal gc and meta streams.
+func (f *FTL) StreamInfos() []StreamInfo {
+	infos := make([]StreamInfo, 0, len(f.hosts)+2)
+	snap := func(name string, s *stream) StreamInfo {
+		in := StreamInfo{Name: name, Open: make([]OpenBlockInfo, len(s.open))}
+		for die := range s.open {
+			ap := s.open[die]
+			ob := OpenBlockInfo{Die: die, Block: ap.block, NextPage: ap.next}
+			if ap.block >= 0 {
+				ob.ValidPages = f.blockValid[ap.block]
+			}
+			in.Open[die] = ob
+		}
+		return in
+	}
+	for i := range f.hosts {
+		in := snap(fmt.Sprintf("host%d", i), &f.hosts[i])
+		if i < len(f.st.StreamWrites) {
+			in.Written = f.st.StreamWrites[i]
+			in.Copybacks = f.st.StreamCopybacks[i]
+		}
+		infos = append(infos, in)
+	}
+	infos = append(infos, snap("gc", &f.gc), snap("meta", &f.meta))
+	return infos
+}

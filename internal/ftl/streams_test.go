@@ -1,0 +1,349 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"share/internal/nand"
+)
+
+// streamFTL builds a device with headroom for several host streams:
+// 64 blocks of 8 pages, 25% over-provisioned (reserve 16, max 10 streams
+// on one die).
+func streamFTL(t *testing.T, mut func(*Config)) (*FTL, *nand.Chip) {
+	t.Helper()
+	return testFTLGeo(t, nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 64}, func(cfg *Config) {
+		cfg.OverProvision = 0.25
+		if mut != nil {
+			mut(cfg)
+		}
+	})
+}
+
+func mustWriteStream(t *testing.T, f *FTL, lpn uint32, b byte, stream int) {
+	t.Helper()
+	if _, err := f.WriteStream(lpn, fill(b, f.PageSize()), stream); err != nil {
+		t.Fatalf("write lpn %d stream %d: %v", lpn, stream, err)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	geo := nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 32}
+	chip, err := nand.New(geo, nand.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig() // reserve 8, 1 die: max = 8 - 2 - 4 = 2 streams
+	cfg.HostStreams = 3
+	_, err = New(chip, cfg)
+	var sce *StreamConfigError
+	if !errors.As(err, &sce) {
+		t.Fatalf("3 streams on tiny geometry: got %v, want StreamConfigError", err)
+	}
+	if sce.Streams != 3 || sce.Max != 2 {
+		t.Fatalf("error detail = %+v, want Streams=3 Max=2", sce)
+	}
+
+	cfg.HostStreams = 1
+	cfg.AutoStream = true
+	if _, err := New(chip, cfg); !errors.As(err, &sce) {
+		t.Fatalf("auto-stream with 1 stream: got %v, want StreamConfigError", err)
+	}
+
+	cfg.HostStreams = 2
+	if _, err := New(chip, cfg); err != nil {
+		t.Fatalf("2 streams with auto should mount: %v", err)
+	}
+}
+
+// TestStreamSegregation pins the tentpole invariant: pages written to
+// different streams never share a NAND block, and GC copybacks are billed
+// to the stream whose data was relocated.
+func TestStreamSegregation(t *testing.T) {
+	f, chip := streamFTL(t, func(cfg *Config) { cfg.HostStreams = 4 })
+
+	// Fill the whole logical space with each stream's lpns interleaved
+	// hot/cold, so every initial block mixes write-once pages with pages
+	// about to go stale — then rewrite the hot halves. The free pool is
+	// only the over-provisioned reserve, so GC must reclaim the mixed
+	// blocks and copy their still-live cold pages: guaranteed copybacks.
+	span := uint32(f.Capacity() / 4)
+	for s := 0; s < 4; s++ {
+		for i := uint32(0); i < span; i++ {
+			mustWriteStream(t, f, uint32(s)*span+i, byte(s), s)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for s := 0; s < 4; s++ {
+			for i := uint32(0); i < span; i += 2 {
+				mustWriteStream(t, f, uint32(s)*span+i, byte(0x40+round), s)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every host-written (non-GC-relocated) page's block must be owned by
+	// exactly one stream: group live mapped pages by block via OOB stream.
+	blockStream := make(map[int]uint8)
+	for l := 0; l < f.Capacity(); l++ {
+		ppn := f.Mapping(uint32(l))
+		if ppn == InvalidPPN {
+			continue
+		}
+		oob, err := chip.ReadOOB(ppn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oob.Stream >= uint8(f.HostStreamCount()) {
+			continue // GC-relocated copy lives in a gc-stream block
+		}
+		b := chip.BlockOf(ppn)
+		if prev, ok := blockStream[b]; ok && prev != oob.Stream {
+			t.Fatalf("block %d holds pages from streams %d and %d", b, prev, oob.Stream)
+		}
+		blockStream[b] = oob.Stream
+	}
+	if len(blockStream) < 4 {
+		t.Fatalf("only %d host blocks observed; segregation untested", len(blockStream))
+	}
+
+	st := f.Stats()
+	if len(st.StreamWrites) != 4 || len(st.StreamCopybacks) != 4 {
+		t.Fatalf("per-stream stats lengths = %d/%d, want 4/4", len(st.StreamWrites), len(st.StreamCopybacks))
+	}
+	var writes, copybacks int64
+	for i := range st.StreamWrites {
+		writes += st.StreamWrites[i]
+		copybacks += st.StreamCopybacks[i]
+	}
+	if writes != st.HostWrites {
+		t.Fatalf("sum(StreamWrites) = %d, HostWrites = %d", writes, st.HostWrites)
+	}
+	if copybacks != st.Copybacks {
+		t.Fatalf("sum(StreamCopybacks) = %d, Copybacks = %d", copybacks, st.Copybacks)
+	}
+	if st.Copybacks == 0 {
+		t.Fatal("workload produced no GC copybacks; attribution untested")
+	}
+}
+
+// TestStreamHintClamped: an out-of-range hint degrades to the highest
+// stream instead of failing.
+func TestStreamHintClamped(t *testing.T) {
+	f, _ := streamFTL(t, func(cfg *Config) { cfg.HostStreams = 2 })
+	mustWriteStream(t, f, 1, 0xAA, 99)
+	st := f.Stats()
+	if st.StreamWrites[1] != 1 {
+		t.Fatalf("clamped hint landed in %v, want stream 1", st.StreamWrites)
+	}
+}
+
+// TestLegacyStreamStatsOmitted: with HostStreams unset the telemetry
+// slices stay nil so legacy JSON reports are byte-identical.
+func TestLegacyStreamStatsOmitted(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	mustWrite(t, f, 0, 1)
+	st := f.Stats()
+	if st.StreamWrites != nil || st.StreamCopybacks != nil {
+		t.Fatalf("legacy mode leaked stream stats: %v / %v", st.StreamWrites, st.StreamCopybacks)
+	}
+	if f.HostStreamCount() != 1 {
+		t.Fatalf("legacy host stream count = %d", f.HostStreamCount())
+	}
+}
+
+// TestAutoStreamSeparatesHotFromCold: under a skewed unhinted workload
+// the classifier moves frequently rewritten pages out of stream 0.
+func TestAutoStreamSeparatesHotFromCold(t *testing.T) {
+	f, _ := streamFTL(t, func(cfg *Config) {
+		cfg.HostStreams = 2
+		cfg.AutoStream = true
+	})
+	if !f.AutoStreamEnabled() {
+		t.Fatal("auto-stream not armed")
+	}
+	// 8 hot pages rewritten constantly, 100 cold pages written once.
+	for i := uint32(0); i < 100; i++ {
+		mustWrite(t, f, 20+i, 0x01)
+	}
+	for round := 0; round < 40; round++ {
+		for h := uint32(0); h < 8; h++ {
+			mustWrite(t, f, h, byte(round))
+		}
+	}
+	st := f.Stats()
+	if st.StreamWrites[1] == 0 {
+		t.Fatal("no write ever classified hot")
+	}
+	// The hot pages' current copies should be classified into stream 1.
+	hotIn1 := 0
+	for h := uint32(0); h < 8; h++ {
+		if f.pageStream[f.Mapping(h)] == 1 {
+			hotIn1++
+		}
+	}
+	if hotIn1 < 6 {
+		t.Fatalf("only %d/8 hot pages in the hot stream", hotIn1)
+	}
+	// Cold pages must stay in stream 0.
+	for i := uint32(20); i < 120; i++ {
+		if ppn := f.Mapping(i); ppn != InvalidPPN && f.pageStream[ppn] == 1 {
+			t.Fatalf("cold lpn %d classified hot", i)
+		}
+	}
+}
+
+// TestStreamRecovery: after a crash the OOB stream stamps hand each
+// partial block back to its exact owner stream, on every die.
+func TestStreamRecovery(t *testing.T) {
+	geo := nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 64, Channels: 2, DiesPerChannel: 1}
+	f, _ := testFTLGeo(t, geo, func(cfg *Config) {
+		cfg.OverProvision = 0.25
+		cfg.HostStreams = 3
+	})
+	// Leave every stream mid-block on both dies: 8 pages/block and 2 dies
+	// means 3 pages per stream guarantees partial fills.
+	for s := 0; s < 3; s++ {
+		for i := uint32(0); i < 6; i++ {
+			mustWriteStream(t, f, uint32(s)*16+i, byte(s+1), s)
+		}
+	}
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := f.StreamInfos()
+	crashAndRecover(t, f)
+	after := f.StreamInfos()
+	for i := range before {
+		if before[i].Name != after[i].Name {
+			t.Fatalf("stream order changed: %s vs %s", before[i].Name, after[i].Name)
+		}
+		for die := range before[i].Open {
+			b, a := before[i].Open[die], after[i].Open[die]
+			if b.Block != a.Block || b.NextPage != a.NextPage {
+				t.Fatalf("stream %s die %d open block %d@%d recovered as %d@%d",
+					before[i].Name, die, b.Block, b.NextPage, a.Block, a.NextPage)
+			}
+		}
+	}
+	// Data survived, and the device keeps segregating after recovery.
+	for s := 0; s < 3; s++ {
+		for i := uint32(0); i < 6; i++ {
+			if got := mustRead(t, f, uint32(s)*16+i); got[0] != byte(s+1) {
+				t.Fatalf("stream %d lpn %d = %x after recovery", s, uint32(s)*16+i, got[0])
+			}
+			mustWriteStream(t, f, uint32(s)*16+i, byte(s+0x10), s)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRecoveryRebuildsOrigins: pageStream survives recovery for
+// host-written pages (OOB carries the writer), so copyback attribution
+// keeps working across a power cycle.
+func TestStreamRecoveryRebuildsOrigins(t *testing.T) {
+	f, _ := streamFTL(t, func(cfg *Config) { cfg.HostStreams = 2 })
+	mustWriteStream(t, f, 0, 0x01, 0)
+	mustWriteStream(t, f, 1, 0x02, 1)
+	if _, err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, f)
+	if got := f.pageStream[f.Mapping(0)]; got != 0 {
+		t.Fatalf("lpn 0 origin = %d after recovery, want 0", got)
+	}
+	if got := f.pageStream[f.Mapping(1)]; got != 1 {
+		t.Fatalf("lpn 1 origin = %d after recovery, want 1", got)
+	}
+}
+
+// TestCrashPointStreams is the multi-stream crashpoint cell: with three
+// host streams filling blocks on two dies, power-cut the device at every
+// program/erase boundary of a mixed workload, recover, and verify that
+// the per-stream open-block state rebuilds correctly — every recovered
+// append point belongs to the stream whose OOB stamp its block carries,
+// and every stream keeps writing (segregated) after the cut.
+func TestCrashPointStreams(t *testing.T) {
+	geo := nand.Geometry{PageSize: 512, PagesPerBlock: 8, Blocks: 64, Channels: 2, DiesPerChannel: 1}
+	mut := func(cfg *Config) {
+		cfg.OverProvision = 0.25
+		cfg.HostStreams = 3
+	}
+	workload := func(f *FTL) error {
+		for round := 0; round < 4; round++ {
+			for s := 0; s < 3; s++ {
+				for i := uint32(0); i < 9; i++ {
+					if _, err := f.WriteStream(uint32(s)*32+i, fill(byte(16*s+round), f.PageSize()), s); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := f.Flush(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	dry, dryChip := testFTLGeo(t, geo, mut)
+	if err := workload(dry); err != nil {
+		t.Fatal(err)
+	}
+	boundaries := int(dryChip.MutatingOps())
+
+	for cut := 1; cut <= boundaries; cut++ {
+		f, chip := testFTLGeo(t, geo, mut)
+		chip.PowerCutAfter(int64(cut))
+		if err := workload(f); err != nil && !errors.Is(err, nand.ErrPowerCut) {
+			t.Fatalf("cut %d: workload died with %v", cut, err)
+		}
+		chip.DisablePowerCut()
+		f.Crash()
+		if _, err := f.Recover(); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Every recovered append point must point one past its block's
+		// frontier and belong to the stream that was filling the block:
+		// the newest programmed page below it carries the owner's stamp.
+		for _, in := range f.StreamInfos() {
+			for _, ob := range in.Open {
+				if ob.Block < 0 {
+					continue
+				}
+				if ob.NextPage <= 0 || ob.NextPage >= geo.PagesPerBlock {
+					t.Fatalf("cut %d: stream %s die %d open block %d with next %d",
+						cut, in.Name, ob.Die, ob.Block, ob.NextPage)
+				}
+				last := uint32(ob.Block*geo.PagesPerBlock + ob.NextPage - 1)
+				if chip.State(last) != nand.PageProgrammed {
+					t.Fatalf("cut %d: stream %s die %d: page before append point not programmed", cut, in.Name, ob.Die)
+				}
+				oob, err := chip.ReadOOB(last)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := map[string]uint8{"host0": 0, "host1": 1, "host2": 2, "gc": nand.StreamGC, "meta": nand.StreamMeta}[in.Name]
+				if oob.Stream != want {
+					t.Fatalf("cut %d: stream %s die %d recovered block %d stamped for stream %d",
+						cut, in.Name, ob.Die, ob.Block, oob.Stream)
+				}
+			}
+		}
+		// The device keeps serving segregated writes after recovery.
+		for s := 0; s < 3; s++ {
+			for i := uint32(0); i < 4; i++ {
+				mustWriteStream(t, f, uint32(s)*32+i, byte(0x70+s), s)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cut %d: post-resume: %v", cut, err)
+		}
+	}
+}

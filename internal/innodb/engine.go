@@ -84,7 +84,21 @@ type Config struct {
 	LogPages     uint32  // redo ring size on the log device (device pages)
 	DirtyRatio   float64 // flush when dirty frames exceed this fraction
 	MaxLogImages int     // checkpoint when more page images than this are logged
+	// StreamHints tags device writes with per-object stream hints on
+	// multi-stream devices: heap (leaf) pages, index/meta pages and the
+	// doublewrite buffer each get their own stream on the data device, and
+	// the redo log claims stream 0 of its own device. No effect when the
+	// devices are single-stream.
+	StreamHints bool
 }
+
+// Stream layout when StreamHints is on (hints are clamped by the device,
+// so fewer configured streams degrade gracefully toward sharing).
+const (
+	streamHeap  = 0 // leaf pages: the bulk of flush traffic
+	streamIndex = 1 // interior/meta pages: hotter, rewritten on splits
+	streamDWB   = 2 // doublewrite slots: overwritten every batch, shortest-lived
+)
 
 // DefaultConfig fills unset fields with experiment defaults.
 func (c *Config) setDefaults(devPage int) error {
@@ -252,6 +266,18 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*Engine, er
 		}
 		if err = e.dwb.Allocate(t, 0, int64(cfg.DWBPages+1)*int64(cfg.PageSize)); err != nil {
 			return nil, err
+		}
+	}
+
+	if cfg.StreamHints {
+		if fs.Device().Streams() > 1 {
+			e.file.SetStream(streamHeap) // per-page override in writeHome
+			e.dwb.SetStream(streamDWB)
+		}
+		if logDev.Streams() > 0 {
+			// Redo lives alone on the log device; pinning it to stream 0
+			// keeps each group commit one coalesced flush into one block.
+			e.log.SetStream(0)
 		}
 	}
 

@@ -129,11 +129,24 @@ func (fl *flusher) writeDWB(t *sim.Task, pages []bufpool.PageImage) error {
 }
 
 // writeHome writes each image at its home location in the tablespace.
+// With stream hints on, each page is steered by what it holds: leaf pages
+// to the heap stream, interior/meta pages to the index stream — B+tree
+// interior pages are rewritten far more often than leaves, so segregating
+// them keeps mostly-cold leaf blocks out of GC's way.
 func (fl *flusher) writeHome(t *sim.Task, pages []bufpool.PageImage, sync bool) error {
 	e := fl.e
 	ps := int64(e.cfg.PageSize)
+	hinted := e.cfg.StreamHints && e.fs.Device().Streams() > 1
 	for _, pg := range pages {
-		if _, err := e.file.WriteAt(t, pg.Data, ps*int64(pg.PageNo)); err != nil {
+		stream := e.file.Stream()
+		if hinted {
+			if pg.PageNo != 0 && btree.IsLeaf(pg.Data) {
+				stream = streamHeap
+			} else {
+				stream = streamIndex
+			}
+		}
+		if _, err := e.file.WriteAtStream(t, pg.Data, ps*int64(pg.PageNo), stream); err != nil {
 			return err
 		}
 		atomic.AddInt64(&e.st.PagesToHome, 1)

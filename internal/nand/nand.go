@@ -133,11 +133,15 @@ func (g Geometry) Address(ppn uint32) (channel, die, block, page int) {
 
 // OOB is the out-of-band (spare) area the FTL stores with every programmed
 // page. LPN is the logical page the data was written for (the primary
-// reverse mapping); Tag distinguishes data pages from FTL metadata.
+// reverse mapping); Tag distinguishes data pages from FTL metadata; Stream
+// records which write stream programmed the page — the host stream index
+// for host data, or one of the internal sentinels — so recovery can hand
+// every partially-filled block back to its exact owner stream.
 type OOB struct {
-	LPN uint32
-	Tag uint8
-	Seq uint64 // monotonically increasing program sequence number
+	LPN    uint32
+	Tag    uint8
+	Stream uint8  // writing stream: host index, or StreamGC/StreamMeta
+	Seq    uint64 // monotonically increasing program sequence number
 }
 
 // Tags for OOB.Tag.
@@ -145,6 +149,14 @@ const (
 	TagData    uint8 = 0 // host data page
 	TagMapBase uint8 = 1 // FTL mapping-table snapshot page
 	TagMapLog  uint8 = 2 // FTL mapping delta-log page
+)
+
+// Internal stream sentinels for OOB.Stream. Host stream indices are dense
+// from 0, so the top of the byte range is reserved for the FTL's own
+// streams (GC copyback destinations and mapping metadata).
+const (
+	StreamGC   uint8 = 0xFE // GC/scrub/retirement relocation stream
+	StreamMeta uint8 = 0xFF // FTL mapping snapshot / delta-log stream
 )
 
 // InvalidLPN marks OOB entries that carry no logical address.

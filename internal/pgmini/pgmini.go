@@ -62,6 +62,12 @@ type Config struct {
 	// CheckpointEvery flushes dirty pages and truncates the WAL after
 	// this many transactions.
 	CheckpointEvery int
+	// StreamHints tags device writes with per-object stream hints on
+	// multi-stream devices: the heap takes stream 0 and the SHARE-mode
+	// checkpoint staging file (full-page writes' stand-in) stream 1 on the
+	// data device, and the WAL claims stream 0 of its own log device. No
+	// effect when the devices are single-stream.
+	StreamHints bool
 }
 
 const (
@@ -240,6 +246,17 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*DB, error)
 		return nil, err
 	}
 	db.log = log
+	if cfg.StreamHints {
+		if fs.Device().Streams() > 1 {
+			db.file.SetStream(0) // heap pages: overwritten in place, zipfian-hot
+			if db.scratch != nil {
+				db.scratch.SetStream(1) // staging slots: dead after every checkpoint
+			}
+		}
+		if logDev.Streams() > 0 {
+			db.log.SetStream(0)
+		}
+	}
 	pool, err := bufpool.New(file, cfg.PageSize, int(cfg.PoolBytes/int64(cfg.PageSize)), &pgFlusher{db: db})
 	if err != nil {
 		return nil, err

@@ -254,9 +254,31 @@ func (d *Device) ReadPage(t *sim.Task, lpn uint32, dst []byte) error {
 	return d.serve(t, metrics.CmdRead, func() (sim.Duration, error) { return d.ftl.Read(lpn, dst) })
 }
 
-// WritePage writes one page of data at logical page lpn.
+// WritePage writes one page of data at logical page lpn with no stream
+// hint (auto-classified when the device runs in auto-stream mode).
 func (d *Device) WritePage(t *sim.Task, lpn uint32, data []byte) error {
 	return d.serve(t, metrics.CmdWrite, func() (sim.Duration, error) { return d.ftl.Write(lpn, data) })
+}
+
+// WritePageStream writes one page with an explicit stream hint: stream
+// >= 0 names the host write stream the page should join (clamped to the
+// configured count), stream < 0 is equivalent to WritePage. The hint only
+// steers NAND placement; cost plans and command semantics are unchanged.
+func (d *Device) WritePageStream(t *sim.Task, lpn uint32, data []byte, stream int) error {
+	return d.serve(t, metrics.CmdWrite, func() (sim.Duration, error) { return d.ftl.WriteStream(lpn, data, stream) })
+}
+
+// Streams reports the number of host-visible write streams the device was
+// configured with (0 in legacy single-stream mode — hints are accepted but
+// collapse to the one stream).
+func (d *Device) Streams() int { return d.cfg.FTL.HostStreams }
+
+// StreamInfos snapshots per-stream placement state (open blocks per die,
+// pages written, GC copyback attribution) for the inspector.
+func (d *Device) StreamInfos() []ftl.StreamInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ftl.StreamInfos()
 }
 
 // Trim invalidates n logical pages starting at lpn.
@@ -459,6 +481,8 @@ func (s Stats) sub(base Stats) Stats {
 	out.FTL.LogPagesWritten -= base.FTL.LogPagesWritten
 	out.FTL.MapPagesWritten -= base.FTL.MapPagesWritten
 	out.FTL.Checkpoints -= base.FTL.Checkpoints
+	out.FTL.StreamWrites = subSlice(s.FTL.StreamWrites, base.FTL.StreamWrites)
+	out.FTL.StreamCopybacks = subSlice(s.FTL.StreamCopybacks, base.FTL.StreamCopybacks)
 	// FTL gauges pass through: SpareBlocksLeft, ReadOnly.
 
 	// Chip counters.
@@ -474,6 +498,23 @@ func (s Stats) sub(base Stats) Stats {
 	out.Chip.MediaHardReads -= base.Chip.MediaHardReads
 	// Chip gauges pass through: MaxWear, MinWear, BadBlocks, MaxPageRisk,
 	// MeanPageRisk.
+	return out
+}
+
+// subSlice diffs per-stream counter slices elementwise into a fresh
+// allocation (the inputs are snapshots other epochs still reference). A
+// nil baseline (ResetStats never called, or the device predates streams)
+// passes the current values through.
+func subSlice(cur, base []int64) []int64 {
+	if cur == nil {
+		return nil
+	}
+	out := append([]int64(nil), cur...)
+	for i := range out {
+		if i < len(base) {
+			out[i] -= base[i]
+		}
+	}
 	return out
 }
 

@@ -44,6 +44,7 @@ type Log struct {
 	start    uint32 // first LPN of the log area
 	pages    uint32 // log area length
 	pageSize int
+	stream   int // device write-stream hint; < 0 means unhinted
 
 	latch sim.Mutex // serializes mutators, held across device I/O
 
@@ -64,8 +65,17 @@ func New(dev *ssd.Device, start, pages uint32) (*Log, error) {
 	if pages < 2 {
 		return nil, fmt.Errorf("wal: need at least 2 pages")
 	}
-	return &Log{dev: dev, start: start, pages: pages, pageSize: dev.PageSize()}, nil
+	return &Log{dev: dev, start: start, pages: pages, pageSize: dev.PageSize(), stream: -1}, nil
 }
+
+// SetStream pins every log page write to one device write stream, so a
+// group commit stays a single coalesced flush into one open block even on
+// a multi-stream device. A negative value restores unhinted writes.
+// Set before concurrent appenders start; the field is not latch-protected.
+func (l *Log) SetStream(s int) { l.stream = s }
+
+// Stream returns the log's device write-stream hint (< 0 when unhinted).
+func (l *Log) Stream() int { return l.stream }
 
 // capacityPerPage returns usable stream bytes per log page.
 func (l *Log) capacityPerPage() int { return l.pageSize - pageHdr }
@@ -111,7 +121,7 @@ func (l *Log) emit(t *sim.Task, n int, advance bool) error {
 	binary.LittleEndian.PutUint64(buf[4:], l.seq)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(n))
 	copy(buf[pageHdr:], l.pending[:n])
-	if err := l.dev.WritePage(t, l.start+head, buf); err != nil {
+	if err := l.dev.WritePageStream(t, l.start+head, buf, l.stream); err != nil {
 		return err
 	}
 	l.written.Add(1)

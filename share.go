@@ -97,6 +97,17 @@ type DeviceOptions struct {
 	// PatrolThresholdPct overrides the patrol refresh trigger as a percent
 	// of the media model's fast-ECC limit (0 means the default 80).
 	PatrolThresholdPct int
+	// Streams configures n host-visible write streams, each with its own
+	// open NAND blocks, so hosts can segregate objects with different
+	// lifetimes (logs vs heap pages vs compaction output) and cut GC write
+	// amplification. 0 keeps the legacy single-stream device with
+	// byte-identical reports. The count is validated against the per-die
+	// free-block headroom at mount (ftl.StreamConfigError).
+	Streams int
+	// AutoStream classifies unhinted writes into the configured streams by
+	// per-LPN update frequency (hot pages migrate to higher streams).
+	// Requires Streams >= 2.
+	AutoStream bool
 }
 
 // FaultPlan schedules NAND failures for fault-injection runs: factory-bad
@@ -141,6 +152,8 @@ func OpenDevice(opts DeviceOptions) (*Device, error) {
 	cfg.Fault = opts.Fault
 	cfg.Media = opts.Media
 	cfg.FTL.PatrolThresholdPct = opts.PatrolThresholdPct
+	cfg.FTL.HostStreams = opts.Streams
+	cfg.FTL.AutoStream = opts.AutoStream
 	return ssd.New("share-ssd", cfg)
 }
 
