@@ -5,7 +5,7 @@ GO ?= go
 # CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
 CRASHCHECK_SEED ?= 1
 
-.PHONY: build test check race bench bench-json bench-scale bench-soak bench-streams bench-tenants fuzz-crash fmt
+.PHONY: build test check race bench bench-json bench-scale bench-soak bench-streams bench-tenants bench-writepath profile fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ check:
 	$(MAKE) bench-soak
 	$(MAKE) bench-streams
 	$(MAKE) bench-tenants
+	$(MAKE) bench-writepath
 
 # fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
 # short mode: for every engine x SHARE-mode cell (innodb DWB-on/SHARE,
@@ -84,6 +85,24 @@ bench-streams:
 # regression anchors, pinned by TestTenantsScaling.
 bench-tenants:
 	$(GO) run ./cmd/sharebench -exp tenants -json -outdir .
+
+# bench-writepath sweeps IO size x queue depth x placement strategy
+# (legacy / host stream hints / auto-stream) on aged 4-channel devices and
+# writes BENCH_writepath.json; the winner_s*_qd* crossover-map metrics pin
+# which strategy wins each cell, and TestWritepathJSONDeterministic pins
+# byte-identical reports.
+bench-writepath:
+	$(GO) run ./cmd/sharebench -exp writepath -json -outdir .
+
+# profile runs the scale experiment at 20x op count with CPU and
+# allocation profiling; inspect with `go tool pprof cpu.pprof`. The
+# op-count multiplier keeps the measured loop hot long enough for a
+# useful sample without changing device geometry or aging.
+PROFILE_OPSCALE ?= 20
+profile:
+	$(GO) run ./cmd/sharebench -exp scale -opscale $(PROFILE_OPSCALE) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof mem.pprof — inspect with: $(GO) tool pprof cpu.pprof"
 
 fmt:
 	gofmt -l -w .

@@ -27,6 +27,9 @@ type Metric struct {
 type ConfigInfo struct {
 	Scale float64 `json:"scale"`
 	Seed  int64   `json:"seed"`
+	// OpScale is recorded only when it departs from the default of 1, so
+	// default-run reports stay byte-identical to their pinned fixtures.
+	OpScale int `json:"op_scale,omitempty"`
 }
 
 // DeviceReport is the telemetry snapshot of one device at the end of the
@@ -86,11 +89,15 @@ type Report struct {
 // applied first so the recorded provenance matches what actually ran.
 func NewReport(e Experiment, p Params) *Report {
 	p.setDefaults()
+	c := ConfigInfo{Scale: p.Scale, Seed: p.Seed}
+	if p.OpScale > 1 {
+		c.OpScale = p.OpScale
+	}
 	return &Report{
 		Schema:     ReportSchema,
 		Experiment: e.ID,
 		Title:      e.Title,
-		Config:     ConfigInfo{Scale: p.Scale, Seed: p.Seed},
+		Config:     c,
 	}
 }
 

@@ -23,6 +23,11 @@ type Params struct {
 	// paper's sizes.
 	Scale float64
 	Seed  int64
+	// OpScale multiplies the operation counts of throughput-style
+	// experiments (currently the scale sweep) without touching device
+	// sizes: OpScale=10 issues 10× the writes against the same geometry,
+	// for profiling and soak-style stress at 10–100× the default volume.
+	OpScale int
 }
 
 func (p *Params) setDefaults() {
@@ -31,6 +36,9 @@ func (p *Params) setDefaults() {
 	}
 	if p.Seed == 0 {
 		p.Seed = 42
+	}
+	if p.OpScale < 1 {
+		p.OpScale = 1
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"share/internal/randfill"
 	"share/internal/sim"
 	"share/internal/ssd"
 )
@@ -35,25 +36,38 @@ var (
 	scaleDepths   = []int{1, 2, 4, 8, 16}
 )
 
-// scalePoint runs one (channels, queueDepth) sweep point and returns the
-// measured write throughput in ops/s plus the device for telemetry.
-func scalePoint(p Params, channels, depth int) (float64, *ssd.Device, error) {
-	const writesPerClient = 250
+// scaleProto builds and ages the device for one channel count. Aging is
+// by far the most expensive part of a sweep point and depends only on
+// (geometry, seed), so every depth point of a channel count clones this
+// prototype instead of re-aging from scratch — identical results (the
+// clone contract, pinned by ssd's TestCloneEquivalence and the
+// BENCH_scale.json fixture) at a fifth of the wall-clock cost. The
+// returned time is the aging completion, where measured clients start.
+func scaleProto(p Params, channels int) (*ssd.Device, int64, error) {
 	cfg := ssd.DefaultConfig(scaleBlocks)
 	cfg.Geometry.Channels = channels
 	cfg.Geometry.DiesPerChannel = 1 // explicit: the baseline uses the same per-die scheduler
 	dev, err := ssd.New(fmt.Sprintf("scale-c%d", channels), cfg)
 	if err != nil {
-		return 0, nil, err
+		return nil, 0, err
 	}
 	setup := sim.NewSoloTask("setup")
 	if err := dev.Age(setup, 0.5, 0.2, p.Seed); err != nil {
+		return nil, 0, err
+	}
+	return dev, setup.Now(), nil
+}
+
+// scalePoint runs one (channels, queueDepth) sweep point against a clone
+// of the aged prototype and returns the measured write throughput in
+// ops/s plus the device for telemetry.
+func scalePoint(p Params, proto *ssd.Device, channels, depth int, t0 int64) (float64, *ssd.Device, error) {
+	writesPerClient := 250 * p.OpScale
+	dev, err := proto.Clone(fmt.Sprintf("scale-c%d", channels))
+	if err != nil {
 		return 0, nil, err
 	}
 	dev.ResetStats() // measure the sweep workload, not the aging
-	// The aging left the die/channel servers busy until setup's clock;
-	// clients start there so elapsed time covers only the measured work.
-	t0 := setup.Now()
 
 	span := dev.Capacity() / 2
 	s := sim.NewScheduler()
@@ -63,9 +77,10 @@ func scalePoint(p Params, channels, depth int) (float64, *ssd.Device, error) {
 		s.Go(fmt.Sprintf("cli%d", i), func(task *sim.Task) {
 			task.AdvanceTo(t0)
 			rng := newRand(p.Seed + int64(i) + 1)
+			fill := randfill.New(rng)
 			page := make([]byte, dev.PageSize())
 			for n := 0; n < writesPerClient; n++ {
-				rng.Read(page)
+				fill.Fill(page)
 				if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
 					errs[i] = err
 					return
@@ -95,10 +110,14 @@ func runScale(p Params, r *Report) (string, error) {
 	out.WriteByte('\n')
 	maxDepth := scaleDepths[len(scaleDepths)-1]
 	for _, ch := range scaleChannels {
+		proto, t0, err := scaleProto(p, ch)
+		if err != nil {
+			return "", err
+		}
 		tput[ch] = map[int]float64{}
 		fmt.Fprintf(&out, "%-10d", ch)
 		for _, qd := range scaleDepths {
-			v, dev, err := scalePoint(p, ch, qd)
+			v, dev, err := scalePoint(p, proto, ch, qd, t0)
 			if err != nil {
 				return "", err
 			}

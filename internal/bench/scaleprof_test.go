@@ -1,0 +1,13 @@
+package bench
+
+import "testing"
+
+func BenchmarkScaleExp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, _ := Get("scale")
+		_, _, err := e.RunWithReport(Params{Scale: 0.02, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

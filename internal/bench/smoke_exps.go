@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"share/internal/ftl"
+	"share/internal/randfill"
 	"share/internal/sim"
 	"share/internal/ssd"
 )
@@ -44,13 +45,14 @@ func init() {
 				i := i
 				s.Go(fmt.Sprintf("cli%d", i), func(task *sim.Task) {
 					rng := newRand(p.Seed + int64(i) + 1)
+					fill := randfill.New(rng)
 					page := make([]byte, dev.PageSize())
 					for n := 0; n < opsPerCli; n++ {
 						lpn := uint32(rng.Intn(span))
 						var err error
 						switch n % 8 {
 						case 0, 1, 2:
-							rng.Read(page)
+							fill.Fill(page)
 							err = dev.WritePage(task, lpn, page)
 						case 3, 4:
 							if rerr := dev.ReadPage(task, lpn, page); rerr != nil &&

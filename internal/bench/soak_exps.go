@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"share/internal/nand"
+	"share/internal/randfill"
 	"share/internal/sim"
 	"share/internal/ssd"
 )
@@ -27,12 +28,12 @@ import (
 // only Seed varies.
 
 const (
-	soakBlocks        = 128
-	soakRounds        = 10
-	soakWritesPerRnd  = 800
-	soakReadsPerRnd   = 400
-	soakPatrolEvery   = 8               // foreground ops between patrol steps
-	soakIdlePerRound  = 1 * sim.Second  // declared idle time aging retained data
+	soakBlocks       = 128
+	soakRounds       = 10
+	soakWritesPerRnd = 800
+	soakReadsPerRnd  = 400
+	soakPatrolEvery  = 8              // foreground ops between patrol steps
+	soakIdlePerRound = 1 * sim.Second // declared idle time aging retained data
 )
 
 // soakMediaModel is deliberately aggressive so a ~20k-op run spans a
@@ -90,6 +91,7 @@ func runSoak(p Params, patrol bool) (*soakOutcome, error) {
 	cap := dev.Capacity()
 	page := make([]byte, dev.PageSize())
 	rng := newRand(p.Seed + 101)
+	fill := randfill.New(rng)
 	// Write skew and read skew are deliberately offset by a third of the
 	// address space: write-cold-but-read-hot pages accumulate pure read
 	// disturb, write-cold-read-cold pages accumulate pure retention — the
@@ -120,7 +122,7 @@ func runSoak(p Params, patrol bool) (*soakOutcome, error) {
 	// Fill the whole logical space once; pages never rewritten after this
 	// are the retention-rot population.
 	for lpn := 0; lpn < cap; lpn++ {
-		rng.Read(page)
+		fill.Fill(page)
 		if err := step(func() error { return dev.WritePage(t, uint32(lpn), page) }); err != nil {
 			return nil, fmt.Errorf("%s: fill lpn %d: %w", name, lpn, err)
 		}
@@ -128,7 +130,7 @@ func runSoak(p Params, patrol bool) (*soakOutcome, error) {
 	for round := 0; round < soakRounds; round++ {
 		for i := 0; i < soakWritesPerRnd; i++ {
 			lpn := uint32(wZipf.Uint64())
-			rng.Read(page)
+			fill.Fill(page)
 			if err := step(func() error { return dev.WritePage(t, lpn, page) }); err != nil {
 				return nil, fmt.Errorf("%s: round %d write %d (lpn %d): %w", name, round, i, lpn, err)
 			}

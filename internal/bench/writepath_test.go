@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestWritepathJSONDeterministic: the writepath taxonomy report — 27
+// cloned-device cells across three placement strategies — must serialize
+// to byte-identical JSON across identically-seeded runs (CI regenerates
+// BENCH_writepath.json and diffs it), and the crossover map must carry a
+// winner metric for every (IO size, queue depth) cell.
+func TestWritepathJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ages three devices, twice; skipped in -short")
+	}
+	e, err := Get("writepath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		_, rep, err := e.RunWithReport(Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateReportJSON(data); err != nil {
+			t.Fatalf("invalid report: %v\n%s", err, data)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded writepath runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	for _, m := range rep.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	for _, size := range writepathSizes {
+		for _, qd := range writepathDepths {
+			name := fmt.Sprintf("winner_s%d_qd%d", size, qd)
+			w, ok := metrics[name]
+			if !ok {
+				t.Fatalf("crossover map missing %s", name)
+			}
+			if w < 0 || int(w) >= len(writepathStrategies) {
+				t.Fatalf("%s = %v, not a strategy index", name, w)
+			}
+			for _, strategy := range writepathStrategies {
+				tn := fmt.Sprintf("tput_%s_s%d_qd%d", strategy, size, qd)
+				if metrics[tn] <= 0 {
+					t.Fatalf("cell metric %s missing or non-positive", tn)
+				}
+			}
+		}
+	}
+}

@@ -107,7 +107,16 @@ func (fs *FS) commitFast(t *sim.Task) error {
 	le.PutUint64(buf[8:], fs.seq)
 	le.PutUint32(buf[16:], uint32(len(fs.dirtyInos)))
 	off := 20
+	// Sorted order, not map order: each record triggers device I/O
+	// (committedImage reads, and checkpoint-time writes of the patched
+	// pages), so Go's per-run map iteration randomization would otherwise
+	// shuffle physical placement run to run and jitter per-die telemetry.
+	inos := make([]int, 0, len(fs.dirtyInos))
 	for ino := range fs.dirtyInos {
+		inos = append(inos, ino)
+	}
+	sort.Ints(inos)
+	for _, ino := range inos {
 		le.PutUint16(buf[off:], uint16(ino))
 		off += 2
 		ind := &fs.inodes[ino]
@@ -215,8 +224,15 @@ func (fs *FS) committedImage(t *sim.Task, p uint32) ([]byte, error) {
 // Only the page images captured at commit time are written; rendering the
 // current in-memory state here would expose uncommitted metadata.
 func (fs *FS) checkpointMeta(t *sim.Task) error {
-	for p, img := range fs.pending {
-		if err := fs.dev.WritePage(t, p, img); err != nil {
+	// Sorted order, not map order: home-location writes allocate flash
+	// pages, so map-order iteration would vary die placement run to run.
+	pages := make([]uint32, 0, len(fs.pending))
+	for p := range fs.pending {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		if err := fs.dev.WritePage(t, p, fs.pending[p]); err != nil {
 			return err
 		}
 		fs.metaHomeWrites++

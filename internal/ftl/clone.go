@@ -1,0 +1,106 @@
+package ftl
+
+import "share/internal/nand"
+
+// Clone returns an independent FTL over chip — which must itself be a
+// clone of the FTL's current chip (nand.Chip.Clone) — replicating every piece of volatile
+// and durable-state bookkeeping: mapping tables, reference counts, free
+// stacks, stream append points, delta buffers, log directories,
+// statistics. A command stream issued to the clone produces exactly the
+// results it would have produced against the original.
+//
+// The event sink is not carried over (the caller wires the clone to its
+// own recorder), and the scratch free lists start empty — they affect
+// allocation behavior only.
+//
+// Every field of FTL must either be copied here or be deliberately reset.
+// A field added to FTL and missed here corrupts cloned runs silently —
+// the BENCH_*.json determinism gates are the backstop.
+func (f *FTL) Clone(chip *nand.Chip) *FTL {
+	n := &FTL{
+		chip:     chip,
+		cfg:      f.cfg,
+		geo:      f.geo,
+		capacity: f.capacity,
+		dies:     f.dies,
+		gcLowDie: f.gcLowDie, gcHighDie: f.gcHighDie,
+		planOn:   f.planOn,
+		transfer: f.transfer,
+
+		l2p:     append([]uint32(nil), f.l2p...),
+		primary: append([]uint32(nil), f.primary...),
+		refs:    append([]uint16(nil), f.refs...),
+		extra:   make(map[uint32][]uint32, len(f.extra)),
+
+		blockValid:  append([]int(nil), f.blockValid...),
+		blockFull:   append([]bool(nil), f.blockFull...),
+		retired:     append([]bool(nil), f.retired...),
+		retiredN:    f.retiredN,
+		spareBudget: f.spareBudget,
+		readOnly:    f.readOnly,
+		freeByDie:   make([][]int, len(f.freeByDie)),
+		hosts:       make([]stream, len(f.hosts)),
+		gc:          f.gc.clone(),
+		meta:        f.meta.clone(),
+
+		pageStream: append([]uint8(nil), f.pageStream...),
+		heat:       append([]uint8(nil), f.heat...),
+		heatTicks:  f.heatTicks,
+
+		scrubQueue: append([]int(nil), f.scrubQueue...),
+		metaHeal:   f.metaHeal,
+
+		mapDir:        append([]uint32(nil), f.mapDir...),
+		mapDirty:      append([]bool(nil), f.mapDirty...),
+		mapSeq:        append([]uint64(nil), f.mapSeq...),
+		deltaBuf:      append([]delta(nil), f.deltaBuf...),
+		logPPNs:       append([]uint32(nil), f.logPPNs...),
+		logSeqs:       append([]uint64(nil), f.logSeqs...),
+		pendingShares: f.pendingShares,
+		metaLive:      make(map[uint32]bool, len(f.metaLive)),
+		logSeq:        f.logSeq,
+		inGC:          f.inGC,
+
+		inBatch:  f.inBatch,
+		batchBuf: append([]delta(nil), f.batchBuf...),
+
+		st: f.st,
+	}
+	n.st.StreamWrites = append([]int64(nil), f.st.StreamWrites...)
+	n.st.StreamCopybacks = append([]int64(nil), f.st.StreamCopybacks...)
+	for p, lpns := range f.extra {
+		n.extra[p] = append([]uint32(nil), lpns...)
+	}
+	for die, free := range f.freeByDie {
+		n.freeByDie[die] = append([]int(nil), free...)
+	}
+	for i := range f.hosts {
+		n.hosts[i] = f.hosts[i].clone()
+	}
+	if f.scrubSet != nil {
+		n.scrubSet = make(map[int]bool, len(f.scrubSet))
+		for b, v := range f.scrubSet {
+			n.scrubSet[b] = v
+		}
+	}
+	if f.poisoned != nil {
+		n.poisoned = make(map[uint32]bool, len(f.poisoned))
+		for p, v := range f.poisoned {
+			n.poisoned[p] = v
+		}
+	}
+	for p, v := range f.metaLive {
+		n.metaLive[p] = v
+	}
+	if f.batchIdx != nil {
+		n.batchIdx = make(map[uint32]int, len(f.batchIdx))
+		for lpn, i := range f.batchIdx {
+			n.batchIdx[lpn] = i
+		}
+	}
+	return n
+}
+
+func (s stream) clone() stream {
+	return stream{open: append([]appendPoint(nil), s.open...), rr: s.rr, id: s.id}
+}

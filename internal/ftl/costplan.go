@@ -40,13 +40,19 @@ type OpCost struct {
 
 // EnableCostPlan switches on per-operation cost recording. The device
 // layer calls it once when the geometry opts into per-die scheduling.
-func (f *FTL) EnableCostPlan() { f.planOn = true }
+func (f *FTL) EnableCostPlan() {
+	f.planOn = true
+	f.transfer = f.chip.Timing().Transfer
+}
 
 // TakeCostPlan returns the NAND operations recorded since the last call
-// and resets the plan. The slice is in issue order.
-func (f *FTL) TakeCostPlan() []OpCost {
+// (in issue order) and installs recycle — emptied — as the buffer for the
+// next command's plan. The device layer cycles a drained plan back in on
+// the following call, so steady-state recording never allocates; passing
+// nil simply starts a fresh buffer.
+func (f *FTL) TakeCostPlan(recycle []OpCost) []OpCost {
 	p := f.plan
-	f.plan = nil
+	f.plan = recycle[:0:cap(recycle)]
 	return p
 }
 
@@ -58,12 +64,12 @@ func (f *FTL) notePPNOp(kind OpKind, ppn uint32, d sim.Duration) {
 	if !f.planOn || d <= 0 {
 		return
 	}
-	bus := f.chip.Timing().Transfer
+	bus := f.transfer
 	if bus > d {
 		bus = d
 	}
 	f.plan = append(f.plan, OpCost{
-		Die:  f.geo.DieOfPPN(ppn),
+		Die:  (int(ppn) / f.geo.PagesPerBlock) % f.dies,
 		Kind: kind,
 		Bus:  bus,
 		Cell: d - bus,
@@ -76,5 +82,5 @@ func (f *FTL) noteEraseOp(block int, d sim.Duration) {
 	if !f.planOn || d <= 0 {
 		return
 	}
-	f.plan = append(f.plan, OpCost{Die: f.geo.DieOfBlock(block), Kind: OpErase, Cell: d})
+	f.plan = append(f.plan, OpCost{Die: block % f.dies, Kind: OpErase, Cell: d})
 }

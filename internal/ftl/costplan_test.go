@@ -1,0 +1,61 @@
+package ftl
+
+import "testing"
+
+// TestTakeCostPlanRecycles pins the buffer-exchange contract: the device
+// drains a command's plan, replays it, and hands the emptied slice back
+// on the next TakeCostPlan call, so steady-state recording reuses one
+// backing array instead of growing a fresh one per command.
+func TestTakeCostPlanRecycles(t *testing.T) {
+	f, _ := testFTL(t, nil)
+	f.EnableCostPlan()
+	mustWrite(t, f, 1, 0xaa)
+	plan := f.TakeCostPlan(nil)
+	if len(plan) == 0 {
+		t.Fatal("write recorded no cost plan")
+	}
+	backing := &plan[:1][0]
+	mustWrite(t, f, 2, 0xbb)
+	next := f.TakeCostPlan(plan)
+	if len(next) == 0 {
+		t.Fatal("second write recorded no cost plan")
+	}
+	mustWrite(t, f, 3, 0xcc)
+	again := f.TakeCostPlan(next)
+	if len(again) == 0 || &again[:1][0] != backing {
+		t.Fatal("recycled buffer was not reused for the next plan")
+	}
+}
+
+// TestCostPlanSteadyStateZeroAlloc: with the exchange in steady state —
+// every host write's plan fits the recycled buffer's capacity — the
+// record/drain cycle must not allocate. This is the FTL-layer half of
+// the ssd package's hot-path guards; it catches a regression in the
+// plan buffer itself even if the device layer compensates.
+func TestCostPlanSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector's shadow allocations break AllocsPerRun")
+	}
+	f, _ := testFTL(t, nil)
+	f.EnableCostPlan()
+	page := fill(0x5a, f.PageSize())
+	lpn := uint32(0)
+	write := func() {
+		if _, err := f.Write(lpn%64, page); err != nil {
+			t.Fatal(err)
+		}
+		lpn++
+	}
+	plan := f.TakeCostPlan(nil)
+	for i := 0; i < 500; i++ { // warm free lists and grow the plan buffer to its GC-episode high-water mark
+		write()
+		plan = f.TakeCostPlan(plan)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		write()
+		plan = f.TakeCostPlan(plan)
+	})
+	if avg > 0.05 {
+		t.Fatalf("steady-state cost-plan cycle allocates %.3f objects/op, want ~0", avg)
+	}
+}

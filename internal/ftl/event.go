@@ -53,12 +53,12 @@ const (
 const NumEventTypes = int(numEventTypes)
 
 var eventNames = [numEventTypes]string{
-	EvGCVictim:     "gc-victim",
-	EvWearLevel:    "wear-level",
-	EvCopyback:     "copyback",
-	EvCheckpoint:   "checkpoint",
-	EvBlockRetired: "block-retired",
-	EvReadOnly:     "read-only",
+	EvGCVictim:      "gc-victim",
+	EvWearLevel:     "wear-level",
+	EvCopyback:      "copyback",
+	EvCheckpoint:    "checkpoint",
+	EvBlockRetired:  "block-retired",
+	EvReadOnly:      "read-only",
 	EvReadRetry:     "read-retry",
 	EvScrub:         "scrub",
 	EvPatrolRefresh: "patrol-refresh",

@@ -120,8 +120,9 @@ func (f *FTL) retireStreamBlock(s *stream, die int) (sim.Duration, error) {
 		return 0, nil
 	}
 	f.blockFull[b] = true
-	buf := make([]byte, f.geo.PageSize)
+	buf := f.getPageBuf()
 	total, err := f.relocateLive(b, buf)
+	f.putPageBuf(buf)
 	if err != nil {
 		return total, err
 	}
@@ -229,7 +230,7 @@ const (
 // ECC it cannot be rehomed. A read recovered by any escalation queues its
 // block for scrubbing.
 func (f *FTL) chipRead(ppn uint32, dst []byte) (nand.OOB, sim.Duration, error) {
-	if f.poisoned[ppn] {
+	if len(f.poisoned) != 0 && f.poisoned[ppn] {
 		// Pending sector: an earlier relocation already proved this data
 		// lost, and the copy here is only the loss marker. Firmware answers
 		// from the pending list after the plain sense — no point running the
@@ -335,8 +336,9 @@ func (f *FTL) scrubBlock(b int) (sim.Duration, error) {
 	f.inGC = true
 	defer func() { f.inGC = false }()
 	movedBefore := f.st.Copybacks + f.st.MetaMoves
-	buf := make([]byte, f.geo.PageSize)
+	buf := f.getPageBuf()
 	total, err := f.relocateLive(b, buf)
+	f.putPageBuf(buf)
 	if err != nil {
 		return total, err
 	}

@@ -172,8 +172,19 @@ type FTL struct {
 
 	// Cost-plan recording (see costplan.go). Off unless the device layer
 	// enables it for per-die scheduling.
-	planOn bool
-	plan   []OpCost
+	planOn   bool
+	plan     []OpCost
+	transfer sim.Duration // chip bus-transfer time, cached for notePPNOp
+
+	// Scratch free lists for the hot paths. pageBufs holds page-sized
+	// buffers recycled by GC relocation, scrubbing and metadata programs;
+	// deltaBufs holds delta slices recycled by flushDeltaPage. Both are
+	// free lists rather than single fields because the users nest: a
+	// metadata program can trigger GC, whose relocation flushes deltas,
+	// while an outer flush still holds its own buffers.
+	pageBufs  [][]byte
+	deltaBufs [][]delta
+	lpnBufs   [][]uint32
 
 	// Volatile (DRAM) state, rebuilt by Recover after a crash.
 	l2p     []uint32            // logical -> physical
@@ -376,6 +387,53 @@ func (f *FTL) initVolatile() {
 	f.inGC = false
 }
 
+// getPageBuf pops a page-sized scratch buffer off the free list (or
+// allocates the first time). Contents are undefined: callers either fully
+// overwrite it (relocation reads) or must zero it first (metadata pages,
+// whose unused tail must read back as zeros).
+func (f *FTL) getPageBuf() []byte {
+	if n := len(f.pageBufs); n > 0 {
+		b := f.pageBufs[n-1]
+		f.pageBufs[n-1] = nil
+		f.pageBufs = f.pageBufs[:n-1]
+		return b
+	}
+	return make([]byte, f.geo.PageSize)
+}
+
+// putPageBuf returns a scratch buffer to the free list.
+func (f *FTL) putPageBuf(b []byte) { f.pageBufs = append(f.pageBufs, b) }
+
+// getDeltaBuf pops an empty delta slice (capacity one log page) off the
+// free list; putDeltaBuf returns it. flushDeltaPage snapshots each page's
+// entries into one of these so the shared deltaBuf can be compacted in
+// place without aliasing against re-entrant flushes.
+func (f *FTL) getDeltaBuf() []delta {
+	if n := len(f.deltaBufs); n > 0 {
+		b := f.deltaBufs[n-1]
+		f.deltaBufs[n-1] = nil
+		f.deltaBufs = f.deltaBufs[:n-1]
+		return b[:0]
+	}
+	return make([]delta, 0, f.entriesPerLogPage())
+}
+
+func (f *FTL) putDeltaBuf(b []delta) { f.deltaBufs = append(f.deltaBufs, b) }
+
+// getLPNBuf / putLPNBuf recycle the small referrer slices the GC scan
+// builds per relocated page.
+func (f *FTL) getLPNBuf() []uint32 {
+	if n := len(f.lpnBufs); n > 0 {
+		b := f.lpnBufs[n-1]
+		f.lpnBufs[n-1] = nil
+		f.lpnBufs = f.lpnBufs[:n-1]
+		return b[:0]
+	}
+	return make([]uint32, 0, 8)
+}
+
+func (f *FTL) putLPNBuf(b []uint32) { f.lpnBufs = append(f.lpnBufs, b) }
+
 // Capacity returns the number of logical pages exported to the host.
 func (f *FTL) Capacity() int { return f.capacity }
 
@@ -542,6 +600,9 @@ func (f *FTL) dropRef(ppn, lpn uint32) {
 		f.primary[ppn] = InvalidLPN
 		return
 	}
+	if len(f.extra) == 0 {
+		return
+	}
 	if ex, ok := f.extra[ppn]; ok {
 		for i, e := range ex {
 			if e == lpn {
@@ -558,18 +619,22 @@ func (f *FTL) dropRef(ppn, lpn uint32) {
 	}
 }
 
-// referrers returns the logical pages currently mapping to ppn.
-func (f *FTL) referrers(ppn uint32) []uint32 {
-	var out []uint32
+// referrers appends the logical pages currently mapping to ppn onto dst
+// (callers pass a reused scratch slice to keep the GC scan allocation-free)
+// and returns the extended slice. The len guard skips the share-table map
+// lookup entirely on the common no-SHARE path.
+func (f *FTL) referrers(ppn uint32, dst []uint32) []uint32 {
 	if p := f.primary[ppn]; p != InvalidLPN && int(p) < f.capacity && f.l2p[p] == ppn {
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	for _, e := range f.extra[ppn] {
-		if int(e) < f.capacity && f.l2p[e] == ppn {
-			out = append(out, e)
+	if len(f.extra) != 0 {
+		for _, e := range f.extra[ppn] {
+			if int(e) < f.capacity && f.l2p[e] == ppn {
+				dst = append(dst, e)
+			}
 		}
 	}
-	return out
+	return dst
 }
 
 // allocOn advances the stream's append point on one die and returns a

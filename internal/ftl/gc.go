@@ -128,8 +128,9 @@ func (f *FTL) gcOnce(die int) (sim.Duration, error) {
 	f.st.GCEvents++
 	f.emit(Event{Type: kind, Block: victim, A: int64(best)})
 
-	buf := make([]byte, f.geo.PageSize)
+	buf := f.getPageBuf()
 	total, err := f.relocateLive(victim, buf)
+	f.putPageBuf(buf)
 	if err != nil {
 		return total, err
 	}
@@ -206,12 +207,13 @@ func (f *FTL) batchPins() map[int]bool {
 // relocateData copies one valid data page to the GC stream and re-points
 // every logical referrer — including SHARE co-referrers — at the new copy.
 func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
-	lpns := f.referrers(ppn)
+	lpns := f.referrers(ppn, f.getLPNBuf())
+	defer f.putLPNBuf(lpns)
 	if len(lpns) == 0 {
 		// Defensive: refcount said valid but no live referrer.
 		panic("ftl: valid page with no referrers")
 	}
-	wasPoisoned := f.poisoned[ppn]
+	wasPoisoned := len(f.poisoned) != 0 && f.poisoned[ppn]
 	_, rd, err := f.chipRead(ppn, buf)
 	total := rd
 	lost := false
@@ -248,7 +250,9 @@ func (f *FTL) relocateData(ppn uint32, buf []byte) (sim.Duration, error) {
 	if lost {
 		f.poisoned[dst] = true
 	}
-	delete(f.poisoned, ppn)
+	if len(f.poisoned) != 0 {
+		delete(f.poisoned, ppn)
+	}
 	if f.geo.DieOfPPN(dst) != f.geo.DieOfPPN(ppn) {
 		f.st.CrossDieCopybacks++
 	}

@@ -112,11 +112,20 @@ func (f *FTL) flushDeltaPage() (sim.Duration, error) {
 		if epp := f.entriesPerLogPage(); n > epp {
 			n = epp
 		}
-		entries := f.deltaBuf[:n:n]
-		f.deltaBuf = append([]delta(nil), f.deltaBuf[n:]...)
+		// Snapshot this page's entries into a recycled scratch slice and
+		// compact the shared buffer in place. The copy is load-bearing:
+		// programPage below can trigger GC whose relocation deltas append
+		// to — and may re-entrantly flush — f.deltaBuf, so the entries
+		// being programmed must not alias its backing array.
+		entries := append(f.getDeltaBuf(), f.deltaBuf[:n]...)
+		m := copy(f.deltaBuf, f.deltaBuf[n:])
+		f.deltaBuf = f.deltaBuf[:m]
 		f.logSeq++
 		seq := f.logSeq
-		buf := make([]byte, f.geo.PageSize)
+		buf := f.getPageBuf()
+		for i := range buf {
+			buf[i] = 0 // recycled scratch: the unused tail must program as zeros
+		}
 		binary.LittleEndian.PutUint32(buf[0:], logMagic)
 		binary.LittleEndian.PutUint16(buf[6:], uint16(len(entries)))
 		binary.LittleEndian.PutUint64(buf[8:], seq)
@@ -128,6 +137,7 @@ func (f *FTL) flushDeltaPage() (sim.Duration, error) {
 			off += deltaSize
 		}
 		d, ppn, err := f.programPage(&f.meta, buf, nand.OOB{LPN: InvalidLPN, Tag: nand.TagMapLog})
+		f.putPageBuf(buf)
 		total += d
 		if err != nil {
 			// Fold the batch back into the buffer rather than dropping it:
@@ -135,10 +145,13 @@ func (f *FTL) flushDeltaPage() (sim.Duration, error) {
 			// already acknowledged to the host, and the crash-time capacitor
 			// flush retries them once external power (and with it the
 			// program path) is restored. The skipped seq leaves a harmless
-			// gap — recovery orders log pages by seq, not contiguity.
+			// gap — recovery orders log pages by seq, not contiguity. The
+			// scratch slice migrates into deltaBuf here instead of returning
+			// to the free list.
 			f.deltaBuf = append(entries, f.deltaBuf...)
 			return total, err
 		}
+		f.putDeltaBuf(entries)
 		f.metaLive[ppn] = true
 		f.blockValid[f.chip.BlockOf(ppn)]++
 		f.logPPNs = append(f.logPPNs, ppn)
@@ -177,11 +190,15 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 	var total sim.Duration
 	epp := f.entriesPerMapPage()
 	seq := f.logSeq
+	buf := f.getPageBuf()
+	defer f.putPageBuf(buf)
 	for idx := range f.mapDirty {
 		if !f.mapDirty[idx] {
 			continue
 		}
-		buf := make([]byte, f.geo.PageSize)
+		for i := range buf {
+			buf[i] = 0 // recycled scratch: the unused tail must program as zeros
+		}
 		binary.LittleEndian.PutUint32(buf[0:], mapMagic)
 		binary.LittleEndian.PutUint32(buf[4:], uint32(idx))
 		binary.LittleEndian.PutUint64(buf[8:], seq)
@@ -219,8 +236,11 @@ func (f *FTL) checkpoint() (sim.Duration, error) {
 	// page mid-checkpoint, and a nested early checkpoint (GC running out of
 	// space during the snapshot writes) may already have truncated part of
 	// the list.
-	var keptP []uint32
-	var keptS []uint64
+	// The kept entries compact in place (write index never passes the read
+	// index, and no FTL call in this loop can touch the log lists), so
+	// truncation allocates nothing.
+	keptP := f.logPPNs[:0]
+	keptS := f.logSeqs[:0]
 	truncated := int64(0)
 	for i, p := range f.logPPNs {
 		if f.logSeqs[i] <= seq {

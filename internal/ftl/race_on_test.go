@@ -1,0 +1,5 @@
+//go:build race
+
+package ftl
+
+const raceEnabled = true

@@ -139,6 +139,27 @@ func (r *Recorder) Reset() {
 	}
 }
 
+// Clone returns an independent recorder with the same epoch state:
+// latency histograms, stall and event counters, the trace ring, and
+// per-die wait attribution. Used when cloning a device mid-simulation so
+// the copy's telemetry continues from the same point.
+func (r *Recorder) Clone() *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := &Recorder{
+		stall:   r.stall,
+		counts:  r.counts,
+		ring:    append(make([]TraceEvent, 0, cap(r.ring)), r.ring...),
+		start:   r.start,
+		seq:     r.seq,
+		dieWait: append([]int64(nil), r.dieWait...),
+	}
+	for c := range r.lat {
+		n.lat[c] = r.lat[c].Clone()
+	}
+	return n
+}
+
 // SetDies sizes the per-die queue-stall attribution. The device layer
 // calls it once when the geometry opts into per-die scheduling; recorders
 // of geometry-blind devices keep no per-die state.

@@ -1,0 +1,68 @@
+package nand
+
+import "fmt"
+
+// Clone returns an independent chip whose observable state — page data and
+// OOB, erase counts, per-die operation counters, bad-block marks, program
+// sequence numbers, statistics — is an exact copy of c's, so a workload
+// replayed against the clone behaves identically to one replayed against
+// the original. Benchmarks use this to pre-condition (age) a device once
+// and fan the aged state out across sweep points instead of repeating the
+// aging for every point.
+//
+// Chips carrying a fault plan or a media model refuse to clone: both hold
+// mid-stream RNG and decay state whose replication is not supported.
+//
+// Every field of Chip must either be copied here or be deliberately reset
+// (the page-buffer free list, which only affects allocation behavior, not
+// results). A field added to Chip and missed here corrupts cloned runs
+// silently — the BENCH_*.json determinism gates are the backstop.
+func (c *Chip) Clone() (*Chip, error) {
+	if c.plan != nil {
+		return nil, fmt.Errorf("nand: cannot clone a chip with a fault plan")
+	}
+	if c.media != nil {
+		return nil, fmt.Errorf("nand: cannot clone a chip with a media model")
+	}
+	n := &Chip{
+		geo:    c.geo,
+		timing: c.timing,
+		seq:    c.seq,
+		dies:   c.dies,
+
+		blockBad: append([]bool(nil), c.blockBad...),
+
+		reads:          c.reads,
+		programs:       c.programs,
+		erases:         c.erases,
+		programFails:   c.programFails,
+		eraseFails:     c.eraseFails,
+		eccCorrected:   c.eccCorrected,
+		readFails:      c.readFails,
+		badBlocks:      c.badBlocks,
+		retryReads:     c.retryReads,
+		softReads:      c.softReads,
+		mediaHardReads: c.mediaHardReads,
+		eraseCount:     append([]int64(nil), c.eraseCount...),
+		dieOps:         append([]DieOps(nil), c.dieOps...),
+	}
+	// Page contents are SHARED, not copied: an aged device holds tens of
+	// megabytes of page payloads, and deep-copying them per clone costs
+	// more than the aging it is meant to amortize. Sharing is safe because
+	// programmed data is immutable — the only in-place mutation ever
+	// applied to a stored payload is recycling its buffer through bufFree
+	// after an erase. Both sides therefore mark every currently-programmed
+	// page as shared; EraseBlock drops a shared buffer instead of recycling
+	// it, so whichever side erases first, the other keeps reading valid
+	// data, and the buffer is reclaimed by the garbage collector once both
+	// have let go.
+	n.pages = append([]page(nil), c.pages...)
+	if c.shared == nil {
+		c.shared = make([]bool, len(c.pages))
+	}
+	for i := range c.pages {
+		c.shared[i] = c.pages[i].data != nil
+	}
+	n.shared = append([]bool(nil), c.shared...)
+	return n, nil
+}

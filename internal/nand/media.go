@@ -224,9 +224,9 @@ func (c *Chip) ReadDisturbCount(b int) int64 {
 type readStrength uint8
 
 const (
-	strengthFast readStrength = iota // on-the-fly ECC, base latency
-	strengthShifted                  // shifted sense voltage re-read
-	strengthSoft                     // soft-decision decode, several senses
+	strengthFast    readStrength = iota // on-the-fly ECC, base latency
+	strengthShifted                     // shifted sense voltage re-read
+	strengthSoft                        // soft-decision decode, several senses
 )
 
 // limit returns the risk level the strength corrects up to.
@@ -304,7 +304,7 @@ func (c *Chip) readAt(ppn uint32, dst []byte, s readStrength) (OOB, sim.Duration
 	}
 	cost := c.readCost(s)
 	c.tickMedia(cost)
-	c.dieOps[c.geo.DieOfPPN(ppn)].Reads++
+	c.dieOps[c.dieOfPPN(ppn)].Reads++
 	// The fault plan overrides the media model: a scheduled or seeded read
 	// fault decides the outcome no matter how healthy the page is, and a
 	// scheduled correctable fault succeeds no matter how rotten.

@@ -188,6 +188,22 @@ type Chip struct {
 	timing Timing
 	pages  []page
 	seq    uint64
+	dies   int // geo.NumDies(), cached off the hot paths
+
+	// bufFree is the page-buffer free list: EraseBlock returns the erased
+	// pages' data buffers here and Program pops one instead of allocating,
+	// so a steady program/erase workload recycles a bounded set of buffers
+	// instead of churning the garbage collector. Every pooled buffer is
+	// fully overwritten (copy of exactly one page) before it becomes
+	// visible, so stale contents can never leak into a read.
+	bufFree [][]byte
+
+	// shared marks pages whose data buffer is aliased by a Clone (in both
+	// the parent and the clone): erasing such a page must drop the buffer
+	// for the garbage collector instead of recycling it through bufFree,
+	// or a later Program would overwrite payload the other chip still
+	// reads. nil until the chip has been on either side of a Clone.
+	shared []bool
 
 	// Fault injection (see fault.go).
 	blockBad  []bool
@@ -248,6 +264,7 @@ func New(geo Geometry, timing Timing) (*Chip, error) {
 		geo:        geo,
 		timing:     timing,
 		pages:      make([]page, geo.TotalPages()),
+		dies:       geo.NumDies(),
 		blockBad:   make([]bool, geo.Blocks),
 		eraseCount: make([]int64, geo.Blocks),
 		dieOps:     make([]DieOps, geo.NumDies()),
@@ -262,6 +279,11 @@ func (c *Chip) Timing() Timing { return c.timing }
 
 // BlockOf returns the block containing physical page ppn.
 func (c *Chip) BlockOf(ppn uint32) int { return int(ppn) / c.geo.PagesPerBlock }
+
+// dieOfPPN is Geometry.DieOfPPN against the cached die count — the
+// geometry method re-derives NumDies on every call, which shows up on the
+// per-operation accounting paths.
+func (c *Chip) dieOfPPN(ppn uint32) int { return (int(ppn) / c.geo.PagesPerBlock) % c.dies }
 
 // PageIndexInBlock returns ppn's offset within its block.
 func (c *Chip) PageIndexInBlock(ppn uint32) int { return int(ppn) % c.geo.PagesPerBlock }
@@ -290,7 +312,7 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 	}
 	cost := c.timing.Transfer + c.timing.Program
 	c.tickMedia(cost)
-	c.dieOps[c.geo.DieOfPPN(ppn)].Programs++
+	c.dieOps[c.dieOfPPN(ppn)].Programs++
 	if p.bad || c.blockBad[c.BlockOf(ppn)] {
 		c.programFails++
 		return cost, fmt.Errorf("%w: ppn %d (%v)", ErrProgramFail, ppn, ErrBadBlock)
@@ -305,8 +327,15 @@ func (c *Chip) Program(ppn uint32, data []byte, oob OOB) (sim.Duration, error) {
 		c.markBad(c.BlockOf(ppn))
 		return cost, fmt.Errorf("%w: ppn %d (permanent)", ErrProgramFail, ppn)
 	}
-	buf := make([]byte, c.geo.PageSize)
-	copy(buf, data)
+	var buf []byte
+	if n := len(c.bufFree); n > 0 {
+		buf = c.bufFree[n-1]
+		c.bufFree[n-1] = nil
+		c.bufFree = c.bufFree[:n-1]
+	} else {
+		buf = make([]byte, c.geo.PageSize)
+	}
+	copy(buf, data) // len(data) == PageSize: fully overwrites a recycled buffer
 	c.seq++
 	oob.Seq = c.seq
 	p.state = PageProgrammed
@@ -348,7 +377,7 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 		return 0, fmt.Errorf("%w: erase block %d", ErrPowerCut, block)
 	}
 	c.tickMedia(c.timing.Erase)
-	c.dieOps[c.geo.DieOfBlock(block)].Erases++
+	c.dieOps[block%c.dies].Erases++
 	if c.blockBad[block] {
 		c.eraseFails++
 		return c.timing.Erase, fmt.Errorf("%w: block %d", ErrBadBlock, block)
@@ -365,7 +394,14 @@ func (c *Chip) EraseBlock(block int) (sim.Duration, error) {
 	for i := 0; i < c.geo.PagesPerBlock; i++ {
 		p := &c.pages[base+i]
 		p.state = PageFree
-		p.data = nil
+		if p.data != nil {
+			if c.shared != nil && c.shared[base+i] {
+				c.shared[base+i] = false // aliased by a clone: drop, don't recycle
+			} else {
+				c.bufFree = append(c.bufFree, p.data)
+			}
+			p.data = nil
+		}
 		p.oob = OOB{}
 	}
 	c.erases++

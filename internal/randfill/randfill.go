@@ -1,0 +1,67 @@
+// Package randfill provides a fast drop-in replacement for
+// math/rand.(*Rand).Read for workload generators that fill whole pages.
+//
+// The stock Read unpacks one Int63 into seven bytes with a per-byte
+// shift-and-store loop, which profiles as the single hottest function in
+// write-heavy experiments — more expensive than the simulated flash it
+// feeds. Filler produces the identical byte stream with one 8-byte store
+// per draw.
+//
+// The load-bearing property is source-stream equivalence, not just the
+// bytes: benchmark clients interleave payload fills with placement draws
+// (Intn) on the same *rand.Rand, and experiment results are pinned to the
+// byte level by BENCH_*.json regression files. Filler therefore consumes
+// exactly as many source draws as Read would — one Int63 per seven bytes,
+// with the leftover bits carried across calls — so every interleaved Intn
+// sees the value it always did. The one rule: once a Rand's fills are
+// routed through a Filler, all of them must be; mixing Filler.Fill with
+// direct rng.Read on the same Rand diverges the two carry states.
+package randfill
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Filler fills byte slices from a *rand.Rand with rand.Read's exact draw
+// accounting. The zero carry state matches a Rand that has never had Read
+// called on it.
+type Filler struct {
+	rng *rand.Rand
+	val uint64 // carried bits of the last draw, low bytes valid
+	rem int    // valid bytes remaining in val
+}
+
+// New returns a Filler drawing from rng. The rng may still be used for
+// Intn/Int63/etc; only its Read method must not be called directly.
+func New(rng *rand.Rand) *Filler { return &Filler{rng: rng} }
+
+// Fill overwrites b with the same bytes rng.Read(b) would have produced,
+// leaving the underlying source advanced by the same number of draws.
+func (f *Filler) Fill(b []byte) {
+	i := 0
+	for f.rem > 0 && i < len(b) {
+		b[i] = byte(f.val)
+		f.val >>= 8
+		f.rem--
+		i++
+	}
+	for i+8 <= len(b) {
+		// One draw covers seven payload bytes; the eighth lands in-bounds
+		// and is overwritten by the next chunk (or the tail loop) exactly
+		// where rand.Read would put the following draw's first byte.
+		binary.LittleEndian.PutUint64(b[i:], uint64(f.rng.Int63()))
+		i += 7
+	}
+	for i < len(b) {
+		v := uint64(f.rng.Int63())
+		n := 7
+		for n > 0 && i < len(b) {
+			b[i] = byte(v)
+			v >>= 8
+			n--
+			i++
+		}
+		f.val, f.rem = v, n
+	}
+}

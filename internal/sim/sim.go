@@ -31,6 +31,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -59,6 +60,7 @@ type Task struct {
 	done    bool
 	blocked bool // parked on a Mutex; not runnable until woken
 	index   int  // position in the scheduler heap, -1 if solo
+	seq     int  // stable task id: registration order, the virtual-time tie-break
 }
 
 // NewSoloTask returns a Task not attached to any scheduler. Yield is a
@@ -99,13 +101,27 @@ func (t *Task) AdvanceTo(tt int64) {
 }
 
 // Yield hands control back to the scheduler. The task resumes when it has
-// the smallest virtual clock among runnable tasks. For solo tasks Yield is
-// a no-op.
+// the smallest (virtual clock, task id) among runnable tasks. For solo
+// tasks Yield is a no-op.
+//
+// Fast path: while this task is the one the scheduler dispatched, the
+// scheduler publishes the runner-up's (clock, id) threshold. If the task
+// still beats it — it would be re-picked immediately — Yield returns
+// without the two channel handoffs, which is the dominant per-operation
+// cost for runs of same-task operations (a client whose clock stays behind
+// every other client's issues its whole burst without a context switch).
+// The elided schedule is exactly the one the slow path would produce, so
+// virtual-time results are unchanged.
 func (t *Task) Yield() {
-	if t.sched == nil {
+	s := t.sched
+	if s == nil {
 		return
 	}
-	t.sched.yielded <- t
+	if s.elideOK && s.running == t && !t.blocked &&
+		(t.now < s.nextNow || (t.now == s.nextNow && t.seq < s.nextSeq)) {
+		return
+	}
+	s.yielded <- t
 	<-t.resume
 }
 
@@ -113,7 +129,16 @@ func (t *Task) Yield() {
 type Scheduler struct {
 	tasks   []*Task
 	yielded chan *Task
-	pending int
+
+	// Yield-elision state, owned by the dispatch loop and the (single)
+	// running task it serializes with. While `running` is dispatched and
+	// elideOK holds, (nextNow, nextSeq) is the smallest (clock, id) among
+	// the other runnable tasks; waking a parked task or registering a new
+	// one invalidates the threshold (see noteRunnable).
+	running *Task
+	elideOK bool
+	nextNow int64
+	nextSeq int
 }
 
 // NewScheduler returns an empty scheduler.
@@ -121,11 +146,20 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{yielded: make(chan *Task)}
 }
 
+// noteRunnable invalidates the yield-elision threshold: a task just became
+// runnable (woken from a Mutex/Cond park, or freshly registered), so the
+// running task may no longer hold the smallest (clock, id) and must hand
+// off on its next Yield for a full scan.
+func (s *Scheduler) noteRunnable() { s.elideOK = false }
+
 // Go registers fn as a new task named name. The task does not start running
-// until Run is called.
+// until Run is called. Registration order fixes the task's id, which breaks
+// virtual-time ties: of two runnable tasks with equal clocks, the earlier-
+// registered one runs first, deterministically.
 func (s *Scheduler) Go(name string, fn func(t *Task)) *Task {
-	t := &Task{name: name, sched: s, resume: make(chan struct{})}
+	t := &Task{name: name, sched: s, resume: make(chan struct{}), seq: len(s.tasks)}
 	s.tasks = append(s.tasks, t)
+	s.noteRunnable()
 	go func() {
 		<-t.resume // wait for first dispatch
 		fn(t)
@@ -136,12 +170,13 @@ func (s *Scheduler) Go(name string, fn func(t *Task)) *Task {
 }
 
 // Run drives all registered tasks to completion, always resuming the
-// runnable task with the smallest virtual clock. It returns the largest
-// virtual completion time across tasks.
+// runnable task with the smallest (virtual clock, task id) — ties broken
+// by registration order, never by goroutine wakeup order. It returns the
+// largest virtual completion time across tasks.
 func (s *Scheduler) Run() int64 {
 	var maxT int64
 	for {
-		var pick *Task
+		var pick, next *Task // smallest and second-smallest (clock, id)
 		live := false
 		for _, t := range s.tasks {
 			if t.done {
@@ -151,8 +186,11 @@ func (s *Scheduler) Run() int64 {
 			if t.blocked {
 				continue
 			}
-			if pick == nil || t.now < pick.now {
+			if pick == nil || t.now < pick.now || (t.now == pick.now && t.seq < pick.seq) {
+				next = pick
 				pick = t
+			} else if next == nil || t.now < next.now || (t.now == next.now && t.seq < next.seq) {
+				next = t
 			}
 		}
 		if pick == nil {
@@ -161,8 +199,20 @@ func (s *Scheduler) Run() int64 {
 			}
 			break
 		}
+		// Publish the runner-up threshold so the dispatched task can elide
+		// yields it would win anyway. The channel send below establishes the
+		// happens-before edge that makes these fields visible to it.
+		s.running = pick
+		if next != nil {
+			s.nextNow, s.nextSeq = next.now, next.seq
+		} else {
+			s.nextNow, s.nextSeq = math.MaxInt64, math.MaxInt64
+		}
+		s.elideOK = true
 		pick.resume <- struct{}{}
 		back := <-s.yielded
+		s.elideOK = false
+		s.running = nil
 		if back != pick {
 			panic("sim: unexpected task yielded")
 		}
@@ -250,6 +300,9 @@ func (m *Mutex) Unlock(t *Task) {
 	for _, w := range m.waiters {
 		w.blocked = false
 		w.AdvanceTo(t.now)
+		// Only scheduler tasks park in waiters, and the unlocker is that
+		// scheduler's running task, so this write is serialized with it.
+		w.sched.noteRunnable()
 	}
 	m.waiters = m.waiters[:0]
 	if m.cond != nil {
@@ -307,6 +360,9 @@ func (c *Cond) Broadcast(t *Task) {
 	for _, w := range c.waiters {
 		w.blocked = false
 		w.AdvanceTo(t.now)
+		// See Mutex.Unlock: waiters here are scheduler tasks, serialized
+		// with the broadcasting task.
+		w.sched.noteRunnable()
 	}
 	c.waiters = c.waiters[:0]
 	if t.now > c.wakeAt {
@@ -372,6 +428,15 @@ func (r *Resource) ExtendCurrent(t *Task, extra Duration) {
 	free := r.free
 	r.mu.Unlock()
 	t.AdvanceTo(free)
+}
+
+// Clone returns an independent resource with the same schedule state
+// (next-idle time and accumulated busy time), for replicating a device
+// mid-simulation.
+func (r *Resource) Clone(name string) *Resource {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Resource{name: name, free: r.free, busy: r.busy}
 }
 
 // Free returns the virtual time at which the resource next becomes idle.
@@ -452,6 +517,19 @@ func (m *MultiResource) ExtendCurrent(t *Task, extra Duration) {
 	free := m.free[m.last]
 	m.mu.Unlock()
 	t.AdvanceTo(free)
+}
+
+// Clone returns an independent k-server resource with the same schedule
+// state, for replicating a device mid-simulation.
+func (m *MultiResource) Clone(name string) *MultiResource {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &MultiResource{
+		name: name,
+		free: append([]int64(nil), m.free...),
+		busy: m.busy,
+		last: m.last,
+	}
 }
 
 // FreeTimes returns a copy of each server's next-idle time, for tests and

@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"share/internal/sim"
+)
+
+// The hot-path allocation guards pin the perf contract the per-die
+// scheduler depends on: once a device reaches GC-active steady state,
+// serving a host op allocates nothing — the cost-plan buffer cycles
+// through TakeCostPlan, OOB and page scratch come from free lists, and
+// the metrics ring is pre-sized. A regression here doesn't fail
+// functionally; it silently multiplies wall-clock on the 10-100x sweeps,
+// so it has to be caught structurally.
+//
+// testing.AllocsPerRun disables parallelism but not the race detector's
+// shadow allocations, so these guards skip under -race (the tier-1 gate
+// runs the suite both ways; `go test ./internal/ssd/` covers them).
+
+// allocSteadyDevice ages a 4-channel device into GC-active steady state
+// and warms every free list and scratch pool with a few hundred ops so
+// the measured runs see only steady-state behavior.
+func allocSteadyDevice(t *testing.T) (*Device, *sim.Task, *rand.Rand, []byte, int) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("ages a device; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector's shadow allocations break AllocsPerRun")
+	}
+	cfg := DefaultConfig(256)
+	cfg.Geometry.Channels = 4
+	cfg.Geometry.DiesPerChannel = 1
+	dev, err := New("allocguard", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("allocguard")
+	if err := dev.Age(task, 0.9, 0.3, 42); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, dev.PageSize())
+	span := dev.Capacity() * 9 / 10
+	for i := 0; i < 500; i++ {
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dev, task, rng, page, span
+}
+
+// TestWriteHotPathZeroAlloc: a steady-state host write — FTL allocation,
+// OOB, mapping delta, cost-plan recording, per-die replay, latency
+// observation — must not allocate. The aged device runs GC inline during
+// these writes, so the guard covers the GC/copyback path too; the
+// tolerance absorbs only rare amortized growth (map-log episodes,
+// histogram buckets first touched late).
+func TestWriteHotPathZeroAlloc(t *testing.T) {
+	dev, task, rng, page, span := allocSteadyDevice(t)
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.05 {
+		t.Fatalf("steady-state write allocates %.3f objects/op, want ~0", avg)
+	}
+}
+
+// TestReadHotPathZeroAlloc: a read hit must not allocate either — the
+// read path shares the cost-plan replay and metrics machinery with
+// writes but touches no scratch buffers at all.
+func TestReadHotPathZeroAlloc(t *testing.T) {
+	dev, task, rng, page, span := allocSteadyDevice(t)
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := dev.ReadPage(task, uint32(rng.Intn(span)), page); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.05 {
+		t.Fatalf("steady-state read hit allocates %.3f objects/op, want ~0", avg)
+	}
+}
+
+// TestGCCopybackZeroAlloc isolates the GC-heavy regime: overwriting a
+// narrow logical window on a nearly-full device forces the victim picker
+// and copyback loop to run far more often per host write than the mixed
+// guard above sees, so a regression specific to the GC path (victim
+// scan, copyback scratch, erase bookkeeping) cannot hide in the average.
+func TestGCCopybackZeroAlloc(t *testing.T) {
+	dev, task, rng, page, _ := allocSteadyDevice(t)
+	span := dev.Capacity() / 16
+	for i := 0; i < 500; i++ { // settle GC into the narrow-window regime
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dev.Stats().FTL.GCEvents
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if dev.Stats().FTL.GCEvents == before {
+		t.Fatal("narrow-window overwrites triggered no GC; guard measured nothing")
+	}
+	if avg > 0.05 {
+		t.Fatalf("GC-heavy write allocates %.3f objects/op, want ~0", avg)
+	}
+}

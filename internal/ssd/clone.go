@@ -1,0 +1,63 @@
+package ssd
+
+import (
+	"fmt"
+
+	"share/internal/sim"
+)
+
+// Clone returns an independent device that continues from d's exact
+// simulation state: chip contents, FTL bookkeeping, per-die and
+// per-channel queue schedules, metrics epoch and stats baselines. A
+// workload run against the clone produces byte-for-byte the results it
+// would have produced against the original — which is what lets sweep
+// benchmarks pre-condition (age) a device once per geometry and fan the
+// aged state out across sweep points instead of re-aging for every point.
+//
+// Devices with a fault plan, a media model or an admission gate refuse to
+// clone; their mid-stream RNG / controller state is not replicated.
+//
+// d must be quiescent: no command may be in flight during Clone.
+func (d *Device) Clone(name string) (*Device, error) {
+	if d.adm != nil {
+		return nil, fmt.Errorf("ssd: cannot clone a device with an admission gate")
+	}
+	if d.cfg.Fault != nil || d.cfg.Media != nil {
+		return nil, fmt.Errorf("ssd: cannot clone a device with fault or media models")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	chip, err := d.chip.Clone()
+	if err != nil {
+		return nil, err
+	}
+	n := &Device{
+		chip: chip,
+		ftl:  d.ftl.Clone(chip),
+		res:  d.res.Clone(name),
+		cfg:  d.cfg,
+		rec:  d.rec.Clone(),
+		base: d.base,
+	}
+	n.base.FTL.StreamWrites = append([]int64(nil), d.base.FTL.StreamWrites...)
+	n.base.FTL.StreamCopybacks = append([]int64(nil), d.base.FTL.StreamCopybacks...)
+	n.ftl.SetEventSink(n.rec.FTLEvent)
+	if d.dieRes != nil {
+		n.dieRes = make([]*sim.Resource, len(d.dieRes))
+		for i, r := range d.dieRes {
+			n.dieRes[i] = r.Clone(fmt.Sprintf("%s/die%d", name, i))
+		}
+		n.chanRes = make([]*sim.Resource, len(d.chanRes))
+		for i, r := range d.chanRes {
+			n.chanRes[i] = r.Clone(fmt.Sprintf("%s/ch%d", name, i))
+		}
+		n.busOfDie = make([]*sim.Resource, len(d.busOfDie))
+		for i := range n.busOfDie {
+			n.busOfDie[i] = n.chanRes[d.cfg.Geometry.ChannelOfDie(i)]
+		}
+		n.planPool.New = func() any { return &planBuf{} }
+		n.dieBusyBase = append([]int64(nil), d.dieBusyBase...)
+		n.chanBusyBase = append([]int64(nil), d.chanBusyBase...)
+	}
+	return n, nil
+}

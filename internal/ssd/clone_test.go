@@ -1,0 +1,128 @@
+package ssd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"share/internal/randfill"
+	"share/internal/sim"
+)
+
+// driveWorkload runs a deterministic mixed workload and returns the final
+// virtual time.
+func driveWorkload(t *testing.T, dev *Device, seed int64, t0 int64) int64 {
+	t.Helper()
+	s := sim.NewScheduler()
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go("cli", func(task *sim.Task) {
+			task.AdvanceTo(t0)
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			fill := randfill.New(rng)
+			page := make([]byte, dev.PageSize())
+			span := dev.Capacity() / 2
+			for n := 0; n < 120; n++ {
+				lpn := uint32(rng.Intn(span))
+				switch n % 4 {
+				case 0, 1:
+					fill.Fill(page)
+					if err := dev.WritePage(task, lpn, page); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				case 2:
+					_ = dev.ReadPage(task, lpn, page) // unmapped ok
+				case 3:
+					if err := dev.Flush(task); err != nil {
+						t.Errorf("flush: %v", err)
+						return
+					}
+				}
+			}
+		})
+	}
+	return s.Run()
+}
+
+// TestCloneEquivalence is the contract behind benchmark aging reuse: a
+// cloned device must be indistinguishable from the original under an
+// identical subsequent workload — same stats, same virtual completion
+// time, same resource schedules. It ages a die-scheduled device (so GC,
+// metadata flushes and per-die cost plans are all live state), clones it,
+// and replays the same workload against both.
+func TestCloneEquivalence(t *testing.T) {
+	cfg := DefaultConfig(64)
+	cfg.Geometry.Channels = 2
+	cfg.Geometry.DiesPerChannel = 1
+	dev, err := New("orig", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := sim.NewSoloTask("setup")
+	if err := dev.Age(setup, 0.6, 0.3, 7); err != nil {
+		t.Fatal(err)
+	}
+	t0 := setup.Now()
+
+	cl, err := dev.Clone("clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev.ResetStats()
+	cl.ResetStats()
+	endA := driveWorkload(t, dev, 99, t0)
+	endB := driveWorkload(t, cl, 99, t0)
+	if endA != endB {
+		t.Fatalf("virtual completion diverged: original %d, clone %d", endA, endB)
+	}
+	sa, sb := dev.Stats(), cl.Stats()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("stats diverged:\noriginal: %+v\nclone:    %+v", sa, sb)
+	}
+	da, db := dev.DieTelemetry(), cl.DieTelemetry()
+	if !reflect.DeepEqual(da, db) {
+		t.Fatalf("die telemetry diverged: %v vs %v", da, db)
+	}
+}
+
+// TestCloneIndependence pins that a clone shares no mutable state with
+// its original: writing through one must not disturb data readable
+// through the other.
+func TestCloneIndependence(t *testing.T) {
+	cfg := DefaultConfig(64)
+	dev, err := New("orig", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sim.NewSoloTask("t")
+	want := make([]byte, dev.PageSize())
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if err := dev.WritePage(task, 3, want); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dev.Clone("clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite through the clone, including enough churn to recycle the
+	// original physical page via GC on the clone's side.
+	junk := make([]byte, dev.PageSize())
+	for i := 0; i < dev.Capacity(); i++ {
+		if err := cl.WritePage(task, uint32(i), junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, dev.PageSize())
+	if err := dev.ReadPage(task, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("original data corrupted by clone at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"share/internal/sim"
+)
+
+// newHotpathDevice builds a small die-scheduled device, pre-ages it into
+// GC-active steady state, and resets stats so measurements cover only the
+// benchmark loop.
+func newHotpathDevice(b testing.TB, channels int) (*Device, *sim.Task) {
+	cfg := DefaultConfig(256)
+	if channels > 0 {
+		cfg.Geometry.Channels = channels
+		cfg.Geometry.DiesPerChannel = 1
+	}
+	dev, err := New("hotpath", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := sim.NewSoloTask("bench")
+	if err := dev.Age(task, 0.9, 0.3, 42); err != nil {
+		b.Fatal(err)
+	}
+	dev.ResetStats()
+	return dev, task
+}
+
+// BenchmarkEndToEnd measures the wall-clock cost of one simulated host
+// write on a die-scheduled device in GC-active steady state — the end-to-
+// end hot path: FTL write (allocation, OOB, mapping delta), cost-plan
+// recording, per-die replay, metrics observation.
+func BenchmarkEndToEnd(b *testing.B) {
+	dev, task := newHotpathDevice(b, 4)
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, dev.PageSize())
+	rng.Read(page)
+	span := dev.Capacity() * 9 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndRead measures a read-hit on the same device.
+func BenchmarkEndToEndRead(b *testing.B) {
+	dev, task := newHotpathDevice(b, 4)
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, dev.PageSize())
+	span := dev.Capacity() * 9 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.ReadPage(task, uint32(rng.Intn(span)), page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndLegacy measures the geometry-blind lump-sum path.
+func BenchmarkEndToEndLegacy(b *testing.B) {
+	dev, task := newHotpathDevice(b, 0)
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, dev.PageSize())
+	rng.Read(page)
+	span := dev.Capacity() * 9 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.WritePage(task, uint32(rng.Intn(span)), page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ssd
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; the allocation guards skip under it because its shadow-memory
+// bookkeeping allocates on paths the production build does not.
+const raceEnabled = false

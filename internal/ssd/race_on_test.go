@@ -1,0 +1,5 @@
+//go:build race
+
+package ssd
+
+const raceEnabled = true

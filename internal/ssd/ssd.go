@@ -13,6 +13,7 @@ import (
 	"share/internal/ftl"
 	"share/internal/metrics"
 	"share/internal/nand"
+	"share/internal/randfill"
 	"share/internal/sim"
 )
 
@@ -90,9 +91,21 @@ type Device struct {
 	// overlap — not a fixed queue depth — sets the device's concurrency.
 	dieRes       []*sim.Resource
 	chanRes      []*sim.Resource
-	dieBusyBase  []int64 // busy-time baselines captured by ResetStats
+	busOfDie     []*sim.Resource // die -> its channel's bus, cached for replay
+	dieBusyBase  []int64         // busy-time baselines captured by ResetStats
 	chanBusyBase []int64
+
+	// planPool recycles cost-plan buffers between serve and the FTL: each
+	// command hands a drained buffer back to TakeCostPlan while taking the
+	// freshly recorded one, so steady-state recording never allocates.
+	// A sync.Pool (rather than a single field) keeps concurrent solo-task
+	// submitters race-free without extending d.mu over the replay.
+	planPool sync.Pool
 }
+
+// planBuf boxes a cost-plan slice for planPool (a pointer target keeps
+// Put/Get allocation-free).
+type planBuf struct{ ops []ftl.OpCost }
 
 // New builds a device from cfg.
 func New(name string, cfg Config) (*Device, error) {
@@ -141,6 +154,11 @@ func New(name string, cfg Config) (*Device, error) {
 		for i := range d.chanRes {
 			d.chanRes[i] = sim.NewResource(fmt.Sprintf("%s/ch%d", name, i))
 		}
+		d.busOfDie = make([]*sim.Resource, dies)
+		for i := range d.busOfDie {
+			d.busOfDie[i] = d.chanRes[cfg.Geometry.ChannelOfDie(i)]
+		}
+		d.planPool.New = func() any { return &planBuf{} }
 		d.dieBusyBase = make([]int64, dies)
 		d.chanBusyBase = make([]int64, len(d.chanRes))
 		rec.SetDies(dies)
@@ -178,16 +196,21 @@ func (d *Device) serve(t *sim.Task, c metrics.Cmd, op func() (sim.Duration, erro
 	stallBefore := d.ftl.GCStallTotal()
 	svc, err := op()
 	stall := d.ftl.GCStallTotal() - stallBefore
-	var plan []ftl.OpCost
+	var pb *planBuf
 	if d.dieRes != nil {
-		plan = d.ftl.TakeCostPlan()
+		// Swap a drained buffer in for the freshly recorded plan; after the
+		// replay the plan goes back to the pool for a later command. The
+		// exchange happens under d.mu — only one command records at a time.
+		pb = d.planPool.Get().(*planBuf)
+		pb.ops = d.ftl.TakeCostPlan(pb.ops)
 	}
 	d.mu.Unlock()
 	var lat sim.Duration
 	if d.dieRes == nil {
 		lat = d.res.Use(t, svc)
 	} else {
-		lat = d.schedule(t, svc, plan)
+		lat = d.schedule(t, svc, pb.ops)
+		d.planPool.Put(pb)
 	}
 	if d.adm != nil {
 		d.adm.Done(t, t.Tenant(), svc)
@@ -209,16 +232,17 @@ func (d *Device) SetAdmission(a Admission) { d.adm = a }
 func (d *Device) schedule(t *sim.Task, svc sim.Duration, plan []ftl.OpCost) sim.Duration {
 	arrival := t.Now()
 	var planned sim.Duration
-	for _, op := range plan {
-		planned += op.Bus + op.Cell
+	for i := range plan {
+		planned += plan[i].Bus + plan[i].Cell
 	}
 	if fw := svc - planned; fw > 0 {
 		// Firmware/interface time (command overhead, OOB boot scans) is
 		// CPU-side work that occupies no die or bus.
 		t.Advance(fw)
 	}
-	for _, op := range plan {
-		bus := d.chanRes[d.cfg.Geometry.ChannelOfDie(op.Die)]
+	for i := range plan {
+		op := &plan[i]
+		bus := d.busOfDie[op.Die]
 		switch op.Kind {
 		case ftl.OpRead:
 			d.useDie(t, op.Die, op.Cell)
@@ -415,17 +439,18 @@ func (d *Device) Age(t *sim.Task, fillRatio, randomFrac float64, seed int64) err
 		return fmt.Errorf("ssd: bad aging parameters")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	fill := randfill.New(rng) // stream-equivalent to rng.Read, much faster
 	n := int(float64(d.Capacity()) * fillRatio)
 	page := make([]byte, d.PageSize())
 	for i := 0; i < n; i++ {
-		rng.Read(page)
+		fill.Fill(page)
 		if err := d.WritePage(t, uint32(i), page); err != nil {
 			return err
 		}
 	}
 	rewrites := int(float64(n) * randomFrac)
 	for i := 0; i < rewrites; i++ {
-		rng.Read(page)
+		fill.Fill(page)
 		if err := d.WritePage(t, uint32(rng.Intn(n)), page); err != nil {
 			return err
 		}

@@ -62,6 +62,13 @@ type Histogram struct {
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
 
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	n := *h
+	n.counts = append([]int64(nil), h.counts...)
+	return &n
+}
+
 // Add records one sample. Negative samples are clamped to zero (virtual
 // durations are never negative; the clamp keeps the bucket math total).
 func (h *Histogram) Add(v int64) {
