@@ -5,7 +5,7 @@ GO ?= go
 # CI run by exporting the seed it printed: CRASHCHECK_SEED=<n> make fuzz-crash
 CRASHCHECK_SEED ?= 1
 
-.PHONY: build test check race bench bench-json bench-scale bench-soak bench-streams bench-tenants bench-writepath profile fuzz-crash fmt
+.PHONY: build test check race bench bench-cache bench-json bench-scale bench-soak bench-streams bench-tenants bench-writepath profile fuzz-crash fmt
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,12 @@ check:
 	$(MAKE) bench-streams
 	$(MAKE) bench-tenants
 	$(MAKE) bench-writepath
+	$(MAKE) bench-cache
 
 # fuzz-crash runs the whole-stack crash harness (internal/crashcheck) in
 # short mode: for every engine x SHARE-mode cell (innodb DWB-on/SHARE,
-# couch copy/SHARE, pgmini FPW-on/FPW-SHARE) it power-cuts the stack at a
+# innodb+extended-cache, couch copy/SHARE, pgmini FPW-on/FPW-SHARE) it
+# power-cuts the stack at a
 # CRASHCHECK_SEED-sampled set of program/erase boundaries, reopens, and
 # checks the durability oracle (no committed write lost, no uncommitted
 # write surfaced). The seeded NAND fault-plan runs (seeds 7, 11, 13 for
@@ -93,6 +95,15 @@ bench-tenants:
 # byte-identical reports.
 bench-writepath:
 	$(GO) run ./cmd/sharebench -exp writepath -json -outdir .
+
+# bench-cache compares the flash-extended buffer cache tier against the
+# no-cache baseline (steady-state throughput and hit rate) and measures
+# recovery-to-peak-throughput after a crash for warm (revalidated map),
+# cold (blank cache device) and faulted (damaged media) restarts, writing
+# BENCH_cache.json; TestCacheRecoveryFloors pins warm < cold and
+# TestCacheJSONDeterministic pins byte-identical reports.
+bench-cache:
+	$(GO) run ./cmd/sharebench -exp cache -json -outdir .
 
 # profile runs the scale experiment at 20x op count with CPU and
 # allocation profiling; inspect with `go tool pprof cpu.pprof`. The

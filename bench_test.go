@@ -105,3 +105,8 @@ func BenchmarkSmoke(b *testing.B) { runExperiment(b, "smoke") }
 // behind `make bench-streams` (hints off vs on vs auto under zipfian
 // aging, plus the couch whole-stack leg).
 func BenchmarkStreams(b *testing.B) { runExperiment(b, "streams") }
+
+// BenchmarkCache runs the flash-extended buffer cache comparison behind
+// `make bench-cache` (steady-state gain over the no-cache baseline, plus
+// recovery-to-peak-throughput for warm, cold and faulted restarts).
+func BenchmarkCache(b *testing.B) { runExperiment(b, "cache") }

@@ -4,6 +4,11 @@
 // point it at a running shareserver to watch fair-share admission shape
 // a mixed-tenant load.
 //
+// Transient transport failures (connection reset, server restart) are
+// retried with bounded exponential backoff — redial, re-USE, replay —
+// mirroring internal/stress; recovered retries are counted separately
+// from errors.
+//
 // Usage:
 //
 //	shareload [-addr 127.0.0.1:7379] [-clients 8] [-tenants 2]
@@ -22,10 +27,106 @@ import (
 	"time"
 )
 
+// Bounded retry budget for transient transport errors, matching
+// internal/stress: base 2ms doubling per attempt plus seeded jitter.
+const (
+	retryMax  = 3
+	retryBase = 2 * time.Millisecond
+)
+
 type result struct {
-	tenant string
-	ops    int
-	errs   int
+	tenant  string
+	ops     int
+	errs    int
+	retries int
+}
+
+// rconn is a retrying connection: redial + re-USE + replay on transport
+// errors, up to retryMax attempts with seeded jittered backoff.
+type rconn struct {
+	addr    string
+	tenant  string // re-issued as USE after every redial, once set
+	conn    net.Conn
+	r       *bufio.Reader
+	rng     *rand.Rand // backoff jitter only
+	retries *int
+}
+
+func (c *rconn) redial() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(conn)
+	if c.tenant != "" {
+		if _, err := fmt.Fprintf(conn, "USE %s\n", c.tenant); err != nil {
+			conn.Close()
+			return err
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if strings.TrimRight(resp, "\n") != "OK" {
+			conn.Close()
+			return fmt.Errorf("re-USE %s: %s", c.tenant, resp)
+		}
+	}
+	c.conn, c.r = conn, r
+	return nil
+}
+
+func (c *rconn) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(resp, "\n"), nil
+}
+
+// do sends one command and reads its reply, retrying transport errors.
+// Server-level ERR replies pass through; only the transport is retried.
+// When the budget is exhausted the transport error is rendered as an ERR
+// line so the caller's error accounting catches it.
+func (c *rconn) do(line string) string {
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.redial(); err != nil {
+				if attempt >= retryMax {
+					return "ERR " + err.Error()
+				}
+				c.backoff(attempt)
+				continue
+			}
+		}
+		resp, err := c.roundTrip(line)
+		if err == nil {
+			return resp
+		}
+		c.conn.Close()
+		c.conn = nil
+		if attempt >= retryMax {
+			return "ERR " + err.Error()
+		}
+		c.backoff(attempt)
+	}
+}
+
+func (c *rconn) backoff(attempt int) {
+	*c.retries++
+	d := retryBase << attempt
+	d += time.Duration(c.rng.Int63n(int64(retryBase)))
+	time.Sleep(d)
+}
+
+func (c *rconn) close() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
 }
 
 func main() {
@@ -49,27 +150,17 @@ func main() {
 			tenant := fmt.Sprintf("tenant%d", cl%*tenants)
 			res := result{tenant: tenant}
 			defer func() { results <- res }()
-			conn, err := net.Dial("tcp", *addr)
-			if err != nil {
+			c := &rconn{
+				addr:    *addr,
+				rng:     rand.New(rand.NewSource(*seed + int64(cl) + 1<<32)),
+				retries: &res.retries,
+			}
+			defer c.close()
+			if resp := c.do("USE " + tenant); resp != "OK" {
 				res.errs++
 				return
 			}
-			defer conn.Close()
-			r := bufio.NewReader(conn)
-			do := func(line string) string {
-				if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
-					return "ERR " + err.Error()
-				}
-				resp, err := r.ReadString('\n')
-				if err != nil {
-					return "ERR " + err.Error()
-				}
-				return strings.TrimRight(resp, "\n")
-			}
-			if resp := do("USE " + tenant); resp != "OK" {
-				res.errs++
-				return
-			}
+			c.tenant = tenant // redials re-select the tenant from here on
 			rng := rand.New(rand.NewSource(*seed + int64(cl)))
 			value := strings.Repeat("x", *valLen)
 			for i := 0; i < *ops; i++ {
@@ -77,11 +168,11 @@ func main() {
 				var resp string
 				switch rng.Intn(10) {
 				case 0:
-					resp = do("COMMIT")
+					resp = c.do("COMMIT")
 				case 1, 2, 3:
-					resp = do("GET " + key)
+					resp = c.do("GET " + key)
 				default:
-					resp = do(fmt.Sprintf("SET %s %s", key, value))
+					resp = c.do(fmt.Sprintf("SET %s %s", key, value))
 				}
 				if strings.HasPrefix(resp, "ERR") {
 					res.errs++
@@ -89,15 +180,15 @@ func main() {
 					res.ops++
 				}
 			}
-			do("COMMIT")
-			do("QUIT")
+			c.do("COMMIT")
+			c.do("QUIT")
 		}(cl)
 	}
 	wg.Wait()
 	close(results)
 
 	perTenant := make(map[string]*result)
-	totalOps, totalErrs := 0, 0
+	totalOps, totalErrs, totalRetries := 0, 0, 0
 	for res := range results {
 		agg := perTenant[res.tenant]
 		if agg == nil {
@@ -106,15 +197,17 @@ func main() {
 		}
 		agg.ops += res.ops
 		agg.errs += res.errs
+		agg.retries += res.retries
 		totalOps += res.ops
 		totalErrs += res.errs
+		totalRetries += res.retries
 	}
 	elapsed := time.Since(start).Seconds()
 	for tenant, agg := range perTenant {
-		fmt.Printf("%-12s ops=%-8d errs=%d\n", tenant, agg.ops, agg.errs)
+		fmt.Printf("%-12s ops=%-8d errs=%d retries=%d\n", tenant, agg.ops, agg.errs, agg.retries)
 	}
-	fmt.Printf("total        ops=%-8d errs=%d  %.0f ops/s (wall)\n",
-		totalOps, totalErrs, float64(totalOps)/elapsed)
+	fmt.Printf("total        ops=%-8d errs=%d retries=%d  %.0f ops/s (wall)\n",
+		totalOps, totalErrs, totalRetries, float64(totalOps)/elapsed)
 	if totalErrs > 0 {
 		os.Exit(1)
 	}

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	ssdinspect -blocks 1024 -age 0.9 -writes 50000 -sharefrac 0.3
+//
+// With -cache it instead stands up a three-tier deployment (data + log +
+// flash-extended cache via share.OpenTiers), drives an innodb engine
+// through a zipfian read workload, power-cuts and recovers the stack, and
+// prints the extended-cache view: hit rate, fill/fill-skip/writeback
+// counters, verify failures, revalidation counts, and per-tier
+// degradation state. -puncorrectable then schedules read faults on the
+// recovered cache tier instead of the raw device.
 package main
 
 import (
@@ -18,7 +26,10 @@ import (
 	"strings"
 
 	"share"
+	"share/internal/extcache"
+	"share/internal/fsim"
 	"share/internal/ftl"
+	"share/internal/innodb"
 	"share/internal/nand"
 )
 
@@ -43,6 +54,9 @@ func main() {
 		patrolEvery = flag.Int("patrolevery", 0, "run one background patrol-scrub step every N operations (0 disables)")
 		health      = flag.Bool("health", false, "print the device health view (per-die wear and RBER, refreshes, patrol queue)")
 
+		cacheView = flag.Bool("cache", false, "run the extended-cache tier inspection (data+log+cache) instead of the raw-device run")
+		cacheTxns = flag.Int("cachetxns", 400, "read transactions per phase of the -cache inspection")
+
 		faultSeed      = flag.Int64("faultseed", 1, "seed for the NAND fault plan probabilities")
 		pTransient     = flag.Float64("ptransient", 0, "probability of a transient program fault")
 		pPermanent     = flag.Float64("ppermanent", 0, "probability of a permanent program fault")
@@ -53,6 +67,13 @@ func main() {
 		spares         = flag.Int("spares", 0, "spare-block retirement budget (0 derives it)")
 	)
 	flag.Parse()
+
+	if *cacheView {
+		if err := runCacheInspect(*seed, *cacheTxns, *pUncorrectable, *faultSeed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var plan *share.FaultPlan
 	if *pTransient > 0 || *pPermanent > 0 || *pErase > 0 || *pCorrectable > 0 ||
@@ -370,4 +391,181 @@ run:
 		log.Fatalf("FTL invariant violation: %v", err)
 	}
 	fmt.Println("FTL invariants: OK")
+}
+
+// tierState renders one tier's degradation state for the -cache view.
+func tierState(dev *share.Device) string {
+	if dev.ReadOnly() {
+		return "READ-ONLY (spare budget exhausted)"
+	}
+	return "healthy"
+}
+
+// runCacheInspect is the -cache mode: a three-tier deployment opened
+// through share.OpenTiers, an innodb engine spilling clean buffer-pool
+// evictions to the flash-extended cache tier, a zipfian read phase, a
+// power cut of all three devices with a warm restart (the persistent
+// cache map revalidated against the tablespace), another read phase, and
+// the extended-cache view. pUncorrectable > 0 damages the recovered
+// cache tier's media so revalidation and verify-on-read drop entries —
+// the degraded-cache path with the engine still serving.
+func runCacheInspect(seed int64, txns int, pUncorrectable float64, faultSeed int64) error {
+	const (
+		keys        = 256
+		readsPerTxn = 3
+	)
+	tiers, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		{Role: share.TierData, Opts: share.DeviceOptions{Blocks: 512, PageSize: 512, PagesPerBlock: 32}},
+		{Role: share.TierLog, Opts: share.DeviceOptions{Blocks: 256, PageSize: 512, PagesPerBlock: 32, PowerCapacitor: true}},
+		{Role: share.TierCache, Opts: share.DeviceOptions{Blocks: 128, PageSize: 512, PagesPerBlock: 32}},
+	}})
+	if err != nil {
+		return err
+	}
+	task := share.NewTask("inspect-cache")
+	fs, err := fsim.Format(task, tiers.Data, 64)
+	if err != nil {
+		return err
+	}
+	cfg := innodb.Config{
+		PageSize:  1024,
+		PoolBytes: 8 * 1024, // 8 frames: the working set lives in the cache tier
+		FlushMode: innodb.DWBOn,
+		DWBPages:  8,
+		DataBytes: 1 << 20,
+		LogPages:  4096,
+		CacheDev:  tiers.Cache,
+	}
+	eng, err := innodb.Open(task, fs, tiers.Log, cfg)
+	if err != nil {
+		return err
+	}
+	tbl, err := eng.CreateTable(task, "t")
+	if err != nil {
+		return err
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("ck%04d", i)) }
+	// One key per transaction: the no-steal protocol pins a transaction's
+	// dirty pages and the pool is tiny by design.
+	val := make([]byte, 160)
+	for i := 0; i < keys; i++ {
+		copy(val, fmt.Sprintf("val%04d-", i))
+		tx := eng.Begin(task)
+		if err := tx.Put(tbl, key(i), val); err != nil {
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	if err := eng.Checkpoint(task); err != nil {
+		return err
+	}
+
+	zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.1, 1, keys-1)
+	readPhase := func(n int) (float64, error) {
+		start := task.Now()
+		for i := 0; i < n; i++ {
+			tx := eng.Begin(task)
+			for k := 0; k < readsPerTxn; k++ {
+				if _, ok, err := tx.Get(tbl, key(int(zipf.Uint64()))); err != nil {
+					tx.Rollback()
+					return 0, err
+				} else if !ok {
+					tx.Rollback()
+					return 0, fmt.Errorf("key lost")
+				}
+			}
+			tx.Rollback()
+		}
+		elapsed := task.Now() - start
+		if elapsed <= 0 {
+			return 0, nil
+		}
+		return float64(n*readsPerTxn) / (float64(elapsed) / 1e9), nil
+	}
+	hitRate := func(before, after extcache.Stats) float64 {
+		h, m := after.Hits-before.Hits, after.Misses-before.Misses
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	}
+
+	if _, err := readPhase(txns / 2); err != nil { // warm the tier
+		return err
+	}
+	steadyBefore := eng.Cache().Stats()
+	steadyTput, err := readPhase(txns)
+	if err != nil {
+		return err
+	}
+	steadyRate := hitRate(steadyBefore, eng.Cache().Stats())
+
+	// Persist the cache map, then power-cut every tier and restart warm.
+	if err := eng.Checkpoint(task); err != nil {
+		return err
+	}
+	for _, d := range []*share.Device{tiers.Data, tiers.Log, tiers.Cache} {
+		d.Crash()
+		if err := d.Recover(task); err != nil {
+			return err
+		}
+	}
+	if pUncorrectable > 0 {
+		plan := share.NewFaultPlan(faultSeed)
+		plan.PReadUncorrectable = pUncorrectable
+		if err := tiers.Cache.SetFaultPlan(plan); err != nil {
+			return err
+		}
+	}
+	fs, err = fsim.Mount(task, tiers.Data)
+	if err != nil {
+		return err
+	}
+	eng, err = innodb.Open(task, fs, tiers.Log, cfg)
+	if err != nil {
+		return err
+	}
+	if tbl = eng.Table("t"); tbl == nil {
+		return fmt.Errorf("table lost across recovery")
+	}
+	postBefore := eng.Cache().Stats()
+	postTput, err := readPhase(txns)
+	if err != nil {
+		return err
+	}
+	postRate := hitRate(postBefore, eng.Cache().Stats())
+
+	cst := eng.Cache().Stats()
+	fmt.Println("--- extended cache view ---")
+	fmt.Printf("tiers:               data 512 blocks / log 256 blocks (capacitor) / cache 128 blocks\n")
+	fmt.Printf("workload:            %d keys, %d read txns per phase, zipf(1.1) x%d reads, seed %d\n",
+		keys, txns, readsPerTxn, seed)
+	fmt.Printf("steady state:        %.0f reads/s, hit rate %.2f\n", steadyTput, steadyRate)
+	fmt.Printf("post-recovery:       %.0f reads/s, hit rate %.2f (warm map)\n", postTput, postRate)
+	fmt.Printf("hits/misses:         %d / %d (lifetime)\n", cst.Hits, cst.Misses)
+	fmt.Printf("fills:               %d clean, %d skipped (identical image resident), %d dirty\n",
+		cst.Fills, cst.FillSkips, cst.DirtyFills)
+	fmt.Printf("writebacks:          %d dirty entries written back to the data tier\n", cst.Writebacks)
+	fmt.Printf("verify-on-read:      %d failures (served as misses from the data tier)\n", cst.VerifyFailures)
+	fmt.Printf("revalidation:        %d kept, %d dropped, %d dirty recovered\n",
+		cst.RevalidatedKept, cst.RevalidatedDropped, cst.RecoveredDirty)
+	fmt.Printf("map:                 %d checkpoints, %d invalidations, %d/%d slots resident (%d dirty)\n",
+		cst.MapCheckpoints, cst.Invalidations, cst.Resident, cst.Slots, cst.DirtyResident)
+	fmt.Println("\n--- tier state ---")
+	fmt.Printf("data tier:           %s\n", tierState(tiers.Data))
+	fmt.Printf("log tier:            %s\n", tierState(tiers.Log))
+	cacheState := tierState(tiers.Cache)
+	if cst.Degraded {
+		cacheState = "DEGRADED (fills disabled; engine serving from data tier)"
+	}
+	fmt.Printf("cache tier:          %s\n", cacheState)
+	for _, d := range []*share.Device{tiers.Data, tiers.Cache} {
+		if err := d.FTLForTest().CheckInvariants(); err != nil {
+			return fmt.Errorf("FTL invariant violation: %v", err)
+		}
+	}
+	fmt.Println("FTL invariants: OK")
+	return nil
 }

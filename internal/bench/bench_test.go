@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5a", "fig5b", "fig6", "table1", "fig7", "fig8", "table2",
 		"pgfpw", "abl-sharetable", "abl-batch", "abl-op", "abl-atomic", "abl-sqlite", "abl-queue", "abl-ycsb",
-		"smoke", "scale", "soak", "streams", "tenants", "writepath",
+		"smoke", "scale", "soak", "streams", "tenants", "writepath", "cache",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {

@@ -1,0 +1,381 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"share/internal/extcache"
+	"share/internal/fsim"
+	"share/internal/innodb"
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// The cache experiment measures the flash-extended buffer cache (FaCE-
+// style second tier behind the InnoDB pool, internal/extcache): the
+// steady-state throughput gain from serving pool misses off a fast
+// low-latency cache device instead of the slow MLC data drive, and the
+// headline robustness number — recovery-to-peak-throughput after a
+// whole-machine crash — for three restart legs:
+//
+//	warm    — the persistent cache map survives the crash; entries are
+//	          content-revalidated at mount and hits resume immediately.
+//	cold    — the cache device is lost (replaced blank); the tier must
+//	          re-warm through evictions, paying fill programs on top of
+//	          slow-tier misses.
+//	faulted — the cache device survives but returns seeded uncorrectable
+//	          reads; revalidation and verify-on-read drop entries, and
+//	          the tier limps back to peak between warm and cold.
+//
+// Sizing is fixed rather than Scale-derived: the recovery contrast
+// depends on the balance between pool frames, working-set pages and the
+// two tiers' latencies, so the rig is always the same small stack and
+// only Seed varies (as the soak experiment does).
+
+const (
+	cacheKeys        = 384 // ~90 leaf pages, 11x the 8-frame pool
+	cacheWarmTxns    = 250
+	cacheSteadyTxns  = 250
+	cacheReadsPerTxn = 3
+	cacheWindowTxns  = 25  // recovery throughput window
+	cacheMaxWindows  = 80  // give up and report the cap
+	cachePeakFrac    = 0.9 // "back to peak" = 90% of steady-state
+)
+
+// cacheRig is one full stack: slow MLC data drive + fsim, fast
+// power-capped WAL drive, and (unless baseline) the fast cache tier.
+type cacheRig struct {
+	task  *sim.Task
+	data  *ssd.Device
+	log   *ssd.Device
+	cache *ssd.Device
+	eng   *innodb.Engine
+	tbl   *innodb.Table
+	cfg   innodb.Config
+}
+
+// newCacheTierDevice builds the dedicated cache drive: small, with the
+// read-optimized timing of a low-latency NVMe part — 3.5x faster reads
+// than the MLC data drive, which is the whole point of the tier.
+func newCacheTierDevice(name string) (*ssd.Device, error) {
+	cfg := ssd.DefaultConfig(128)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.Timing = nand.Timing{
+		ReadPage: 25 * sim.Microsecond,
+		Program:  200 * sim.Microsecond,
+		Erase:    1000 * sim.Microsecond,
+		Transfer: 5 * sim.Microsecond,
+	}
+	return ssd.New(name, cfg)
+}
+
+func newCacheRig(p Params, withCache bool) (*cacheRig, error) {
+	dataCfg := ssd.DefaultConfig(512)
+	dataCfg.Geometry.PageSize = 512
+	dataCfg.Geometry.PagesPerBlock = 32
+	data, err := ssd.New("cachebench-data", dataCfg)
+	if err != nil {
+		return nil, err
+	}
+	task := sim.NewSoloTask("cachebench")
+	fs, err := fsim.Format(task, data, 64)
+	if err != nil {
+		return nil, err
+	}
+	logCfg := ssd.DefaultConfig(256)
+	logCfg.Geometry.PageSize = 512
+	logCfg.Geometry.PagesPerBlock = 32
+	logCfg.Timing = nand.Timing{
+		ReadPage: 20 * sim.Microsecond,
+		Program:  50 * sim.Microsecond,
+		Erase:    500 * sim.Microsecond,
+		Transfer: 5 * sim.Microsecond,
+	}
+	logCfg.FTL.PowerCapacitor = true
+	logDev, err := ssd.New("cachebench-log", logCfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := innodb.Config{
+		PageSize:  1024,
+		PoolBytes: 8 * 1024, // 8 frames: the working set lives in the cache tier
+		FlushMode: innodb.DWBOn,
+		DWBPages:  8,
+		DataBytes: 1024 * 1024,
+		LogPages:  4096,
+	}
+	var cacheDev *ssd.Device
+	if withCache {
+		cacheDev, err = newCacheTierDevice("cachebench-cache")
+		if err != nil {
+			return nil, err
+		}
+		cfg.CacheDev = cacheDev
+	}
+	eng, err := innodb.Open(task, fs, logDev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := eng.CreateTable(task, "t")
+	if err != nil {
+		return nil, err
+	}
+	r := &cacheRig{task: task, data: data, log: logDev, cache: cacheDev,
+		eng: eng, tbl: tbl, cfg: cfg}
+	// Load one key per transaction: the no-steal protocol pins a
+	// transaction's dirty pages, and the pool is far smaller than the
+	// working set.
+	for i := 0; i < cacheKeys; i++ {
+		tx := eng.Begin(task)
+		if err := tx.Put(tbl, cacheBenchKey(i), cacheBenchVal(i)); err != nil {
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Checkpoint(task); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func cacheBenchKey(i int) []byte { return []byte(fmt.Sprintf("bk%04d", i)) }
+
+// cacheBenchVal pads values to ~160 bytes so the 384-key table spans far
+// more btree pages than the pool holds.
+func cacheBenchVal(i int) []byte {
+	v := make([]byte, 160)
+	copy(v, fmt.Sprintf("val%04d-", i))
+	for j := 8; j < len(v); j++ {
+		v[j] = byte(i*5 + j)
+	}
+	return v
+}
+
+// readTxns runs n read-only transactions of cacheReadsPerTxn zipfian
+// point reads each and returns the ops-per-virtual-second throughput.
+func (r *cacheRig) readTxns(n int, zipf *rand.Zipf) (float64, error) {
+	start := r.task.Now()
+	for i := 0; i < n; i++ {
+		tx := r.eng.Begin(r.task)
+		for k := 0; k < cacheReadsPerTxn; k++ {
+			key := cacheBenchKey(int(zipf.Uint64()))
+			if _, ok, err := tx.Get(r.tbl, key); err != nil {
+				tx.Rollback()
+				return 0, err
+			} else if !ok {
+				tx.Rollback()
+				return 0, fmt.Errorf("key %s lost", key)
+			}
+		}
+		tx.Rollback()
+	}
+	return opsPerSec(n*cacheReadsPerTxn, r.task.Now()-start), nil
+}
+
+func opsPerSec(ops int, elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsed) / float64(sim.Second))
+}
+
+// cacheLeg is the outcome of one crash-restart leg.
+type cacheLeg struct {
+	recoveryNS int64 // virtual time from crash to the first at-peak window
+	windows    int   // read windows consumed before reaching peak
+	reached    bool
+	kept       int64 // map entries surviving revalidation
+	dropped    int64
+	hitRate    float64 // cache hit rate over the recovery windows
+	stats      innodb.Stats
+}
+
+// runCacheLeg builds the cached rig, measures steady state, then
+// crash-restarts it in the given mode ("warm", "cold", "faulted") and
+// measures the virtual time back to cachePeakFrac of steady throughput.
+// The pre-crash phase is seed-identical across legs.
+func runCacheLeg(p Params, leg string) (*cacheRig, float64, float64, *cacheLeg, error) {
+	r, err := newCacheRig(p, true)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	zipf := rand.NewZipf(newRand(p.Seed+7), 1.1, 1, uint64(cacheKeys-1))
+	if _, err := r.readTxns(cacheWarmTxns, zipf); err != nil {
+		return nil, 0, 0, nil, err
+	}
+	before := r.eng.Cache().Stats()
+	steady, err := r.readTxns(cacheSteadyTxns, zipf)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	after := r.eng.Cache().Stats()
+	steadyHit := hitRate(after.Hits-before.Hits, after.Misses-before.Misses)
+	// Persist the cache map (and quiesce the engine) so the warm leg has
+	// something to revalidate, then power-cut everything.
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		return nil, 0, 0, nil, err
+	}
+	crashStart := r.task.Now()
+	for _, d := range []*ssd.Device{r.data, r.log, r.cache} {
+		d.Crash()
+		if err := d.Recover(r.task); err != nil {
+			return nil, 0, 0, nil, err
+		}
+	}
+	switch leg {
+	case "warm":
+	case "cold":
+		// The cache device is lost in the crash: restart on a blank one.
+		r.cache, err = newCacheTierDevice("cachebench-cache-cold")
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+	case "faulted":
+		// The cache device survives but its media is damaged: scheduled
+		// uncorrectable reads land across revalidation and the first
+		// recovery windows. The map header and entry pages load first, so
+		// the bursts (starting at read 120) hit entry slots instead —
+		// revalidation drops part of the working set and verify-on-read
+		// drops more, putting this leg between warm and cold. Each burst
+		// is three consecutive faulting reads: the FTL's ECC ladder
+		// (plain, shifted-sense, soft-decode) absorbs anything shorter.
+		plan := nand.NewFaultPlan(p.Seed + 31)
+		for base := int64(120); base < 700; base += 32 {
+			plan.AtRead(base, nand.FaultReadUncorrectable)
+			plan.AtRead(base+1, nand.FaultReadUncorrectable)
+			plan.AtRead(base+2, nand.FaultReadUncorrectable)
+		}
+		if err := r.cache.SetFaultPlan(plan); err != nil {
+			return nil, 0, 0, nil, err
+		}
+	default:
+		return nil, 0, 0, nil, fmt.Errorf("unknown leg %q", leg)
+	}
+	r.cfg.CacheDev = r.cache
+	fs, err := fsim.Mount(r.task, r.data)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	r.eng, err = innodb.Open(r.task, fs, r.log, r.cfg)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	if r.tbl = r.eng.Table("t"); r.tbl == nil {
+		return nil, 0, 0, nil, fmt.Errorf("table lost across recovery")
+	}
+	cst := r.eng.Cache().Stats()
+	out := &cacheLeg{kept: cst.RevalidatedKept, dropped: cst.RevalidatedDropped}
+	// Post-crash reads continue the zipfian stream; windows are scored
+	// individually so the one-time mount cost lands in recoveryNS, not in
+	// any window's throughput.
+	recBefore := cst
+	for w := 0; w < cacheMaxWindows; w++ {
+		tput, err := r.readTxns(cacheWindowTxns, zipf)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		out.windows = w + 1
+		if tput >= cachePeakFrac*steady {
+			out.reached = true
+			break
+		}
+	}
+	out.recoveryNS = r.task.Now() - crashStart
+	recAfter := r.eng.Cache().Stats()
+	out.hitRate = hitRate(recAfter.Hits-recBefore.Hits, recAfter.Misses-recBefore.Misses)
+	out.stats = r.eng.Stats()
+	return r, steady, steadyHit, out, nil
+}
+
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+func cacheEngineCounters(st innodb.Stats, cst extcache.Stats) map[string]int64 {
+	m := innoEngineCounters(st)
+	m["cache_hits"] = st.CacheHits
+	m["cache_fills"] = st.CacheFills
+	m["cache_verify_fails"] = st.CacheVerifyFails
+	m["cache_revalidated_kept"] = cst.RevalidatedKept
+	m["cache_revalidated_dropped"] = cst.RevalidatedDropped
+	return m
+}
+
+func init() {
+	register(Experiment{
+		ID: "cache",
+		Title: "Flash-extended buffer cache: steady-state gain and " +
+			"recovery-to-peak-throughput, warm vs cold vs faulted restarts",
+		Run: func(p Params, r *Report) (string, error) {
+			p.setDefaults()
+			// Baseline: identical stack and workload, no cache tier.
+			base, err := newCacheRig(p, false)
+			if err != nil {
+				return "", err
+			}
+			zipf := rand.NewZipf(newRand(p.Seed+7), 1.1, 1, uint64(cacheKeys-1))
+			if _, err := base.readTxns(cacheWarmTxns, zipf); err != nil {
+				return "", err
+			}
+			baseTput, err := base.readTxns(cacheSteadyTxns, zipf)
+			if err != nil {
+				return "", err
+			}
+
+			legs := make(map[string]*cacheLeg, 3)
+			var steady, steadyHit float64
+			var warmRig *cacheRig
+			for _, leg := range []string{"warm", "cold", "faulted"} {
+				rig, s, h, out, err := runCacheLeg(p, leg)
+				if err != nil {
+					return "", fmt.Errorf("%s leg: %w", leg, err)
+				}
+				legs[leg] = out
+				steady, steadyHit = s, h
+				if leg == "warm" {
+					warmRig = rig
+				}
+			}
+
+			r.Metric("throughput_nocache", baseTput, "ops/s")
+			r.Metric("throughput_cache", steady, "ops/s")
+			r.Metric("cache_gain", steady/baseTput, "x")
+			r.Metric("hit_rate_steady", steadyHit, "frac")
+			for _, leg := range []string{"warm", "cold", "faulted"} {
+				out := legs[leg]
+				r.Metric("recovery_to_peak_"+leg, float64(out.recoveryNS)/float64(sim.Millisecond), "ms")
+				r.Metric("recovery_windows_"+leg, float64(out.windows), "windows")
+				r.Metric("revalidated_kept_"+leg, float64(out.kept), "pages")
+				r.Metric("revalidated_dropped_"+leg, float64(out.dropped), "pages")
+				r.Metric("recovery_hit_rate_"+leg, out.hitRate, "frac")
+			}
+			r.Device("cache_tier", warmRig.cache)
+			r.Device("data_tier", warmRig.data)
+			r.Engine("innodb_cache_warm", warmRig.eng.Stats().CacheDegraded,
+				cacheEngineCounters(warmRig.eng.Stats(), warmRig.eng.Cache().Stats()))
+
+			out := fmt.Sprintf(
+				"cache: steady state %s ops/s with the cache tier vs %s without (%s, hit rate %.2f)\n"+
+					"recovery to %.0f%% of peak after crash:\n"+
+					"  warm    %8.1f ms  (%2d windows, %3d entries revalidated, recovery hit rate %.2f)\n"+
+					"  faulted %8.1f ms  (%2d windows, %3d kept / %d dropped, recovery hit rate %.2f)\n"+
+					"  cold    %8.1f ms  (%2d windows, blank cache, recovery hit rate %.2f)\n",
+				fmtThroughput(steady), fmtThroughput(baseTput), ratio(steady, baseTput), steadyHit,
+				cachePeakFrac*100,
+				float64(legs["warm"].recoveryNS)/float64(sim.Millisecond), legs["warm"].windows,
+				legs["warm"].kept, legs["warm"].hitRate,
+				float64(legs["faulted"].recoveryNS)/float64(sim.Millisecond), legs["faulted"].windows,
+				legs["faulted"].kept, legs["faulted"].dropped, legs["faulted"].hitRate,
+				float64(legs["cold"].recoveryNS)/float64(sim.Millisecond), legs["cold"].windows,
+				legs["cold"].hitRate)
+			return out, nil
+		},
+	})
+}

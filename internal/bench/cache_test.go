@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func runCacheReport(t *testing.T) []byte {
+	t.Helper()
+	e, err := Get("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.RunWithReport(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(data); err != nil {
+		t.Fatalf("invalid report: %v\n%s", err, data)
+	}
+	return data
+}
+
+// TestCacheJSONDeterministic: the cache report — four full engine stacks,
+// three of them crash-restarted — must serialize to byte-identical JSON
+// across identically-seeded runs (CI regenerates BENCH_cache.json and
+// diffs it).
+func TestCacheJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four engine stacks, twice; skipped in -short")
+	}
+	a, b := runCacheReport(t), runCacheReport(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded cache runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestCacheRecoveryFloors pins the experiment's qualitative claims as
+// regression floors: the cache tier must pay off at steady state, the
+// warm restart must revalidate a useful map and get back to peak
+// measurably faster than the cold one, and the faulted restart must keep
+// part of the map (it dropped the entries the damaged media corrupted).
+func TestCacheRecoveryFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four engine stacks; skipped in -short")
+	}
+	var rep Report
+	if err := json.Unmarshal(runCacheReport(t), &rep); err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]float64{}
+	for _, mt := range rep.Metrics {
+		m[mt.Name] = mt.Value
+	}
+	need := func(name string) float64 {
+		v, ok := m[name]
+		if !ok {
+			t.Fatalf("report missing metric %s", name)
+		}
+		return v
+	}
+	if gain := need("cache_gain"); gain < 1.2 {
+		t.Errorf("cache_gain = %.2fx, want >= 1.2x over the no-cache baseline", gain)
+	}
+	if hr := need("hit_rate_steady"); hr < 0.8 {
+		t.Errorf("hit_rate_steady = %.2f, want >= 0.8", hr)
+	}
+	warm, cold, faulted := need("recovery_to_peak_warm"), need("recovery_to_peak_cold"), need("recovery_to_peak_faulted")
+	if warm >= cold {
+		t.Errorf("warm recovery %.1f ms not faster than cold %.1f ms: the persistent map bought nothing", warm, cold)
+	}
+	if faulted >= 2*cold {
+		t.Errorf("faulted recovery %.1f ms more than twice cold %.1f ms: fault fallback is too slow", faulted, cold)
+	}
+	if need("revalidated_kept_warm") == 0 {
+		t.Error("warm restart revalidated no entries")
+	}
+	if need("revalidated_dropped_faulted") == 0 {
+		t.Error("faulted restart dropped no entries: the fault schedule never surfaced")
+	}
+	if kept := need("revalidated_kept_faulted"); kept == 0 {
+		t.Error("faulted restart kept no entries: the whole map was lost, not just the damaged slots")
+	}
+	if need("recovery_hit_rate_warm") <= need("recovery_hit_rate_cold") {
+		t.Error("warm recovery hit rate not above cold")
+	}
+}

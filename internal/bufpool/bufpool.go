@@ -60,6 +60,17 @@ type Pool struct {
 	// a non-nil return supplies the page content. WAL-style engines use it
 	// to serve pages whose newest version lives in the log, not the file.
 	MissOverlay func(pageNo uint32) []byte
+	// CacheRead, when set, is consulted on a miss after MissOverlay and
+	// before the file read: returning true means dst was filled from a
+	// second-tier cache (the flash-extended cache). On (false, nil) dst
+	// must be left zeroed and the pool falls back to the file; an error
+	// fails the Get (the cache holds the only live copy but cannot
+	// produce it — falling back would serve stale data).
+	CacheRead func(t *sim.Task, pageNo uint32, dst []byte) (bool, error)
+	// OnEvict, when set, observes every clean frame leaving the pool with
+	// its final content — the fill point of a flash-extended cache. The
+	// callback must not retain data.
+	OnEvict func(t *sim.Task, pageNo uint32, data []byte)
 
 	// Stats.
 	hits, misses int64
@@ -115,9 +126,18 @@ func (p *Pool) get(t *sim.Task, pageNo uint32, read bool) (*Frame, error) {
 		return nil, err
 	}
 	data := make([]byte, p.pageSize)
+	served := false
 	if ov := p.overlay(pageNo); ov != nil {
 		copy(data, ov)
-	} else {
+		served = true
+	} else if read && p.CacheRead != nil {
+		hit, err := p.CacheRead(t, pageNo, data)
+		if err != nil {
+			return nil, err
+		}
+		served = hit
+	}
+	if !served {
 		off := int64(pageNo) * int64(p.pageSize)
 		if read && off < p.file.Size() {
 			if _, err := p.file.ReadAt(t, data, off); err != nil && err != io.EOF {
@@ -144,6 +164,9 @@ func (p *Pool) makeRoom(t *sim.Task) error {
 			if victim == nil {
 				return fmt.Errorf("bufpool: all %d frames pinned", p.capacity)
 			}
+		}
+		if p.OnEvict != nil {
+			p.OnEvict(t, victim.pageNo, victim.Data)
 		}
 		p.lru.Remove(victim.elem)
 		delete(p.frames, victim.pageNo)

@@ -1,0 +1,120 @@
+package bufpool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"share/internal/sim"
+)
+
+func TestCacheReadServesMiss(t *testing.T) {
+	pool, _, task := testPool(t, 4)
+	want := bytes.Repeat([]byte{0xCD}, 512)
+	var asked []uint32
+	pool.CacheRead = func(_ *sim.Task, pageNo uint32, dst []byte) (bool, error) {
+		asked = append(asked, pageNo)
+		if pageNo == 7 {
+			copy(dst, want)
+			return true, nil
+		}
+		return false, nil
+	}
+	f, err := pool.Get(task, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Data, want) {
+		t.Fatal("miss not served from CacheRead")
+	}
+	f.Release()
+	// A resident page never consults the cache again.
+	f2, err := pool.Get(task, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Release()
+	if len(asked) != 1 {
+		t.Fatalf("CacheRead consulted %d times, want 1", len(asked))
+	}
+	// A cache miss (false, nil) falls through to the file: zero page here.
+	f3, err := pool.Get(task, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Release()
+	if !bytes.Equal(f3.Data, make([]byte, 512)) {
+		t.Fatal("cache miss did not fall back to the file")
+	}
+}
+
+func TestCacheReadErrorFailsGet(t *testing.T) {
+	pool, _, task := testPool(t, 4)
+	boom := errors.New("dirty entry unreadable")
+	pool.CacheRead = func(_ *sim.Task, _ uint32, _ []byte) (bool, error) {
+		return false, boom
+	}
+	if _, err := pool.Get(task, 1); !errors.Is(err, boom) {
+		t.Fatalf("Get = %v, want the cache error", err)
+	}
+	// GetFresh skips reads entirely — the cache must not be consulted.
+	pool.CacheRead = func(_ *sim.Task, _ uint32, _ []byte) (bool, error) {
+		t.Fatal("CacheRead consulted on GetFresh")
+		return false, nil
+	}
+	f, err := pool.GetFresh(task, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+}
+
+func TestOnEvictObservesCleanEvictions(t *testing.T) {
+	pool, _, task := testPool(t, 4)
+	evicted := map[uint32][]byte{}
+	pool.OnEvict = func(_ *sim.Task, pageNo uint32, data []byte) {
+		evicted[pageNo] = append([]byte(nil), data...)
+	}
+	// Touch 8 distinct pages through a 4-frame pool; each page gets
+	// recognizable content via MarkDirty + flush before eviction.
+	for p := uint32(0); p < 8; p++ {
+		f, err := pool.Get(task, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Data {
+			f.Data[i] = byte(p)
+		}
+		f.MarkDirty()
+		f.Release()
+		if err := pool.FlushAll(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(evicted) == 0 {
+		t.Fatal("no evictions observed")
+	}
+	for p, data := range evicted {
+		if !bytes.Equal(data, bytes.Repeat([]byte{byte(p)}, 512)) {
+			t.Fatalf("eviction of page %d carried wrong content", p)
+		}
+	}
+	if pool.Stats().Evictions != int64(len(evicted)) {
+		t.Fatalf("OnEvict calls %d != evictions %d", len(evicted), pool.Stats().Evictions)
+	}
+}
+
+func TestHooksNilAreNoOps(t *testing.T) {
+	pool, _, task := testPool(t, 2)
+	for p := uint32(0); p < 6; p++ {
+		f, err := pool.Get(task, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if fmt.Sprint(pool.Stats()) == "" {
+		t.Fatal("unprintable stats")
+	}
+}

@@ -1,0 +1,87 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"share/internal/nand"
+)
+
+// innoCacheTxns is sized like the other cells: enough to cross several
+// engine checkpoints (cache writebacks in durable mode) and wrap the
+// mapping journal's fill cadence.
+const innoCacheTxns = 24
+
+// TestCrashMatrixInnoDBCache power-cuts at every program/erase boundary
+// of all three tiers — data, log, and the flash-extended cache device —
+// with the cache in clean (read-cache) mode. A cut on the cache device
+// leaves it dead for the rest of the workload (fills degrade, reads fall
+// back), so each matrix cell doubles as a mid-run cache-loss run; the
+// durability oracle must hold everywhere.
+func TestCrashMatrixInnoDBCache(t *testing.T) {
+	Matrix(t, "innodb/cache", func() (Stack, error) {
+		return NewInnoDBCache(false, nil, 0)
+	}, innoCacheTxns)
+}
+
+// TestCrashMatrixInnoDBCacheWriteBack runs the same matrix with the
+// durable-dirty cache: flush batches land on the cache device and reach
+// their tablespace homes only at checkpoints, so the cache device's
+// boundary space now includes dirty fills, mapping-journal appends and
+// writeback-then-truncate windows. Zero committed loss is still required
+// at every cut — dirty cache content is always redo-covered.
+func TestCrashMatrixInnoDBCacheWriteBack(t *testing.T) {
+	Matrix(t, "innodb/cache-wb", func() (Stack, error) {
+		return NewInnoDBCache(true, nil, 0)
+	}, innoCacheTxns)
+}
+
+// TestFaultPlanInnoDBCache drives the full workload with the standard
+// absorbable-fault schedule installed on the *cache* device, in both
+// cache modes, then crashes and requires complete recovery: cache-tier
+// faults must never surface as transaction failures.
+func TestFaultPlanInnoDBCache(t *testing.T) {
+	for _, wb := range []bool{false, true} {
+		s, err := NewInnoDBCache(wb, faultPlan(17), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "innodb/cache-fault"
+		if wb {
+			name = "innodb/cache-wb-fault"
+		}
+		FaultRun(t, name, s, innoCacheTxns)
+	}
+}
+
+// TestCacheReadOnlyDegradationZeroLoss drives the cache device into
+// read-only degradation mid-run: seeded permanent program faults retire
+// blocks until the deliberately tiny spare budget is exhausted. The
+// engine must keep acknowledging every transaction, surface the
+// degradation in its stats, and recover the complete workload after a
+// whole-machine crash.
+func TestCacheReadOnlyDegradationZeroLoss(t *testing.T) {
+	plan := nand.NewFaultPlan(23)
+	plan.PProgramPermanent = 0.15
+	stack, err := NewInnoDBCache(false, plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stack.(*innoCacheStack)
+	for i := 0; i < innoCacheTxns; i++ {
+		if err := s.Step(i); err != nil {
+			t.Fatalf("step %d failed during cache degradation: %v", i, err)
+		}
+	}
+	if !s.eng.Stats().CacheDegraded {
+		t.Fatal("cache never degraded; raise the fault rate or shrink the spare budget")
+	}
+	if got := s.cache.Metrics().EventCounts()["cache-degraded"]; got != 1 {
+		t.Fatalf("cache-degraded events = %d, want 1", got)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("reopen after degradation: %v", err)
+	}
+	if err := s.Verify(innoCacheTxns, innoCacheTxns); err != nil {
+		t.Fatal(err)
+	}
+}

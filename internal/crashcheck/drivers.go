@@ -489,3 +489,219 @@ func (s *couchPatrolStack) Step(i int) error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// innodb + flash-extended cache tier
+
+// innoCacheKeys spreads the workload over enough btree pages that the
+// deliberately tiny buffer pool keeps evicting through the cache tier.
+const innoCacheKeys = 33
+
+// newCacheDevice builds the dedicated flash-extended cache device: small
+// and fast, contributing its own program/erase boundary space (cache
+// fills, mapping-journal appends, map checkpoints, writebacks) to the
+// crash matrix. spares, when non-zero, shrinks the block-retirement
+// budget so injected permanent faults degrade it to read-only mid-run.
+func newCacheDevice(name string, spares int) (*ssd.Device, error) {
+	cfg := ssd.DefaultConfig(128)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.Timing = nand.Timing{
+		ReadPage: 25 * sim.Microsecond,
+		Program:  200 * sim.Microsecond,
+		Erase:    1000 * sim.Microsecond,
+		Transfer: 5 * sim.Microsecond,
+	}
+	if spares != 0 {
+		cfg.FTL.SpareBlocks = spares
+	}
+	return ssd.New(name, cfg)
+}
+
+type innoCacheStack struct {
+	task  *sim.Task
+	data  *ssd.Device
+	log   *ssd.Device
+	cache *ssd.Device
+	eng   *innodb.Engine
+	tbl   *innodb.Table
+	cfg   innodb.Config
+}
+
+// NewInnoDBCache builds an innodb stack with a flash-extended cache tier:
+// data device + fsim + fast WAL device + dedicated cache device, and a
+// buffer pool small enough that reads and flushes constantly spill
+// through the cache. writeBack selects the durable-dirty cache mode
+// (flush batches absorbed by the cache, written home at checkpoints);
+// fault, when non-nil, installs a NAND fault plan on the cache device
+// after the preload; cacheSpares, when non-zero, shrinks the cache
+// device's block-retirement budget so injected permanent faults drive it
+// into read-only degradation mid-run.
+func NewInnoDBCache(writeBack bool, fault *nand.FaultPlan, cacheSpares int) (Stack, error) {
+	data, err := newDataDevice("cc-innocache-data")
+	if err != nil {
+		return nil, err
+	}
+	task := sim.NewSoloTask("crashcheck")
+	fs, err := fsim.Format(task, data, 32)
+	if err != nil {
+		return nil, err
+	}
+	logDev, err := newLogDevice("cc-innocache-log")
+	if err != nil {
+		return nil, err
+	}
+	cacheDev, err := newCacheDevice("cc-innocache-cache", cacheSpares)
+	if err != nil {
+		return nil, err
+	}
+	cfg := innodb.Config{
+		PageSize:       1024,
+		PoolBytes:      8 * 1024, // 8 frames: every step evicts through the cache
+		FlushMode:      innodb.DWBOn,
+		DWBPages:       8,
+		DataBytes:      1024 * 1024,
+		LogPages:       2048,
+		CacheDev:       cacheDev,
+		CacheWriteBack: writeBack,
+	}
+	eng, err := innodb.Open(task, fs, logDev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := eng.CreateTable(task, "t")
+	if err != nil {
+		return nil, err
+	}
+	// Preload one key per transaction: the no-steal protocol protects a
+	// transaction's dirty pages until commit, and the pool is deliberately
+	// far smaller than the 33-key working set.
+	for i := 0; i < innoCacheKeys; i++ {
+		tx := eng.Begin(task)
+		if err := tx.Put(tbl, innoCacheKey(i), innoCacheVal(-1)); err != nil {
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Checkpoint(task); err != nil {
+		return nil, err
+	}
+	if fault != nil {
+		if err := cacheDev.SetFaultPlan(fault); err != nil {
+			return nil, err
+		}
+	}
+	return &innoCacheStack{task: task, data: data, log: logDev, cache: cacheDev,
+		eng: eng, tbl: tbl, cfg: cfg}, nil
+}
+
+func innoCacheKey(i int) []byte { return []byte(fmt.Sprintf("ck%03d", i)) }
+
+// innoCacheVal pads values to ~200 bytes so the working set spans far
+// more pages than the pool holds — every transaction drives evictions
+// (cache fills) and pool misses (cache reads).
+func innoCacheVal(i int) []byte {
+	v := make([]byte, 200)
+	copy(v, fmt.Sprintf("txn%03d-", i))
+	for j := 8; j < len(v); j++ {
+		v[j] = byte(i*3 + j)
+	}
+	return v
+}
+
+// innoCacheTxnKeys returns the three keys transaction i updates.
+func innoCacheTxnKeys(i int) []int {
+	return []int{i % innoCacheKeys, (i*5 + 1) % innoCacheKeys, (i*11 + 3) % innoCacheKeys}
+}
+
+// Devices exposes all three tiers: the matrix power-cuts the cache
+// device's fill/journal/checkpoint/writeback boundaries just like the
+// data and log devices' commit boundaries.
+func (s *innoCacheStack) Devices() []*ssd.Device {
+	return []*ssd.Device{s.data, s.log, s.cache}
+}
+
+func (s *innoCacheStack) Step(i int) error {
+	tx := s.eng.Begin(s.task)
+	for _, k := range innoCacheTxnKeys(i) {
+		if err := tx.Put(s.tbl, innoCacheKey(k), innoCacheVal(i)); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	// Read a stride of keys so pool misses exercise the cache read path
+	// (verify-on-read) between commits, not just the fill path.
+	rtx := s.eng.Begin(s.task)
+	for k := 0; k < 3; k++ {
+		if _, _, err := rtx.Get(s.tbl, innoCacheKey((i*7+k*13)%innoCacheKeys)); err != nil {
+			rtx.Rollback()
+			return err
+		}
+	}
+	rtx.Rollback()
+	if (i+1)%innoCkptStep == 0 {
+		return s.eng.Checkpoint(s.task)
+	}
+	return nil
+}
+
+func (s *innoCacheStack) Reopen() error {
+	for _, d := range s.Devices() {
+		d.Crash()
+		if err := d.Recover(s.task); err != nil {
+			return err
+		}
+	}
+	fs, err := fsim.Mount(s.task, s.data)
+	if err != nil {
+		return err
+	}
+	eng, err := innodb.Open(s.task, fs, s.log, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.eng = eng
+	s.tbl = eng.Table("t")
+	if s.tbl == nil {
+		return fmt.Errorf("table lost across recovery")
+	}
+	return nil
+}
+
+// innoCacheModel is the oracle state after the first n transactions.
+func innoCacheModel(n int) map[string]string {
+	m := make(map[string]string, innoCacheKeys)
+	for i := 0; i < innoCacheKeys; i++ {
+		m[string(innoCacheKey(i))] = string(innoCacheVal(-1))
+	}
+	for i := 0; i < n; i++ {
+		for _, k := range innoCacheTxnKeys(i) {
+			m[string(innoCacheKey(k))] = string(innoCacheVal(i))
+		}
+	}
+	return m
+}
+
+func (s *innoCacheStack) Verify(committed, attempted int) error {
+	got := make(map[string]string, innoCacheKeys)
+	tx := s.eng.Begin(s.task)
+	for i := 0; i < innoCacheKeys; i++ {
+		v, ok, err := tx.Get(s.tbl, innoCacheKey(i))
+		if err != nil {
+			tx.Rollback()
+			return fmt.Errorf("read %s: %v", innoCacheKey(i), err)
+		}
+		if !ok {
+			tx.Rollback()
+			return fmt.Errorf("key %s missing after recovery", innoCacheKey(i))
+		}
+		got[string(innoCacheKey(i))] = string(v)
+	}
+	tx.Rollback()
+	return diffStates(got, innoCacheModel(committed), innoCacheModel(attempted))
+}

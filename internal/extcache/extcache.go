@@ -1,0 +1,770 @@
+// Package extcache implements a flash-extended buffer cache: a
+// persistent, verify-on-read page cache on its own flash device, sitting
+// behind a database buffer pool (the FaCE design, arXiv 1208.0289, on the
+// SHARE stack's simulated devices).
+//
+// The cache holds engine pages evicted from the buffer pool so misses can
+// be served from the (fast) cache device instead of the data device — and
+// because the cache map is persisted on the cache device itself, the
+// cache comes back *warm* after a crash, shrinking recovery-to-peak
+// throughput time.
+//
+// The robustness contract is strict: the cache is an accelerator, never a
+// durability dependency.
+//
+//   - Clean mode (the default): Put swallows every device error. A cache
+//     device that faults, degrades to read-only or loses power mid-fill
+//     can never fail a transaction — the engine simply stops getting
+//     hits. Get verifies a content checksum on every read; a mismatch or
+//     read fault invalidates the entry and reports a miss, so the caller
+//     transparently falls back to the data device.
+//   - Durable-dirty mode (Config.Durable): the buffer pool's flush
+//     batches are written to the cache instead of the data device, with a
+//     mapping journal on the cache device recording dirty entries.
+//     Correctness never rests on the cache: every dirty entry's content
+//     is also covered by the engine's redo log (the engine writes dirty
+//     entries back to the data device before each redo truncation), so a
+//     lost, torn or unreadable cache entry is always re-creatable from
+//     redo replay.
+//
+// Crash recovery (Open on a device holding a previous map) revalidates
+// every surviving entry against the *current* data-device content: an
+// entry is kept only when its recorded content checksum matches both the
+// cached bytes and the bytes the main device holds after the engine's own
+// recovery. Matching content — rather than the page LSN alone — is
+// deliberate: redo replay can install a page image whose stamped LSN
+// equals a stale cache entry's while the content differs, so an
+// LSN-equality check could surface stale data where the content check
+// cannot. A torn cache write, a reused slot, or an entry the data device
+// has since overtaken all fail the check and are dropped, never served.
+package extcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"share/internal/ftl"
+	"share/internal/sim"
+	"share/internal/ssd"
+	"share/internal/wal"
+)
+
+// ErrDegraded is returned by PutDirty after the cache device has stopped
+// accepting writes (read-only degradation or power loss). The engine
+// falls back to its regular flush pipeline.
+var ErrDegraded = fmt.Errorf("extcache: cache device degraded; fills disabled")
+
+// ErrCacheFull is returned by PutDirty when every slot holds a dirty
+// entry; the engine must write entries back (WritebackAll) before more
+// dirty fills fit.
+var ErrCacheFull = fmt.Errorf("extcache: all slots dirty; writeback required")
+
+// On-device layout (device pages):
+//
+//	LPN 0                      map header (magic, generation, geometry,
+//	                           checksum over the entry pages)
+//	LPN 1 .. mapPages          map entry pages (entrySize bytes per slot)
+//	.. +journalPages           mapping journal (durable mode; a wal.Log)
+//	slotBase ..                page slots, slotPages device pages each
+const (
+	hdrMagic  = 0x58434348 // "XCCH"
+	entrySize = 20         // pageNo u32, lsn u64, sum u32, state u8, pad
+	// header fields: sum-of-header u32 | magic u32 | generation u64 |
+	// nSlots u32 | enginePageSize u32 | entriesSum u32 | durable u8
+	hdrLen = 29
+)
+
+// Entry states.
+const (
+	slotFree  = 0
+	slotClean = 1
+	slotDirty = 2
+)
+
+// Config parameterizes a cache over one device.
+type Config struct {
+	// PageSize is the engine page size; must be a multiple of the cache
+	// device's page size.
+	PageSize int
+	// Durable enables the dirty (write-back) mode with a mapping journal.
+	Durable bool
+	// JournalPages sizes the mapping journal ring in device pages
+	// (durable mode; 0 means 128).
+	JournalPages uint32
+	// CheckpointEvery persists the cache map after this many fills
+	// (0 means 64). The map is also persisted by Checkpoint.
+	CheckpointEvery int
+	// MainRead reads the data device's current content of an engine page,
+	// for crash-recovery revalidation. nil drops every recovered entry
+	// (cold start).
+	MainRead func(t *sim.Task, pageNo uint32, dst []byte) error
+	// PageLSN extracts the LSN from a page image and reports whether the
+	// image is internally consistent (engine checksum). Pages reported
+	// inconsistent are never cached — they were never flushed, so the
+	// data device does not hold them either. nil accepts everything with
+	// LSN 0.
+	PageLSN func(data []byte) (lsn uint64, ok bool)
+}
+
+type entry struct {
+	pageNo uint32
+	lsn    uint64
+	sum    uint32
+	state  uint8
+}
+
+// Stats counts cache activity. Counters are maintained with atomics so
+// snapshots are safe while an engine serves; everything else in the cache
+// requires external serialization (the engine latch), like the buffer
+// pool it backs.
+type Stats struct {
+	Hits               int64
+	Misses             int64
+	Fills              int64 // clean fills accepted
+	FillSkips          int64 // clean fills skipped: identical image already resident
+	DirtyFills         int64 // durable-mode flush pages accepted
+	Writebacks         int64 // dirty entries written back to the data device
+	Invalidations      int64
+	VerifyFailures     int64 // reads served as misses: checksum mismatch or device read fault
+	MapCheckpoints     int64
+	RevalidatedKept    int64 // recovered entries that survived revalidation
+	RevalidatedDropped int64 // recovered entries dropped (torn, stale, or unreadable)
+	RecoveredDirty     int64 // dirty entries found durable at recovery (kept as clean)
+	Degraded           bool  // gauge: fills disabled after a cache-device write failure
+	Slots              int   // gauge: total page slots
+	Resident           int   // gauge: slots holding a valid entry
+	DirtyResident      int   // gauge: slots holding a dirty entry
+}
+
+// Cache is a flash-extended page cache over one device. Mutating methods
+// must be externally serialized (the engine transaction latch); Stats,
+// Degraded and the gauges are safe to read concurrently.
+type Cache struct {
+	dev *ssd.Device
+	cfg Config
+
+	slotPages int    // device pages per engine page
+	mapPages  uint32 // entry pages after the header
+	journal   *wal.Log
+	slotBase  uint32
+	nSlots    int
+
+	entries []entry
+	index   map[uint32]int // pageNo -> slot
+	clock   int            // next-victim scan cursor
+	gen     uint64         // map generation
+	fills   int            // fills since the last map checkpoint
+
+	scratch []byte // one engine page, for verify-on-read and writeback
+	hdrBuf  []byte // one device page
+	mapBuf  []byte // mapPages device pages, for map checkpoints
+
+	degraded atomic.Bool
+
+	hits, misses, fillsN, dirtyFills    atomic.Int64
+	fillSkips                           atomic.Int64
+	writebacks, invalidations           atomic.Int64
+	verifyFailures, mapCheckpoints      atomic.Int64
+	revalKept, revalDropped, recovDirty atomic.Int64
+	resident, dirtyResident             atomic.Int64
+}
+
+// Open sizes the cache over dev and recovers any surviving cache map: the
+// header and entry pages are loaded (plus the mapping journal in durable
+// mode), and every entry is revalidated against the data device's current
+// content via cfg.MainRead. A torn or missing map simply cold-starts the
+// cache. Device write failures during Open degrade the cache instead of
+// failing it — a broken cache device must never stop the engine.
+func Open(t *sim.Task, dev *ssd.Device, cfg Config) (*Cache, error) {
+	unit := dev.PageSize()
+	if cfg.PageSize <= 0 || cfg.PageSize%unit != 0 {
+		return nil, fmt.Errorf("extcache: engine page %d not a positive multiple of device page %d", cfg.PageSize, unit)
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 64
+	}
+	var journalPages uint32
+	if cfg.Durable {
+		journalPages = cfg.JournalPages
+		if journalPages == 0 {
+			journalPages = 128
+		}
+	}
+	c := &Cache{
+		dev:       dev,
+		cfg:       cfg,
+		slotPages: cfg.PageSize / unit,
+		index:     make(map[uint32]int),
+		scratch:   make([]byte, cfg.PageSize),
+		hdrBuf:    make([]byte, unit),
+	}
+	capacity := uint32(dev.Capacity())
+	perPage := unit / entrySize
+	if perPage == 0 {
+		return nil, fmt.Errorf("extcache: device page %d smaller than a map entry", unit)
+	}
+	if capacity <= 1+journalPages {
+		return nil, fmt.Errorf("extcache: device too small: %d pages", capacity)
+	}
+	maxSlots := int(capacity-1-journalPages) / c.slotPages
+	c.mapPages = uint32((maxSlots + perPage - 1) / perPage)
+	c.nSlots = int(capacity-1-c.mapPages-journalPages) / c.slotPages
+	if c.nSlots < 1 {
+		return nil, fmt.Errorf("extcache: device too small for one %d-byte page slot (%d device pages)",
+			cfg.PageSize, capacity)
+	}
+	c.slotBase = 1 + c.mapPages + journalPages
+	c.entries = make([]entry, c.nSlots)
+	c.mapBuf = make([]byte, int(c.mapPages)*unit)
+	if cfg.Durable {
+		j, err := wal.New(dev, 1+c.mapPages, journalPages)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
+
+	c.recoverMap(t)
+	return c, nil
+}
+
+// recoverMap loads a surviving cache map if the header validates, replays
+// the mapping journal over it (durable mode), and revalidates every entry
+// against the data device. Any failure along the way falls back to a cold
+// start — never an error: a cache with no history is always correct.
+func (c *Cache) recoverMap(t *sim.Task) {
+	warm := c.loadMap(t)
+	if warm && c.journal != nil {
+		c.replayJournal(t)
+	}
+	if warm {
+		c.revalidate(t)
+	}
+	// Persist the recovered (or empty) map so generation numbers advance
+	// from a known point. Failures latch degradation and are otherwise
+	// ignored: a read-only cache device still serves revalidated hits.
+	c.persistMap(t)
+	if c.journal != nil && !c.degraded.Load() {
+		if err := c.journal.Truncate(t); err != nil {
+			c.noteWriteErr(err)
+		}
+	}
+}
+
+// loadMap reads the header and entry pages; returns false (cold) unless
+// the header checksum, magic and geometry all match the entry pages.
+func (c *Cache) loadMap(t *sim.Task) bool {
+	if err := c.dev.ReadPage(t, 0, c.hdrBuf); err != nil {
+		return false
+	}
+	h := c.hdrBuf
+	if binary.LittleEndian.Uint32(h[4:]) != hdrMagic {
+		return false
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != checksum32(h[4:hdrLen]) {
+		return false
+	}
+	if int(binary.LittleEndian.Uint32(h[16:])) != c.nSlots ||
+		int(binary.LittleEndian.Uint32(h[20:])) != c.cfg.PageSize {
+		return false
+	}
+	wantDurable := h[28] != 0
+	if wantDurable != c.cfg.Durable {
+		return false // mode switch: the journal semantics changed, cold-start
+	}
+	unit := c.dev.PageSize()
+	for p := uint32(0); p < c.mapPages; p++ {
+		if err := c.dev.ReadPage(t, 1+p, c.mapBuf[int(p)*unit:int(p+1)*unit]); err != nil {
+			return false
+		}
+	}
+	if binary.LittleEndian.Uint32(h[24:]) != checksum32(c.mapBuf) {
+		return false // torn map checkpoint: entries and header disagree
+	}
+	c.gen = binary.LittleEndian.Uint64(h[8:])
+	for s := 0; s < c.nSlots; s++ {
+		c.entries[s] = decodeEntry(c.mapBuf[s*entrySize:])
+	}
+	return true
+}
+
+// replayJournal applies mapping-journal records over the checkpointed
+// map. Records are idempotent slot assignments in append order, so a
+// journal that survived a checkpoint (power cut between the map write and
+// the ring truncation) replays to the same state it described.
+func (c *Cache) replayJournal(t *sim.Task) {
+	recs, err := c.journal.ReadAll(t)
+	if err != nil {
+		return
+	}
+	for _, rec := range recs {
+		if len(rec) != 4+entrySize {
+			continue
+		}
+		slot := int(binary.LittleEndian.Uint32(rec[0:]))
+		if slot < 0 || slot >= c.nSlots {
+			continue
+		}
+		c.entries[slot] = decodeEntry(rec[4:])
+	}
+}
+
+// revalidate checks every loaded entry against reality: the cached bytes
+// must match the recorded checksum (torn cache writes, reused slots), and
+// the data device's current content must match it too (the engine's own
+// recovery may have rolled the page past the cached version). Entries
+// that pass become clean residents; everything else is dropped. Dirty
+// entries whose content the data device already holds were written back
+// before the crash — they are kept as clean (RecoveredDirty).
+func (c *Cache) revalidate(t *sim.Task) {
+	for s := 0; s < c.nSlots; s++ {
+		e := &c.entries[s]
+		if e.state == slotFree {
+			continue
+		}
+		keep := false
+		if c.cfg.MainRead != nil &&
+			c.readSlot(t, s, c.scratch) == nil &&
+			checksum32(c.scratch) == e.sum {
+			if err := c.cfg.MainRead(t, e.pageNo, c.scratch); err == nil &&
+				checksum32(c.scratch) == e.sum {
+				keep = true
+			}
+		}
+		if !keep {
+			e.state = slotFree
+			c.revalDropped.Add(1)
+			continue
+		}
+		if e.state == slotDirty {
+			c.recovDirty.Add(1)
+		}
+		e.state = slotClean
+		c.revalKept.Add(1)
+	}
+	// Rebuild the page index; duplicate page numbers keep the first slot
+	// (slot order is deterministic) and free the rest.
+	for s := 0; s < c.nSlots; s++ {
+		e := &c.entries[s]
+		if e.state == slotFree {
+			continue
+		}
+		if _, dup := c.index[e.pageNo]; dup {
+			e.state = slotFree
+			c.revalKept.Add(-1)
+			c.revalDropped.Add(1)
+			continue
+		}
+		c.index[e.pageNo] = s
+		c.resident.Add(1)
+	}
+}
+
+// Get serves pageNo from the cache into dst (one engine page), verifying
+// the content checksum. A clean entry that fails verification — a device
+// read fault or a checksum mismatch — is invalidated and reported as a
+// miss (false, nil) with dst unmodified, so the caller transparently
+// falls back to the data device. A *dirty* entry that fails verification
+// is an error: the data device's copy is stale, so falling back would
+// surface old data — only redo replay (a restart) can reproduce the
+// content. Dst is unmodified on any non-hit.
+func (c *Cache) Get(t *sim.Task, pageNo uint32, dst []byte) (bool, error) {
+	s, ok := c.index[pageNo]
+	if !ok {
+		c.misses.Add(1)
+		return false, nil
+	}
+	rerr := c.readSlot(t, s, c.scratch)
+	if rerr == nil && checksum32(c.scratch) == c.entries[s].sum {
+		copy(dst, c.scratch)
+		c.hits.Add(1)
+		return true, nil
+	}
+	c.verifyFailures.Add(1)
+	if c.entries[s].state == slotDirty {
+		if rerr == nil {
+			rerr = fmt.Errorf("checksum mismatch")
+		}
+		return false, fmt.Errorf("extcache: dirty page %d unreadable from cache: %w", pageNo, rerr)
+	}
+	c.dropSlot(s)
+	c.misses.Add(1)
+	return false, nil
+}
+
+// Put fills the cache with a clean page image (an evicted buffer-pool
+// frame). Every error is swallowed: a clean fill is pure opportunity, and
+// a failing cache device must never surface through the eviction path. A
+// write failure latches degradation, disabling further fills.
+func (c *Cache) Put(t *sim.Task, pageNo uint32, data []byte) {
+	if c.degraded.Load() {
+		return
+	}
+	if c.cfg.PageLSN != nil {
+		if _, ok := c.cfg.PageLSN(data); !ok {
+			return // never flushed: the data device does not hold it either
+		}
+	}
+	if s, ok := c.index[pageNo]; ok {
+		if c.entries[s].state == slotDirty {
+			return // the dirty copy is newer than (or equal to) any clean image
+		}
+		if c.entries[s].sum == checksum32(data) {
+			// The identical image is already resident: a clean page read
+			// through the cache and evicted unmodified. Rewriting it would
+			// burn program cycles (and wear) for nothing — in steady state
+			// this is the overwhelmingly common eviction.
+			c.fillSkips.Add(1)
+			return
+		}
+	}
+	s, ok := c.pickSlot(pageNo)
+	if !ok {
+		return // every slot dirty: clean fills wait for writeback
+	}
+	if err := c.writeSlot(t, s, data); err != nil {
+		c.noteWriteErr(err)
+		return
+	}
+	c.install(t, s, pageNo, data, slotClean)
+	c.fillsN.Add(1)
+	c.maybeCheckpoint(t)
+}
+
+// PutDirty accepts one page of a durable-mode flush batch: the image is
+// written to a slot, the mapping journal records the dirty entry, and the
+// data device is not touched until WritebackAll. The caller must have
+// made the content redo-durable first (the engine's no-steal flush
+// protocol guarantees it), so a crash that loses the cache write is
+// repaired by redo replay.
+func (c *Cache) PutDirty(t *sim.Task, pageNo uint32, data []byte) error {
+	if !c.cfg.Durable {
+		return fmt.Errorf("extcache: PutDirty on a clean-mode cache")
+	}
+	if c.degraded.Load() {
+		return ErrDegraded
+	}
+	s, ok := c.pickSlot(pageNo)
+	if !ok {
+		return ErrCacheFull
+	}
+	if err := c.writeSlot(t, s, data); err != nil {
+		c.noteWriteErr(err)
+		return ErrDegraded
+	}
+	c.install(t, s, pageNo, data, slotDirty)
+	c.dirtyFills.Add(1)
+	c.journalEntry(t, s)
+	c.maybeCheckpoint(t)
+	return nil
+}
+
+// SyncJournal makes the mapping journal durable (one flush per flush
+// batch, not per page). Failures latch degradation; the entries' content
+// is redo-covered, so a lost journal only costs post-crash warmness.
+func (c *Cache) SyncJournal(t *sim.Task) {
+	if c.journal == nil || c.degraded.Load() {
+		return
+	}
+	if err := c.journal.Sync(t); err != nil {
+		c.noteWriteErr(err)
+	}
+}
+
+// Invalidate drops any entry for pageNo — called when the data device's
+// copy is rewritten behind the cache (home flushes, SHARE remaps).
+func (c *Cache) Invalidate(t *sim.Task, pageNo uint32) {
+	s, ok := c.index[pageNo]
+	if !ok {
+		return
+	}
+	c.dropSlot(s)
+	c.invalidations.Add(1)
+	c.journalEntry(t, s)
+}
+
+// WritebackAll writes every dirty entry back to the data device through
+// write, in slot order, marking them clean. The engine calls it before
+// truncating redo: afterwards every cached page is also at home, so the
+// cache is never the sole holder of committed data. An unreadable dirty
+// entry fails the writeback — the engine must then keep its redo log (the
+// only remaining copy) rather than truncate it.
+func (c *Cache) WritebackAll(t *sim.Task, write func(t *sim.Task, pageNo uint32, data []byte) error) error {
+	for s := 0; s < c.nSlots; s++ {
+		e := &c.entries[s]
+		if e.state != slotDirty {
+			continue
+		}
+		if err := c.readSlot(t, s, c.scratch); err != nil {
+			return fmt.Errorf("extcache: dirty page %d unreadable from cache: %w", e.pageNo, err)
+		}
+		if checksum32(c.scratch) != e.sum {
+			return fmt.Errorf("extcache: dirty page %d torn in cache (checksum mismatch)", e.pageNo)
+		}
+		if err := write(t, e.pageNo, c.scratch); err != nil {
+			return err
+		}
+		e.state = slotClean
+		c.dirtyResident.Add(-1)
+		c.writebacks.Add(1)
+		c.journalEntry(t, s)
+	}
+	return nil
+}
+
+// Checkpoint persists the cache map and truncates the mapping journal.
+// The map write is ordered before the truncation, so a cut between the
+// two replays journal records the map already reflects (idempotent).
+func (c *Cache) Checkpoint(t *sim.Task) {
+	if c.degraded.Load() {
+		return
+	}
+	if err := c.persistMap(t); err != nil {
+		return
+	}
+	if c.journal != nil {
+		if err := c.journal.Truncate(t); err != nil {
+			c.noteWriteErr(err)
+		}
+	}
+	c.fills = 0
+}
+
+// Degraded reports whether fills are disabled after a cache-device write
+// failure. Reads keep serving — verify-on-read makes that safe.
+func (c *Cache) Degraded() bool { return c.degraded.Load() }
+
+// Slots returns the number of page slots.
+func (c *Cache) Slots() int { return c.nSlots }
+
+// Stats returns a snapshot of cache counters and gauges.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Fills:              c.fillsN.Load(),
+		FillSkips:          c.fillSkips.Load(),
+		DirtyFills:         c.dirtyFills.Load(),
+		Writebacks:         c.writebacks.Load(),
+		Invalidations:      c.invalidations.Load(),
+		VerifyFailures:     c.verifyFailures.Load(),
+		MapCheckpoints:     c.mapCheckpoints.Load(),
+		RevalidatedKept:    c.revalKept.Load(),
+		RevalidatedDropped: c.revalDropped.Load(),
+		RecoveredDirty:     c.recovDirty.Load(),
+		Degraded:           c.degraded.Load(),
+		Slots:              c.nSlots,
+		Resident:           int(c.resident.Load()),
+		DirtyResident:      int(c.dirtyResident.Load()),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// internals
+
+// pickSlot returns the slot to fill for pageNo: its current slot if
+// resident, else a free slot, else a clean victim (clock scan). Dirty
+// slots are never evicted — their content may exist nowhere else until
+// writeback. Returns false when every slot is dirty.
+func (c *Cache) pickSlot(pageNo uint32) (int, bool) {
+	if s, ok := c.index[pageNo]; ok {
+		return s, true
+	}
+	for scanned := 0; scanned < c.nSlots; scanned++ {
+		s := c.clock
+		c.clock = (c.clock + 1) % c.nSlots
+		if c.entries[s].state == slotDirty {
+			continue
+		}
+		if c.entries[s].state == slotClean {
+			c.dropSlot(s)
+		}
+		return s, true
+	}
+	return 0, false
+}
+
+// install records the entry for a just-written slot.
+func (c *Cache) install(t *sim.Task, s int, pageNo uint32, data []byte, state uint8) {
+	var lsn uint64
+	if c.cfg.PageLSN != nil {
+		lsn, _ = c.cfg.PageLSN(data)
+	}
+	if old := c.entries[s]; old.state != slotFree {
+		if old.state == slotDirty {
+			c.dirtyResident.Add(-1)
+		}
+		if old.pageNo != pageNo {
+			delete(c.index, old.pageNo)
+			c.resident.Add(-1)
+		}
+	}
+	if _, ok := c.index[pageNo]; !ok {
+		c.resident.Add(1)
+	}
+	c.entries[s] = entry{pageNo: pageNo, lsn: lsn, sum: checksum32(data), state: state}
+	c.index[pageNo] = s
+	if state == slotDirty {
+		c.dirtyResident.Add(1)
+	}
+	c.fills++
+}
+
+// dropSlot frees a slot and its index entry.
+func (c *Cache) dropSlot(s int) {
+	e := &c.entries[s]
+	if e.state == slotFree {
+		return
+	}
+	if e.state == slotDirty {
+		c.dirtyResident.Add(-1)
+	}
+	delete(c.index, e.pageNo)
+	c.resident.Add(-1)
+	e.state = slotFree
+}
+
+// maybeCheckpoint persists the map every CheckpointEvery fills so a crash
+// loses bounded warmness.
+func (c *Cache) maybeCheckpoint(t *sim.Task) {
+	if c.fills >= c.cfg.CheckpointEvery {
+		c.Checkpoint(t)
+	}
+}
+
+// journalEntry appends slot s's current entry state to the mapping
+// journal (durable mode). Failures latch degradation; losing a record
+// only costs warmness — replay and revalidation tolerate stale maps.
+func (c *Cache) journalEntry(t *sim.Task, s int) {
+	if c.journal == nil || c.degraded.Load() {
+		return
+	}
+	var rec [4 + entrySize]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(s))
+	encodeEntry(rec[4:], c.entries[s])
+	if _, err := c.journal.Append(t, rec[:]); err != nil {
+		if err == wal.ErrFull {
+			// Fold the ring into a map checkpoint and retry once.
+			c.Checkpoint(t)
+			if c.degraded.Load() {
+				return
+			}
+			if _, err = c.journal.Append(t, rec[:]); err == nil {
+				return
+			}
+		}
+		c.noteWriteErr(err)
+	}
+}
+
+// persistMap writes the entry pages and then the header (with a checksum
+// covering the entry bytes), followed by a device flush. A cut between
+// the two leaves a header whose checksum no longer matches the entry
+// pages — detected at load, cold start, never stale data.
+func (c *Cache) persistMap(t *sim.Task) error {
+	unit := c.dev.PageSize()
+	for i := range c.mapBuf {
+		c.mapBuf[i] = 0
+	}
+	for s := 0; s < c.nSlots; s++ {
+		encodeEntry(c.mapBuf[s*entrySize:], c.entries[s])
+	}
+	for p := uint32(0); p < c.mapPages; p++ {
+		if err := c.dev.WritePage(t, 1+p, c.mapBuf[int(p)*unit:int(p+1)*unit]); err != nil {
+			c.noteWriteErr(err)
+			return err
+		}
+	}
+	c.gen++
+	h := c.hdrBuf
+	for i := range h {
+		h[i] = 0
+	}
+	binary.LittleEndian.PutUint32(h[4:], hdrMagic)
+	binary.LittleEndian.PutUint64(h[8:], c.gen)
+	binary.LittleEndian.PutUint32(h[16:], uint32(c.nSlots))
+	binary.LittleEndian.PutUint32(h[20:], uint32(c.cfg.PageSize))
+	binary.LittleEndian.PutUint32(h[24:], checksum32(c.mapBuf))
+	if c.cfg.Durable {
+		h[28] = 1
+	}
+	binary.LittleEndian.PutUint32(h[0:], checksum32(h[4:hdrLen]))
+	if err := c.dev.WritePage(t, 0, h); err != nil {
+		c.noteWriteErr(err)
+		return err
+	}
+	if err := c.dev.Flush(t); err != nil {
+		c.noteWriteErr(err)
+		return err
+	}
+	c.mapCheckpoints.Add(1)
+	return nil
+}
+
+// readSlot reads slot s's engine page into dst.
+func (c *Cache) readSlot(t *sim.Task, s int, dst []byte) error {
+	unit := c.dev.PageSize()
+	base := c.slotBase + uint32(s*c.slotPages)
+	for p := 0; p < c.slotPages; p++ {
+		if err := c.dev.ReadPage(t, base+uint32(p), dst[p*unit:(p+1)*unit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSlot writes one engine page into slot s.
+func (c *Cache) writeSlot(t *sim.Task, s int, data []byte) error {
+	unit := c.dev.PageSize()
+	base := c.slotBase + uint32(s*c.slotPages)
+	for p := 0; p < c.slotPages; p++ {
+		if err := c.dev.WritePage(t, base+uint32(p), data[p*unit:(p+1)*unit]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteWriteErr latches degradation on the first cache-device write
+// failure: the FTL only surfaces write errors it could not absorb
+// (read-only degradation, power loss), so further fills are pointless.
+// The transition is announced through the device's FTL event stream.
+func (c *Cache) noteWriteErr(err error) {
+	if err == nil {
+		return
+	}
+	if c.degraded.CompareAndSwap(false, true) {
+		if rec := c.dev.Metrics(); rec != nil {
+			rec.FTLEvent(ftl.Event{Type: ftl.EvCacheDegraded, Block: -1})
+		}
+	}
+}
+
+func encodeEntry(b []byte, e entry) {
+	binary.LittleEndian.PutUint32(b[0:], e.pageNo)
+	binary.LittleEndian.PutUint64(b[4:], e.lsn)
+	binary.LittleEndian.PutUint32(b[12:], e.sum)
+	b[16] = e.state
+	b[17], b[18], b[19] = 0, 0, 0
+}
+
+func decodeEntry(b []byte) entry {
+	return entry{
+		pageNo: binary.LittleEndian.Uint32(b[0:]),
+		lsn:    binary.LittleEndian.Uint64(b[4:]),
+		sum:    binary.LittleEndian.Uint32(b[12:]),
+		state:  b[16],
+	}
+}
+
+// checksum32 is the FNV-1a content checksum stored per entry and over the
+// map pages.
+func checksum32(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,572 @@
+package extcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+const testPage = 1024 // engine page; device pages are 512 → 2 per slot
+
+// mainStore stands in for the data device during revalidation.
+type mainStore map[uint32][]byte
+
+func (m mainStore) read(_ *sim.Task, pageNo uint32, dst []byte) error {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if v, ok := m[pageNo]; ok {
+		copy(dst, v)
+	}
+	return nil
+}
+
+func (m mainStore) put(pageNo uint32, data []byte) {
+	m[pageNo] = append([]byte(nil), data...)
+}
+
+func newDev(t *testing.T, blocks int) *ssd.Device {
+	t.Helper()
+	cfg := ssd.DefaultConfig(blocks)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 16
+	dev, err := ssd.New("cache", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func pageImage(pageNo uint32, version byte) []byte {
+	b := make([]byte, testPage)
+	for i := range b {
+		b[i] = byte(pageNo) ^ version ^ byte(i)
+	}
+	return b
+}
+
+func openCache(t *testing.T, dev *ssd.Device, main mainStore, durable bool) (*Cache, *sim.Task) {
+	t.Helper()
+	task := sim.NewSoloTask("t")
+	cfg := Config{PageSize: testPage, Durable: durable, MainRead: main.read}
+	if durable {
+		cfg.JournalPages = 8
+	}
+	c, err := Open(task, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, task
+}
+
+// reopen models a crash + restart on the same device.
+func reopen(t *testing.T, c *Cache, task *sim.Task, main mainStore) *Cache {
+	t.Helper()
+	dev := c.dev
+	dev.Crash()
+	dev.DisablePowerCut()
+	if err := dev.Recover(task); err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.cfg
+	cfg.MainRead = main.read
+	nc, err := Open(task, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// corruptSlot overwrites the first device page of pageNo's slot with
+// garbage, modeling a torn or scribbled cache write.
+func corruptSlot(t *testing.T, c *Cache, task *sim.Task, pageNo uint32) {
+	t.Helper()
+	s, ok := c.index[pageNo]
+	if !ok {
+		t.Fatalf("page %d not resident", pageNo)
+	}
+	junk := make([]byte, c.dev.PageSize())
+	for i := range junk {
+		junk[i] = 0xA5
+	}
+	lpn := c.slotBase + uint32(s*c.slotPages)
+	if err := c.dev.WritePage(task, lpn, junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.dev.Flush(task); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	dev := newDev(t, 64)
+	task := sim.NewSoloTask("t")
+	if _, err := Open(task, dev, Config{PageSize: 700}); err == nil {
+		t.Fatal("want error for page size not a multiple of the device page")
+	}
+	if _, err := Open(task, dev, Config{PageSize: 0}); err == nil {
+		t.Fatal("want error for zero page size")
+	}
+}
+
+func TestPutGetHit(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, false)
+	img := pageImage(7, 1)
+	c.Put(task, 7, img)
+	dst := make([]byte, testPage)
+	hit, err := c.Get(task, 7, dst)
+	if err != nil || !hit {
+		t.Fatalf("Get = %v, %v; want hit", hit, err)
+	}
+	if !bytes.Equal(dst, img) {
+		t.Fatal("hit content differs from fill")
+	}
+	if hit, _ := c.Get(task, 8, dst); hit {
+		t.Fatal("unexpected hit for never-filled page")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 || st.Resident != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVerifyFailureFallsBackToMiss(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, false)
+	c.Put(task, 3, pageImage(3, 1))
+	corruptSlot(t, c, task, 3)
+	dst := make([]byte, testPage)
+	hit, err := c.Get(task, 3, dst)
+	if err != nil || hit {
+		t.Fatalf("Get on corrupted clean entry = %v, %v; want miss, nil", hit, err)
+	}
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("VerifyFailures = %d, want 1", st.VerifyFailures)
+	}
+	if st.Resident != 0 {
+		t.Fatal("corrupted entry should have been invalidated")
+	}
+	// The entry is gone: the next Get is a plain miss, no second verify.
+	if hit, _ := c.Get(task, 3, dst); hit {
+		t.Fatal("invalidated entry served a hit")
+	}
+}
+
+func TestInvalidateDropsEntry(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, false)
+	c.Put(task, 9, pageImage(9, 1))
+	c.Invalidate(task, 9)
+	dst := make([]byte, testPage)
+	if hit, _ := c.Get(task, 9, dst); hit {
+		t.Fatal("invalidated entry served a hit")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Resident != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWarmRecoveryKeepsMatchingEntries(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, false)
+	for p := uint32(0); p < 5; p++ {
+		img := pageImage(p, 1)
+		main.put(p, img)
+		c.Put(task, p, img)
+	}
+	c.Checkpoint(task)
+
+	nc := reopen(t, c, task, main)
+	st := nc.Stats()
+	if st.RevalidatedKept != 5 || st.RevalidatedDropped != 0 {
+		t.Fatalf("revalidation kept %d dropped %d, want 5/0", st.RevalidatedKept, st.RevalidatedDropped)
+	}
+	dst := make([]byte, testPage)
+	for p := uint32(0); p < 5; p++ {
+		hit, err := nc.Get(task, p, dst)
+		if err != nil || !hit {
+			t.Fatalf("page %d: Get = %v, %v; want warm hit", p, hit, err)
+		}
+		if !bytes.Equal(dst, pageImage(p, 1)) {
+			t.Fatalf("page %d: warm hit content differs", p)
+		}
+	}
+}
+
+func TestRecoveryDropsStaleEntries(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, false)
+	img := pageImage(4, 1)
+	main.put(4, img)
+	c.Put(task, 4, img)
+	c.Checkpoint(task)
+
+	// The engine's recovery rolled the page forward: main now differs.
+	main.put(4, pageImage(4, 2))
+	nc := reopen(t, c, task, main)
+	st := nc.Stats()
+	if st.RevalidatedKept != 0 || st.RevalidatedDropped != 1 {
+		t.Fatalf("revalidation kept %d dropped %d, want 0/1", st.RevalidatedKept, st.RevalidatedDropped)
+	}
+	dst := make([]byte, testPage)
+	if hit, _ := nc.Get(task, 4, dst); hit {
+		t.Fatal("stale entry surfaced after recovery")
+	}
+}
+
+func TestRecoveryDropsTornCacheWrites(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, false)
+	img := pageImage(6, 1)
+	main.put(6, img)
+	c.Put(task, 6, img)
+	c.Checkpoint(task)
+	corruptSlot(t, c, task, 6) // torn slot write, map says otherwise
+
+	nc := reopen(t, c, task, main)
+	if st := nc.Stats(); st.RevalidatedKept != 0 || st.RevalidatedDropped != 1 {
+		t.Fatalf("revalidation kept %d dropped %d, want 0/1", st.RevalidatedKept, st.RevalidatedDropped)
+	}
+}
+
+func TestTornMapCheckpointColdStarts(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, false)
+	img := pageImage(2, 1)
+	main.put(2, img)
+	c.Put(task, 2, img)
+	c.Checkpoint(task)
+
+	// Scribble an entry page without rewriting the header: checksum over
+	// the entry pages no longer matches — a torn map checkpoint.
+	junk := make([]byte, c.dev.PageSize())
+	junk[0] = 0xFF
+	if err := c.dev.WritePage(task, 1, junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.dev.Flush(task); err != nil {
+		t.Fatal(err)
+	}
+	nc := reopen(t, c, task, main)
+	st := nc.Stats()
+	if st.RevalidatedKept != 0 || st.RevalidatedDropped != 0 || st.Resident != 0 {
+		t.Fatalf("torn map should cold-start; stats = %+v", st)
+	}
+}
+
+func TestPowerCutDegradesFillsKeepsServing(t *testing.T) {
+	main := mainStore{}
+	dev := newDev(t, 64)
+	c, task := openCache(t, dev, main, false)
+	c.Put(task, 1, pageImage(1, 1))
+
+	dev.PowerCutAfter(0)
+	c.Put(task, 2, pageImage(2, 1)) // must be swallowed
+	if !c.Degraded() {
+		t.Fatal("write failure did not latch degradation")
+	}
+	if got := dev.Metrics().EventCounts()["cache-degraded"]; got != 1 {
+		t.Fatalf("cache-degraded events = %d, want 1", got)
+	}
+	// Further fills are no-ops, no second event.
+	c.Put(task, 3, pageImage(3, 1))
+	if got := dev.Metrics().EventCounts()["cache-degraded"]; got != 1 {
+		t.Fatalf("degradation latched twice: %d events", got)
+	}
+	// Reads still serve: power loss on NAND fails mutations, not reads.
+	dst := make([]byte, testPage)
+	hit, err := c.Get(task, 1, dst)
+	if err != nil || !hit {
+		t.Fatalf("Get after degradation = %v, %v; want hit", hit, err)
+	}
+	if !bytes.Equal(dst, pageImage(1, 1)) {
+		t.Fatal("degraded-mode hit content differs")
+	}
+}
+
+func TestFaultPlanNeverSurfacesWrongData(t *testing.T) {
+	// Property: with aggressive read faults on the cache device, a Get
+	// either misses or returns exactly the bytes that were filled.
+	main := mainStore{}
+	dev := newDev(t, 64)
+	c, task := openCache(t, dev, main, false)
+	want := map[uint32][]byte{}
+	for p := uint32(0); p < 16; p++ {
+		img := pageImage(p, 1)
+		want[p] = img
+		c.Put(task, p, img)
+	}
+	plan := nand.NewFaultPlan(42)
+	plan.PReadCorrectable = 0.2
+	plan.PReadUncorrectable = 0.2
+	if err := dev.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, testPage)
+	hits, misses := 0, 0
+	for round := 0; round < 4; round++ {
+		for p := uint32(0); p < 16; p++ {
+			hit, err := c.Get(task, p, dst)
+			if err != nil {
+				t.Fatalf("clean-mode Get returned error: %v", err)
+			}
+			if hit {
+				hits++
+				if !bytes.Equal(dst, want[p]) {
+					t.Fatalf("page %d: hit returned wrong bytes under faults", p)
+				}
+			} else {
+				misses++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("fault plan killed every read; test proves nothing")
+	}
+	t.Logf("hits=%d misses=%d verifyFailures=%d", hits, misses, c.Stats().VerifyFailures)
+}
+
+func TestPutDirtyWritebackCycle(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, true)
+	for p := uint32(0); p < 4; p++ {
+		if err := c.PutDirty(task, p, pageImage(p, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SyncJournal(task)
+	if st := c.Stats(); st.DirtyFills != 4 || st.DirtyResident != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dst := make([]byte, testPage)
+	hit, err := c.Get(task, 2, dst)
+	if err != nil || !hit || !bytes.Equal(dst, pageImage(2, 1)) {
+		t.Fatalf("dirty entry not served: %v %v", hit, err)
+	}
+
+	var wrote []uint32
+	err = c.WritebackAll(task, func(_ *sim.Task, pageNo uint32, data []byte) error {
+		if !bytes.Equal(data, pageImage(pageNo, 1)) {
+			t.Fatalf("writeback of page %d carries wrong bytes", pageNo)
+		}
+		wrote = append(wrote, pageNo)
+		main.put(pageNo, data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 4 {
+		t.Fatalf("wrote %d pages back, want 4", len(wrote))
+	}
+	st := c.Stats()
+	if st.Writebacks != 4 || st.DirtyResident != 0 || st.Resident != 4 {
+		t.Fatalf("stats after writeback = %+v", st)
+	}
+	// Second writeback is a no-op: everything is clean now.
+	if err := c.WritebackAll(task, func(_ *sim.Task, _ uint32, _ []byte) error {
+		t.Fatal("clean entry written back")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnreadableDirtyEntryIsAnError(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, true)
+	if err := c.PutDirty(task, 5, pageImage(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	corruptSlot(t, c, task, 5)
+
+	// Get must NOT fall back to the (stale) data device.
+	dst := make([]byte, testPage)
+	if _, err := c.Get(task, 5, dst); err == nil {
+		t.Fatal("Get on torn dirty entry must error, not miss")
+	}
+	// Writeback must fail too: redo is the only remaining copy and the
+	// engine must keep it.
+	err := c.WritebackAll(task, func(_ *sim.Task, _ uint32, _ []byte) error { return nil })
+	if err == nil {
+		t.Fatal("WritebackAll over a torn dirty entry must fail")
+	}
+	if !strings.Contains(err.Error(), "torn in cache") {
+		t.Fatalf("unexpected writeback error: %v", err)
+	}
+}
+
+func TestPutNeverDowngradesDirtyEntry(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, true)
+	newer := pageImage(8, 2)
+	if err := c.PutDirty(task, 8, newer); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(task, 8, pageImage(8, 1)) // stale clean image from an eviction
+	dst := make([]byte, testPage)
+	hit, err := c.Get(task, 8, dst)
+	if err != nil || !hit {
+		t.Fatalf("Get = %v, %v", hit, err)
+	}
+	if !bytes.Equal(dst, newer) {
+		t.Fatal("clean Put downgraded a dirty entry")
+	}
+	if st := c.Stats(); st.DirtyResident != 1 {
+		t.Fatalf("DirtyResident = %d, want 1", st.DirtyResident)
+	}
+}
+
+func TestCacheFullAndDrain(t *testing.T) {
+	c, task := openCache(t, newDev(t, 16), mainStore{}, true)
+	n := c.Slots()
+	for p := 0; p < n; p++ {
+		if err := c.PutDirty(task, uint32(p), pageImage(uint32(p), 1)); err != nil {
+			t.Fatalf("fill %d/%d: %v", p, n, err)
+		}
+	}
+	err := c.PutDirty(task, uint32(n), pageImage(uint32(n), 1))
+	if !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("PutDirty on full cache = %v, want ErrCacheFull", err)
+	}
+	// Clean fills on an all-dirty cache are silently skipped, never evict.
+	c.Put(task, uint32(n+1), pageImage(uint32(n+1), 1))
+	if st := c.Stats(); st.Fills != 0 {
+		t.Fatal("clean fill evicted a dirty slot")
+	}
+	if err := c.WritebackAll(task, func(_ *sim.Task, _ uint32, _ []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDirty(task, uint32(n), pageImage(uint32(n), 1)); err != nil {
+		t.Fatalf("PutDirty after drain: %v", err)
+	}
+}
+
+func TestDirtyEntriesSurviveCrashWhenWrittenBack(t *testing.T) {
+	// Dirty entries written back before the crash revalidate clean; dirty
+	// entries main never received are dropped (redo replay re-creates
+	// them) — either way no stale data.
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, true)
+	for p := uint32(0); p < 6; p++ {
+		if err := c.PutDirty(task, p, pageImage(p, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SyncJournal(task)
+	// Pages 0-2 reached their homes before the crash, 3-5 did not.
+	for p := uint32(0); p < 3; p++ {
+		main.put(p, pageImage(p, 1))
+	}
+
+	nc := reopen(t, c, task, main)
+	st := nc.Stats()
+	if st.RevalidatedKept != 3 || st.RevalidatedDropped != 3 {
+		t.Fatalf("revalidation kept %d dropped %d, want 3/3", st.RevalidatedKept, st.RevalidatedDropped)
+	}
+	if st.RecoveredDirty != 3 {
+		t.Fatalf("RecoveredDirty = %d, want 3", st.RecoveredDirty)
+	}
+	if st.DirtyResident != 0 {
+		t.Fatal("recovered entries must come back clean — redo owns dirty content")
+	}
+	dst := make([]byte, testPage)
+	for p := uint32(0); p < 3; p++ {
+		hit, err := nc.Get(task, p, dst)
+		if err != nil || !hit || !bytes.Equal(dst, pageImage(p, 1)) {
+			t.Fatalf("page %d: written-back entry not warm", p)
+		}
+	}
+	for p := uint32(3); p < 6; p++ {
+		if hit, _ := nc.Get(task, p, dst); hit {
+			t.Fatalf("page %d: unwritten dirty entry surfaced after crash", p)
+		}
+	}
+}
+
+func TestJournalFullFoldsIntoCheckpoint(t *testing.T) {
+	c, task := openCache(t, newDev(t, 64), mainStore{}, true)
+	before := c.Stats().MapCheckpoints
+	// 8 journal pages of 512 B fill quickly; every overflow must fold into
+	// a map checkpoint and keep going, never degrade.
+	for i := 0; i < 400; i++ {
+		p := uint32(i % 10)
+		if err := c.PutDirty(task, p, pageImage(p, byte(i))); err != nil {
+			t.Fatalf("PutDirty %d: %v", i, err)
+		}
+		if err := c.WritebackAll(task, func(_ *sim.Task, _ uint32, _ []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Degraded() {
+		t.Fatal("journal wrap degraded the cache")
+	}
+	if c.Stats().MapCheckpoints == before {
+		t.Fatal("journal never folded into a checkpoint")
+	}
+}
+
+func TestPutSkipsUnstampedPages(t *testing.T) {
+	task := sim.NewSoloTask("t")
+	c, err := Open(task, newDev(t, 64), Config{
+		PageSize: testPage,
+		PageLSN:  func(data []byte) (uint64, bool) { return 0, data[0] == 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstamped := make([]byte, testPage) // data[0]=0 → never flushed
+	c.Put(task, 1, unstamped)
+	if st := c.Stats(); st.Fills != 0 || st.Resident != 0 {
+		t.Fatal("unstamped page was cached")
+	}
+	stamped := make([]byte, testPage)
+	stamped[0] = 1
+	c.Put(task, 1, stamped)
+	if st := c.Stats(); st.Fills != 1 || st.Resident != 1 {
+		t.Fatal("stamped page was not cached")
+	}
+}
+
+func TestCleanEvictionReusesSlots(t *testing.T) {
+	c, task := openCache(t, newDev(t, 16), mainStore{}, false)
+	n := c.Slots()
+	// Fill 2n distinct pages through n slots: the clock must evict clean
+	// entries, and residency never exceeds the slot count.
+	for p := uint32(0); p < uint32(2*n); p++ {
+		c.Put(task, p, pageImage(p, 1))
+		if st := c.Stats(); st.Resident > st.Slots {
+			t.Fatalf("resident %d > slots %d", st.Resident, st.Slots)
+		}
+	}
+	if st := c.Stats(); st.Fills != int64(2*n) {
+		t.Fatalf("fills = %d, want %d", st.Fills, 2*n)
+	}
+}
+
+func TestStatsSnapshotConsistency(t *testing.T) {
+	main := mainStore{}
+	c, task := openCache(t, newDev(t, 64), main, false)
+	for p := uint32(0); p < 8; p++ {
+		c.Put(task, p, pageImage(p, 1))
+	}
+	dst := make([]byte, testPage)
+	for p := uint32(0); p < 12; p++ {
+		if _, err := c.Get(task, p, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 8 || st.Misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 8/4", st.Hits, st.Misses)
+	}
+	if st.Slots != c.Slots() || st.Resident != 8 || st.Degraded {
+		t.Fatalf("gauges = %+v", st)
+	}
+	if fmt.Sprint(st) == "" {
+		t.Fatal("unprintable stats")
+	}
+}

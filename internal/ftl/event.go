@@ -44,6 +44,11 @@ const (
 	// whose predicted media risk crossed the patrol threshold. Block =
 	// refreshed block, A = its risk level at refresh time.
 	EvPatrolRefresh
+	// EvCacheDegraded: a host-side extended cache stopped filling this
+	// device after a write failure (read-only degradation or power loss).
+	// Emitted by internal/extcache through the device's metrics recorder,
+	// not by the FTL itself.
+	EvCacheDegraded
 
 	numEventTypes
 )
@@ -62,6 +67,7 @@ var eventNames = [numEventTypes]string{
 	EvReadRetry:     "read-retry",
 	EvScrub:         "scrub",
 	EvPatrolRefresh: "patrol-refresh",
+	EvCacheDegraded: "cache-degraded",
 }
 
 func (e EventType) String() string {

@@ -1,0 +1,236 @@
+package innodb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"share/internal/nand"
+	"share/internal/sim"
+	"share/internal/ssd"
+)
+
+// fastCacheDevice builds the dedicated cache-tier device: smaller and
+// faster than the data device, like the SLC cache drive FaCE assumes.
+func fastCacheDevice(t *testing.T) *ssd.Device {
+	t.Helper()
+	cfg := ssd.DefaultConfig(128)
+	cfg.Geometry.PageSize = 512
+	cfg.Geometry.PagesPerBlock = 32
+	cfg.Timing = nand.Timing{
+		ReadPage: 25 * sim.Microsecond,
+		Program:  200 * sim.Microsecond,
+		Erase:    1000 * sim.Microsecond,
+		Transfer: 5 * sim.Microsecond,
+	}
+	dev, err := ssd.New("cache", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// newCacheRig builds a rig with a third (cache) device attached and a
+// pool small enough that reads spill through it.
+func newCacheRig(t *testing.T, writeBack bool) (*testRig, *ssd.Device) {
+	t.Helper()
+	cacheDev := fastCacheDevice(t)
+	r := newRig(t, DWBOn, func(c *Config) {
+		c.PoolBytes = 16 * 1024 // 16 frames: evictions happen fast
+		c.CacheDev = cacheDev
+		c.CacheWriteBack = writeBack
+	})
+	if _, err := r.eng.CreateTable(r.task, "t"); err != nil {
+		t.Fatal(err)
+	}
+	return r, cacheDev
+}
+
+// reopenAll crashes every device (data, log, cache) and reopens the
+// engine — a whole-machine power failure.
+func (r *testRig) reopenAll(t *testing.T, cacheDev *ssd.Device) {
+	t.Helper()
+	for _, d := range []*ssd.Device{r.logDev, cacheDev} {
+		d.Crash()
+		d.DisablePowerCut()
+		if err := d.Recover(r.task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.reopen(t)
+}
+
+func cacheVal(i int) string {
+	return fmt.Sprintf("v%04d-%s", i, strings.Repeat("x", 160))
+}
+
+// fillAndVerify inserts n rows and reads them all back twice: the second
+// sweep runs over a pool too small to hold them, so misses go through
+// the cache tier.
+func fillAndVerify(t *testing.T, r *testRig, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		put(t, r, "t", fmt.Sprintf("k%04d", i), cacheVal(i))
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < n; i++ {
+			v, ok := get(t, r, "t", fmt.Sprintf("k%04d", i))
+			if !ok || v != cacheVal(i) {
+				t.Fatalf("sweep %d key k%04d: got %q ok=%v", sweep, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestCacheServesEvictedPages(t *testing.T) {
+	r, _ := newCacheRig(t, false)
+	fillAndVerify(t, r, 120)
+	st := r.eng.Stats()
+	if st.CacheFills == 0 {
+		t.Fatal("no clean evictions reached the cache")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("no pool misses were served from the cache")
+	}
+	if st.CacheDegraded {
+		t.Fatal("cache degraded on a healthy device")
+	}
+}
+
+func TestCacheFaultedReadsFallBackToMain(t *testing.T) {
+	r, cacheDev := newCacheRig(t, false)
+	fillAndVerify(t, r, 120)
+	// From here on every cache read has a high chance of failing; the
+	// engine must keep returning correct data from the tablespace.
+	plan := nand.NewFaultPlan(7)
+	plan.PReadUncorrectable = 0.5
+	if err := cacheDev.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	fillAndVerify(t, r, 120)
+	st := r.eng.Stats()
+	if st.CacheVerifyFails == 0 {
+		t.Fatal("fault plan injected no cache read failures; test proves nothing")
+	}
+}
+
+func TestCachePowerCutDegradesEngineKeepsServing(t *testing.T) {
+	r, cacheDev := newCacheRig(t, false)
+	fillAndVerify(t, r, 60)
+	cacheDev.PowerCutAfter(0)
+	// Writes and reads keep working: fills are swallowed, reads that the
+	// dead device still serves are verified, the tablespace covers the rest.
+	fillAndVerify(t, r, 120)
+	st := r.eng.Stats()
+	if !st.CacheDegraded {
+		t.Fatal("engine stats never surfaced cache degradation")
+	}
+	if r.eng.Degraded() {
+		t.Fatal("cache-device loss must not degrade the engine itself")
+	}
+	if got := cacheDev.Metrics().EventCounts()["cache-degraded"]; got != 1 {
+		t.Fatalf("cache-degraded events = %d, want 1", got)
+	}
+}
+
+func TestCacheWarmAfterRestart(t *testing.T) {
+	r, cacheDev := newCacheRig(t, false)
+	fillAndVerify(t, r, 120)
+	// Persist the cache map, then cut power everywhere.
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		t.Fatal(err)
+	}
+	r.reopenAll(t, cacheDev)
+
+	cst := r.eng.Cache().Stats()
+	if cst.RevalidatedKept == 0 {
+		t.Fatal("no cache entries survived the restart — cache came back cold")
+	}
+	// The surviving entries serve immediately, before any new eviction.
+	for i := 0; i < 120; i++ {
+		v, ok := get(t, r, "t", fmt.Sprintf("k%04d", i))
+		if !ok || v != cacheVal(i) {
+			t.Fatalf("key k%04d wrong after warm restart", i)
+		}
+	}
+	if hits := r.eng.Stats().CacheHits; hits == 0 {
+		t.Fatal("warm cache produced no hits after restart")
+	}
+}
+
+func TestCacheWriteBackDurability(t *testing.T) {
+	r, cacheDev := newCacheRig(t, true)
+	fillAndVerify(t, r, 120)
+	st := r.eng.Stats()
+	if st.CacheDirtyFills == 0 {
+		t.Fatal("write-back mode absorbed no flush batches")
+	}
+
+	// Crash without a checkpoint: redo replay must reproduce every row
+	// even though flushed pages only ever reached the cache device.
+	r.reopenAll(t, cacheDev)
+	for i := 0; i < 120; i++ {
+		v, ok := get(t, r, "t", fmt.Sprintf("k%04d", i))
+		if !ok || v != cacheVal(i) {
+			t.Fatalf("key k%04d lost across write-back crash", i)
+		}
+	}
+}
+
+func TestCacheWriteBackCheckpointDrainsDirty(t *testing.T) {
+	r, cacheDev := newCacheRig(t, true)
+	fillAndVerify(t, r, 120)
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		t.Fatal(err)
+	}
+	st := r.eng.Stats()
+	if st.CacheWritebacks == 0 {
+		t.Fatal("checkpoint drained no dirty cache entries")
+	}
+	if dr := r.eng.Cache().Stats().DirtyResident; dr != 0 {
+		t.Fatalf("%d dirty entries survived the checkpoint", dr)
+	}
+
+	// After the checkpoint the tablespace holds everything; even losing
+	// the whole cache map is harmless.
+	r.reopenAll(t, cacheDev)
+	for i := 0; i < 120; i++ {
+		v, ok := get(t, r, "t", fmt.Sprintf("k%04d", i))
+		if !ok || v != cacheVal(i) {
+			t.Fatalf("key k%04d lost after checkpointed crash", i)
+		}
+	}
+}
+
+func TestCacheWriteBackDegradedFallsBackToPipeline(t *testing.T) {
+	r, cacheDev := newCacheRig(t, true)
+	fillAndVerify(t, r, 60)
+	cacheDev.PowerCutAfter(0)
+	// Flush batches must reroute to the regular doublewrite pipeline.
+	fillAndVerify(t, r, 120)
+	if err := r.eng.Checkpoint(r.task); err != nil {
+		t.Fatal(err)
+	}
+	if !r.eng.Stats().CacheDegraded {
+		t.Fatal("degradation not surfaced")
+	}
+	// Full-machine restart: committed data intact without the cache.
+	r.reopenAll(t, cacheDev)
+	for i := 0; i < 120; i++ {
+		v, ok := get(t, r, "t", fmt.Sprintf("k%04d", i))
+		if !ok || v != cacheVal(i) {
+			t.Fatalf("key k%04d lost across degraded-cache crash", i)
+		}
+	}
+}
+
+func TestCacheStatsFlowThroughEngine(t *testing.T) {
+	r, _ := newCacheRig(t, false)
+	fillAndVerify(t, r, 80)
+	st := r.eng.Stats()
+	cst := r.eng.Cache().Stats()
+	if st.CacheHits != cst.Hits || st.CacheFills != cst.Fills ||
+		st.CacheVerifyFails != cst.VerifyFailures || st.CacheDegraded != cst.Degraded {
+		t.Fatalf("engine stats %+v diverge from cache stats %+v", st, cst)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"share/internal/btree"
 	"share/internal/bufpool"
+	"share/internal/extcache"
 	"share/internal/fsim"
 	"share/internal/ftl"
 	"share/internal/sim"
@@ -90,6 +91,19 @@ type Config struct {
 	// the redo log claims stream 0 of its own device. No effect when the
 	// devices are single-stream.
 	StreamHints bool
+	// CacheDev attaches a flash-extended buffer cache on its own device:
+	// clean buffer-pool evictions spill to it and misses try it before
+	// the tablespace. The cache map is persistent, so it comes back warm
+	// after a crash (revalidated against the tablespace); a faulted,
+	// degraded or power-cut cache device never fails a transaction — the
+	// engine just stops getting hits (Stats.CacheDegraded).
+	CacheDev *ssd.Device
+	// CacheWriteBack switches the cache to durable-dirty mode: flush
+	// batches land on the cache device (journaled in its mapping journal)
+	// instead of the tablespace, and checkpoints write dirty entries back
+	// before truncating redo. If the cache degrades mid-run, flushes fall
+	// back to the regular pipeline. Requires CacheDev.
+	CacheWriteBack bool
 }
 
 // Stream layout when StreamHints is on (hints are clamped by the device,
@@ -157,6 +171,7 @@ type Engine struct {
 	logDev *ssd.Device
 	log    *wal.Log
 	pool   *bufpool.Pool
+	cache  *extcache.Cache // nil without Config.CacheDev
 	cfg    Config
 
 	mu     sim.Mutex // transaction lock (coarse two-phase locking)
@@ -224,6 +239,14 @@ type Stats struct {
 
 	ReadOnlyTransitions int64 // device degradations observed (0 or 1)
 	Degraded            bool  // gauge: engine is serving read-only
+
+	// Extended-cache telemetry (zero without Config.CacheDev).
+	CacheHits        int64 // pool misses served from the cache device
+	CacheFills       int64 // clean evictions spilled to the cache
+	CacheDirtyFills  int64 // flush pages absorbed by the write-back cache
+	CacheWritebacks  int64 // dirty cache entries written back at checkpoints
+	CacheVerifyFails int64 // cache reads rejected by verify-on-read
+	CacheDegraded    bool  // gauge: cache device stopped accepting fills
 }
 
 // Open creates or recovers an engine on fs with its redo log on logDev.
@@ -309,8 +332,48 @@ func Open(t *sim.Task, fs *fsim.FS, logDev *ssd.Device, cfg Config) (*Engine, er
 			return nil, err
 		}
 	}
+	// The extended cache attaches after recovery: redo replay has rolled
+	// the tablespace to the newest committed state, so the cache map's
+	// revalidation compares surviving entries against final content.
+	if cfg.CacheDev != nil {
+		if err := e.attachCache(t, cfg.CacheDev); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
+
+// attachCache opens the flash-extended cache on dev (recovering any
+// surviving warm map) and wires it into the buffer pool: misses try the
+// cache before the tablespace, and clean evictions fill it.
+func (e *Engine) attachCache(t *sim.Task, dev *ssd.Device) error {
+	ps := int64(e.cfg.PageSize)
+	c, err := extcache.Open(t, dev, extcache.Config{
+		PageSize: e.cfg.PageSize,
+		Durable:  e.cfg.CacheWriteBack,
+		MainRead: func(t *sim.Task, pageNo uint32, dst []byte) error {
+			_, err := e.file.ReadAt(t, dst, ps*int64(pageNo))
+			return err
+		},
+		PageLSN: func(d []byte) (uint64, bool) {
+			return btree.LSN(d), btree.VerifyChecksum(d)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	e.cache = c
+	e.pool.CacheRead = func(t *sim.Task, pageNo uint32, dst []byte) (bool, error) {
+		return c.Get(t, pageNo, dst)
+	}
+	e.pool.OnEvict = func(t *sim.Task, pageNo uint32, data []byte) {
+		c.Put(t, pageNo, data)
+	}
+	return nil
+}
+
+// Cache exposes the flash-extended cache (nil when not configured).
+func (e *Engine) Cache() *extcache.Cache { return e.cache }
 
 // initMeta formats the meta page of a fresh tablespace.
 func (e *Engine) initMeta(t *sim.Task) error {
@@ -474,6 +537,15 @@ func (e *Engine) Stats() Stats {
 	st.GroupedTxns = atomic.LoadInt64(&e.st.GroupedTxns)
 	st.ReadOnlyTransitions = atomic.LoadInt64(&e.st.ReadOnlyTransitions)
 	st.Degraded = e.degraded.Load()
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheFills = cs.Fills
+		st.CacheDirtyFills = cs.DirtyFills
+		st.CacheWritebacks = cs.Writebacks
+		st.CacheVerifyFails = cs.VerifyFailures
+		st.CacheDegraded = cs.Degraded
+	}
 	return st
 }
 
@@ -604,11 +676,26 @@ func (e *Engine) checkpointLocked(t *sim.Task) error {
 	if err := e.pool.FlushAll(t); err != nil {
 		return e.noteDeviceErr(err)
 	}
+	// Write-back cache: dirty cache entries must reach their tablespace
+	// homes before redo is truncated — after this point redo no longer
+	// covers them, so the cache must not be their sole holder. A failed
+	// writeback (unreadable dirty entry on a dying cache device) aborts
+	// the checkpoint: redo is preserved and nothing committed is lost.
+	if e.cache != nil && e.cfg.CacheWriteBack {
+		if err := e.cacheWriteback(t); err != nil {
+			return e.noteDeviceErr(err)
+		}
+	}
 	if err := e.fs.SyncMeta(t); err != nil {
 		return e.noteDeviceErr(err)
 	}
 	if err := e.log.Truncate(t); err != nil {
 		return e.noteDeviceErr(err)
+	}
+	if e.cache != nil {
+		// Persist the cache map alongside the engine checkpoint so a crash
+		// restarts with a warm cache (failures only cost warmness).
+		e.cache.Checkpoint(t)
 	}
 	e.imagesSinceCkpt = 0
 	atomic.AddInt64(&e.st.Checkpoints, 1)

@@ -2,12 +2,14 @@ package innodb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"share/internal/btree"
 	"share/internal/bufpool"
 	"share/internal/core"
+	"share/internal/extcache"
 	"share/internal/sim"
 	"share/internal/ssd"
 )
@@ -30,23 +32,104 @@ func (fl *flusher) FlushBatch(t *sim.Task, pages []bufpool.PageImage) error {
 		btree.SetLSN(pg.Data, lsn)
 		btree.SetChecksum(pg.Data)
 	}
+	// Write-back cache mode: the batch lands on the cache device instead
+	// of the tablespace. The images are already redo-durable (no-steal),
+	// so a cache that degrades mid-batch simply falls back to the regular
+	// pipeline below — nothing is lost either way.
+	if e.cache != nil && e.cfg.CacheWriteBack {
+		if done, err := fl.cacheBatch(t, pages); done {
+			return err
+		}
+	}
+	var err error
 	switch e.cfg.FlushMode {
 	case DWBOff:
-		return fl.writeHome(t, pages, true)
+		err = fl.writeHome(t, pages, true)
 	case DWBOn:
-		if err := fl.writeDWB(t, pages); err != nil {
-			return err
+		if err = fl.writeDWB(t, pages); err == nil {
+			err = fl.writeHome(t, pages, true)
 		}
-		return fl.writeHome(t, pages, true)
 	case Share:
-		if err := fl.writeDWB(t, pages); err != nil {
-			return err
+		if err = fl.writeDWB(t, pages); err == nil {
+			err = fl.shareHome(t, pages)
 		}
-		return fl.shareHome(t, pages)
 	case AtomicWrite:
-		return fl.atomicHome(t, pages)
+		err = fl.atomicHome(t, pages)
+	default:
+		err = fmt.Errorf("innodb: unknown flush mode %d", e.cfg.FlushMode)
 	}
-	return fmt.Errorf("innodb: unknown flush mode %d", e.cfg.FlushMode)
+	if err != nil {
+		return err
+	}
+	// The tablespace copies just moved past whatever the cache holds.
+	if e.cache != nil {
+		for _, pg := range pages {
+			e.cache.Invalidate(t, pg.PageNo)
+		}
+	}
+	return nil
+}
+
+// cacheBatch routes one flush batch into the write-back cache. It returns
+// done=false when the batch should instead take the regular pipeline: the
+// cache is degraded, or it is saturated with dirty entries and a
+// writeback attempt could not drain it.
+func (fl *flusher) cacheBatch(t *sim.Task, pages []bufpool.PageImage) (done bool, err error) {
+	e := fl.e
+	for _, pg := range pages {
+		perr := e.cache.PutDirty(t, pg.PageNo, pg.Data)
+		if errors.Is(perr, extcache.ErrCacheFull) {
+			// Drain dirty entries to their homes and retry this page once.
+			if werr := e.cacheWriteback(t); werr == nil {
+				perr = e.cache.PutDirty(t, pg.PageNo, pg.Data)
+			}
+		}
+		if perr != nil {
+			// Degraded (or still full): replay the whole batch through the
+			// regular pipeline. Pages already absorbed stay cached as dirty —
+			// writing the full batch home keeps them consistent, and the
+			// Invalidate pass in FlushBatch drops their stale entries.
+			return false, nil
+		}
+	}
+	e.cache.SyncJournal(t)
+	return true, nil
+}
+
+// cacheWriteback drains every dirty cache entry to its tablespace home
+// and syncs the file — the write-back half of a checkpoint, also used to
+// un-saturate the cache mid-run.
+func (e *Engine) cacheWriteback(t *sim.Task) error {
+	wrote := false
+	err := e.cache.WritebackAll(t, func(t *sim.Task, pageNo uint32, data []byte) error {
+		wrote = true
+		return e.homeWrite(t, pageNo, data)
+	})
+	if err != nil {
+		return err
+	}
+	if wrote {
+		return e.file.Sync(t)
+	}
+	return nil
+}
+
+// homeWrite writes one engine page at its tablespace home with the same
+// stream steering as writeHome.
+func (e *Engine) homeWrite(t *sim.Task, pageNo uint32, data []byte) error {
+	stream := e.file.Stream()
+	if e.cfg.StreamHints && e.fs.Device().Streams() > 1 {
+		if pageNo != 0 && btree.IsLeaf(data) {
+			stream = streamHeap
+		} else {
+			stream = streamIndex
+		}
+	}
+	if _, err := e.file.WriteAtStream(t, data, int64(e.cfg.PageSize)*int64(pageNo), stream); err != nil {
+		return err
+	}
+	atomic.AddInt64(&e.st.PagesToHome, 1)
+	return nil
 }
 
 // atomicHome writes the batch once at the home locations through the

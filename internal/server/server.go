@@ -17,13 +17,19 @@
 //	STATS                 one-line server and tenant counters
 //	QUIT                  close the connection
 //
-// Responses are OK, VAL <bytes>, NIL, or ERR <message>. Keys must not
+// Responses are OK, VAL <bytes>, NIL, or ERR <message>. A degraded
+// store — the device exhausted its spare blocks and fell back to
+// read-only serving — answers mutations with the typed form
+// "ERR DEGRADED <message>", so clients can tell a durable read-only
+// condition (retrying is pointless, reads still work) from a transient
+// fault, and STATS reports it as a degraded=0|1 field. Keys must not
 // contain spaces; keys and values must not contain newlines.
 package server
 
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -31,6 +37,8 @@ import (
 
 	"share/internal/couch"
 	"share/internal/fsim"
+	"share/internal/ftl"
+	"share/internal/nand"
 	"share/internal/qos"
 	"share/internal/sim"
 	"share/internal/ssd"
@@ -38,13 +46,15 @@ import (
 
 // Config sizes the serving stack.
 type Config struct {
-	Blocks       int          // device blocks (0: 512)
-	Channels     int          // NAND channels (0: 4)
-	PageSize     int          // device page size (0: 4096)
-	JournalPages int          // fsim journal pages (0: 64)
-	Quantum      sim.Duration // fair-share quantum (0: qos.DefaultQuantum)
-	BatchSize    int          // couch sets per durable batch (0: 8)
-	ShareMode    bool         // use SHARE remapping for commits
+	Blocks       int             // device blocks (0: 512)
+	Channels     int             // NAND channels (0: 4)
+	PageSize     int             // device page size (0: 4096)
+	JournalPages int             // fsim journal pages (0: 64)
+	Quantum      sim.Duration    // fair-share quantum (0: qos.DefaultQuantum)
+	BatchSize    int             // couch sets per durable batch (0: 8)
+	ShareMode    bool            // use SHARE remapping for commits
+	SpareBlocks  int             // block-retirement budget override (0: derived)
+	Fault        *nand.FaultPlan // optional NAND fault injection
 }
 
 func (c *Config) setDefaults() {
@@ -90,6 +100,8 @@ func New(cfg Config) (*Server, error) {
 	dcfg := ssd.DefaultConfig(cfg.Blocks)
 	dcfg.Geometry.PageSize = cfg.PageSize
 	dcfg.Geometry.Channels = cfg.Channels
+	dcfg.FTL.SpareBlocks = cfg.SpareBlocks
+	dcfg.Fault = cfg.Fault
 	dev, err := ssd.New("shareserver", dcfg)
 	if err != nil {
 		return nil, err
@@ -172,6 +184,16 @@ func (s *Server) Close() error {
 	return err
 }
 
+// errLine renders err as a wire error. Read-only degradation — the
+// couch store's latched state or the raw device error underneath it —
+// gets the typed "ERR DEGRADED" form; everything else stays a plain ERR.
+func errLine(err error) string {
+	if errors.Is(err, couch.ErrReadOnly) || errors.Is(err, ftl.ErrReadOnly) {
+		return "ERR DEGRADED " + err.Error()
+	}
+	return "ERR " + err.Error()
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	id := s.connSeq.Add(1)
@@ -219,7 +241,7 @@ func (s *Server) handle(conn net.Conn) {
 			st, err = s.store(task, tenant)
 			if err != nil {
 				st = nil
-				if !reply("ERR " + err.Error()) {
+				if !reply(errLine(err)) {
 					return
 				}
 				continue
@@ -236,7 +258,7 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			if err := st.Set(task, key, val); err != nil {
-				if !reply("ERR " + err.Error()) {
+				if !reply(errLine(err)) {
 					return
 				}
 				continue
@@ -254,7 +276,7 @@ func (s *Server) handle(conn net.Conn) {
 			v, ok, err := st.Get(task, rest)
 			switch {
 			case err != nil:
-				if !reply("ERR " + err.Error()) {
+				if !reply(errLine(err)) {
 					return
 				}
 			case !ok:
@@ -276,7 +298,7 @@ func (s *Server) handle(conn net.Conn) {
 			found, err := st.Delete(task, rest)
 			switch {
 			case err != nil:
-				if !reply("ERR " + err.Error()) {
+				if !reply(errLine(err)) {
 					return
 				}
 			case !found:
@@ -296,7 +318,7 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			if err := st.Commit(task); err != nil {
-				if !reply("ERR " + err.Error()) {
+				if !reply(errLine(err)) {
 					return
 				}
 				continue
@@ -322,12 +344,18 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // statsLine renders device and admission counters, plus the selected
-// tenant's store counters when one is in use.
+// tenant's store counters when one is in use. degraded reflects the
+// read-only condition a client would hit on its next mutation: the
+// device out of spare blocks, or this tenant's store already latched.
 func (s *Server) statsLine(t *sim.Task, st *couch.Store) string {
 	dst := s.dev.Stats()
 	ast := s.adm.Stats(t)
-	line := fmt.Sprintf("OK reads=%d writes=%d admits=%d throttles=%d",
-		dst.FTL.HostReads, dst.FTL.HostWrites, ast.Admits, ast.Throttles)
+	degraded := 0
+	if s.dev.ReadOnly() || (st != nil && st.Degraded()) {
+		degraded = 1
+	}
+	line := fmt.Sprintf("OK reads=%d writes=%d admits=%d throttles=%d degraded=%d",
+		dst.FTL.HostReads, dst.FTL.HostWrites, ast.Admits, ast.Throttles, degraded)
 	if st != nil {
 		cst := st.Stats()
 		line += fmt.Sprintf(" sets=%d gets=%d commits=%d", cst.Sets, cst.Gets, cst.Commits)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"share/internal/nand"
 	"share/internal/sim"
 )
 
@@ -85,6 +86,73 @@ func TestServerProtocol(t *testing.T) {
 	}
 	if resp, _ := c.cmd("BOGUS"); !strings.HasPrefix(resp, "ERR") {
 		t.Fatalf("BOGUS = %q, want ERR", resp)
+	}
+	c.must(t, "QUIT", "OK")
+}
+
+// TestServerDegradedWireError drives the server's device into read-only
+// degradation mid-session — scheduled permanent program faults retire
+// blocks past a one-block spare budget — and checks the protocol
+// contract: mutations answer with the typed "ERR DEGRADED" form (not a
+// bare ERR a client would retry), reads keep working, and STATS flips
+// its degraded field from 0 to 1.
+func TestServerDegradedWireError(t *testing.T) {
+	plan := nand.NewFaultPlan(11)
+	// The band starts well past format/store-creation programs, then
+	// every program faults: the write retries cascade through block
+	// retirements until the one-block spare budget is exhausted and the
+	// device latches read-only — long before churn can fill it.
+	for n := int64(300); n < 1000; n++ {
+		plan.AtProgram(n, nand.FaultProgramPermanent)
+	}
+	_, addr := startServer(t, Config{
+		Blocks: 64, PageSize: 512, BatchSize: 1,
+		SpareBlocks: 1, Fault: plan,
+	})
+	c := dial(t, addr)
+	defer c.conn.Close()
+	c.must(t, "USE alpha", "OK")
+	c.must(t, "SET stable before-degradation", "OK")
+	c.must(t, "COMMIT", "OK")
+	if resp, _ := c.cmd("STATS"); !strings.Contains(resp, " degraded=0") {
+		t.Fatalf("STATS before degradation = %q, want degraded=0", resp)
+	}
+
+	// Churn until the device degrades. The very write that exhausts the
+	// spare budget can surface as a transitional "device full" from the
+	// retirement cascade; every mutation after the latch must carry the
+	// typed form.
+	var degraded string
+	for i := 0; i < 400 && degraded == ""; i++ {
+		resp, err := c.cmd(fmt.Sprintf("SET churn%d %s", i, strings.Repeat("x", 64)))
+		if err != nil {
+			t.Fatalf("SET churn%d: %v", i, err)
+		}
+		if strings.HasPrefix(resp, "ERR DEGRADED ") {
+			degraded = resp
+		}
+	}
+	if degraded == "" {
+		t.Fatal("device never answered a mutation with ERR DEGRADED")
+	}
+
+	// The condition is latched: the next mutation is typed too, reads
+	// and STATS keep serving, and STATS reports it.
+	if resp, _ := c.cmd("SET another value"); !strings.HasPrefix(resp, "ERR DEGRADED ") {
+		t.Fatalf("second mutation after degradation = %q", resp)
+	}
+	c.must(t, "GET stable", "VAL before-degradation")
+	resp, err := c.cmd("STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "OK ") || !strings.Contains(resp, " degraded=1") {
+		t.Fatalf("STATS after degradation = %q, want degraded=1", resp)
+	}
+	// Ordinary protocol errors stay untyped: clients must not confuse a
+	// usage mistake with a degraded store.
+	if resp, _ := c.cmd("BOGUS"); strings.Contains(resp, "DEGRADED") {
+		t.Fatalf("unknown command mis-typed as degraded: %q", resp)
 	}
 	c.must(t, "QUIT", "OK")
 }

@@ -1,6 +1,9 @@
 package stress
 
 import (
+	"io"
+	"net"
+	"sync/atomic"
 	"testing"
 
 	"share/internal/server"
@@ -53,6 +56,92 @@ func TestStressSingleTenant(t *testing.T) {
 	t.Log(rep)
 	if rep.Failed() {
 		t.Fatalf("stress run failed: %s", rep)
+	}
+}
+
+// flakyProxy forwards TCP to backend but kills the first drops
+// connections on sight — the deterministic stand-in for connection
+// resets and server restarts.
+func flakyProxy(t *testing.T, backend string, drops int32) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var seen atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if seen.Add(1) <= drops {
+				conn.Close()
+				continue
+			}
+			back, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() {
+				defer back.Close()
+				io.Copy(back, conn)
+			}()
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, back)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStressRetriesTransientDrops: a worker whose first two connections
+// are reset recovers by redialing with backoff, re-issuing USE, and
+// replaying the in-flight command — the run completes with the retries
+// counted and zero errors, and the data model still verifies exactly.
+func TestStressRetriesTransientDrops(t *testing.T) {
+	cfg := Config{Workers: 1, Tenants: 1, Cycles: 40, Keys: 8, Seed: 3,
+		Server: server.Config{Blocks: 128, PageSize: 512, BatchSize: 2}}
+	s, err := server.New(cfg.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+
+	rep := worker(flakyProxy(t, addr.String(), 2), 0, cfg)
+	t.Log(rep)
+	if rep.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2 (two dropped connections)", rep.Retries)
+	}
+	if rep.Failed() {
+		t.Fatalf("transient drops surfaced as errors: %s", rep)
+	}
+	if rep.Cycles != int64(cfg.Cycles) {
+		t.Fatalf("cycles = %d, want %d", rep.Cycles, cfg.Cycles)
+	}
+}
+
+// TestStressRetryBudgetExhausts: when the transport never comes back the
+// retry loop must give up after its bounded budget, not spin forever.
+func TestStressRetryBudgetExhausts(t *testing.T) {
+	// A listener that drops every connection: dials succeed, commands die.
+	addr := flakyProxy(t, "127.0.0.1:1", 1<<30)
+	cfg := Config{Workers: 1, Tenants: 1, Cycles: 5, Keys: 4, Seed: 3}
+	rep := worker(addr, 0, cfg)
+	t.Log(rep)
+	if !rep.Failed() {
+		t.Fatal("dead transport did not surface as an error")
+	}
+	if rep.Retries != retryMax {
+		t.Fatalf("retries = %d, want exactly the budget %d", rep.Retries, retryMax)
 	}
 }
 

@@ -24,6 +24,8 @@
 package share
 
 import (
+	"fmt"
+
 	"share/internal/ftl"
 	"share/internal/metrics"
 	"share/internal/nand"
@@ -155,6 +157,119 @@ func OpenDevice(opts DeviceOptions) (*Device, error) {
 	cfg.FTL.HostStreams = opts.Streams
 	cfg.FTL.AutoStream = opts.AutoStream
 	return ssd.New("share-ssd", cfg)
+}
+
+// TierRole names a device's function in a multi-device deployment:
+// tablespace data, redo log, or flash-extended cache.
+type TierRole string
+
+// The recognized tier roles. A deployment has exactly one data tier;
+// log and cache tiers are optional, at most one each.
+const (
+	TierData  TierRole = "data"
+	TierLog   TierRole = "log"
+	TierCache TierRole = "cache"
+)
+
+// Tier is one device in an N-device tier configuration.
+type Tier struct {
+	Role TierRole
+	Opts DeviceOptions
+}
+
+// TierOptions generalizes the two-device (data + log) setup into an
+// N-device tier configuration: each tier names its role and carries its
+// own DeviceOptions, so the log tier can be small and capacitor-backed
+// and the cache tier fast and fault-injected independently of the data
+// tier. OpenTiers validates the set and opens every device.
+type TierOptions struct {
+	Tiers []Tier
+}
+
+// TierConfigError reports a tier configuration rejected by OpenTiers:
+// which role failed, why, and (when a lower layer produced the failure,
+// e.g. a fault plan that does not fit the tier's geometry) the
+// underlying cause, reachable through errors.Is/As.
+type TierConfigError struct {
+	Role   TierRole
+	Reason string
+	Err    error // underlying cause, nil for pure configuration errors
+}
+
+func (e *TierConfigError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("share: %s tier: %s: %v", e.Role, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("share: %s tier: %s", e.Role, e.Reason)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *TierConfigError) Unwrap() error { return e.Err }
+
+// Tiers holds the opened devices of a tier configuration, by role.
+// Absent optional tiers are nil.
+type Tiers struct {
+	Data  *Device
+	Log   *Device
+	Cache *Device
+}
+
+// OpenTiers validates a tier configuration and opens one device per
+// tier. It rejects, with *TierConfigError: unknown or duplicate roles, a
+// missing data tier, a cache tier too small to leave the FTL one erase
+// block of GC headroom (such a cache degrades to read-only almost
+// immediately — worse than no cache), and device-level failures such as
+// a fault plan whose block or operation references do not fit the
+// tier's geometry (the nand.ErrFaultPlan cause is wrapped).
+func OpenTiers(opts TierOptions) (*Tiers, error) {
+	seen := make(map[TierRole]bool)
+	for _, tier := range opts.Tiers {
+		switch tier.Role {
+		case TierData, TierLog, TierCache:
+		default:
+			return nil, &TierConfigError{Role: tier.Role, Reason: "unknown role"}
+		}
+		if seen[tier.Role] {
+			return nil, &TierConfigError{Role: tier.Role, Reason: "duplicate role"}
+		}
+		seen[tier.Role] = true
+	}
+	if !seen[TierData] {
+		return nil, &TierConfigError{Role: TierData, Reason: "missing: every deployment needs one data tier"}
+	}
+	out := &Tiers{}
+	for _, tier := range opts.Tiers {
+		if tier.Role == TierCache {
+			blocks := tier.Opts.Blocks
+			if blocks == 0 {
+				blocks = 1024
+			}
+			op := tier.Opts.OverProvision
+			if op == 0 {
+				op = ftl.DefaultConfig().OverProvision
+			}
+			if int(float64(blocks)*op) < 1 {
+				return nil, &TierConfigError{
+					Role: TierCache,
+					Reason: fmt.Sprintf("%d blocks at %.0f%% over-provisioning leave no GC headroom (need at least one spare erase block)",
+						blocks, op*100),
+				}
+			}
+		}
+		dev, err := OpenDevice(tier.Opts)
+		if err != nil {
+			return nil, &TierConfigError{Role: tier.Role, Reason: "cannot open device", Err: err}
+		}
+		switch tier.Role {
+		case TierData:
+			out.Data = dev
+		case TierLog:
+			out.Log = dev
+		case TierCache:
+			out.Cache = dev
+		}
+	}
+	return out, nil
 }
 
 // NewTask returns a standalone virtual-time task for single-threaded use.

@@ -1,0 +1,147 @@
+package share_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"share"
+	"share/internal/nand"
+)
+
+func smallTier(role share.TierRole) share.Tier {
+	return share.Tier{Role: role, Opts: share.DeviceOptions{
+		Blocks: 64, PageSize: 512, PagesPerBlock: 16,
+	}}
+}
+
+func TestOpenTiersThreeDevices(t *testing.T) {
+	tiers, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData),
+		smallTier(share.TierLog),
+		smallTier(share.TierCache),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiers.Data == nil || tiers.Log == nil || tiers.Cache == nil {
+		t.Fatalf("missing devices: %+v", tiers)
+	}
+	// Each tier is its own device with its own geometry.
+	if tiers.Data == tiers.Cache || tiers.Data == tiers.Log {
+		t.Fatal("tiers share a device")
+	}
+}
+
+func TestOpenTiersDataOnly(t *testing.T) {
+	tiers, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiers.Data == nil || tiers.Log != nil || tiers.Cache != nil {
+		t.Fatalf("want data only, got %+v", tiers)
+	}
+}
+
+func wantTierError(t *testing.T, err error, role share.TierRole, msg string) *share.TierConfigError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want TierConfigError containing %q, got nil", msg)
+	}
+	var te *share.TierConfigError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *TierConfigError", err)
+	}
+	if te.Role != role {
+		t.Fatalf("error role = %q, want %q", te.Role, role)
+	}
+	if !strings.Contains(err.Error(), msg) {
+		t.Fatalf("error %q does not mention %q", err.Error(), msg)
+	}
+	return te
+}
+
+func TestOpenTiersRejectsDuplicateRoles(t *testing.T) {
+	_, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData),
+		smallTier(share.TierCache),
+		smallTier(share.TierCache),
+	}})
+	wantTierError(t, err, share.TierCache, "duplicate role")
+}
+
+func TestOpenTiersRejectsUnknownRole(t *testing.T) {
+	_, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData),
+		smallTier(share.TierRole("scratch")),
+	}})
+	wantTierError(t, err, share.TierRole("scratch"), "unknown role")
+}
+
+func TestOpenTiersRequiresDataTier(t *testing.T) {
+	_, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierLog),
+		smallTier(share.TierCache),
+	}})
+	wantTierError(t, err, share.TierData, "missing")
+}
+
+func TestOpenTiersRejectsCacheWithoutGCHeadroom(t *testing.T) {
+	// 12 blocks at 5% over-provisioning truncate to zero spare erase
+	// blocks: the cache tier would be read-only after its first few fills.
+	cache := share.Tier{Role: share.TierCache, Opts: share.DeviceOptions{
+		Blocks: 12, PageSize: 512, PagesPerBlock: 16, OverProvision: 0.05,
+	}}
+	_, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData), cache,
+	}})
+	wantTierError(t, err, share.TierCache, "no GC headroom")
+
+	// The same block count with the default over-provisioning passes.
+	cache.Opts.OverProvision = 0.10
+	if _, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData), cache,
+	}}); err != nil {
+		t.Fatalf("headroom satisfied but rejected: %v", err)
+	}
+}
+
+func TestOpenTiersRejectsFaultPlanGeometryMismatch(t *testing.T) {
+	// A fault plan naming block 9999 cannot fit a 64-block cache tier.
+	plan := share.NewFaultPlan(1)
+	plan.FactoryBad = []int{9999}
+	cache := smallTier(share.TierCache)
+	cache.Opts.Fault = plan
+	_, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData), cache,
+	}})
+	te := wantTierError(t, err, share.TierCache, "cannot open device")
+	if !errors.Is(te, nand.ErrFaultPlan) {
+		t.Fatalf("cause %v does not unwrap to nand.ErrFaultPlan", te.Err)
+	}
+}
+
+func TestOpenTiersDevicesUsable(t *testing.T) {
+	tiers, err := share.OpenTiers(share.TierOptions{Tiers: []share.Tier{
+		smallTier(share.TierData),
+		smallTier(share.TierCache),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := share.NewTask("t")
+	data := make([]byte, 512)
+	data[0] = 0xEE
+	if err := tiers.Cache.WritePage(task, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := tiers.Cache.ReadPage(task, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatal("cache tier device round-trip failed")
+	}
+}
